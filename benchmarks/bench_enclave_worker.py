@@ -1,0 +1,82 @@
+"""A1 — the enclave worker-queue optimization (Section 4.6).
+
+Compares synchronous enclave calls (one boundary transition per expression
+evaluation) against the worker-queue design (hot workers amortize
+transitions) across simulated transition costs. The paper's design point:
+when the workload keeps the enclave busy, the queue avoids nearly all
+transition costs.
+"""
+
+import pytest
+
+from repro.crypto.aead import CellCipher, EncryptionScheme
+from repro.crypto.dh import DiffieHellman
+from repro.crypto.rsa import RsaKeyPair
+from repro.enclave.channel import CekPackage, seal_package
+from repro.enclave.runtime import Enclave, EnclaveBinary
+from repro.enclave.worker import CallMode, EnclaveCallGateway
+from repro.sqlengine.cells import Ciphertext
+from repro.sqlengine.expression.program import Instruction, Opcode, StackProgram
+from repro.sqlengine.types import EncryptionInfo
+from repro.sqlengine.values import serialize_value
+
+CEK = bytes(range(32))
+ENC = EncryptionInfo(
+    scheme=EncryptionScheme.RANDOMIZED, cek_name="K", enclave_enabled=True
+)
+TRANSITION_COST_S = 0.00005  # 50 µs — a plausible VBS boundary cost
+
+
+def make_enclave() -> Enclave:
+    enclave = Enclave(EnclaveBinary.build(RsaKeyPair.generate(1024)))
+    dh = DiffieHellman()
+    session, enclave_dh, __ = enclave.start_session(dh.public_key)
+    secret = dh.shared_secret(enclave_dh)
+    enclave.install_package(
+        session, seal_package(secret, CekPackage(nonce=0, ceks=(("K", CEK),)))
+    )
+    return enclave
+
+
+def comparison_workload(gateway: EnclaveCallGateway, n_calls: int) -> None:
+    cipher = CellCipher(CEK)
+    blob = StackProgram([
+        Instruction(Opcode.GET_DATA, (0, ENC)),
+        Instruction(Opcode.GET_DATA, (1, ENC)),
+        Instruction(Opcode.COMP, "<"),
+        Instruction(Opcode.SET_DATA, (0, None)),
+    ]).serialize()
+    handle = gateway.register_program(blob)
+    a = Ciphertext(cipher.encrypt(serialize_value(1), EncryptionScheme.RANDOMIZED))
+    b = Ciphertext(cipher.encrypt(serialize_value(2), EncryptionScheme.RANDOMIZED))
+    for __ in range(n_calls):
+        gateway.eval(handle, [a, b])
+
+
+@pytest.mark.parametrize("mode", [CallMode.SYNCHRONOUS, CallMode.QUEUED])
+def test_enclave_call_modes(benchmark, mode):
+    enclave = make_enclave()
+    gateway = EnclaveCallGateway(
+        enclave,
+        mode=mode,
+        n_threads=1,
+        transition_cost_s=TRANSITION_COST_S,
+        spin_duration_s=0.002,
+    )
+    try:
+        benchmark.pedantic(
+            comparison_workload, args=(gateway, 200), rounds=3, iterations=1
+        )
+    finally:
+        stats = gateway.stats
+        gateway.shutdown()
+    print(
+        f"\n  {mode.value}: calls={stats.calls} "
+        f"boundary_transitions={stats.boundary_transitions} "
+        f"spin_hits={stats.spin_hits}"
+    )
+    if mode is CallMode.SYNCHRONOUS:
+        assert stats.boundary_transitions == stats.calls
+    else:
+        # The hot worker amortizes transitions away under steady load.
+        assert stats.boundary_transitions < stats.calls / 2

@@ -1,0 +1,37 @@
+"""Figure 9: enclave-based RND processing vs deterministic encryption.
+
+Paper (Section 5.4.2): at 100 client threads and W=800, SQL-AE-DET sits
+between SQL-PT-AEConn and SQL-AE-RND; enclave-based computation (RND-4) is
+12.3% slower than DET; one enclave thread (RND-1) is slower than four.
+"""
+
+from repro.harness.experiments import run_figure9
+
+
+def test_figure9_enclave_vs_det(benchmark, tpcc_scale, calibration_transactions):
+    result = benchmark.pedantic(
+        run_figure9,
+        kwargs={"scale": tpcc_scale, "n_transactions": calibration_transactions},
+        rounds=1,
+        iterations=1,
+    )
+    print()
+    print("=" * 66)
+    print("Figure 9 — normalized throughput at 100 client threads")
+    print("=" * 66)
+    print(result.print_rows())
+    print("  paper: AEConn > DET > RND-4 > RND-1; DET−RND-4 gap = 12.3%")
+
+    n = result.normalized
+    benchmark.extra_info["normalized"] = n
+    benchmark.extra_info["enclave_vs_det_gap"] = result.enclave_vs_det_gap
+
+    # Shape assertions:
+    # 1. The paper's ordering of the four configurations.
+    assert n["SQL-PT"] >= n["SQL-PT-AEConn"]
+    assert n["SQL-PT-AEConn"] >= n["SQL-AE-DET"] - 0.05  # DET ≈ just below AEConn
+    assert n["SQL-AE-DET"] > n["SQL-AE-RND-1"]
+    assert n["SQL-AE-RND-4"] > n["SQL-AE-RND-1"]
+    # 2. The enclave-vs-DET gap is a modest single/low-double-digit
+    #    percentage (paper: 12.3%), not a blowup.
+    assert -0.05 <= result.enclave_vs_det_gap <= 0.40

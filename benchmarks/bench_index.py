@@ -1,0 +1,117 @@
+"""A6 — index operations across the three comparator flavours.
+
+Measures what Section 3.1 implies: plaintext and DET (ciphertext-binary)
+index operations cost about the same — "the vast majority of index
+processing remains unaffected by encryption" — while RND range indexes pay
+an enclave decryption per comparison, concentrated in seeks/inserts.
+"""
+
+import random
+
+import pytest
+
+from repro.crypto.aead import CellCipher, EncryptionScheme
+from repro.crypto.dh import DiffieHellman
+from repro.crypto.rsa import RsaKeyPair
+from repro.enclave.channel import CekPackage, seal_package
+from repro.enclave.runtime import Enclave, EnclaveBinary
+from repro.sqlengine.cells import Ciphertext
+from repro.sqlengine.index.btree import BPlusTree
+from repro.sqlengine.index.comparators import (
+    CellComparator,
+    CiphertextBinaryComparator,
+    CompositeComparator,
+    EnclaveComparator,
+    PlaintextComparator,
+)
+from repro.sqlengine.storage.heap import RowId
+from repro.sqlengine.values import serialize_value
+
+CEK = bytes(range(32))
+N_KEYS = 300
+
+
+def ready_enclave() -> Enclave:
+    enclave = Enclave(EnclaveBinary.build(RsaKeyPair.generate(1024)))
+    dh = DiffieHellman()
+    session, enclave_dh, __ = enclave.start_session(dh.public_key)
+    enclave.install_package(
+        session,
+        seal_package(dh.shared_secret(enclave_dh), CekPackage(nonce=0, ceks=(("K", CEK),))),
+    )
+    return enclave
+
+
+def make_keys(kind: str):
+    cipher = CellCipher(CEK)
+    values = list(range(N_KEYS))
+    random.Random(11).shuffle(values)
+    if kind == "plaintext":
+        return [(v,) for v in values]
+    scheme = (
+        EncryptionScheme.DETERMINISTIC if kind == "det" else EncryptionScheme.RANDOMIZED
+    )
+    return [
+        (Ciphertext(cipher.encrypt(serialize_value(v), scheme)),) for v in values
+    ]
+
+
+def make_tree(kind: str, enclave=None) -> BPlusTree:
+    if kind == "plaintext":
+        cell = CellComparator(PlaintextComparator())
+    elif kind == "det":
+        cell = CellComparator(CiphertextBinaryComparator())
+    else:
+        cell = CellComparator(EnclaveComparator(enclave, "K"))
+    return BPlusTree(CompositeComparator([cell]))
+
+
+@pytest.mark.parametrize("kind", ["plaintext", "det", "rnd-enclave"])
+def test_index_build(benchmark, kind):
+    enclave = ready_enclave() if kind == "rnd-enclave" else None
+    keys = make_keys("det" if kind == "det" else ("plaintext" if kind == "plaintext" else "rnd"))
+
+    def build():
+        tree = make_tree(kind, enclave)
+        for i, key in enumerate(keys):
+            tree.insert(key, RowId(0, i))
+        return tree
+
+    tree = benchmark.pedantic(build, rounds=2, iterations=1)
+    assert len(tree) == N_KEYS
+
+
+@pytest.mark.parametrize("kind", ["plaintext", "det", "rnd-enclave"])
+def test_index_equality_seek(benchmark, kind):
+    enclave = ready_enclave() if kind == "rnd-enclave" else None
+    keys = make_keys("det" if kind == "det" else ("plaintext" if kind == "plaintext" else "rnd"))
+    tree = make_tree(kind, enclave)
+    for i, key in enumerate(keys):
+        tree.insert(key, RowId(0, i))
+    probes = keys[:50]
+
+    def seek():
+        found = 0
+        for probe in probes:
+            found += len(tree.search_eq(probe))
+        return found
+
+    assert benchmark(seek) >= 50
+
+
+def test_rnd_range_scan_via_enclave(benchmark):
+    enclave = ready_enclave()
+    cipher = CellCipher(CEK)
+    tree = make_tree("rnd-enclave", enclave)
+    for v in range(N_KEYS):
+        tree.insert(
+            (Ciphertext(cipher.encrypt(serialize_value(v), EncryptionScheme.RANDOMIZED)),),
+            RowId(0, v),
+        )
+
+    def scan():
+        lo = (Ciphertext(cipher.encrypt(serialize_value(100), EncryptionScheme.RANDOMIZED)),)
+        hi = (Ciphertext(cipher.encrypt(serialize_value(150), EncryptionScheme.RANDOMIZED)),)
+        return sum(1 for __ in tree.range_scan(lo, hi))
+
+    assert benchmark(scan) == 51

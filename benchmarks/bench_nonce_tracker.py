@@ -1,0 +1,65 @@
+"""A4 — nonce tracking: compact-range encoding under reordering.
+
+Section 4.2's design claim: because the driver generates near-sequential
+nonces (with local reordering from multi-threading), tracking *all*
+historical nonces compresses to a handful of ranges. We measure
+check-and-add throughput and the state footprint across delivery orders,
+including the adversarial random order where the encoding degrades.
+"""
+
+import random
+
+import pytest
+
+from repro.enclave.nonce import NonceRangeTracker
+
+N = 5_000
+
+
+def sequential(n):
+    return list(range(n))
+
+
+def locally_reordered(n, window=16, seed=7):
+    rng = random.Random(seed)
+    out, buffer, nxt = [], [], 0
+    while len(out) < n:
+        while len(buffer) < window and nxt < n:
+            buffer.append(nxt)
+            nxt += 1
+        out.append(buffer.pop(rng.randrange(len(buffer))))
+    return out
+
+
+def fully_random(n, seed=7):
+    out = list(range(n))
+    random.Random(seed).shuffle(out)
+    return out
+
+
+ORDERS = {
+    "sequential": sequential,
+    "locally-reordered": locally_reordered,
+    "fully-random": fully_random,
+}
+
+
+@pytest.mark.parametrize("order", list(ORDERS))
+def test_nonce_tracking(benchmark, order):
+    nonces = ORDERS[order](N)
+
+    def run():
+        tracker = NonceRangeTracker()
+        for nonce in nonces:
+            tracker.check_and_add(nonce)
+        return tracker
+
+    tracker = benchmark(run)
+    print(f"\n  {order}: {N} nonces → {tracker.range_count} ranges")
+    if order == "sequential":
+        assert tracker.range_count == 1
+    elif order == "locally-reordered":
+        # The design target: near-sequential input stays near-constant.
+        assert tracker.range_count <= 32
+    # fully-random degrades (many ranges mid-stream) but ends merged:
+    assert tracker.total_seen == N

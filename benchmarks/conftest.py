@@ -1,0 +1,32 @@
+"""Shared benchmark configuration.
+
+``REPRO_BENCH_SCALE`` (small|medium) controls the TPC-C calibration scale;
+small keeps the whole benchmark suite in a few minutes on a laptop.
+"""
+
+from __future__ import annotations
+
+import os
+
+import pytest
+
+from repro.harness.experiments import TpccScale
+
+SCALES = {
+    "small": TpccScale(
+        warehouses=1, districts_per_warehouse=2, customers_per_district=20, items=40
+    ),
+    "medium": TpccScale(
+        warehouses=2, districts_per_warehouse=4, customers_per_district=60, items=100
+    ),
+}
+
+
+@pytest.fixture(scope="session")
+def tpcc_scale() -> TpccScale:
+    return SCALES[os.environ.get("REPRO_BENCH_SCALE", "small")]
+
+
+@pytest.fixture(scope="session")
+def calibration_transactions() -> int:
+    return int(os.environ.get("REPRO_BENCH_TXNS", "40"))

@@ -1,0 +1,96 @@
+"""The strong adversary's view (Sections 2.6, 3.2, Figure 5).
+
+Attaches the strong-adversary simulation to a running AE system and shows
+exactly what leaks per operation class — and what doesn't:
+
+* the plaintext of encrypted columns appears on **no** observable surface
+  (disk, log, buffer pool, wire);
+* DET columns leak their frequency distribution;
+* enclave range processing leaks the ordering (reconstructed live);
+* the encryption oracle is unusable without client authorization.
+
+Run:  python examples/adversary_view.py
+"""
+
+from repro.attestation import HostGuardianService, HostMachine
+from repro.attestation.hgs import AttestationPolicy
+from repro.crypto.rsa import RsaKeyPair
+from repro.enclave import Enclave, EnclaveBinary
+from repro.errors import EnclaveError
+from repro.keys import default_registry
+from repro.client import connect
+from repro.security import (
+    StrongAdversary,
+    det_frequency_distribution,
+    reconstruct_order,
+)
+from repro.sqlengine import SqlServer
+from repro.sqlengine.cells import Ciphertext
+from repro.tools import provision_cek, provision_cmk
+
+ALGO = "AEAD_AES_256_CBC_HMAC_SHA_256"
+
+
+def main() -> None:
+    author_key = RsaKeyPair.generate(1024)
+    binary = EnclaveBinary.build(author_key)
+    enclave = Enclave(binary)
+    host = HostMachine()
+    hgs = HostGuardianService()
+    hgs.register_host(host.boot_and_measure())
+    server = SqlServer(enclave=enclave, host_machine=host, hgs=hgs)
+
+    adversary = StrongAdversary()
+    adversary.attach(server)
+
+    registry = default_registry()
+    vault = registry.get("AZURE_KEY_VAULT_PROVIDER")
+    policy = AttestationPolicy(trusted_author_ids=frozenset({binary.author_id}))
+    conn = connect(server, registry, attestation_policy=policy)
+
+    cmk = provision_cmk(conn, vault, "CMK", "https://vault.azure.net/keys/adv")
+    provision_cek(conn, vault, cmk, "CEK")
+    conn.execute_ddl(
+        "CREATE TABLE S (k int PRIMARY KEY, "
+        f"city varchar(20) ENCRYPTED WITH (COLUMN_ENCRYPTION_KEY = CEK, ENCRYPTION_TYPE = Deterministic, ALGORITHM = '{ALGO}'), "
+        f"salary int ENCRYPTED WITH (COLUMN_ENCRYPTION_KEY = CEK, ENCRYPTION_TYPE = Randomized, ALGORITHM = '{ALGO}'))"
+    )
+
+    cities = ["seattle", "seattle", "seattle", "zurich", "zurich", "portland"]
+    salaries = [120, 95, 180, 75, 140, 60]
+    for k, (city, salary) in enumerate(zip(cities, salaries)):
+        conn.execute("INSERT INTO S (k, city, salary) VALUES (@k, @c, @s)",
+                     {"k": k, "c": city, "s": salary})
+
+    # 0. Operational guarantee: plaintext never hits an observable surface.
+    secrets = [c.encode() for c in set(cities)]
+    exposures = adversary.plaintext_exposures(secrets)
+    print("plaintext exposures of encrypted values:", exposures or "none")
+
+    # 1. DET leakage: frequency distribution, straight off the stored blobs.
+    det_cells = [
+        row[1] for __, row in server.engine.scan("S") if isinstance(row[1], Ciphertext)
+    ]
+    print("DET frequency histogram recovered:", det_frequency_distribution(det_cells),
+          "(true: [3, 2, 1])")
+
+    # 2. RND range leakage: build a range index; the sort leaks the order.
+    conn.execute_ddl("CREATE NONCLUSTERED INDEX S_SAL ON S(salary)")
+    order = reconstruct_order(adversary, "CEK")
+    print(f"ordering reconstructed from {order.comparisons_used} observed "
+          f"comparisons over {len(order.ordered_envelopes)} ciphertexts")
+
+    # 3. The enclave's encryption oracle refuses unauthorized use.
+    try:
+        enclave.encrypt_for_ddl("ALTER TABLE S ...", "CEK", b"\x01\x00", None)
+    except EnclaveError as exc:
+        print("unauthorized Encrypt refused:", str(exc)[:60], "...")
+
+    # 4. Metadata is NOT hidden (the paper concedes this).
+    print("adversary reads table names:", [t.name for t in server.catalog.tables()])
+    print("adversary reads row count:", sum(1 for __ in server.engine.scan("S")))
+    print("OK")
+
+
+if __name__ == "__main__":
+    main()

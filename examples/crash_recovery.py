@@ -1,0 +1,145 @@
+"""Crash recovery with encrypted indexes (Section 4.5).
+
+Walks through all three recovery outcomes the paper describes when a crash
+leaves an uncommitted transaction touching a table with an encrypted range
+index, and the enclave has no keys (the client only sends keys when it
+runs queries):
+
+1. without CTR — the transaction is **deferred**, holds its locks, and
+   blocks log truncation until the client connects (supplying keys);
+2. with CTR — the database is available immediately; the **version
+   cleaner** retries in the background until keys arrive;
+3. **index invalidation** — policy-forced resolution without keys.
+
+Run:  python examples/crash_recovery.py
+"""
+
+from repro.attestation import HostGuardianService, HostMachine
+from repro.attestation.hgs import AttestationPolicy
+from repro.crypto.rsa import RsaKeyPair
+from repro.enclave import Enclave, EnclaveBinary
+from repro.errors import LockTimeoutError, TransactionError
+from repro.keys import default_registry
+from repro.client import connect
+from repro.sqlengine import SqlServer
+from repro.tools import provision_cek, provision_cmk
+
+ALGO = "AEAD_AES_256_CBC_HMAC_SHA_256"
+
+
+def build(ctr_enabled: bool):
+    author_key = RsaKeyPair.generate(1024)
+    binary = EnclaveBinary.build(author_key)
+    enclave = Enclave(binary)
+    host = HostMachine()
+    hgs = HostGuardianService()
+    hgs.register_host(host.boot_and_measure())
+    server = SqlServer(
+        enclave=enclave, host_machine=host, hgs=hgs,
+        ctr_enabled=ctr_enabled, lock_timeout_s=0.2,
+    )
+    registry = default_registry()
+    vault = registry.get("AZURE_KEY_VAULT_PROVIDER")
+    policy = AttestationPolicy(trusted_author_ids=frozenset({binary.author_id}))
+    conn = connect(server, registry, attestation_policy=policy)
+    cmk = provision_cmk(conn, vault, "CMK", "https://vault.azure.net/keys/recov")
+    provision_cek(conn, vault, cmk, "CEK")
+    conn.execute_ddl(
+        "CREATE TABLE R (k int PRIMARY KEY, "
+        f"v int ENCRYPTED WITH (COLUMN_ENCRYPTION_KEY = CEK, ENCRYPTION_TYPE = Randomized, ALGORITHM = '{ALGO}'))"
+    )
+    conn.execute_ddl("CREATE NONCLUSTERED INDEX R_V ON R(v)")
+    for k in range(8):
+        conn.execute("INSERT INTO R (k, v) VALUES (@k, @v)", {"k": k, "v": k * 11})
+    return server, conn, binary
+
+
+def crash_mid_transaction(server, conn):
+    """Leave an uncommitted insert in the log, then crash."""
+    conn.begin()
+    conn.execute("INSERT INTO R (k, v) VALUES (@k, @v)", {"k": 99, "v": 999})
+    server.engine.checkpoint()
+    # New enclave after "reboot" — keyless until a client connects.
+    new_enclave = Enclave(server.enclave.binary)
+    server.crash()
+    server.engine.enclave = new_enclave
+    server.enclave = new_enclave
+    return server.recover()
+
+
+def scenario_deferred() -> None:
+    print("--- scenario 1: deferred transactions (CTR off) ---")
+    server, conn, binary = build(ctr_enabled=False)
+    report = crash_mid_transaction(server, conn)
+    print("recovery report:", report)
+    assert report.deferred, "transaction should be deferred"
+
+    session = server.connect()
+    try:
+        session.execute("BEGIN TRANSACTION")
+        # The deferred transaction holds X locks on the rows it touched.
+        session.execute("DELETE FROM R WHERE k = @k", {"k": 99})
+        print("unexpected: delete went through")
+    except (LockTimeoutError, TransactionError) as exc:
+        print("update blocked by deferred txn:", type(exc).__name__)
+    try:
+        server.engine.truncate_log()
+    except TransactionError as exc:
+        print("log truncation blocked:", str(exc)[:50], "...")
+
+    # The client connects and runs a query → keys flow to the enclave →
+    # deferred transactions resolve.
+    policy = AttestationPolicy(trusted_author_ids=frozenset({binary.author_id}))
+    fresh = connect(server, default_registry_with(conn), attestation_policy=policy)
+    fresh.cek_cache = conn.cek_cache  # same client process: cached CEKs
+    fresh.registry = conn.registry
+    r = fresh.execute("SELECT k FROM R WHERE v = @v", {"v": 33})
+    print("query after reconnect:", r.rows)
+    assert not server.engine.deferred, "deferred txns resolved by key arrival"
+    print("rows now:", sum(1 for __ in server.engine.scan("R")), "(99 rolled back)")
+    server.engine.truncate_log()
+    print("log truncated OK\n")
+
+
+def default_registry_with(conn):
+    return conn.registry
+
+
+def scenario_ctr() -> None:
+    print("--- scenario 2: constant-time recovery (CTR on) ---")
+    server, conn, __ = build(ctr_enabled=True)
+    report = crash_mid_transaction(server, conn)
+    print("recovery report:", report)
+    assert report.ctr_reverted and not report.deferred
+    # Database fully available immediately; the version cleaner retries.
+    cleaned, pending = server.engine.run_version_cleaner()
+    print(f"version cleaner pass: cleaned={cleaned} pending={pending}")
+    server.enclave.sqlos.install_key("CEK", conn.cek_cache.get("CEK"))
+    cleaned, pending = server.engine.run_version_cleaner()
+    print(f"after keys arrive: cleaned={cleaned} pending={pending}\n")
+
+
+def scenario_invalidation() -> None:
+    print("--- scenario 3: index invalidation policy ---")
+    server, conn, __ = build(ctr_enabled=False)
+    report = crash_mid_transaction(server, conn)
+    assert report.deferred
+    invalidated = server.engine.apply_invalidation_policy(max_log_records=0)
+    print("invalidated indexes:", invalidated)
+    assert not server.engine.deferred
+    server.engine.truncate_log()
+    print("deferred txns force-resolved, log truncated OK")
+    # The invalidated index is gone from planning; queries still work by scan.
+    r = server.connect().execute("SELECT k FROM R WHERE k = 3", {})
+    print("query via scan:", r.rows)
+
+
+def main() -> None:
+    scenario_deferred()
+    scenario_ctr()
+    scenario_invalidation()
+    print("OK")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,107 @@
+"""A banking scenario: PII columns encrypted, analytics on the rest.
+
+Models the customer pattern Section 1.2 describes (financial institutions
+encrypting only personally identifiable columns): account holders' names,
+SSNs, and addresses are encrypted — SSN deterministically (exact-match
+lookups without the enclave), names randomized with enclave-enabled keys
+(LIKE search, sorting client-side) — while balances and branch data stay
+plaintext for unrestricted analytics.
+
+Run:  python examples/pii_banking.py
+"""
+
+from repro.attestation import HostGuardianService, HostMachine
+from repro.attestation.hgs import AttestationPolicy
+from repro.crypto.rsa import RsaKeyPair
+from repro.enclave import Enclave, EnclaveBinary
+from repro.keys import default_registry
+from repro.client import connect
+from repro.sqlengine import SqlServer
+from repro.tools import provision_cek, provision_cmk
+
+ALGO = "AEAD_AES_256_CBC_HMAC_SHA_256"
+
+HOLDERS = [
+    (1, "Ada Lampson", "514-22-9076", "12 Turing Rd", "Seattle", 9_200.50),
+    (2, "Grace Moore", "301-44-1187", "7 Loop Ave", "Seattle", 120.75),
+    (3, "Alan Stroud", "514-87-3321", "99 Vector St", "Zurich", 54_310.00),
+    (4, "Ada Vaughan", "622-19-4455", "3 Branch Way", "Zurich", 87.25),
+    (5, "Lin Whitfield", "301-90-8841", "41 Cache Ln", "Portland", 15_400.10),
+]
+
+
+def main() -> None:
+    author_key = RsaKeyPair.generate(1024)
+    binary = EnclaveBinary.build(author_key)
+    enclave = Enclave(binary)
+    host = HostMachine()
+    hgs = HostGuardianService()
+    hgs.register_host(host.boot_and_measure())
+    server = SqlServer(enclave=enclave, host_machine=host, hgs=hgs)
+
+    registry = default_registry()
+    vault = registry.get("AZURE_KEY_VAULT_PROVIDER")
+    policy = AttestationPolicy(trusted_author_ids=frozenset({binary.author_id}))
+    # The bank restricts CMKs to its own vault paths (Section 4.1 control).
+    conn = connect(
+        server,
+        registry,
+        attestation_policy=policy,
+        trusted_cmk_key_paths=("https://vault.azure.net/keys/bank-cmk",),
+    )
+
+    cmk = provision_cmk(conn, vault, "BankCMK", "https://vault.azure.net/keys/bank-cmk")
+    provision_cek(conn, vault, cmk, "PiiCEK")
+
+    conn.execute_ddl(
+        "CREATE TABLE ACCOUNT ("
+        "  acct_id int PRIMARY KEY,"
+        f" holder_name varchar(40) ENCRYPTED WITH (COLUMN_ENCRYPTION_KEY = PiiCEK, ENCRYPTION_TYPE = Randomized, ALGORITHM = '{ALGO}'),"
+        f" ssn varchar(11) ENCRYPTED WITH (COLUMN_ENCRYPTION_KEY = PiiCEK, ENCRYPTION_TYPE = Deterministic, ALGORITHM = '{ALGO}'),"
+        f" street varchar(40) ENCRYPTED WITH (COLUMN_ENCRYPTION_KEY = PiiCEK, ENCRYPTION_TYPE = Randomized, ALGORITHM = '{ALGO}'),"
+        "  city varchar(20),"
+        "  balance float)"
+    )
+    # Range index on the encrypted holder name: enclave-ordered B+-tree.
+    conn.execute_ddl("CREATE NONCLUSTERED INDEX ACCT_NAME ON ACCOUNT(holder_name)")
+
+    for acct_id, name, ssn, street, city, balance in HOLDERS:
+        conn.execute(
+            "INSERT INTO ACCOUNT (acct_id, holder_name, ssn, street, city, balance) "
+            "VALUES (@a, @n, @s, @st, @c, @b)",
+            {"a": acct_id, "n": name, "s": ssn, "st": street, "c": city, "b": balance},
+        )
+
+    # 1. Exact SSN lookup — DET equality, no enclave involved.
+    before = enclave.counters.evals
+    r = conn.execute("SELECT acct_id, holder_name FROM ACCOUNT WHERE ssn = @s",
+                     {"s": "514-87-3321"})
+    print("SSN lookup:", r.rows, f"(enclave evals used: {enclave.counters.evals - before})")
+
+    # 2. Name prefix search — LIKE over RND through the enclave.
+    r = conn.execute("SELECT acct_id, holder_name FROM ACCOUNT WHERE holder_name LIKE @p",
+                     {"p": "Ada %"})
+    print("Names 'Ada %':", sorted(r.rows))
+
+    # 3. Plaintext analytics unaffected by encryption.
+    r = conn.execute(
+        "SELECT city, COUNT(*) AS accounts, SUM(balance) AS total "
+        "FROM ACCOUNT GROUP BY city ORDER BY city", {}
+    )
+    print("Per-city totals:", r.rows)
+
+    # 4. Mixed predicate: plaintext range AND encrypted equality.
+    r = conn.execute(
+        "SELECT acct_id FROM ACCOUNT WHERE balance > @b AND holder_name = @n",
+        {"b": 1000.0, "n": "Ada Lampson"},
+    )
+    print("Rich Ada Lampson accounts:", r.rows)
+
+    # 5. The operator's view: encrypted blobs only.
+    r_server = server.connect().execute("SELECT ssn FROM ACCOUNT WHERE acct_id = 1", {})
+    print("What a DBA sees for SSN #1:", r_server.rows[0][0])
+    print("OK")
+
+
+if __name__ == "__main__":
+    main()

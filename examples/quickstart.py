@@ -1,0 +1,73 @@
+"""Quickstart: the paper's running example, end to end.
+
+Builds the full Figure 3 architecture — enclave, HGS, SQL Server, AE-aware
+driver — provisions the Figure 1 key hierarchy and table, and runs the
+``select * from T where value = @v`` query over a randomized-encrypted
+column through the enclave.
+
+Run:  python examples/quickstart.py
+"""
+
+from repro.attestation import HostGuardianService, HostMachine
+from repro.attestation.hgs import AttestationPolicy
+from repro.crypto.rsa import RsaKeyPair
+from repro.enclave import Enclave, EnclaveBinary
+from repro.keys import default_registry
+from repro.client import connect
+from repro.sqlengine import SqlServer
+from repro.tools import provision_cek, provision_cmk
+
+
+def main() -> None:
+    # --- the trusted pieces: enclave binary, host machine, HGS -------------
+    author_key = RsaKeyPair.generate(1024)
+    binary = EnclaveBinary.build(author_key)
+    enclave = Enclave(binary)
+
+    host = HostMachine()
+    hgs = HostGuardianService()
+    hgs.register_host(host.boot_and_measure())  # offline whitelist step
+
+    # --- the untrusted piece: SQL Server ------------------------------------
+    server = SqlServer(enclave=enclave, host_machine=host, hgs=hgs)
+
+    # --- the client: key providers + AE driver ------------------------------
+    registry = default_registry()
+    vault = registry.get("AZURE_KEY_VAULT_PROVIDER")
+    policy = AttestationPolicy(trusted_author_ids=frozenset({binary.author_id}))
+    conn = connect(server, registry, attestation_policy=policy)
+
+    # --- Figure 1: CMK, CEK, and an encrypted table -------------------------
+    cmk = provision_cmk(conn, vault, "MyCMK", "https://vault.azure.net/keys/mycmk")
+    provision_cek(conn, vault, cmk, "MyCEK")
+    conn.execute_ddl(
+        "CREATE TABLE T(id int PRIMARY KEY, "
+        "value int ENCRYPTED WITH (COLUMN_ENCRYPTION_KEY = MyCEK, "
+        "ENCRYPTION_TYPE = Randomized, "
+        "ALGORITHM = 'AEAD_AES_256_CBC_HMAC_SHA_256'))"
+    )
+
+    # --- transparent inserts: the driver encrypts @v, SQL never sees 10/20/30
+    for i, v in [(1, 10), (2, 20), (3, 30)]:
+        conn.execute("INSERT INTO T (id, value) VALUES (@id, @v)", {"id": i, "v": v})
+
+    # --- the running example: equality over RND via the enclave -------------
+    result = conn.execute("SELECT * FROM T WHERE value = @v", {"v": 20})
+    print("select * from T where value = @v  ->", result.rows)
+    assert result.rows == [(2, 20)]
+
+    # --- range queries work too (Section 2.4.3) ------------------------------
+    result = conn.execute("SELECT id FROM T WHERE value > @lo", {"lo": 15})
+    print("values > 15 ->", sorted(r[0] for r in result.rows))
+
+    # --- what the server actually stores ------------------------------------
+    server.engine.checkpoint()
+    disk = server.engine.disk.raw_bytes()
+    print("plaintext 20 on disk?", b"\x00\x00\x00\x00\x00\x00\x00\x14" in disk)
+    print("enclave boundary counters:", enclave.counters.snapshot())
+    print("driver round-trips:", conn.stats.total_roundtrips)
+    print("OK")
+
+
+if __name__ == "__main__":
+    main()

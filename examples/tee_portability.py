@@ -1,0 +1,91 @@
+"""TEE portability: the same enclave attested via VBS *and* SGX.
+
+Section 2.6 of the paper: "The design of AE is not dependent on a specific
+TEE implementation allowing us to transition to a more secure
+implementation if necessary" — and Section 2.1 notes SGX support was in
+progress. This example loads ONE enclave and attests it through both
+chains of trust:
+
+* VBS: TPM boot measurement → HGS whitelist → health certificate →
+  hypervisor-signed enclave report;
+* SGX: CPU-signed quote → attestation-service verification report.
+
+Both produce a shared secret the enclave accepts CEKs under; the enclave
+code, the CEK channel, and query processing are identical.
+
+Run:  python examples/tee_portability.py
+"""
+
+from repro.attestation import (
+    AttestationPolicy,
+    HostGuardianService,
+    HostMachine,
+    SgxAttestationService,
+    SgxMachine,
+    SgxPolicy,
+    server_attest,
+    server_attest_sgx,
+    verify_attestation_and_derive_secret,
+    verify_sgx_attestation_and_derive_secret,
+)
+from repro.crypto.aead import generate_cek_material
+from repro.crypto.dh import DiffieHellman
+from repro.crypto.rsa import RsaKeyPair
+from repro.enclave import CekPackage, Enclave, EnclaveBinary, seal_package
+
+
+def main() -> None:
+    author_key = RsaKeyPair.generate(1024)
+    binary = EnclaveBinary.build(author_key)
+    enclave = Enclave(binary)  # one enclave, two attestation roots
+
+    # --- path 1: VBS (hypervisor root of trust) -----------------------------
+    host = HostMachine()
+    hgs = HostGuardianService()
+    hgs.register_host(host.boot_and_measure())
+    vbs_policy = AttestationPolicy(trusted_author_ids=frozenset({binary.author_id}))
+
+    client_dh = DiffieHellman()
+    info = server_attest(host, hgs, enclave, client_dh.public_key)
+    vbs_secret = verify_attestation_and_derive_secret(
+        info, client_dh, hgs.signing_public_key, vbs_policy
+    )
+    print("VBS chain verified: HGS cert → host-signed report → enclave keys")
+
+    cek = generate_cek_material()
+    enclave.install_package(
+        info.session_id,
+        seal_package(vbs_secret, CekPackage(nonce=0, ceks=(("VbsCEK", cek),))),
+    )
+    print("  CEK installed over the VBS-attested channel:",
+          "VbsCEK" in enclave.installed_ceks())
+
+    # --- path 2: SGX (CPU root of trust) -------------------------------------
+    machine = SgxMachine.provision()
+    ias = SgxAttestationService()
+    ias.register_cpu(machine.cpu_key.public)
+    sgx_policy = SgxPolicy(trusted_mr_signers=frozenset({binary.author_id}))
+
+    client_dh2 = DiffieHellman()
+    sgx_info = server_attest_sgx(machine, ias, enclave, client_dh2.public_key)
+    sgx_secret = verify_sgx_attestation_and_derive_secret(
+        sgx_info, client_dh2, ias.signing_public_key, sgx_policy
+    )
+    print("SGX chain verified: CPU quote → IAS verification report → enclave keys")
+
+    enclave.install_package(
+        sgx_info.session_id,
+        seal_package(sgx_secret, CekPackage(nonce=0, ceks=(("SgxCEK", cek),))),
+    )
+    print("  CEK installed over the SGX-attested channel:",
+          "SgxCEK" in enclave.installed_ceks())
+
+    # --- the enclave itself never changed -------------------------------------
+    print("enclave sessions served:", enclave.counters.sessions_started)
+    print("same binary, same measurement:",
+          sgx_info.verification_report.quote.mr_enclave == binary.binary_hash)
+    print("OK")
+
+
+if __name__ == "__main__":
+    main()

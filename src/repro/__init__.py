@@ -1,0 +1,22 @@
+"""Reproduction of "Azure SQL Database Always Encrypted" (SIGMOD 2020).
+
+The public API mirrors the paper's architecture (Figure 3):
+
+* :func:`repro.client.connect` — the AE-aware driver (trusted),
+* :class:`repro.sqlengine.SqlServer` — the untrusted server,
+* :class:`repro.enclave.Enclave` — the trusted execution environment,
+* :mod:`repro.attestation` — HGS and the chain of trust,
+* :mod:`repro.keys` — CMKs, CEKs, and key providers,
+* :mod:`repro.tools` — client-side provisioning / encryption tooling,
+* :mod:`repro.security` — the strong adversary and leakage profiling,
+* :mod:`repro.workloads.tpcc` + :mod:`repro.harness` — the TPC-C
+  evaluation of Section 5.
+
+See ``examples/quickstart.py`` for the end-to-end flow.
+"""
+
+__version__ = "1.0.0"
+
+from repro import errors
+
+__all__ = ["errors", "__version__"]

@@ -1,0 +1,40 @@
+"""Attestation: TPM measurements, HGS, enclave reports, chain of trust."""
+
+from repro.attestation.hgs import AttestationPolicy, HealthCertificate, HostGuardianService
+from repro.attestation.protocol import (
+    AttestationInfo,
+    server_attest,
+    verify_attestation_and_derive_secret,
+)
+from repro.attestation.report import EnclaveReport, SignedReport
+from repro.attestation.sgx import (
+    SgxAttestationInfo,
+    SgxAttestationService,
+    SgxMachine,
+    SgxPolicy,
+    SgxQuote,
+    server_attest_sgx,
+    verify_sgx_attestation_and_derive_secret,
+)
+from repro.attestation.tpm import HostMachine, TcgLog, TcgLogEntry
+
+__all__ = [
+    "AttestationInfo",
+    "AttestationPolicy",
+    "EnclaveReport",
+    "HealthCertificate",
+    "HostGuardianService",
+    "HostMachine",
+    "SgxAttestationInfo",
+    "SgxAttestationService",
+    "SgxMachine",
+    "SgxPolicy",
+    "SgxQuote",
+    "SignedReport",
+    "TcgLog",
+    "TcgLogEntry",
+    "server_attest",
+    "server_attest_sgx",
+    "verify_attestation_and_derive_secret",
+    "verify_sgx_attestation_and_derive_secret",
+]

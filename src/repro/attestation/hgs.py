@@ -1,0 +1,101 @@
+"""The Host Guardian Service (HGS) simulation (Section 4.2).
+
+HGS holds a whitelist of registered TCG-log measurements. A host submits
+its current TCG log; on a whitelist match HGS returns a *health
+certificate* — signed with the HGS signing key — embedding the host's
+(hypervisor-held) signing key. Clients fetch the HGS signing public key
+out of band ("all HGS APIs are exposed using http(s)").
+"""
+
+from __future__ import annotations
+
+import struct
+import time
+from dataclasses import dataclass
+
+from repro.attestation.tpm import TcgLog
+from repro.crypto.rsa import RsaKeyPair, RsaPublicKey, verify_signature
+from repro.errors import AttestationError
+
+
+@dataclass(frozen=True)
+class HealthCertificate:
+    """An HGS-issued certificate vouching for a guarded host."""
+
+    host_signing_public: RsaPublicKey
+    issued_at: float
+    signature: bytes
+
+    def _message(self) -> bytes:
+        return (
+            b"HGS-HEALTH-CERT\x00"
+            + self.host_signing_public.to_bytes()
+            + struct.pack(">d", self.issued_at)
+        )
+
+    def verify(self, hgs_public: RsaPublicKey) -> bool:
+        return verify_signature(hgs_public, self._message(), self.signature)
+
+
+class HostGuardianService:
+    """The attestation service: whitelist registration and attestation."""
+
+    def __init__(self) -> None:
+        self._signing_key = RsaKeyPair.generate(1024)
+        self._whitelist: set[bytes] = set()
+        self.attest_calls = 0
+
+    # -- the "http(s)" API surface --------------------------------------------
+
+    @property
+    def signing_public_key(self) -> RsaPublicKey:
+        """What a client obtains by querying HGS over http(s)."""
+        return self._signing_key.public
+
+    def register_host(self, tcg_log: TcgLog) -> None:
+        """Offline step: whitelist a host's boot measurement."""
+        self._whitelist.add(tcg_log.digest_until_hypervisor())
+
+    def unregister_host(self, tcg_log: TcgLog) -> None:
+        self._whitelist.discard(tcg_log.digest_until_hypervisor())
+
+    def attest(self, tcg_log: TcgLog, host_signing_public: RsaPublicKey) -> HealthCertificate:
+        """Attest a host: whitelist lookup → signed health certificate.
+
+        Raises :class:`AttestationError` if the measurement (up to the
+        hypervisor — VBS trusts nothing later in the boot) is unknown.
+        """
+        self.attest_calls += 1
+        digest = tcg_log.digest_until_hypervisor()
+        if digest not in self._whitelist:
+            raise AttestationError(
+                "host TCG log does not match any whitelisted measurement"
+            )
+        issued_at = time.time()
+        cert = HealthCertificate(
+            host_signing_public=host_signing_public,
+            issued_at=issued_at,
+            signature=b"",
+        )
+        signature = self._signing_key.sign(cert._message())
+        return HealthCertificate(
+            host_signing_public=host_signing_public,
+            issued_at=issued_at,
+            signature=signature,
+        )
+
+
+@dataclass
+class AttestationPolicy:
+    """Client-side enclave health policy (Section 4.2, check 3).
+
+    The client checks the *author ID* (the specially provisioned enclave
+    signing key) rather than the binary hash — so benign code changes do
+    not break clients — plus minimum version numbers, which is how a
+    security update to the enclave is enforced from the client side.
+    """
+
+    trusted_author_ids: frozenset[bytes] = frozenset()
+    min_enclave_version: int = 0
+    min_hypervisor_version: int = 0
+    extra_trusted_binary_hashes: frozenset[bytes] = frozenset()

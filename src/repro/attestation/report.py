@@ -1,0 +1,66 @@
+"""Enclave reports — the measurement the hypervisor signs (Section 4.2).
+
+A report contains the attributes the paper lists: the *author ID* (the
+signing key that signed the enclave binary), the hash of the enclave
+binary, version numbers of the enclave and host hypervisor, and a hash of
+the enclave's RSA public key generated at load.
+"""
+
+from __future__ import annotations
+
+import struct
+from dataclasses import dataclass
+
+from repro.crypto.rsa import RsaKeyPair, RsaPublicKey, verify_signature
+
+
+@dataclass(frozen=True)
+class EnclaveReport:
+    """The measurement of a loaded enclave."""
+
+    author_id: bytes                 # fingerprint of the binary-signing key
+    binary_hash: bytes               # SHA-256 of the enclave "binary"
+    enclave_version: int
+    hypervisor_version: int
+    enclave_public_key_hash: bytes   # fingerprint of the enclave's RSA key
+
+    def serialize(self) -> bytes:
+        return (
+            b"ENCLAVE-REPORT\x00"
+            + struct.pack(">II", self.enclave_version, self.hypervisor_version)
+            + self.author_id
+            + self.binary_hash
+            + self.enclave_public_key_hash
+        )
+
+    @classmethod
+    def deserialize(cls, data: bytes) -> "EnclaveReport":
+        prefix = b"ENCLAVE-REPORT\x00"
+        body = data[len(prefix) :]
+        enclave_version, hypervisor_version = struct.unpack_from(">II", body, 0)
+        offset = 8
+        author_id = body[offset : offset + 32]
+        binary_hash = body[offset + 32 : offset + 64]
+        key_hash = body[offset + 64 : offset + 96]
+        return cls(
+            author_id=author_id,
+            binary_hash=binary_hash,
+            enclave_version=enclave_version,
+            hypervisor_version=hypervisor_version,
+            enclave_public_key_hash=key_hash,
+        )
+
+
+@dataclass(frozen=True)
+class SignedReport:
+    """An enclave report signed by the host (hypervisor) signing key."""
+
+    report: EnclaveReport
+    signature: bytes
+
+    @classmethod
+    def create(cls, report: EnclaveReport, host_signing_key: RsaKeyPair) -> "SignedReport":
+        return cls(report=report, signature=host_signing_key.sign(report.serialize()))
+
+    def verify(self, host_signing_public: RsaPublicKey) -> bool:
+        return verify_signature(host_signing_public, self.report.serialize(), self.signature)

@@ -1,0 +1,228 @@
+"""A second enclave platform: Intel SGX-style attestation (simulated).
+
+The paper: "We are also working on supporting Intel SGX enclaves" and "the
+design of AE is not dependent on a specific TEE implementation allowing us
+to transition to a more secure implementation if necessary" (Section 2.6).
+This module demonstrates that claim concretely: the *enclave* is unchanged
+(same CEK store, same Eval/compare surface, same sealed-package channel);
+only the attestation root differs.
+
+For SGX the root of trust is the CPU, not the hypervisor: the enclave's
+measurement is signed by a CPU-held attestation key into a **quote**, and
+a remote **attestation service** (modelled on Intel's IAS/DCAP) that knows
+the genuine CPU keys verifies the quote and returns a signed verification
+report. The client checks:
+
+1. the verification report is signed by the attestation service;
+2. the service verdict is OK (the quote came from a genuine CPU);
+3. MRSIGNER (the enclave author) / MRENCLAVE and minimum ISV SVN satisfy
+   the client's policy — the SGX analog of the VBS author-ID check;
+4. the report data binds the enclave's RSA key and the DH exchange,
+   exactly as the VBS path binds them through the enclave report.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import struct
+from dataclasses import dataclass
+from typing import TYPE_CHECKING
+
+from repro.crypto.dh import DiffieHellman, public_key_bytes
+from repro.crypto.rsa import RsaKeyPair, RsaPublicKey, verify_signature
+from repro.errors import AttestationError
+
+if TYPE_CHECKING:
+    from repro.enclave.runtime import Enclave
+
+
+@dataclass(frozen=True)
+class SgxQuote:
+    """An SGX quote: enclave measurement signed by the CPU's key.
+
+    ``mr_enclave`` ↔ the enclave binary hash; ``mr_signer`` ↔ the author
+    key fingerprint; ``isv_svn`` ↔ the enclave version; ``report_data`` is
+    the 64-byte field enclaves use to bind protocol state into the quote.
+    """
+
+    mr_enclave: bytes
+    mr_signer: bytes
+    isv_svn: int
+    report_data: bytes
+    signature: bytes  # by the CPU attestation key
+
+    def _message(self) -> bytes:
+        return (
+            b"SGX-QUOTE\x00"
+            + self.mr_enclave
+            + self.mr_signer
+            + struct.pack(">I", self.isv_svn)
+            + self.report_data
+        )
+
+
+@dataclass
+class SgxMachine:
+    """A machine with SGX: holds the CPU attestation key."""
+
+    cpu_key: RsaKeyPair
+
+    @classmethod
+    def provision(cls) -> "SgxMachine":
+        return cls(cpu_key=RsaKeyPair.generate(1024))
+
+    def quote_enclave(self, enclave: "Enclave", report_data: bytes) -> SgxQuote:
+        """The CPU measures and signs the loaded enclave."""
+        report = enclave.measure()
+        quote = SgxQuote(
+            mr_enclave=report.binary_hash,
+            mr_signer=report.author_id,
+            isv_svn=report.enclave_version,
+            report_data=report_data,
+            signature=b"",
+        )
+        signature = self.cpu_key.sign(quote._message())
+        return SgxQuote(
+            mr_enclave=quote.mr_enclave,
+            mr_signer=quote.mr_signer,
+            isv_svn=quote.isv_svn,
+            report_data=quote.report_data,
+            signature=signature,
+        )
+
+
+@dataclass(frozen=True)
+class VerificationReport:
+    """The attestation service's signed verdict about a quote."""
+
+    quote: SgxQuote
+    ok: bool
+    signature: bytes
+
+    def _message(self) -> bytes:
+        return b"SGX-AVR\x00" + self.quote._message() + (b"\x01" if self.ok else b"\x00")
+
+    def verify(self, service_public: RsaPublicKey) -> bool:
+        return verify_signature(service_public, self._message(), self.signature)
+
+
+class SgxAttestationService:
+    """The remote verification service (IAS/DCAP stand-in).
+
+    Knows the attestation public keys of genuine CPUs; verifies quote
+    signatures and issues signed verification reports.
+    """
+
+    def __init__(self) -> None:
+        self._signing_key = RsaKeyPair.generate(1024)
+        self._genuine_cpus: list[RsaPublicKey] = []
+        self.verify_calls = 0
+
+    @property
+    def signing_public_key(self) -> RsaPublicKey:
+        return self._signing_key.public
+
+    def register_cpu(self, cpu_public: RsaPublicKey) -> None:
+        """Provisioning step: mark a CPU's attestation key as genuine."""
+        self._genuine_cpus.append(cpu_public)
+
+    def verify_quote(self, quote: SgxQuote) -> VerificationReport:
+        self.verify_calls += 1
+        ok = any(
+            verify_signature(cpu, quote._message(), quote.signature)
+            for cpu in self._genuine_cpus
+        )
+        report = VerificationReport(quote=quote, ok=ok, signature=b"")
+        signature = self._signing_key.sign(report._message())
+        return VerificationReport(quote=quote, ok=ok, signature=signature)
+
+
+@dataclass(frozen=True)
+class SgxAttestationInfo:
+    """What SQL Server returns to the driver on the SGX path."""
+
+    verification_report: VerificationReport
+    enclave_rsa_public: RsaPublicKey
+    enclave_dh_public: int
+    dh_signature: bytes
+    session_id: int
+
+
+@dataclass(frozen=True)
+class SgxPolicy:
+    """Client-side enclave health policy for SGX."""
+
+    trusted_mr_signers: frozenset[bytes] = frozenset()
+    trusted_mr_enclaves: frozenset[bytes] = frozenset()
+    min_isv_svn: int = 0
+
+
+def _report_data(enclave_rsa_public: RsaPublicKey, enclave_dh_public: int, client_dh_public: int) -> bytes:
+    return hashlib.sha512(
+        enclave_rsa_public.fingerprint()
+        + public_key_bytes(enclave_dh_public)
+        + public_key_bytes(client_dh_public)
+    ).digest()
+
+
+def server_attest_sgx(
+    machine: SgxMachine,
+    service: SgxAttestationService,
+    enclave: "Enclave",
+    client_dh_public: int,
+) -> SgxAttestationInfo:
+    """Server-side SGX attestation at query time.
+
+    Note the symmetry with :func:`repro.attestation.protocol.server_attest`:
+    the enclave session / DH exchange is identical; only the measurement's
+    chain of trust (CPU quote + attestation service) differs.
+    """
+    session_id, enclave_dh_public, dh_signature = enclave.start_session(client_dh_public)
+    report_data = _report_data(enclave.public_key, enclave_dh_public, client_dh_public)
+    quote = machine.quote_enclave(enclave, report_data)
+    verification = service.verify_quote(quote)
+    return SgxAttestationInfo(
+        verification_report=verification,
+        enclave_rsa_public=enclave.public_key,
+        enclave_dh_public=enclave_dh_public,
+        dh_signature=dh_signature,
+        session_id=session_id,
+    )
+
+
+def verify_sgx_attestation_and_derive_secret(
+    info: SgxAttestationInfo,
+    client_dh: DiffieHellman,
+    service_public: RsaPublicKey,
+    policy: SgxPolicy,
+) -> bytes:
+    """Client-side verification of the SGX chain; returns the shared secret."""
+    report = info.verification_report
+    if not report.verify(service_public):
+        raise AttestationError("verification report is not signed by the attestation service")
+    if not report.ok:
+        raise AttestationError("attestation service rejected the quote (not a genuine CPU)")
+
+    quote = report.quote
+    signer_ok = quote.mr_signer in policy.trusted_mr_signers
+    enclave_ok = quote.mr_enclave in policy.trusted_mr_enclaves
+    if not (signer_ok or enclave_ok):
+        raise AttestationError("enclave MRSIGNER/MRENCLAVE is not trusted by policy")
+    if quote.isv_svn < policy.min_isv_svn:
+        raise AttestationError(
+            f"enclave ISV SVN {quote.isv_svn} is below the required minimum {policy.min_isv_svn}"
+        )
+
+    expected = _report_data(info.enclave_rsa_public, info.enclave_dh_public, client_dh.public_key)
+    if quote.report_data != expected:
+        raise AttestationError("quote report data does not bind this key exchange")
+
+    message = (
+        b"AE-DH-BINDING\x00"
+        + public_key_bytes(info.enclave_dh_public)
+        + public_key_bytes(client_dh.public_key)
+    )
+    if not verify_signature(info.enclave_rsa_public, message, info.dh_signature):
+        raise AttestationError("enclave DH public key signature verification failed")
+
+    return client_dh.shared_secret(info.enclave_dh_public)

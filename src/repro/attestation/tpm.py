@@ -1,0 +1,85 @@
+"""TPM / boot-measurement simulation (Section 4.2).
+
+HGS attests hosts by matching TPM measurements of the boot sequence (the
+TCG log) against a whitelist. For VBS enclaves only the boot sequence up to
+the hypervisor matters — the host kernel is untrusted. We simulate a host
+machine whose boot produces a deterministic TCG log over its firmware,
+bootloader, and hypervisor identities; tampering with any measured
+component changes the log and breaks attestation, which is the behaviour
+the tests pin down.
+"""
+
+from __future__ import annotations
+
+import hashlib
+from dataclasses import dataclass, field
+
+from repro.crypto.rsa import RsaKeyPair
+
+
+@dataclass(frozen=True)
+class TcgLogEntry:
+    """One measured boot component."""
+
+    component: str
+    measurement: bytes  # SHA-256 of the component image
+
+    @classmethod
+    def measure(cls, component: str, image: bytes) -> "TcgLogEntry":
+        return cls(component=component, measurement=hashlib.sha256(image).digest())
+
+
+@dataclass(frozen=True)
+class TcgLog:
+    """The ordered boot measurement log a TPM accumulates.
+
+    ``digest_until_hypervisor`` is what HGS whitelists for VBS: the chain
+    of measurements ending at the hypervisor load, ignoring later (host
+    kernel) entries — the paper is explicit that only the boot sequence
+    until the hypervisor is of interest.
+    """
+
+    entries: tuple[TcgLogEntry, ...]
+
+    def digest_until_hypervisor(self) -> bytes:
+        h = hashlib.sha256()
+        for entry in self.entries:
+            h.update(entry.component.encode("utf-8"))
+            h.update(entry.measurement)
+            if entry.component == "hypervisor":
+                break
+        return h.digest()
+
+    def full_digest(self) -> bytes:
+        h = hashlib.sha256()
+        for entry in self.entries:
+            h.update(entry.component.encode("utf-8"))
+            h.update(entry.measurement)
+        return h.digest()
+
+
+@dataclass
+class HostMachine:
+    """A simulated guarded host: boots, measures itself, holds a signing key.
+
+    The ``host_signing_key`` is the hypervisor-held key that signs enclave
+    reports; HGS embeds its public half in the health certificate, closing
+    the chain HGS → host → enclave report.
+    """
+
+    firmware_image: bytes = b"uefi-firmware-v7"
+    bootloader_image: bytes = b"winload-v11"
+    hypervisor_image: bytes = b"hyper-v-v10"
+    kernel_image: bytes = b"ntoskrnl-v10"
+    host_signing_key: RsaKeyPair = field(default_factory=lambda: RsaKeyPair.generate(1024))
+
+    def boot_and_measure(self) -> TcgLog:
+        """Simulate a measured boot, producing the TCG log."""
+        return TcgLog(
+            entries=(
+                TcgLogEntry.measure("firmware", self.firmware_image),
+                TcgLogEntry.measure("bootloader", self.bootloader_image),
+                TcgLogEntry.measure("hypervisor", self.hypervisor_image),
+                TcgLogEntry.measure("kernel", self.kernel_image),
+            )
+        )

@@ -1,0 +1,13 @@
+"""The AE-aware client driver."""
+
+from repro.client.caches import AttestationSession, CekCache
+from repro.client.driver import Connection, ConnectionOptions, DriverStats, connect
+
+__all__ = [
+    "AttestationSession",
+    "CekCache",
+    "Connection",
+    "ConnectionOptions",
+    "DriverStats",
+    "connect",
+]

@@ -1,0 +1,61 @@
+"""Driver-side caches (Section 4.1).
+
+The paper calls out two caches, both shared across the client process:
+
+* the **CEK cache** — decrypted CEK material, so repeated queries don't
+  pay a key-provider round-trip (which for Azure Key Vault is a network
+  call); entries live for a client-controlled duration;
+* the **attestation / shared-secret cache** — the outcome of the
+  attestation protocol, so the handshake doesn't rerun per query.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+
+from repro.enclave.nonce import NonceCounter
+
+
+class CekCache:
+    """Decrypted CEK material with a client-controlled TTL."""
+
+    def __init__(self, ttl_s: float = 7200.0, clock=time.monotonic):
+        self.ttl_s = ttl_s
+        self._clock = clock
+        self._entries: dict[str, tuple[bytes, float]] = {}
+        self.hits = 0
+        self.misses = 0
+
+    def get(self, cek_name: str) -> bytes | None:
+        entry = self._entries.get(cek_name)
+        if entry is None:
+            self.misses += 1
+            return None
+        material, stored_at = entry
+        if self._clock() - stored_at > self.ttl_s:
+            del self._entries[cek_name]
+            self.misses += 1
+            return None
+        self.hits += 1
+        return material
+
+    def put(self, cek_name: str, material: bytes) -> None:
+        self._entries[cek_name] = (material, self._clock())
+
+    def invalidate(self, cek_name: str | None = None) -> None:
+        if cek_name is None:
+            self._entries.clear()
+        else:
+            self._entries.pop(cek_name, None)
+
+
+@dataclass
+class AttestationSession:
+    """A cached attestation outcome: the shared secret plus session state."""
+
+    enclave_session_id: int
+    shared_secret: bytes
+    nonces: NonceCounter = field(default_factory=NonceCounter)
+    installed_ceks: set[str] = field(default_factory=set)
+    authorized_query_hashes: set[bytes] = field(default_factory=set)

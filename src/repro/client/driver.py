@@ -1,0 +1,455 @@
+"""The AE-aware client driver (Sections 2.5, 4.1).
+
+The application issues parameterized queries with *plaintext* parameters
+and receives *plaintext* results; everything cryptographic is transparent:
+
+1. On first execution of a query, the driver calls
+   ``sp_describe_parameter_encryption`` (one extra round-trip — the cost
+   Figure 8's SQL-PT-AEConn configuration measures) and caches the result.
+2. Parameters whose deduced type is encrypted are encrypted client-side
+   with the right CEK and scheme. CEK material comes from the key provider
+   via the CMK (verified against the client's trusted key paths and the
+   CMK metadata signature — the two anti-tampering controls of Section 4.1).
+3. If the query needs enclave computation, the driver verifies attestation
+   (once, cached), derives the shared secret, and ships the needed CEKs in
+   a sealed, nonce-protected package.
+4. Results with encrypted columns are decrypted before being handed back.
+"""
+
+from __future__ import annotations
+
+import hashlib
+from dataclasses import dataclass, field
+
+from repro.attestation.hgs import AttestationPolicy
+from repro.attestation.protocol import verify_attestation_and_derive_secret
+from repro.crypto.aead import CellCipher
+from repro.crypto.dh import DiffieHellman
+from repro.enclave.channel import CekPackage, seal_package
+from repro.errors import DriverError, SecurityViolation
+from repro.keys.providers import KeyProviderRegistry
+from repro.client.caches import AttestationSession, CekCache
+from repro.sqlengine.cells import Ciphertext
+from repro.sqlengine.exec.executor import QueryResult
+from repro.sqlengine.server import CekMetadata, DescribeResult, SqlServer
+from repro.sqlengine.types import EncryptionInfo
+from repro.sqlengine.values import deserialize_value, serialize_value
+
+
+@dataclass
+class DriverStats:
+    """Round-trip and cache accounting (feeds the performance model)."""
+
+    executes: int = 0
+    describe_roundtrips: int = 0
+    execute_roundtrips: int = 0
+    package_roundtrips: int = 0
+    key_provider_calls: int = 0
+    params_encrypted: int = 0
+    results_decrypted: int = 0
+
+    @property
+    def total_roundtrips(self) -> int:
+        return self.describe_roundtrips + self.execute_roundtrips + self.package_roundtrips
+
+
+@dataclass
+class ConnectionOptions:
+    """The connection-string surface of the AE driver."""
+
+    # The AE connection-string property: absent ⇒ plain connection, the
+    # driver never calls sp_describe_parameter_encryption (Section 4.1).
+    column_encryption: bool = True
+    # Client control: restrict CMK key paths to a trusted list.
+    trusted_cmk_key_paths: tuple[str, ...] | None = None
+    # Cache describe results to avoid the extra round-trip per execution.
+    cache_describe_results: bool = True
+    cek_cache_ttl_s: float = 7200.0
+
+
+class Connection:
+    """A client connection to one SQL Server instance."""
+
+    def __init__(
+        self,
+        server: SqlServer,
+        registry: KeyProviderRegistry,
+        options: ConnectionOptions | None = None,
+        attestation_policy: AttestationPolicy | None = None,
+    ):
+        self.server = server
+        self.session = server.connect()
+        self.registry = registry
+        self.options = options or ConnectionOptions()
+        self.attestation_policy = attestation_policy
+        self.stats = DriverStats()
+        self.cek_cache = CekCache(ttl_s=self.options.cek_cache_ttl_s)
+        self._describe_cache: dict[str, DescribeResult] = {}
+        self._attestation: AttestationSession | None = None
+
+    # ------------------------------------------------------------------ public
+
+    def execute(
+        self,
+        query_text: str,
+        params: dict[str, object] | None = None,
+        force_encryption: frozenset[str] | set[str] = frozenset(),
+    ) -> QueryResult:
+        """Execute a parameterized statement transparently.
+
+        ``force_encryption`` names parameters the application *requires* to
+        be encrypted — the Section 4.1 defense against a server that lies
+        about a column being plaintext.
+        """
+        params = params or {}
+        self.stats.executes += 1
+        if not self.options.column_encryption:
+            # Plain connection: no describe round-trip, params pass through.
+            self.stats.execute_roundtrips += 1
+            return self.session.execute(query_text, params)
+
+        describe = self._describe(query_text)
+        self._check_forced(describe, force_encryption)
+
+        wire_params: dict[str, object] = dict(params)
+        for description in describe.parameters:
+            enc = description.column_type.encryption
+            if enc is None:
+                continue
+            name = description.name
+            key = self._param_key(params, name)
+            plaintext = params[key]
+            if plaintext is None:
+                wire_params[key] = None
+                continue
+            description.column_type.sql_type.validate(plaintext)
+            material = self._cek_material(enc.cek_name, describe)
+            cipher = CellCipher(material)
+            wire_params[key] = Ciphertext(
+                cipher.encrypt(serialize_value(plaintext), enc.scheme)
+            )
+            self.stats.params_encrypted += 1
+
+        if describe.uses_enclave:
+            self._ensure_enclave_keys(describe)
+
+        self.stats.execute_roundtrips += 1
+        result = self.session.execute(query_text, wire_params)
+        return self._decrypt_result(result)
+
+    def execute_ddl(self, query_text: str, authorize_enclave: bool = False) -> QueryResult:
+        """Run DDL; with ``authorize_enclave`` the driver signs the query
+        text so the enclave's Encrypt/Recrypt oracle accepts it (the secure
+        compilation check of Section 3.2).
+
+        The CEKs referenced by the DDL must already be installed (the
+        driver ships them along with the authorization, like a query would)
+        — we ship every CEK the client can decrypt that appears in the
+        statement text, which is what the tooling does.
+        """
+        needed_for_index = self._index_ddl_enclave_ceks(query_text)
+        if needed_for_index:
+            # Building a range index over RND columns runs enclave
+            # comparisons — the client must have supplied the keys, exactly
+            # as for a query (Section 3.1.2).
+            self.install_enclave_ceks(needed_for_index)
+        if authorize_enclave:
+            digest = hashlib.sha256(query_text.encode("utf-8")).digest()
+            session = self._attest()
+            needed = [
+                cek.name
+                for cek in self.server.catalog.ceks()
+                if cek.name in query_text or self._column_cek_in(query_text, cek.name)
+            ]
+            ceks: list[tuple[str, bytes]] = []
+            for name in needed:
+                if name not in session.installed_ceks:
+                    metadata = self.server.fetch_cek_metadata(name)
+                    ceks.append((name, self._unwrap_cek(metadata)))
+            package = CekPackage(
+                nonce=session.nonces.next(),
+                ceks=tuple(ceks),
+                authorized_query_hashes=(digest,),
+            )
+            self.server.forward_enclave_package(
+                session.enclave_session_id, seal_package(session.shared_secret, package)
+            )
+            self.stats.package_roundtrips += 1
+            for name, __ in ceks:
+                session.installed_ceks.add(name)
+        self.stats.execute_roundtrips += 1
+        result = self.session.execute(query_text)
+        # DDL can change encryption metadata (rotation, initial encryption);
+        # cached describe results and CEK material may now be stale.
+        self.invalidate_metadata_caches()
+        return result
+
+    def invalidate_metadata_caches(self) -> None:
+        """Drop cached describe results (e.g. after DDL or key rotation)."""
+        self._describe_cache.clear()
+
+    def install_enclave_ceks(self, cek_names: list[str]) -> None:
+        """Ship the named CEKs to the enclave over the secure channel."""
+        session = self._attest()
+        missing: list[tuple[str, bytes]] = []
+        for name in cek_names:
+            if name not in session.installed_ceks:
+                metadata = self.server.fetch_cek_metadata(name)
+                for cmk in metadata.cmks:
+                    if not cmk.allow_enclave_computations:
+                        raise SecurityViolation(
+                            f"CMK {cmk.name!r} does not allow enclave computations"
+                        )
+                missing.append((name, self._unwrap_cek(metadata)))
+        if not missing:
+            return
+        package = CekPackage(nonce=session.nonces.next(), ceks=tuple(missing))
+        self.server.forward_enclave_package(
+            session.enclave_session_id, seal_package(session.shared_secret, package)
+        )
+        self.stats.package_roundtrips += 1
+        for name, __ in missing:
+            session.installed_ceks.add(name)
+
+    def _index_ddl_enclave_ceks(self, query_text: str) -> list[str]:
+        """CEKs an index-creation DDL would need inside the enclave."""
+        try:
+            from repro.crypto.aead import EncryptionScheme
+            from repro.sqlengine.sqlparser import parse
+            from repro.sqlengine.sqlparser import ast as _ast
+
+            stmt = parse(query_text)
+            if not isinstance(stmt, _ast.CreateIndexStmt):
+                return []
+            table = self.server.catalog.table(stmt.table)
+            needed: list[str] = []
+            for column_name in stmt.columns:
+                enc = table.column(column_name).column_type.encryption
+                if (
+                    enc is not None
+                    and enc.scheme is EncryptionScheme.RANDOMIZED
+                    and enc.enclave_enabled
+                    and enc.cek_name not in needed
+                ):
+                    needed.append(enc.cek_name)
+            return needed
+        except Exception:
+            return []
+
+    # ----------------------------------------------------------------- internals
+
+    def _param_key(self, params: dict[str, object], name: str) -> str:
+        for key in params:
+            if key.lower() == name.lower():
+                return key
+        raise DriverError(f"missing value for parameter @{name}")
+
+    def _describe(self, query_text: str) -> DescribeResult:
+        cached = self._describe_cache.get(query_text)
+        if cached is not None:
+            return cached
+        # Only offer a DH public key when this connection is configured for
+        # enclave attestation and no shared secret is cached yet.
+        needs_dh = self._attestation is None and self.attestation_policy is not None
+        client_dh = DiffieHellman() if needs_dh else None
+        describe = self.server.describe_parameter_encryption(
+            query_text,
+            client_dh_public=client_dh.public_key if client_dh is not None else None,
+        )
+        self.stats.describe_roundtrips += 1
+        if describe.attestation is not None and self._attestation is None:
+            secret = self._verify_attestation(describe, client_dh)
+            self._attestation = AttestationSession(
+                enclave_session_id=describe.attestation.session_id, shared_secret=secret
+            )
+        if self.options.cache_describe_results:
+            self._describe_cache[query_text] = describe
+        return describe
+
+    def _verify_attestation(self, describe: DescribeResult, client_dh: DiffieHellman) -> bytes:
+        if self.attestation_policy is None:
+            raise DriverError(
+                "query requires enclave computations but no attestation policy "
+                "was configured on this connection"
+            )
+        if self.server.hgs is None:
+            raise DriverError("server has no HGS to verify attestation against")
+        return verify_attestation_and_derive_secret(
+            describe.attestation,
+            client_dh,
+            self.server.hgs.signing_public_key,
+            self.attestation_policy,
+        )
+
+    def _attest(self) -> AttestationSession:
+        if self._attestation is not None:
+            return self._attestation
+        if self.attestation_policy is None:
+            raise DriverError("no attestation policy configured")
+        client_dh = DiffieHellman()
+        info = self.server.attest(client_dh.public_key)
+        self.stats.describe_roundtrips += 1
+        if self.server.hgs is None:
+            raise DriverError("server has no HGS to verify attestation against")
+        secret = verify_attestation_and_derive_secret(
+            info, client_dh, self.server.hgs.signing_public_key, self.attestation_policy
+        )
+        self._attestation = AttestationSession(
+            enclave_session_id=info.session_id, shared_secret=secret
+        )
+        return self._attestation
+
+    def _check_forced(self, describe: DescribeResult, forced: frozenset[str] | set[str]) -> None:
+        described = {p.name.lower(): p for p in describe.parameters}
+        for name in forced:
+            description = described.get(name.lower())
+            if description is None or description.column_type.encryption is None:
+                raise SecurityViolation(
+                    f"application forced parameter @{name} to be encrypted, but "
+                    "the server claims it is plaintext — refusing to send it"
+                )
+
+    def _check_cmk_trusted(self, metadata: CekMetadata) -> None:
+        for cmk in metadata.cmks:
+            if self.options.trusted_cmk_key_paths is not None:
+                if cmk.key_path not in self.options.trusted_cmk_key_paths:
+                    raise SecurityViolation(
+                        f"CMK key path {cmk.key_path!r} is not in the trusted list"
+                    )
+            cmk.require_valid(self.registry)
+
+    def _cek_material(self, cek_name: str, describe: DescribeResult | None = None) -> bytes:
+        cached = self.cek_cache.get(cek_name)
+        if cached is not None:
+            return cached
+        metadata = None
+        if describe is not None:
+            metadata = describe.parameter_ceks.get(cek_name)
+            if metadata is None:
+                for candidate in describe.enclave_ceks:
+                    if candidate.cek.name == cek_name:
+                        metadata = candidate
+                        break
+        if metadata is None:
+            metadata = self.server.fetch_cek_metadata(cek_name)
+        material = self._unwrap_cek(metadata)
+        self.cek_cache.put(cek_name, material)
+        return material
+
+    def _unwrap_cek(self, metadata: CekMetadata) -> bytes:
+        self._check_cmk_trusted(metadata)
+        errors: list[str] = []
+        for cmk in metadata.cmks:
+            value = metadata.cek.value_for_cmk(cmk.name)
+            try:
+                self.stats.key_provider_calls += 1
+                return value.decrypt(cmk, self.registry)
+            except Exception as exc:  # try the other CMK (mid-rotation)
+                errors.append(str(exc))
+        raise DriverError(
+            f"could not unwrap CEK {metadata.cek.name!r} under any CMK: {'; '.join(errors)}"
+        )
+
+    def _ensure_enclave_keys(self, describe: DescribeResult) -> None:
+        session = self._attestation or self._attest()
+        missing: list[tuple[str, bytes]] = []
+        for metadata in describe.enclave_ceks:
+            # The driver checks the CMK signature before releasing a CEK to
+            # the enclave: an enclave-disabled CMK must never have its CEKs
+            # shipped there, even if SQL claims otherwise (Section 2.2).
+            self._check_cmk_trusted(metadata)
+            for cmk in metadata.cmks:
+                if not cmk.allow_enclave_computations:
+                    raise SecurityViolation(
+                        f"CMK {cmk.name!r} does not allow enclave computations; "
+                        f"refusing to send CEK {metadata.cek.name!r} to the enclave"
+                    )
+            if metadata.cek.name not in session.installed_ceks:
+                missing.append((metadata.cek.name, self._cek_material(metadata.cek.name, describe)))
+        if not missing:
+            return
+        package = CekPackage(nonce=session.nonces.next(), ceks=tuple(missing))
+        self.server.forward_enclave_package(
+            session.enclave_session_id, seal_package(session.shared_secret, package)
+        )
+        self.stats.package_roundtrips += 1
+        for name, __ in missing:
+            session.installed_ceks.add(name)
+
+    def _decrypt_result(self, result: QueryResult) -> QueryResult:
+        encrypted_columns = [
+            (i, column.column_type.encryption)
+            for i, column in enumerate(result.columns)
+            if column.column_type.encryption is not None
+        ]
+        if not encrypted_columns:
+            return result
+        ciphers: dict[str, CellCipher] = {}
+        for __, enc in encrypted_columns:
+            if enc.cek_name not in ciphers:
+                ciphers[enc.cek_name] = CellCipher(self._cek_material(enc.cek_name))
+        out_rows: list[tuple] = []
+        for row in result.rows:
+            cells = list(row)
+            for i, enc in encrypted_columns:
+                cell = cells[i]
+                if cell is None:
+                    continue
+                if not isinstance(cell, Ciphertext):
+                    raise DriverError(
+                        f"result column {result.columns[i].name!r} should be "
+                        "ciphertext but is not"
+                    )
+                cells[i] = deserialize_value(ciphers[enc.cek_name].decrypt(cell.envelope))
+                self.stats.results_decrypted += 1
+            out_rows.append(tuple(cells))
+        result.rows = out_rows
+        return result
+
+    def _column_cek_in(self, query_text: str, cek_name: str) -> bool:
+        """Does this DDL's target column currently use ``cek_name``?
+
+        Rotations reference the *old* CEK only implicitly (through the
+        column), so the driver resolves it from the catalog metadata.
+        """
+        try:
+            from repro.sqlengine.sqlparser import parse
+            from repro.sqlengine.sqlparser import ast as _ast
+
+            stmt = parse(query_text)
+            if isinstance(stmt, _ast.AlterColumnStmt):
+                column = self.server.catalog.table(stmt.table).column(stmt.column)
+                enc = column.column_type.encryption
+                return enc is not None and enc.cek_name == cek_name
+        except Exception:
+            return False
+        return False
+
+    # -- transactions ---------------------------------------------------------------
+
+    def begin(self) -> None:
+        self.stats.execute_roundtrips += 1
+        self.session.execute("BEGIN TRANSACTION")
+
+    def commit(self) -> None:
+        self.stats.execute_roundtrips += 1
+        self.session.execute("COMMIT")
+
+    def rollback(self) -> None:
+        self.stats.execute_roundtrips += 1
+        self.session.execute("ROLLBACK")
+
+
+def connect(
+    server: SqlServer,
+    registry: KeyProviderRegistry,
+    column_encryption: bool = True,
+    attestation_policy: AttestationPolicy | None = None,
+    **option_kwargs,
+) -> Connection:
+    """Open a connection; ``column_encryption`` mirrors the AE connection-
+    string property."""
+    options = ConnectionOptions(column_encryption=column_encryption, **option_kwargs)
+    return Connection(
+        server, registry, options=options, attestation_policy=attestation_policy
+    )

@@ -1,0 +1,45 @@
+"""Cryptographic primitives implemented from scratch for the reproduction.
+
+Public surface:
+
+* :class:`~repro.crypto.aes.AES` — the AES block cipher (FIPS 197).
+* :class:`~repro.crypto.aead.CellCipher` and
+  :class:`~repro.crypto.aead.EncryptionScheme` — the
+  ``AEAD_AES_256_CBC_HMAC_SHA_256`` cell encryption used by Always Encrypted.
+* :class:`~repro.crypto.rsa.RsaKeyPair` / OAEP / signatures — CMK operations,
+  enclave keys, attestation signing.
+* :class:`~repro.crypto.dh.DiffieHellman` — the driver↔enclave key exchange.
+"""
+
+from repro.crypto.aead import (
+    ALGORITHM_NAME,
+    CellCipher,
+    EncryptionScheme,
+    generate_cek_material,
+)
+from repro.crypto.aes import AES
+from repro.crypto.dh import DiffieHellman, public_key_bytes
+from repro.crypto.kdf import derive_key, hmac_sha256, sha256
+from repro.crypto.rsa import (
+    RsaKeyPair,
+    RsaPublicKey,
+    encrypt_oaep,
+    verify_signature,
+)
+
+__all__ = [
+    "AES",
+    "ALGORITHM_NAME",
+    "CellCipher",
+    "DiffieHellman",
+    "EncryptionScheme",
+    "RsaKeyPair",
+    "RsaPublicKey",
+    "derive_key",
+    "encrypt_oaep",
+    "generate_cek_material",
+    "hmac_sha256",
+    "public_key_bytes",
+    "sha256",
+    "verify_signature",
+]

@@ -1,0 +1,45 @@
+"""The simulated VBS enclave and its boundary machinery.
+
+* :class:`~repro.enclave.runtime.Enclave` — the enclave itself: sessions,
+  CEK store, expression evaluation, gated encryption oracle.
+* :class:`~repro.enclave.runtime.EnclaveBinary` — the signed "dll".
+* :mod:`~repro.enclave.nonce` — replay protection with compact ranges.
+* :mod:`~repro.enclave.channel` — the sealed CEK package format.
+* :class:`~repro.enclave.worker.EnclaveCallGateway` — sync vs worker-queue
+  call routing (the Section 4.6 optimization).
+"""
+
+from repro.enclave.channel import (
+    CekPackage,
+    SealedPackage,
+    open_package,
+    seal_package,
+)
+from repro.enclave.nonce import NonceCounter, NonceRangeTracker
+from repro.enclave.runtime import (
+    ENCLAVE_VERSION,
+    Enclave,
+    EnclaveBinary,
+    EnclaveCounters,
+)
+from repro.enclave.sqlos import SqlOs
+from repro.enclave.validate import validate_program
+from repro.enclave.worker import CallMode, EnclaveCallGateway, WorkerStats
+
+__all__ = [
+    "CallMode",
+    "CekPackage",
+    "ENCLAVE_VERSION",
+    "Enclave",
+    "EnclaveBinary",
+    "EnclaveCallGateway",
+    "EnclaveCounters",
+    "NonceCounter",
+    "NonceRangeTracker",
+    "SealedPackage",
+    "SqlOs",
+    "WorkerStats",
+    "open_package",
+    "seal_package",
+    "validate_program",
+]

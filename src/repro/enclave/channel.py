@@ -1,0 +1,114 @@
+"""The driver↔enclave secure channel riding over untrusted SQL Server.
+
+After attestation, driver and enclave share a 32-byte secret. The driver
+uses it to encrypt CEK packages (and to HMAC-sign DDL query text it
+authorizes); SQL Server forwards the opaque blob on the TDS stream. A
+nonce inside the package defeats replay (Section 4.2).
+
+The package is encrypted with the same AEAD cell cipher used for data
+(randomized mode), keyed by the shared secret.
+"""
+
+from __future__ import annotations
+
+import struct
+from dataclasses import dataclass, field
+
+from repro.crypto.aead import CellCipher, EncryptionScheme
+from repro.crypto.kdf import hmac_sha256
+from repro.errors import EnclaveError
+
+
+@dataclass(frozen=True)
+class CekPackage:
+    """What the driver sends to install CEKs for a query.
+
+    ``authorized_query_hashes`` carries SHA-256 hashes of query texts the
+    client explicitly authorizes for enclave *encryption-oracle* use (the
+    secure-compilation check for ALTER TABLE ALTER COLUMN in Section 3.2);
+    each is accompanied by an HMAC under the session secret, computed by
+    the driver, proving the client (not SQL Server) produced it.
+    """
+
+    nonce: int
+    ceks: tuple[tuple[str, bytes], ...] = ()
+    authorized_query_hashes: tuple[bytes, ...] = ()
+
+    def serialize(self) -> bytes:
+        out = bytearray()
+        out += struct.pack(">Q", self.nonce)
+        out += struct.pack(">H", len(self.ceks))
+        for name, material in self.ceks:
+            name_bytes = name.encode("utf-8")
+            out += struct.pack(">H", len(name_bytes)) + name_bytes
+            out += struct.pack(">H", len(material)) + material
+        out += struct.pack(">H", len(self.authorized_query_hashes))
+        for digest in self.authorized_query_hashes:
+            if len(digest) != 32:
+                raise EnclaveError("authorized query hash must be SHA-256 (32 bytes)")
+            out += digest
+        return bytes(out)
+
+    @classmethod
+    def deserialize(cls, data: bytes) -> "CekPackage":
+        try:
+            (nonce,) = struct.unpack_from(">Q", data, 0)
+            offset = 8
+            (n_ceks,) = struct.unpack_from(">H", data, offset)
+            offset += 2
+            ceks: list[tuple[str, bytes]] = []
+            for __ in range(n_ceks):
+                (name_len,) = struct.unpack_from(">H", data, offset)
+                offset += 2
+                name = data[offset : offset + name_len].decode("utf-8")
+                offset += name_len
+                (mat_len,) = struct.unpack_from(">H", data, offset)
+                offset += 2
+                ceks.append((name, data[offset : offset + mat_len]))
+                offset += mat_len
+            (n_hashes,) = struct.unpack_from(">H", data, offset)
+            offset += 2
+            hashes = []
+            for __ in range(n_hashes):
+                hashes.append(data[offset : offset + 32])
+                offset += 32
+            if offset != len(data):
+                raise EnclaveError("trailing bytes in CEK package")
+        except struct.error as exc:
+            raise EnclaveError(f"malformed CEK package: {exc}") from exc
+        return cls(nonce=nonce, ceks=tuple(ceks), authorized_query_hashes=tuple(hashes))
+
+
+@dataclass(frozen=True)
+class SealedPackage:
+    """The encrypted CEK package as it appears on the (tapped) wire."""
+
+    blob: bytes
+
+
+_CHANNEL_LABEL = b"AE-secure-channel-v1"
+
+
+def seal_package(shared_secret: bytes, package: CekPackage) -> SealedPackage:
+    """Driver side: encrypt a package under the session shared secret."""
+    cipher = CellCipher(hmac_sha256(shared_secret, _CHANNEL_LABEL))
+    return SealedPackage(blob=cipher.encrypt(package.serialize(), EncryptionScheme.RANDOMIZED))
+
+
+def open_package(shared_secret: bytes, sealed: SealedPackage) -> CekPackage:
+    """Enclave side: decrypt and parse a sealed package."""
+    cipher = CellCipher(hmac_sha256(shared_secret, _CHANNEL_LABEL))
+    return CekPackage.deserialize(cipher.decrypt(sealed.blob))
+
+
+def sign_query_authorization(shared_secret: bytes, query_hash: bytes) -> bytes:
+    """Driver-side HMAC proving the client authorized this DDL query text."""
+    return hmac_sha256(shared_secret, b"AE-query-authorization\x00" + query_hash)
+
+
+@dataclass
+class SessionSecrets:
+    """Per-session state the enclave keeps for one attested driver session."""
+
+    shared_secret: bytes = b""
+    authorized_query_hashes: set[bytes] = field(default_factory=set)

@@ -1,0 +1,86 @@
+"""Replay protection for CEK installation (Section 4.2).
+
+SQL Server sits between the driver and the enclave and could replay a TDS
+stream to re-install keys. The driver therefore attaches a fresh nonce to
+every encrypted CEK package. The paper's design, reproduced here: the
+driver generates nonces from a counter, and the enclave tracks *all*
+historical nonces per session, encoded as compact ranges — because the
+driver's values are near-sequential (with local reordering from
+multi-threading), the encoding stays tiny.
+"""
+
+from __future__ import annotations
+
+import bisect
+
+from repro.errors import ReplayError
+
+
+class NonceRangeTracker:
+    """Tracks the set of nonces seen so far as disjoint inclusive ranges.
+
+    ``check_and_add`` is O(log r) in the number of ranges r; for the
+    near-sequential sequences the driver produces, r stays near 1.
+    """
+
+    def __init__(self) -> None:
+        # Parallel sorted lists of range starts and ends; ranges are
+        # disjoint and non-adjacent (adjacent ranges are merged).
+        self._starts: list[int] = []
+        self._ends: list[int] = []
+
+    def __contains__(self, nonce: int) -> bool:
+        idx = bisect.bisect_right(self._starts, nonce) - 1
+        return idx >= 0 and self._ends[idx] >= nonce
+
+    @property
+    def range_count(self) -> int:
+        """Number of stored ranges — the enclave state footprint."""
+        return len(self._starts)
+
+    @property
+    def total_seen(self) -> int:
+        return sum(end - start + 1 for start, end in zip(self._starts, self._ends))
+
+    def check_and_add(self, nonce: int) -> None:
+        """Record ``nonce``; raise :class:`ReplayError` if already seen."""
+        if nonce < 0:
+            raise ReplayError(f"nonce must be non-negative, got {nonce}")
+        idx = bisect.bisect_right(self._starts, nonce) - 1
+        if idx >= 0 and self._ends[idx] >= nonce:
+            raise ReplayError(f"replayed nonce {nonce}")
+
+        # Can we extend the range on the left (ends[idx] == nonce - 1)?
+        extend_left = idx >= 0 and self._ends[idx] == nonce - 1
+        # Can we extend the range on the right (starts[idx+1] == nonce + 1)?
+        right = idx + 1
+        extend_right = right < len(self._starts) and self._starts[right] == nonce + 1
+
+        if extend_left and extend_right:
+            # Merge the two ranges across the gap that nonce fills.
+            self._ends[idx] = self._ends[right]
+            del self._starts[right]
+            del self._ends[right]
+        elif extend_left:
+            self._ends[idx] = nonce
+        elif extend_right:
+            self._starts[right] = nonce
+        else:
+            self._starts.insert(right, nonce)
+            self._ends.insert(right, nonce)
+
+    def ranges(self) -> list[tuple[int, int]]:
+        """The compact encoding, e.g. [(0, 100)] after nonces 0..100."""
+        return list(zip(self._starts, self._ends))
+
+
+class NonceCounter:
+    """Driver-side sequential nonce source (one per session/shared secret)."""
+
+    def __init__(self, start: int = 0):
+        self._next = start
+
+    def next(self) -> int:
+        value = self._next
+        self._next += 1
+        return value

@@ -1,0 +1,358 @@
+"""The simulated VBS enclave (Sections 2.1, 4.2, 4.4).
+
+The enclave is modelled as an object whose internal state (CEK material,
+session secrets, plaintext mid-computation) the host never touches; the
+*only* interaction surface is the explicit ecall methods below, and every
+crossing is recorded so the strong-adversary simulation can observe exactly
+what the paper says an adversary sees — and nothing more.
+
+What the real TEE provides by hardware/hypervisor means (memory isolation)
+is provided here by convention plus an observer API: the security analysis
+in :mod:`repro.security` treats everything passed into or out of these
+methods as adversary-visible, and nothing else.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import itertools
+import threading
+import time
+from dataclasses import dataclass, field
+from typing import Callable
+
+from repro.attestation.report import EnclaveReport
+from repro.crypto.aead import EncryptionScheme
+from repro.crypto.dh import DiffieHellman, public_key_bytes
+from repro.crypto.rsa import RsaKeyPair
+from repro.enclave.channel import SealedPackage, SessionSecrets, open_package
+from repro.enclave.sqlos import SqlOs
+from repro.enclave.validate import validate_program
+from repro.errors import CryptoError, EnclaveError, IntegrityError
+from repro.sqlengine.cells import Ciphertext
+from repro.sqlengine.expression.program import StackProgram
+from repro.sqlengine.expression.vm import StackMachine
+from repro.sqlengine.types import EncryptionInfo
+from repro.sqlengine.values import (
+    SqlScalar,
+    compare_values,
+    deserialize_value,
+    serialize_value,
+)
+
+ENCLAVE_VERSION = 2
+_session_ids = itertools.count(1)
+
+
+@dataclass(frozen=True)
+class EnclaveBinary:
+    """The signed enclave "dll" the host loads.
+
+    ``author_key`` is the specially provisioned signing key the paper
+    describes (Section 4.2, health check 3): clients check the author ID
+    rather than the binary hash so minor code changes don't break clients.
+    """
+
+    content: bytes
+    version: int
+    author_key: RsaKeyPair
+    signature: bytes
+
+    @classmethod
+    def build(cls, author_key: RsaKeyPair, version: int = ENCLAVE_VERSION, content: bytes | None = None) -> "EnclaveBinary":
+        if content is None:
+            content = f"AE-enclave-ES-subset-v{version}".encode()
+        return cls(
+            content=content,
+            version=version,
+            author_key=author_key,
+            signature=author_key.sign(content),
+        )
+
+    @property
+    def binary_hash(self) -> bytes:
+        return hashlib.sha256(self.content).digest()
+
+    @property
+    def author_id(self) -> bytes:
+        return self.author_key.public.fingerprint()
+
+
+@dataclass
+class EnclaveCounters:
+    """Boundary-crossing and work counters (perf model + leakage analysis)."""
+
+    ecalls: int = 0
+    sessions_started: int = 0
+    packages_installed: int = 0
+    programs_registered: int = 0
+    evals: int = 0
+    comparisons: int = 0
+    cell_decrypts: int = 0
+    cell_encrypts: int = 0
+    # CPU seconds spent inside enclave computation ecalls (eval/compare/
+    # DDL crypto) — the enclave service demand for the performance model.
+    cpu_seconds: float = 0.0
+
+    def snapshot(self) -> dict[str, float]:
+        return dict(self.__dict__)
+
+
+# Observer signature: (ecall_name, adversary_visible_inputs, visible_outputs)
+BoundaryObserver = Callable[[str, tuple, object], None]
+
+
+class _EnclaveCryptoContext:
+    """The VM crypto context backed by the enclave's SQL OS key store."""
+
+    def __init__(self, enclave: "Enclave"):
+        self._enclave = enclave
+
+    def decrypt_cell(self, ciphertext: Ciphertext, enc: EncryptionInfo) -> SqlScalar:
+        cipher = self._enclave.sqlos.cipher_for(enc.cek_name)
+        self._enclave.counters.cell_decrypts += 1
+        return deserialize_value(cipher.decrypt(ciphertext.envelope))
+
+    def encrypt_cell(self, value: SqlScalar, enc: EncryptionInfo) -> Ciphertext:
+        cipher = self._enclave.sqlos.cipher_for(enc.cek_name)
+        self._enclave.counters.cell_encrypts += 1
+        return Ciphertext(cipher.encrypt(serialize_value(value), enc.scheme))
+
+
+class Enclave:
+    """A loaded enclave instance inside the (untrusted) SQL Server process."""
+
+    def __init__(self, binary: EnclaveBinary, hypervisor_version: int = 10):
+        if not binary.author_key.public or not binary.signature:
+            raise EnclaveError("enclave binary is unsigned")
+        self.binary = binary
+        self.hypervisor_version = hypervisor_version
+        self.sqlos = SqlOs()
+        self.counters = EnclaveCounters()
+        # Per the paper, the VBS enclave creates an RSA key pair when loaded.
+        # 1024 bits keeps simulated load times reasonable; the protocol is
+        # key-size agnostic.
+        self._rsa = RsaKeyPair.generate(1024)
+        self._sessions: dict[int, SessionSecrets] = {}
+        self._programs: dict[int, StackProgram] = {}
+        self._program_handles: dict[bytes, int] = {}
+        self._next_handle = itertools.count(1)
+        self._vm = StackMachine(crypto=_EnclaveCryptoContext(self))
+        self._observers: list[BoundaryObserver] = []
+        self._lock = threading.RLock()
+
+    # -- adversary-visible surface -------------------------------------------
+
+    @property
+    def public_key(self):
+        """The enclave's RSA public key (visible; its hash is in the report)."""
+        return self._rsa.public
+
+    def add_boundary_observer(self, observer: BoundaryObserver) -> None:
+        """Register a tap that sees every ecall's visible inputs/outputs."""
+        self._observers.append(observer)
+
+    def _observe(self, name: str, visible_inputs: tuple, visible_output: object) -> None:
+        self.counters.ecalls += 1
+        for observer in self._observers:
+            observer(name, visible_inputs, visible_output)
+
+    def measure(self) -> EnclaveReport:
+        """Produce the enclave report (host asks the hypervisor to measure)."""
+        return EnclaveReport(
+            author_id=self.binary.author_id,
+            binary_hash=self.binary.binary_hash,
+            enclave_version=self.binary.version,
+            hypervisor_version=self.hypervisor_version,
+            enclave_public_key_hash=self._rsa.public.fingerprint(),
+        )
+
+    # -- ecall: session / attestation -----------------------------------------
+
+    def start_session(self, client_dh_public: int) -> tuple[int, int, bytes]:
+        """DH half-exchange folded into attestation (Section 4.2).
+
+        Returns ``(session_id, enclave_dh_public, signature)`` where the
+        signature covers both DH public keys and is made with the enclave's
+        RSA key — binding the exchange to the attested enclave identity.
+        """
+        dh = DiffieHellman()
+        secret = dh.shared_secret(client_dh_public)
+        session_id = next(_session_ids)
+        with self._lock:
+            self._sessions[session_id] = SessionSecrets(shared_secret=secret)
+        message = (
+            b"AE-DH-BINDING\x00"
+            + public_key_bytes(dh.public_key)
+            + public_key_bytes(client_dh_public)
+        )
+        signature = self._rsa.sign(message)
+        self.counters.sessions_started += 1
+        self._observe(
+            "start_session", (client_dh_public,), (session_id, dh.public_key)
+        )
+        return session_id, dh.public_key, signature
+
+    # -- ecall: CEK installation ----------------------------------------------
+
+    def install_package(self, session_id: int, sealed: SealedPackage) -> None:
+        """Install CEKs (and DDL authorizations) from a sealed package."""
+        session = self._session(session_id)
+        try:
+            package = open_package(session.shared_secret, sealed)
+        except (IntegrityError, CryptoError) as exc:
+            raise EnclaveError(f"CEK package failed authentication: {exc}") from exc
+        with self.sqlos.state_lock:
+            # Nonce check under the state lock: replay and install are atomic.
+            session_nonces = getattr(session, "_nonces", None)
+            if session_nonces is None:
+                from repro.enclave.nonce import NonceRangeTracker
+
+                session_nonces = NonceRangeTracker()
+                session._nonces = session_nonces  # type: ignore[attr-defined]
+            session_nonces.check_and_add(package.nonce)
+            for name, material in package.ceks:
+                if not self.sqlos.has_key(name):
+                    self.sqlos.install_key(name, material)
+            for digest in package.authorized_query_hashes:
+                session.authorized_query_hashes.add(digest)
+        self.counters.packages_installed += 1
+        # Adversary sees only the opaque blob and the session id.
+        self._observe("install_package", (session_id, sealed.blob), None)
+
+    def installed_ceks(self) -> frozenset[str]:
+        return self.sqlos.installed_keys()
+
+    # -- ecall: expression registration & evaluation ---------------------------
+
+    def register_program(self, program_bytes: bytes) -> int:
+        """Validate and register a serialized CEsComp; returns a handle.
+
+        Registration is idempotent per byte-identical program, matching the
+        register-once / invoke-by-handle pattern in Section 3.
+        """
+        with self._lock:
+            existing = self._program_handles.get(program_bytes)
+            if existing is not None:
+                return existing
+            program = StackProgram.deserialize(program_bytes)
+            validate_program(program, self.sqlos.installed_keys())
+            handle = next(self._next_handle)
+            self._programs[handle] = program
+            self._program_handles[program_bytes] = handle
+        self.counters.programs_registered += 1
+        self._observe("register_program", (program_bytes,), handle)
+        return handle
+
+    def eval(self, handle: int, inputs: list[object]) -> list[object]:
+        """Evaluate a registered program (Section 4.4.1 Eval interface)."""
+        with self._lock:
+            program = self._programs.get(handle)
+        if program is None:
+            raise EnclaveError(f"no registered program with handle {handle}")
+        started = time.perf_counter()
+        outputs = self._vm.eval(program, inputs, n_outputs=1)
+        self.counters.cpu_seconds += time.perf_counter() - started
+        self.counters.evals += 1
+        # The adversary sees the (ciphertext) inputs and the cleartext result.
+        self._observe("eval", (handle, tuple(inputs)), tuple(outputs))
+        return outputs
+
+    # -- ecall: dedicated comparison path for range indexes --------------------
+
+    def compare(self, cek_name: str, left: Ciphertext, right: Ciphertext) -> int:
+        """Three-way comparison of two ciphertexts under one CEK.
+
+        This is the routed comparison of Section 3.1.2 (Figure 4): the
+        enclave decrypts both operands and returns the ordering *in the
+        clear*, which is exactly the ordering leakage Figure 5 attributes
+        to RND comparisons.
+        """
+        cipher = self.sqlos.cipher_for(cek_name)
+        started = time.perf_counter()
+        left_value = deserialize_value(cipher.decrypt(left.envelope))
+        right_value = deserialize_value(cipher.decrypt(right.envelope))
+        self.counters.cell_decrypts += 2
+        result = compare_values(left_value, right_value)
+        self.counters.cpu_seconds += time.perf_counter() - started
+        self.counters.comparisons += 1
+        self._observe("compare", (cek_name, left, right), result)
+        return result
+
+    # -- ecall: the gated encryption oracle (Section 3.2) -----------------------
+
+    def encrypt_for_ddl(
+        self,
+        query_text: str,
+        cek_name: str,
+        serialized_plaintext: bytes,
+        scheme: EncryptionScheme,
+    ) -> Ciphertext:
+        """Encrypt a value — only for a client-authorized DDL statement.
+
+        SQL Server supplies the raw query text as its proof; the enclave
+        hashes it and requires the hash to have been authorized by some
+        attested session (the driver placed it inside a sealed package).
+        """
+        self._require_authorized(query_text, "Encrypt")
+        cipher = self.sqlos.cipher_for(cek_name)
+        envelope = cipher.encrypt(serialized_plaintext, scheme)
+        self.counters.cell_encrypts += 1
+        self._observe("encrypt_for_ddl", (query_text, cek_name), None)
+        return Ciphertext(envelope)
+
+    def recrypt_for_ddl(
+        self,
+        query_text: str,
+        old_cek: str,
+        new_cek: str,
+        ciphertext: Ciphertext,
+        new_scheme: EncryptionScheme,
+    ) -> Ciphertext:
+        """Re-encrypt a cell from one CEK/scheme to another (key rotation /
+        scheme conversion), gated on the same DDL authorization."""
+        self._require_authorized(query_text, "Recrypt")
+        old_cipher = self.sqlos.cipher_for(old_cek)
+        new_cipher = self.sqlos.cipher_for(new_cek)
+        plaintext = old_cipher.decrypt(ciphertext.envelope)
+        envelope = new_cipher.encrypt(plaintext, new_scheme)
+        self.counters.cell_decrypts += 1
+        self.counters.cell_encrypts += 1
+        self._observe("recrypt_for_ddl", (query_text, old_cek, new_cek), None)
+        return Ciphertext(envelope)
+
+    def decrypt_for_ddl(self, query_text: str, cek_name: str, ciphertext: Ciphertext) -> bytes:
+        """Decrypt a cell for a client-authorized decryption DDL.
+
+        Turning encryption *off* (ALTER COLUMN back to plaintext) exposes
+        plaintext to the server by definition; like Encrypt, it is gated on
+        an explicit client-authorized query text.
+        """
+        self._require_authorized(query_text, "Decrypt")
+        cipher = self.sqlos.cipher_for(cek_name)
+        plaintext = cipher.decrypt(ciphertext.envelope)
+        self.counters.cell_decrypts += 1
+        self._observe("decrypt_for_ddl", (query_text, cek_name), None)
+        return plaintext
+
+    def _require_authorized(self, query_text: str, operation: str) -> None:
+        digest = hashlib.sha256(query_text.encode("utf-8")).digest()
+        with self._lock:
+            authorized = any(
+                digest in session.authorized_query_hashes
+                for session in self._sessions.values()
+            )
+        if not authorized:
+            raise EnclaveError(
+                f"{operation} refused: no client authorized this query text "
+                "(the enclave's encryption oracle is client-gated)"
+            )
+
+    # -- internals --------------------------------------------------------------
+
+    def _session(self, session_id: int) -> SessionSecrets:
+        with self._lock:
+            try:
+                return self._sessions[session_id]
+            except KeyError:
+                raise EnclaveError(f"unknown enclave session {session_id}") from None

@@ -1,0 +1,105 @@
+"""The "enclave SQL OS" — resource services for ES inside the enclave.
+
+Section 4.4 of the paper: expression services never calls the OS directly;
+it goes through SQL OS. The enclave runtime excludes the OS, so the
+authors wrote a small enclave SQL OS providing just the abstractions ES
+needs — memory, threading/synchronization, exception handling — plus the
+cryptographic operations needed within the enclave, layered on the enclave
+runtime. Re-implementing this layer per enclave platform is what makes the
+rest of the enclave code portable.
+
+Our simulation gives the layer real responsibilities: it owns the cipher
+cache (key material only ever lives here), a lock for the single-writer
+state-change discipline described in Section 4.6, memory accounting, and
+structured exception capture that deliberately strips plaintext from error
+messages (the paper's devops point: debugging must respect confidentiality).
+"""
+
+from __future__ import annotations
+
+import threading
+from dataclasses import dataclass, field
+
+from repro.crypto.aead import CellCipher
+from repro.errors import EnclaveError, KeysUnavailableError
+
+
+@dataclass
+class EnclaveFault:
+    """Coarse-grained fault information, safe to export from the enclave.
+
+    Mirrors the paper's use of structured exception handling to obtain
+    coarse information about faults without exposing enclave state.
+    """
+
+    kind: str
+    where: str
+    # Never carries plaintext values or key material.
+
+
+@dataclass
+class SqlOs:
+    """Resource services available to enclave code."""
+
+    memory_limit_bytes: int = 64 * 1024 * 1024
+    _memory_used: int = 0
+    _ciphers: dict[str, CellCipher] = field(default_factory=dict)
+    _key_material: dict[str, bytes] = field(default_factory=dict)
+    # Section 4.6: all state changes are funnelled through a single lock
+    # (the production design uses a dedicated state-change thread; a lock
+    # gives the same single-writer discipline in-process).
+    state_lock: threading.Lock = field(default_factory=threading.Lock)
+    faults: list[EnclaveFault] = field(default_factory=list)
+
+    # -- memory --------------------------------------------------------------
+
+    def allocate(self, nbytes: int) -> None:
+        if self._memory_used + nbytes > self.memory_limit_bytes:
+            raise EnclaveError(
+                f"enclave memory limit exceeded "
+                f"({self._memory_used + nbytes} > {self.memory_limit_bytes})"
+            )
+        self._memory_used += nbytes
+
+    def free(self, nbytes: int) -> None:
+        self._memory_used = max(0, self._memory_used - nbytes)
+
+    @property
+    def memory_used(self) -> int:
+        return self._memory_used
+
+    # -- crypto services -----------------------------------------------------
+
+    def install_key(self, cek_name: str, material: bytes) -> None:
+        """Install CEK material (state change: callers hold state_lock)."""
+        self.allocate(len(material))
+        self._key_material[cek_name] = material
+        self._ciphers[cek_name] = CellCipher(material)
+
+    def cipher_for(self, cek_name: str) -> CellCipher:
+        try:
+            return self._ciphers[cek_name]
+        except KeyError:
+            raise KeysUnavailableError(
+                f"CEK {cek_name!r} is not installed in the enclave"
+            ) from None
+
+    def has_key(self, cek_name: str) -> bool:
+        return cek_name in self._ciphers
+
+    def installed_keys(self) -> frozenset[str]:
+        return frozenset(self._ciphers)
+
+    def key_material(self, cek_name: str) -> bytes:
+        """Raw CEK material — used only by in-enclave re-encryption (rotation)."""
+        try:
+            return self._key_material[cek_name]
+        except KeyError:
+            raise KeysUnavailableError(
+                f"CEK {cek_name!r} is not installed in the enclave"
+            ) from None
+
+    # -- fault handling --------------------------------------------------------
+
+    def record_fault(self, kind: str, where: str) -> None:
+        self.faults.append(EnclaveFault(kind=kind, where=where))

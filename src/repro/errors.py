@@ -1,0 +1,102 @@
+"""Exception hierarchy for the Always Encrypted reproduction.
+
+Every layer of the stack raises a subclass of :class:`ReproError` so callers
+can catch library failures without masking programming errors.
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for all errors raised by this library."""
+
+
+class CryptoError(ReproError):
+    """Raised when a cryptographic operation fails or an input is invalid."""
+
+
+class IntegrityError(CryptoError):
+    """Raised when an HMAC / signature check fails (tampered ciphertext)."""
+
+
+class KeyError_(ReproError):
+    """Raised for key-hierarchy problems (missing CEK/CMK, bad signature)."""
+
+
+class KeyProviderError(KeyError_):
+    """Raised when a key provider cannot serve a request for a key path."""
+
+
+class AttestationError(ReproError):
+    """Raised when the attestation chain of trust cannot be verified."""
+
+
+class EnclaveError(ReproError):
+    """Raised for failures inside or at the boundary of the enclave."""
+
+
+class ReplayError(EnclaveError):
+    """Raised when the enclave detects a replayed nonce on a CEK install."""
+
+
+class KeysUnavailableError(EnclaveError):
+    """Raised when an operation needs a CEK the client has not installed.
+
+    Recovery turns this into a *deferred transaction* (Section 4.5): the
+    client only sends keys when running queries, so crash recovery of an
+    encrypted index may find the enclave keyless.
+    """
+
+
+class SqlError(ReproError):
+    """Base class for SQL engine errors."""
+
+
+class ParseError(SqlError):
+    """Raised when a SQL statement cannot be tokenized or parsed."""
+
+
+class BindError(SqlError):
+    """Raised when names cannot be resolved against the catalog."""
+
+
+class TypeDeductionError(SqlError):
+    """Raised when encryption type constraints are unsatisfiable.
+
+    This corresponds to operations the paper disallows, e.g. comparing a
+    randomized-encrypted column without an enclave-enabled key, or mixing
+    columns encrypted with different CEKs in one comparison.
+    """
+
+
+class ExecutionError(SqlError):
+    """Raised when a query plan fails during execution."""
+
+
+class ConstraintError(SqlError):
+    """Raised on primary-key / uniqueness violations."""
+
+
+class TransactionError(SqlError):
+    """Raised for transaction lifecycle misuse (commit twice, etc.)."""
+
+
+class LockTimeoutError(TransactionError):
+    """Raised when a lock cannot be acquired within the deadline."""
+
+
+class RecoveryError(SqlError):
+    """Raised when crash recovery cannot proceed."""
+
+
+class DriverError(ReproError):
+    """Raised by the client driver for protocol or configuration problems."""
+
+
+class SecurityViolation(ReproError):
+    """Raised when a client-side security control rejects server output.
+
+    Examples: CMK key path outside the trusted list, parameter the
+    application forced to be encrypted reported as plaintext, CMK metadata
+    signature mismatch.
+    """

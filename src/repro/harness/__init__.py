@@ -1,0 +1,35 @@
+"""Experiment harness: the calibrated queueing model and figure runners."""
+
+from repro.harness.experiments import (
+    Calibration,
+    Figure8Result,
+    Figure9Result,
+    TpccScale,
+    calibrate_system,
+    run_figure8,
+    run_figure9,
+)
+from repro.harness.perfmodel import (
+    ModelConfig,
+    NormalizedFigure,
+    ServiceDemands,
+    ThroughputCurve,
+    solve_throughput,
+    sweep,
+)
+
+__all__ = [
+    "Calibration",
+    "Figure8Result",
+    "Figure9Result",
+    "ModelConfig",
+    "NormalizedFigure",
+    "ServiceDemands",
+    "ThroughputCurve",
+    "TpccScale",
+    "calibrate_system",
+    "run_figure8",
+    "run_figure9",
+    "solve_throughput",
+    "sweep",
+]

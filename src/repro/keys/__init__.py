@@ -1,0 +1,40 @@
+"""AE's two-level key hierarchy (Section 2.2 of the paper).
+
+* :class:`~repro.keys.cmk.ColumnMasterKey` — metadata for a client-held
+  asymmetric key referenced by URI; signed to prevent server tampering.
+* :class:`~repro.keys.cek.ColumnEncryptionKey` — a 32-byte AES root key
+  stored encrypted under one or (mid-rotation) two CMKs.
+* :mod:`~repro.keys.providers` — the extensible key-provider interface and
+  the out-of-the-box providers (Azure Key Vault sim, certificate store,
+  Java key store, HSM).
+"""
+
+from repro.keys.cek import RSA_OAEP, CekEncryptedValue, ColumnEncryptionKey
+from repro.keys.cmk import ColumnMasterKey
+from repro.keys.providers import (
+    AZURE_KEY_VAULT_PROVIDER,
+    AzureKeyVaultSim,
+    CertificateStoreSim,
+    HsmKeyProviderSim,
+    InMemoryKeyProvider,
+    JavaKeyStoreSim,
+    KeyProvider,
+    KeyProviderRegistry,
+    default_registry,
+)
+
+__all__ = [
+    "AZURE_KEY_VAULT_PROVIDER",
+    "AzureKeyVaultSim",
+    "CekEncryptedValue",
+    "CertificateStoreSim",
+    "ColumnEncryptionKey",
+    "ColumnMasterKey",
+    "HsmKeyProviderSim",
+    "InMemoryKeyProvider",
+    "JavaKeyStoreSim",
+    "KeyProvider",
+    "KeyProviderRegistry",
+    "RSA_OAEP",
+    "default_registry",
+]

@@ -1,0 +1,136 @@
+"""Column encryption keys (CEKs) — the first level of AE's key hierarchy.
+
+A CEK is a 32-byte AES root key that encrypts column data via
+``AEAD_AES_256_CBC_HMAC_SHA_256``. It is stored in the database *encrypted
+under a CMK* (RSA-OAEP) together with a signature protecting the encrypted
+value. During a CMK rotation a CEK may temporarily carry two encrypted
+values — one under the old CMK and one under the new — so clients holding
+either CMK keep working with no downtime (Section 2.4.2).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.crypto.aead import KEY_SIZE, generate_cek_material
+from repro.errors import KeyError_, SecurityViolation
+from repro.keys.cmk import ColumnMasterKey
+from repro.keys.providers import KeyProvider, KeyProviderRegistry
+
+RSA_OAEP = "RSA_OAEP"
+
+
+def _encrypted_value_message(cmk_key_path: str, algorithm: str, encrypted_value: bytes) -> bytes:
+    return (
+        b"CEK-ENCRYPTED-VALUE\x00"
+        + cmk_key_path.upper().encode()
+        + b"\x00"
+        + algorithm.upper().encode()
+        + b"\x00"
+        + encrypted_value
+    )
+
+
+@dataclass(frozen=True)
+class CekEncryptedValue:
+    """One encryption of a CEK under one CMK, plus its protecting signature."""
+
+    column_master_key_name: str
+    algorithm: str
+    encrypted_value: bytes
+    signature: bytes
+
+    @classmethod
+    def create(
+        cls,
+        cmk: ColumnMasterKey,
+        provider: KeyProvider,
+        key_material: bytes,
+        algorithm: str = RSA_OAEP,
+    ) -> "CekEncryptedValue":
+        if algorithm != RSA_OAEP:
+            # The DDL requires an explicit algorithm for extensibility, but
+            # like the shipped feature we support only RSA_OAEP today.
+            raise KeyError_(f"unsupported CEK encryption algorithm {algorithm!r}")
+        encrypted = provider.wrap_key(cmk.key_path, key_material)
+        signature = provider.sign(
+            cmk.key_path, _encrypted_value_message(cmk.key_path, algorithm, encrypted)
+        )
+        return cls(
+            column_master_key_name=cmk.name,
+            algorithm=algorithm,
+            encrypted_value=encrypted,
+            signature=signature,
+        )
+
+    def verify_signature(self, cmk: ColumnMasterKey, registry: KeyProviderRegistry) -> bool:
+        provider = registry.get(cmk.key_store_provider_name)
+        message = _encrypted_value_message(cmk.key_path, self.algorithm, self.encrypted_value)
+        return provider.verify(cmk.key_path, message, self.signature)
+
+    def decrypt(self, cmk: ColumnMasterKey, registry: KeyProviderRegistry) -> bytes:
+        """Unwrap the CEK material; verifies the protecting signature first."""
+        if not self.verify_signature(cmk, registry):
+            raise SecurityViolation(
+                f"CEK encrypted value under CMK {cmk.name!r} failed signature verification"
+            )
+        provider = registry.get(cmk.key_store_provider_name)
+        material = provider.unwrap_key(cmk.key_path, self.encrypted_value)
+        if len(material) != KEY_SIZE:
+            raise KeyError_(
+                f"decrypted CEK material has wrong size {len(material)} (expected {KEY_SIZE})"
+            )
+        return material
+
+
+@dataclass
+class ColumnEncryptionKey:
+    """CEK metadata as stored in SQL Server: name + encrypted value(s)."""
+
+    name: str
+    encrypted_values: list[CekEncryptedValue] = field(default_factory=list)
+
+    @classmethod
+    def create(
+        cls,
+        name: str,
+        cmk: ColumnMasterKey,
+        provider: KeyProvider,
+        key_material: bytes | None = None,
+    ) -> tuple["ColumnEncryptionKey", bytes]:
+        """Provision a new CEK under ``cmk``; returns (metadata, raw material).
+
+        The raw material is returned to the *client* caller only — it is
+        what the client driver caches and what it installs in the enclave.
+        SQL Server receives only the metadata.
+        """
+        material = key_material if key_material is not None else generate_cek_material()
+        value = CekEncryptedValue.create(cmk, provider, material)
+        return cls(name=name, encrypted_values=[value]), material
+
+    def value_for_cmk(self, cmk_name: str) -> CekEncryptedValue:
+        for value in self.encrypted_values:
+            if value.column_master_key_name == cmk_name:
+                return value
+        raise KeyError_(f"CEK {self.name!r} has no encrypted value under CMK {cmk_name!r}")
+
+    def cmk_names(self) -> list[str]:
+        return [value.column_master_key_name for value in self.encrypted_values]
+
+    def add_encrypted_value(self, value: CekEncryptedValue) -> None:
+        """Attach a second encryption (used mid CMK-rotation)."""
+        if value.column_master_key_name in self.cmk_names():
+            raise KeyError_(
+                f"CEK {self.name!r} already has a value under CMK "
+                f"{value.column_master_key_name!r}"
+            )
+        self.encrypted_values.append(value)
+
+    def drop_encrypted_value(self, cmk_name: str) -> None:
+        """Drop the encryption under ``cmk_name`` (completes a CMK rotation)."""
+        if len(self.encrypted_values) == 1:
+            raise KeyError_(
+                f"cannot drop the only encrypted value of CEK {self.name!r}"
+            )
+        value = self.value_for_cmk(cmk_name)
+        self.encrypted_values.remove(value)

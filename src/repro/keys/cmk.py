@@ -1,0 +1,104 @@
+"""Column master keys (CMKs) — the second level of AE's key hierarchy.
+
+A CMK is an asymmetric key living in a client-controlled key provider; SQL
+Server stores only metadata: the provider name, the key path URI, whether
+enclave computations are allowed, and a *signature over that metadata made
+with the CMK key material itself*. The paper (Section 2.2) explains why the
+signature exists: without it, a compromised SQL Server could flip the
+enclave-computations bit and ship CEKs into an enclave the client never
+authorized.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.errors import SecurityViolation
+from repro.keys.providers import KeyProvider, KeyProviderRegistry
+
+
+def _metadata_message(key_store_provider_name: str, key_path: str, allow_enclave_computations: bool) -> bytes:
+    # Canonical byte string covered by the CMK metadata signature. Matches
+    # the production behaviour of signing (key path, enclave flag); the
+    # provider name is included for completeness.
+    flag = b"\x01" if allow_enclave_computations else b"\x00"
+    return (
+        b"CMK-METADATA\x00"
+        + key_store_provider_name.upper().encode()
+        + b"\x00"
+        + key_path.upper().encode()
+        + b"\x00"
+        + flag
+    )
+
+
+@dataclass(frozen=True)
+class ColumnMasterKey:
+    """CMK metadata as stored in SQL Server's catalog.
+
+    The actual key material never appears here — only the URI reference,
+    exactly as in the paper's Figure 1 DDL.
+    """
+
+    name: str
+    key_store_provider_name: str
+    key_path: str
+    allow_enclave_computations: bool
+    signature: bytes
+
+    @classmethod
+    def create(
+        cls,
+        name: str,
+        provider: KeyProvider,
+        key_path: str,
+        allow_enclave_computations: bool = False,
+    ) -> "ColumnMasterKey":
+        """Provision CMK metadata, signing it with the CMK key material.
+
+        This is the client-side step the paper's tooling automates
+        (Section 2.4.1): the client, holding access to the provider,
+        computes the ENCLAVE_COMPUTATIONS signature.
+        """
+        # The signature exists to protect the enclave-computations flag
+        # (Section 2.2); CMKs that never allow enclave use carry none,
+        # matching the shipped DDL where SIGNATURE appears only inside the
+        # ENCLAVE_COMPUTATIONS clause.
+        signature = b""
+        if allow_enclave_computations:
+            message = _metadata_message(
+                provider.provider_name, key_path, allow_enclave_computations
+            )
+            signature = provider.sign(key_path, message)
+        return cls(
+            name=name,
+            key_store_provider_name=provider.provider_name,
+            key_path=key_path,
+            allow_enclave_computations=allow_enclave_computations,
+            signature=signature,
+        )
+
+    def verify_signature(self, registry: KeyProviderRegistry) -> bool:
+        """Client-side check that SQL Server did not tamper with this metadata.
+
+        A CMK claiming enclave computations must carry a valid signature
+        over (provider, path, flag). Without it, SQL Server could flip the
+        flag and trick drivers into releasing CEKs to the enclave.
+        """
+        if not self.allow_enclave_computations:
+            return True
+        if not self.signature:
+            return False
+        provider = registry.get(self.key_store_provider_name)
+        message = _metadata_message(
+            self.key_store_provider_name, self.key_path, self.allow_enclave_computations
+        )
+        return provider.verify(self.key_path, message, self.signature)
+
+    def require_valid(self, registry: KeyProviderRegistry) -> None:
+        """Raise :class:`SecurityViolation` if the metadata signature is bad."""
+        if not self.verify_signature(registry):
+            raise SecurityViolation(
+                f"CMK {self.name!r}: metadata signature verification failed; "
+                "SQL Server may have tampered with the enclave-computations flag"
+            )

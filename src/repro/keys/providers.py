@@ -1,0 +1,186 @@
+"""Key providers: where column master keys live (Section 2.2).
+
+SQL Server never holds CMK material — only a key-path URI naming a key
+inside a provider the *client* controls. The paper lists Azure Key Vault,
+the Windows certificate store, the Java key store, and HSM-rooted stores,
+plus an extensible interface for custom providers. We reproduce that
+surface with in-memory simulators; the Azure Key Vault simulator can model
+network latency so the driver-side CEK cache experiments are meaningful.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from abc import ABC, abstractmethod
+
+from repro.crypto.rsa import RsaKeyPair, RsaPublicKey, encrypt_oaep, verify_signature
+from repro.errors import KeyProviderError
+
+AZURE_KEY_VAULT_PROVIDER = "AZURE_KEY_VAULT_PROVIDER"
+WINDOWS_CERTIFICATE_STORE_PROVIDER = "MSSQL_CERTIFICATE_STORE"
+JAVA_KEY_STORE_PROVIDER = "MSSQL_JAVA_KEYSTORE"
+HSM_PROVIDER = "HSM_PROVIDER"
+
+
+class KeyProvider(ABC):
+    """Interface every key provider implements.
+
+    A provider holds RSA key pairs addressed by key path. ``wrap`` /
+    ``unwrap`` protect CEK material with RSA-OAEP; ``sign`` / ``verify``
+    protect CMK metadata with the same key material.
+    """
+
+    provider_name: str = "CUSTOM_PROVIDER"
+
+    @abstractmethod
+    def create_key(self, key_path: str, bits: int = 2048) -> RsaPublicKey:
+        """Create an RSA key at ``key_path`` and return its public half."""
+
+    @abstractmethod
+    def get_public_key(self, key_path: str) -> RsaPublicKey:
+        """Return the public key at ``key_path``."""
+
+    @abstractmethod
+    def wrap_key(self, key_path: str, key_material: bytes) -> bytes:
+        """Encrypt CEK material under the CMK (RSA-OAEP)."""
+
+    @abstractmethod
+    def unwrap_key(self, key_path: str, wrapped: bytes) -> bytes:
+        """Decrypt CEK material with the CMK private key."""
+
+    @abstractmethod
+    def sign(self, key_path: str, message: bytes) -> bytes:
+        """Sign ``message`` with the CMK private key."""
+
+    @abstractmethod
+    def verify(self, key_path: str, message: bytes, signature: bytes) -> bool:
+        """Verify a signature made by :meth:`sign`."""
+
+
+class InMemoryKeyProvider(KeyProvider):
+    """Base in-memory provider; thread-safe; optionally models latency.
+
+    ``latency_s`` simulates the network round-trip of an external vault —
+    the cost the paper says the driver's CEK cache exists to avoid.
+    """
+
+    def __init__(self, latency_s: float = 0.0):
+        self._keys: dict[str, RsaKeyPair] = {}
+        self._lock = threading.Lock()
+        self.latency_s = latency_s
+        self.call_count = 0
+
+    def _charge(self) -> None:
+        with self._lock:
+            self.call_count += 1
+        if self.latency_s:
+            time.sleep(self.latency_s)
+
+    def _get(self, key_path: str) -> RsaKeyPair:
+        try:
+            return self._keys[key_path]
+        except KeyError:
+            raise KeyProviderError(
+                f"{self.provider_name}: no key at path {key_path!r}"
+            ) from None
+
+    def create_key(self, key_path: str, bits: int = 2048) -> RsaPublicKey:
+        with self._lock:
+            if key_path in self._keys:
+                raise KeyProviderError(f"key already exists at {key_path!r}")
+        pair = RsaKeyPair.generate(bits)
+        with self._lock:
+            self._keys[key_path] = pair
+        return pair.public
+
+    def get_public_key(self, key_path: str) -> RsaPublicKey:
+        self._charge()
+        return self._get(key_path).public
+
+    def wrap_key(self, key_path: str, key_material: bytes) -> bytes:
+        self._charge()
+        return encrypt_oaep(self._get(key_path).public, key_material)
+
+    def unwrap_key(self, key_path: str, wrapped: bytes) -> bytes:
+        self._charge()
+        return self._get(key_path).decrypt_oaep(wrapped)
+
+    def sign(self, key_path: str, message: bytes) -> bytes:
+        self._charge()
+        return self._get(key_path).sign(message)
+
+    def verify(self, key_path: str, message: bytes, signature: bytes) -> bool:
+        self._charge()
+        return verify_signature(self._get(key_path).public, message, signature)
+
+
+class AzureKeyVaultSim(InMemoryKeyProvider):
+    """Simulated Azure Key Vault: https key paths, network latency."""
+
+    provider_name = AZURE_KEY_VAULT_PROVIDER
+
+    def __init__(self, latency_s: float = 0.0):
+        super().__init__(latency_s=latency_s)
+
+    def create_key(self, key_path: str, bits: int = 2048) -> RsaPublicKey:
+        if not key_path.startswith("https://"):
+            raise KeyProviderError("Azure Key Vault key paths must be https:// URIs")
+        return super().create_key(key_path, bits)
+
+
+class CertificateStoreSim(InMemoryKeyProvider):
+    """Simulated Windows certificate store (CurrentUser/LocalMachine paths)."""
+
+    provider_name = WINDOWS_CERTIFICATE_STORE_PROVIDER
+
+
+class JavaKeyStoreSim(InMemoryKeyProvider):
+    """Simulated Java key store."""
+
+    provider_name = JAVA_KEY_STORE_PROVIDER
+
+
+class HsmKeyProviderSim(InMemoryKeyProvider):
+    """Simulated HSM-rooted key store: keys can be created but the raw
+    private material is never observable through the interface (this is
+    already true of the base class; the subclass exists so configurations
+    can name an HSM explicitly, as the paper's out-of-the-box list does).
+    """
+
+    provider_name = HSM_PROVIDER
+
+
+class KeyProviderRegistry:
+    """Maps provider names to provider instances; the extensibility point.
+
+    Both the client driver and the tools consult a registry. Customers can
+    register custom providers, mirroring the paper's extensible interface.
+    """
+
+    def __init__(self) -> None:
+        self._providers: dict[str, KeyProvider] = {}
+
+    def register(self, provider: KeyProvider) -> None:
+        self._providers[provider.provider_name] = provider
+
+    def get(self, provider_name: str) -> KeyProvider:
+        try:
+            return self._providers[provider_name]
+        except KeyError:
+            raise KeyProviderError(
+                f"no key provider registered under {provider_name!r}"
+            ) from None
+
+    def names(self) -> list[str]:
+        return sorted(self._providers)
+
+
+def default_registry(latency_s: float = 0.0) -> KeyProviderRegistry:
+    """A registry with all out-of-the-box providers, as shipped by AE."""
+    registry = KeyProviderRegistry()
+    registry.register(AzureKeyVaultSim(latency_s=latency_s))
+    registry.register(CertificateStoreSim())
+    registry.register(JavaKeyStoreSim())
+    registry.register(HsmKeyProviderSim())
+    return registry

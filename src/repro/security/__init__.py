@@ -1,0 +1,27 @@
+"""Security analysis: the strong adversary and the Figure 5 leakage table."""
+
+from repro.security.adversary import BoundaryEvent, StrongAdversary, WireEvent
+from repro.security.leakage import (
+    FIGURE5_ROWS,
+    OrderReconstruction,
+    ProximityLeak,
+    det_frequency_distribution,
+    encryption_oracle_access,
+    like_scan_predicate_bits,
+    prefix_match_proximity,
+    reconstruct_order,
+)
+
+__all__ = [
+    "BoundaryEvent",
+    "FIGURE5_ROWS",
+    "OrderReconstruction",
+    "ProximityLeak",
+    "StrongAdversary",
+    "WireEvent",
+    "det_frequency_distribution",
+    "encryption_oracle_access",
+    "like_scan_predicate_bits",
+    "prefix_match_proximity",
+    "reconstruct_order",
+]

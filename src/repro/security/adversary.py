@@ -1,0 +1,152 @@
+"""The strong adversary of Section 2.6, as an executable observer.
+
+The adversary "has unbounded power over the SQL Server process": it reads
+the server's memory and disk at every instant, sees all internal and
+external communication, and can tamper with it. It cannot observe state or
+computation inside the enclave.
+
+We realize this as a set of taps over exactly the surfaces the paper
+grants: the disk, the WAL, the buffer pool, the wire (queries with their
+already-encrypted parameters, results), and the enclave *boundary* (every
+ecall's visible inputs and outputs — including the cleartext comparison
+results the paper identifies as the leakage of enclave processing).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.sqlengine.cells import Ciphertext
+from repro.sqlengine.server import SqlServer
+
+
+@dataclass
+class BoundaryEvent:
+    """One observed enclave boundary crossing."""
+
+    ecall: str
+    visible_inputs: tuple
+    visible_output: object
+
+
+@dataclass
+class WireEvent:
+    """One observed client↔server exchange."""
+
+    query_text: str
+    params: dict[str, object]
+    result_rows: int
+
+
+@dataclass
+class StrongAdversary:
+    """Observes an attached server; accumulates everything it may see."""
+
+    boundary_events: list[BoundaryEvent] = field(default_factory=list)
+    wire_events: list[WireEvent] = field(default_factory=list)
+    _server: SqlServer | None = None
+
+    # -- attachment ----------------------------------------------------------
+
+    def attach(self, server: SqlServer) -> None:
+        """Tap the server: the enclave boundary and the session wire."""
+        self._server = server
+        if server.enclave is not None:
+            server.enclave.add_boundary_observer(self._on_boundary)
+        original_connect = server.connect
+
+        def tapped_connect():
+            session = original_connect()
+            original_execute = session.execute
+
+            def tapped_execute(query_text, params=None):
+                result = original_execute(query_text, params)
+                self.wire_events.append(
+                    WireEvent(
+                        query_text=query_text,
+                        params=dict(params or {}),
+                        result_rows=len(getattr(result, "rows", []) or []),
+                    )
+                )
+                return result
+
+            session.execute = tapped_execute  # type: ignore[method-assign]
+            return session
+
+        server.connect = tapped_connect  # type: ignore[method-assign]
+
+    def _on_boundary(self, name: str, visible_inputs: tuple, visible_output: object) -> None:
+        self.boundary_events.append(
+            BoundaryEvent(ecall=name, visible_inputs=visible_inputs, visible_output=visible_output)
+        )
+
+    # -- what the adversary can read directly ---------------------------------
+
+    def disk_bytes(self) -> bytes:
+        assert self._server is not None
+        self._server.engine.pool.flush_all()
+        return self._server.engine.disk.raw_bytes()
+
+    def log_records(self):
+        assert self._server is not None
+        return self._server.engine.wal.adversary_view()
+
+    def memory_cells(self) -> list[object]:
+        """Every cell currently reachable in server memory (buffer pool)."""
+        assert self._server is not None
+        cells: list[object] = []
+        for table in self._server.engine.tables.values():
+            for __, row in table.heap.scan():
+                cells.extend(row)
+        return cells
+
+    # -- analysis helpers -------------------------------------------------------
+
+    def observed_comparison_results(self) -> list[tuple]:
+        """(cek, left ct, right ct, result) from 'compare' ecalls —
+        the ordering information leaked by range processing."""
+        out = []
+        for event in self.boundary_events:
+            if event.ecall == "compare":
+                cek, left, right = event.visible_inputs
+                out.append((cek, left, right, event.visible_output))
+        return out
+
+    def observed_eval_results(self) -> list[tuple]:
+        """(handle, inputs, outputs) from 'eval' ecalls — predicate bits."""
+        return [
+            (e.visible_inputs[0], e.visible_inputs[1], e.visible_output)
+            for e in self.boundary_events
+            if e.ecall == "eval"
+        ]
+
+    def plaintext_exposures(self, secrets: list[bytes]) -> list[str]:
+        """Check every adversary-visible surface for the given plaintext
+        byte strings; returns the names of surfaces where any appears.
+
+        This is the test that the operational guarantee holds: the
+        plaintext of encrypted cells must never show up on any surface.
+        """
+        surfaces: list[str] = []
+        disk = self.disk_bytes()
+        if any(secret in disk for secret in secrets):
+            surfaces.append("disk")
+        log_blob = b"".join(
+            (record.before or b"") + (record.after or b"")
+            for record in self.log_records()
+        )
+        if any(secret in log_blob for secret in secrets):
+            surfaces.append("log")
+        for cell in self.memory_cells():
+            if isinstance(cell, Ciphertext):
+                continue
+            blob = repr(cell).encode()
+            if any(secret in blob for secret in secrets):
+                surfaces.append("memory")
+                break
+        for event in self.wire_events:
+            blob = repr(event.params).encode()
+            if any(secret in blob for secret in secrets):
+                surfaces.append("wire-params")
+                break
+        return surfaces

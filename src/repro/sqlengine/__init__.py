@@ -1,0 +1,52 @@
+"""The from-scratch SQL engine substrate.
+
+Subpackages: ``sqlparser`` (lexer/AST/parser), ``expression`` (ES stack
+machine), ``storage`` (pages/heap/buffer pool/WAL), ``index`` (B+-trees),
+``txn`` (locks/transactions), ``exec`` (planner/executor); modules:
+``catalog``, ``types``, ``lattice``, ``typededuce``, ``engine``, ``server``.
+
+Heavier modules (``engine``, ``server``) are exported lazily to avoid a
+circular import with :mod:`repro.enclave`, whose program validator uses the
+expression-services stack machine defined here (the same "one source, two
+binaries" sharing the paper describes).
+"""
+
+from repro.sqlengine.catalog import Catalog, ColumnSchema, IndexSchema, TableSchema
+from repro.sqlengine.cells import Ciphertext
+from repro.sqlengine.types import ColumnType, EncryptionInfo, SqlType
+
+__all__ = [
+    "Catalog",
+    "Ciphertext",
+    "ColumnSchema",
+    "ColumnType",
+    "DescribeResult",
+    "EncryptionInfo",
+    "IndexSchema",
+    "IndexState",
+    "ServerSession",
+    "SqlServer",
+    "SqlType",
+    "StorageEngine",
+    "TableSchema",
+]
+
+_LAZY = {
+    "IndexState": ("repro.sqlengine.engine", "IndexState"),
+    "StorageEngine": ("repro.sqlengine.engine", "StorageEngine"),
+    "DescribeResult": ("repro.sqlengine.server", "DescribeResult"),
+    "ServerSession": ("repro.sqlengine.server", "ServerSession"),
+    "SqlServer": ("repro.sqlengine.server", "SqlServer"),
+}
+
+
+def __getattr__(name):
+    target = _LAZY.get(name)
+    if target is None:
+        raise AttributeError(f"module {__name__!r} has no attribute {name!r}")
+    import importlib
+
+    module = importlib.import_module(target[0])
+    value = getattr(module, target[1])
+    globals()[name] = value
+    return value

@@ -1,0 +1,176 @@
+"""The catalog: table schemas plus AE key metadata (Section 4.3).
+
+The paper stores key metadata in new system tables so "the database is the
+single source of truth" — CMK and CEK metadata replicate and back up with
+the data. We mirror that: :class:`Catalog` owns the CMK/CEK system tables
+alongside table schemas, and derives each column's ``enclave_enabled`` flag
+from its CEK's CMK, exactly the chain the DDL in Figure 1 establishes.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.crypto.aead import ALGORITHM_NAME, EncryptionScheme
+from repro.errors import BindError, SqlError
+from repro.keys.cek import ColumnEncryptionKey
+from repro.keys.cmk import ColumnMasterKey
+from repro.sqlengine.types import ColumnType, EncryptionInfo, SqlType
+
+
+@dataclass
+class ColumnSchema:
+    """One column: name, full type (with encryption attribute), nullability."""
+
+    name: str
+    column_type: ColumnType
+    nullable: bool = True
+
+    @property
+    def is_encrypted(self) -> bool:
+        return self.column_type.is_encrypted
+
+
+@dataclass
+class IndexSchema:
+    """Metadata for one index."""
+
+    name: str
+    table_name: str
+    column_names: tuple[str, ...]
+    unique: bool = False
+    clustered: bool = False
+    # Encrypted indexes can be invalidated during recovery (Section 4.5).
+    valid: bool = True
+
+    @property
+    def key_column(self) -> str:
+        return self.column_names[0]
+
+
+@dataclass
+class TableSchema:
+    """One table: ordered columns, primary key, index list."""
+
+    name: str
+    columns: list[ColumnSchema]
+    primary_key: tuple[str, ...] = ()
+    indexes: dict[str, IndexSchema] = field(default_factory=dict)
+
+    def column(self, name: str) -> ColumnSchema:
+        for col in self.columns:
+            if col.name.lower() == name.lower():
+                return col
+        raise BindError(f"table {self.name!r} has no column {name!r}")
+
+    def column_index(self, name: str) -> int:
+        for i, col in enumerate(self.columns):
+            if col.name.lower() == name.lower():
+                return i
+        raise BindError(f"table {self.name!r} has no column {name!r}")
+
+    def column_names(self) -> list[str]:
+        return [col.name for col in self.columns]
+
+    @property
+    def arity(self) -> int:
+        return len(self.columns)
+
+
+class Catalog:
+    """All metadata: tables, indexes, and the CMK/CEK system tables."""
+
+    def __init__(self) -> None:
+        self._tables: dict[str, TableSchema] = {}
+        self._cmks: dict[str, ColumnMasterKey] = {}
+        self._ceks: dict[str, ColumnEncryptionKey] = {}
+
+    # -- tables ----------------------------------------------------------------
+
+    def create_table(self, schema: TableSchema) -> None:
+        key = schema.name.lower()
+        if key in self._tables:
+            raise SqlError(f"table {schema.name!r} already exists")
+        self._tables[key] = schema
+
+    def drop_table(self, name: str) -> None:
+        self._require_table(name)
+        del self._tables[name.lower()]
+
+    def table(self, name: str) -> TableSchema:
+        return self._require_table(name)
+
+    def has_table(self, name: str) -> bool:
+        return name.lower() in self._tables
+
+    def tables(self) -> list[TableSchema]:
+        return list(self._tables.values())
+
+    def _require_table(self, name: str) -> TableSchema:
+        try:
+            return self._tables[name.lower()]
+        except KeyError:
+            raise BindError(f"unknown table {name!r}") from None
+
+    # -- key metadata (the new system tables of Section 4.3) --------------------
+
+    def create_cmk(self, cmk: ColumnMasterKey) -> None:
+        if cmk.name in self._cmks:
+            raise SqlError(f"column master key {cmk.name!r} already exists")
+        self._cmks[cmk.name] = cmk
+
+    def create_cek(self, cek: ColumnEncryptionKey) -> None:
+        if cek.name in self._ceks:
+            raise SqlError(f"column encryption key {cek.name!r} already exists")
+        for cmk_name in cek.cmk_names():
+            if cmk_name not in self._cmks:
+                raise BindError(f"CEK {cek.name!r} references unknown CMK {cmk_name!r}")
+        self._ceks[cek.name] = cek
+
+    def cmk(self, name: str) -> ColumnMasterKey:
+        try:
+            return self._cmks[name]
+        except KeyError:
+            raise BindError(f"unknown column master key {name!r}") from None
+
+    def cek(self, name: str) -> ColumnEncryptionKey:
+        try:
+            return self._ceks[name]
+        except KeyError:
+            raise BindError(f"unknown column encryption key {name!r}") from None
+
+    def cmks(self) -> list[ColumnMasterKey]:
+        return list(self._cmks.values())
+
+    def ceks(self) -> list[ColumnEncryptionKey]:
+        return list(self._ceks.values())
+
+    def cek_enclave_enabled(self, cek_name: str) -> bool:
+        """A CEK is enclave-enabled iff (some of) its CMK(s) allow it.
+
+        During a CMK rotation a CEK may be under two CMKs; it is treated
+        as enclave-enabled only if *all* its CMKs permit enclave use — the
+        conservative reading of the client's authorization.
+        """
+        cek = self.cek(cek_name)
+        return all(
+            self.cmk(cmk_name).allow_enclave_computations for cmk_name in cek.cmk_names()
+        )
+
+    def encryption_info(
+        self, cek_name: str, scheme: EncryptionScheme, algorithm: str = ALGORITHM_NAME
+    ) -> EncryptionInfo:
+        """Build a column's EncryptionInfo, deriving the enclave flag."""
+        if algorithm != ALGORITHM_NAME:
+            raise SqlError(f"unsupported cell encryption algorithm {algorithm!r}")
+        self.cek(cek_name)  # existence check
+        return EncryptionInfo(
+            scheme=scheme,
+            cek_name=cek_name,
+            enclave_enabled=self.cek_enclave_enabled(cek_name),
+        )
+
+
+def plain_column(name: str, base: str, length: int | None = None, nullable: bool = True) -> ColumnSchema:
+    """Convenience constructor for an unencrypted column."""
+    return ColumnSchema(name=name, column_type=ColumnType(SqlType(base, length)), nullable=nullable)

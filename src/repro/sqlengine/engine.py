@@ -1,0 +1,767 @@
+"""The storage engine: tables, indexes, transactions, and recovery.
+
+This facade ties the substrates together and implements the Section 4.5
+behaviours around crash recovery of encrypted indexes:
+
+* redo is physical (row images from the WAL, no keys needed);
+* undo of transactions that touched tables with encrypted *range* indexes
+  is logical — it needs enclave comparisons, hence enclave keys, which the
+  client only supplies when running queries. Missing keys make recovery
+  mark such transactions **deferred**: they keep their locks, blocking
+  updates to the rows they touched (and log truncation) until the client
+  connects or the index is invalidated;
+* with **constant-time recovery (CTR)** enabled, the versioned heap makes
+  the database fully available immediately (undo to the committed version
+  is keyless); the *version cleaner* retries the index cleanup in the
+  background until keys arrive;
+* **index invalidation** forces resolution by skipping index recovery and
+  marking the index invalid; automatic when no enclave is configured.
+  Clustered indexes on encrypted columns are rejected at DDL time because
+  invalidating one would lose data.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+from typing import Iterator
+
+from repro.crypto.aead import EncryptionScheme
+from repro.enclave.runtime import Enclave
+from repro.errors import (
+    ConstraintError,
+    KeysUnavailableError,
+    RecoveryError,
+    SqlError,
+    TransactionError,
+)
+from repro.sqlengine.catalog import Catalog, IndexSchema, TableSchema
+from repro.sqlengine.index.btree import BPlusTree
+from repro.sqlengine.index.comparators import (
+    CellComparator,
+    CiphertextBinaryComparator,
+    CompositeComparator,
+    EnclaveComparator,
+    PlaintextComparator,
+)
+from repro.sqlengine.storage.bufferpool import BufferPool
+from repro.sqlengine.storage.disk import Disk
+from repro.sqlengine.storage.heap import HeapFile, RowId
+from repro.sqlengine.storage.record import deserialize_row, serialize_row
+from repro.sqlengine.storage.wal import LogOp, WriteAheadLog
+from repro.sqlengine.txn.locks import LockManager, LockMode
+from repro.sqlengine.txn.transaction import (
+    Transaction,
+    TransactionManager,
+    TxnState,
+    UndoEntry,
+)
+
+
+class IndexState(enum.Enum):
+    READY = "ready"
+    PENDING_REBUILD = "pending"   # waiting for enclave keys after a crash
+    INVALID = "invalid"           # invalidated during recovery (Section 4.5)
+
+
+@dataclass
+class IndexObject:
+    """A live index: schema + tree + recovery state.
+
+    Keys are tuples (one element per indexed column) even for single-column
+    indexes, so composite indexes mixing plaintext and encrypted columns —
+    like TPC-C's CUSTOMER_NC1 — work uniformly.
+    """
+
+    schema: IndexSchema
+    tree: BPlusTree
+    key_slots: list[int]
+    state: IndexState = IndexState.READY
+    cek_names: tuple[str, ...] = ()  # CEKs of encrypted key columns
+
+    @property
+    def usable(self) -> bool:
+        return self.state is IndexState.READY and self.schema.valid
+
+    def key_of(self, row: tuple) -> tuple:
+        return tuple(row[slot] for slot in self.key_slots)
+
+
+@dataclass
+class TableObject:
+    schema: TableSchema
+    heap: HeapFile
+    indexes: dict[str, IndexObject] = field(default_factory=dict)
+
+
+@dataclass
+class PendingCleanup:
+    """CTR version-cleaner work: index entries of a rolled-back txn."""
+
+    txn_id: int
+    table: str
+    retries: int = 0
+
+
+class StorageEngine:
+    """The transactional storage engine underneath the SQL executor."""
+
+    def __init__(
+        self,
+        catalog: Catalog | None = None,
+        enclave: Enclave | None = None,
+        ctr_enabled: bool = True,
+        lock_timeout_s: float = 2.0,
+        buffer_pool_pages: int = 4096,
+    ):
+        self.catalog = catalog or Catalog()
+        self.enclave = enclave
+        self.ctr_enabled = ctr_enabled
+        self.disk = Disk()
+        self.pool = BufferPool(self.disk, capacity=buffer_pool_pages)
+        self.wal = WriteAheadLog()
+        self.locks = LockManager(default_timeout_s=lock_timeout_s)
+        self.txns = TransactionManager()
+        self.tables: dict[str, TableObject] = {}
+        self.deferred: dict[int, Transaction] = {}
+        self.pending_cleanups: list[PendingCleanup] = []
+        # Durable metadata (simulating system pages): table → heap page ids.
+        self._durable_table_pages: dict[str, list[int]] = {}
+        self._began: set[int] = set()
+
+    # ------------------------------------------------------------------ DDL
+
+    def create_table(self, schema: TableSchema) -> TableObject:
+        self.catalog.create_table(schema)
+        table = TableObject(schema=schema, heap=HeapFile(schema.name, self.pool))
+        self.tables[schema.name.lower()] = table
+        self._durable_table_pages[schema.name.lower()] = []
+        if schema.primary_key:
+            pk_index = IndexSchema(
+                name=f"pk_{schema.name}",
+                table_name=schema.name,
+                column_names=schema.primary_key,
+                unique=True,
+            )
+            self._create_index_object(table, pk_index)
+            schema.indexes[pk_index.name] = pk_index
+        return table
+
+    def create_index(self, index: IndexSchema) -> IndexObject:
+        table = self.table(index.table_name)
+        for column_name in index.column_names:
+            column = table.schema.column(column_name)
+            if index.clustered and column.is_encrypted:
+                # Section 4.5: invalidating a clustered index loses data, so
+                # clustered indexes on encrypted columns are not supported.
+                raise SqlError(
+                    "clustered indexes are not supported on encrypted columns"
+                )
+            enc = column.column_type.encryption
+            if (
+                enc is not None
+                and enc.scheme is EncryptionScheme.RANDOMIZED
+                and not enc.enclave_enabled
+            ):
+                raise SqlError(
+                    "cannot index a randomized column without an enclave-enabled key"
+                )
+        obj = self._create_index_object(table, index)
+        table.schema.indexes[index.name] = index
+        # Build from existing rows (an index build sorts the data — the
+        # ordering leakage the paper notes for RND range indexes).
+        entries = []
+        for rid, row in table.heap.scan():
+            entries.append((obj.key_of(row), rid))
+        obj.tree.bulk_build(entries)
+        return obj
+
+    def _create_index_object(self, table: TableObject, index: IndexSchema) -> IndexObject:
+        if index.name in table.indexes:
+            raise SqlError(f"index {index.name!r} already exists")
+        key_slots: list[int] = []
+        cells: list[CellComparator] = []
+        cek_names: list[str] = []
+        for column_name in index.column_names:
+            column = table.schema.column(column_name)
+            key_slots.append(table.schema.column_index(column_name))
+            enc = column.column_type.encryption
+            if enc is None:
+                cells.append(CellComparator(PlaintextComparator()))
+            elif enc.scheme is EncryptionScheme.DETERMINISTIC:
+                cells.append(CellComparator(CiphertextBinaryComparator()))
+                cek_names.append(enc.cek_name)
+            else:
+                if self.enclave is None:
+                    raise SqlError("a range index on a RND column requires an enclave")
+                cells.append(CellComparator(EnclaveComparator(self.enclave, enc.cek_name)))
+                cek_names.append(enc.cek_name)
+        obj = IndexObject(
+            schema=index,
+            tree=BPlusTree(CompositeComparator(cells), unique=index.unique),
+            key_slots=key_slots,
+            cek_names=tuple(cek_names),
+        )
+        table.indexes[index.name] = obj
+        return obj
+
+    def drop_index(self, table_name: str, index_name: str) -> None:
+        table = self.table(table_name)
+        table.indexes.pop(index_name, None)
+        table.schema.indexes.pop(index_name, None)
+
+    def table(self, name: str) -> TableObject:
+        try:
+            return self.tables[name.lower()]
+        except KeyError:
+            raise SqlError(f"unknown table {name!r}") from None
+
+    # ----------------------------------------------------------- transactions
+
+    def begin(self) -> Transaction:
+        return self.txns.begin()
+
+    def _ensure_begin_logged(self, txn: Transaction) -> None:
+        if txn.txn_id not in self._began:
+            self.wal.append(txn.txn_id, LogOp.BEGIN)
+            self._began.add(txn.txn_id)
+
+    def commit(self, txn: Transaction) -> None:
+        if not txn.is_active:
+            raise TransactionError(f"cannot commit txn in state {txn.state}")
+        self._ensure_begin_logged(txn)
+        self.wal.append(txn.txn_id, LogOp.COMMIT)
+        self.wal.flush()
+        self.txns.finish(txn, TxnState.COMMITTED)
+        self.locks.release_all(txn.txn_id)
+
+    def abort(self, txn: Transaction) -> None:
+        if not txn.is_active:
+            raise TransactionError(f"cannot abort txn in state {txn.state}")
+        self._ensure_begin_logged(txn)
+        self._undo(txn, log_compensation=True)
+        self.wal.append(txn.txn_id, LogOp.ABORT)
+        self.wal.flush()
+        self.txns.finish(txn, TxnState.ABORTED)
+        self.locks.release_all(txn.txn_id)
+
+    # ------------------------------------------------------------------- DML
+
+    def insert(self, txn: Transaction, table_name: str, row: tuple) -> RowId:
+        table = self.table(table_name)
+        self._validate_row(table, row)
+        self._ensure_begin_logged(txn)
+        rid = table.heap.insert(row)
+        self.locks.acquire(txn.txn_id, ("row", table_name.lower(), rid), LockMode.EXCLUSIVE)
+        try:
+            self._index_insert(table, row, rid)
+        except ConstraintError:
+            table.heap.delete(rid)
+            raise
+        self.wal.append(
+            txn.txn_id, LogOp.INSERT, table=table_name.lower(), rid=rid, after=serialize_row(row)
+        )
+        txn.undo_log.append(UndoEntry("insert", table_name.lower(), rid, None, row))
+        txn.touched_tables.add(table_name.lower())
+        return rid
+
+    def delete(self, txn: Transaction, table_name: str, rid: RowId) -> None:
+        table = self.table(table_name)
+        self.locks.acquire(txn.txn_id, ("row", table_name.lower(), rid), LockMode.EXCLUSIVE)
+        self._ensure_begin_logged(txn)
+        row = table.heap.read(rid)
+        self._index_delete(table, row, rid)
+        table.heap.delete(rid)
+        self.wal.append(
+            txn.txn_id, LogOp.DELETE, table=table_name.lower(), rid=rid, before=serialize_row(row)
+        )
+        txn.undo_log.append(UndoEntry("delete", table_name.lower(), rid, row, None))
+        txn.touched_tables.add(table_name.lower())
+
+    def update(self, txn: Transaction, table_name: str, rid: RowId, new_row: tuple) -> None:
+        table = self.table(table_name)
+        self._validate_row(table, new_row)
+        self.locks.acquire(txn.txn_id, ("row", table_name.lower(), rid), LockMode.EXCLUSIVE)
+        self._ensure_begin_logged(txn)
+        old_row = table.heap.read(rid)
+        self._index_delete(table, old_row, rid)
+        try:
+            self._index_insert(table, new_row, rid)
+        except ConstraintError:
+            self._index_insert(table, old_row, rid)
+            raise
+        try:
+            table.heap.update(rid, new_row)
+        except SqlError:
+            # The row grew past its page's free space (e.g. in-place
+            # encryption turning small plaintext into 65+-byte envelopes):
+            # relocate it, repointing index entries at the new rid.
+            self._relocate_row(txn, table, table_name.lower(), rid, old_row, new_row)
+            return
+        self.wal.append(
+            txn.txn_id,
+            LogOp.UPDATE,
+            table=table_name.lower(),
+            rid=rid,
+            before=serialize_row(old_row),
+            after=serialize_row(new_row),
+        )
+        txn.undo_log.append(UndoEntry("update", table_name.lower(), rid, old_row, new_row))
+        txn.touched_tables.add(table_name.lower())
+
+    def _relocate_row(
+        self,
+        txn: Transaction,
+        table: TableObject,
+        table_name: str,
+        rid: RowId,
+        old_row: tuple,
+        new_row: tuple,
+    ) -> RowId:
+        table.heap.delete(rid)
+        new_rid = table.heap.insert(new_row)
+        self.locks.acquire(txn.txn_id, ("row", table_name, new_rid), LockMode.EXCLUSIVE)
+        for obj in table.indexes.values():
+            if obj.state is not IndexState.READY or not obj.schema.valid:
+                continue
+            key = obj.key_of(new_row)
+            obj.tree.delete(key, rid)
+            obj.tree.insert(key, new_rid)
+        self.wal.append(
+            txn.txn_id, LogOp.DELETE, table=table_name, rid=rid, before=serialize_row(old_row)
+        )
+        self.wal.append(
+            txn.txn_id, LogOp.INSERT, table=table_name, rid=new_rid, after=serialize_row(new_row)
+        )
+        txn.undo_log.append(UndoEntry("delete", table_name, rid, old_row, None))
+        txn.undo_log.append(UndoEntry("insert", table_name, new_rid, None, new_row))
+        txn.touched_tables.add(table_name)
+        return new_rid
+
+    def lock_row(self, txn: Transaction, table_name: str, rid: RowId) -> None:
+        """Acquire an exclusive row lock ahead of a read-modify-write.
+
+        Update/delete qualification must be re-checked *after* this lock:
+        reads are unlocked, so the row seen during scanning may be stale.
+        """
+        self.locks.acquire(txn.txn_id, ("row", table_name.lower(), rid), LockMode.EXCLUSIVE)
+
+    def read(self, table_name: str, rid: RowId) -> tuple | None:
+        return self.table(table_name).heap.read_or_none(rid)
+
+    def scan(self, table_name: str) -> Iterator[tuple[RowId, tuple]]:
+        return self.table(table_name).heap.scan()
+
+    def _validate_row(self, table: TableObject, row: tuple) -> None:
+        if len(row) != table.schema.arity:
+            raise SqlError(
+                f"row arity {len(row)} does not match table "
+                f"{table.schema.name!r} ({table.schema.arity} columns)"
+            )
+        from repro.sqlengine.cells import Ciphertext
+
+        for cell, column in zip(row, table.schema.columns):
+            if cell is None:
+                if not column.nullable:
+                    raise ConstraintError(
+                        f"column {column.name!r} does not allow NULL"
+                    )
+                continue
+            if column.is_encrypted:
+                if not isinstance(cell, Ciphertext):
+                    raise SqlError(
+                        f"column {column.name!r} is encrypted; the engine only "
+                        "accepts ciphertext for it (the driver encrypts)"
+                    )
+            else:
+                if isinstance(cell, Ciphertext):
+                    raise SqlError(f"column {column.name!r} is plaintext; got ciphertext")
+                column.column_type.sql_type.validate(cell)
+
+    # -------------------------------------------------------- index maintenance
+
+    def _index_insert(self, table: TableObject, row: tuple, rid: RowId) -> None:
+        inserted: list[tuple[IndexObject, object]] = []
+        try:
+            for obj in table.indexes.values():
+                if obj.state is not IndexState.READY or not obj.schema.valid:
+                    continue
+                key = obj.key_of(row)
+                obj.tree.insert(key, rid)
+                inserted.append((obj, key))
+        except ConstraintError:
+            for obj, key in inserted:
+                obj.tree.delete(key, rid)
+            raise
+
+    def _index_delete(self, table: TableObject, row: tuple, rid: RowId) -> None:
+        for obj in table.indexes.values():
+            if obj.state is not IndexState.READY or not obj.schema.valid:
+                continue
+            obj.tree.delete(obj.key_of(row), rid)
+
+    def _rebuild_index(self, table: TableObject, obj: IndexObject) -> None:
+        entries = []
+        for rid, row in table.heap.scan():
+            entries.append((obj.key_of(row), rid))
+        obj.tree = BPlusTree(obj.tree.comparator, unique=obj.schema.unique)
+        obj.tree.bulk_build(entries)
+        obj.state = IndexState.READY
+
+    # ------------------------------------------------------------------- undo
+
+    def _undo(self, txn: Transaction, log_compensation: bool) -> None:
+        for entry in reversed(txn.undo_log):
+            table = self.table(entry.table)
+            if entry.op == "insert":
+                current = table.heap.read_or_none(entry.rid)
+                if current is not None:
+                    self._index_delete(table, current, entry.rid)
+                    table.heap.delete(entry.rid)
+                if log_compensation:
+                    self.wal.append(
+                        txn.txn_id,
+                        LogOp.DELETE,
+                        table=entry.table,
+                        rid=entry.rid,
+                        before=serialize_row(entry.after or ()),
+                    )
+            elif entry.op == "delete":
+                assert entry.before is not None
+                table.heap.insert_at(entry.rid, entry.before)
+                self._index_insert(table, entry.before, entry.rid)
+                if log_compensation:
+                    self.wal.append(
+                        txn.txn_id,
+                        LogOp.INSERT,
+                        table=entry.table,
+                        rid=entry.rid,
+                        after=serialize_row(entry.before),
+                    )
+            elif entry.op == "update":
+                assert entry.before is not None and entry.after is not None
+                current = table.heap.read_or_none(entry.rid)
+                if current is not None:
+                    self._index_delete(table, current, entry.rid)
+                table.heap.insert_at(entry.rid, entry.before)
+                self._index_insert(table, entry.before, entry.rid)
+                if log_compensation:
+                    self.wal.append(
+                        txn.txn_id,
+                        LogOp.UPDATE,
+                        table=entry.table,
+                        rid=entry.rid,
+                        before=serialize_row(entry.after),
+                        after=serialize_row(entry.before),
+                    )
+        txn.undo_log.clear()
+
+    # ------------------------------------------------------- checkpoint / crash
+
+    def checkpoint(self) -> None:
+        """Flush dirty pages and record durable heap membership."""
+        self.pool.flush_all()
+        for name, table in self.tables.items():
+            self._durable_table_pages[name] = table.heap.page_ids
+        self.wal.append(0, LogOp.CHECKPOINT)
+        self.wal.flush()
+
+    def crash(self) -> None:
+        """Simulate a crash: all volatile state is lost.
+
+        Dirty buffered pages vanish; the disk, the flushed WAL, and the
+        (system-page) catalog and table-page metadata survive.
+        """
+        self.pool.drop_all()
+        self.locks = LockManager(default_timeout_s=self.locks.default_timeout_s)
+        self.txns = TransactionManager()
+        self.tables = {}
+        self.deferred = {}
+        self.pending_cleanups = []
+        self._began = set()
+
+    def recover(self) -> "RecoveryReport":
+        """Run crash recovery: physical redo, then (deferrable) undo."""
+        report = RecoveryReport()
+
+        # 1. Reattach heaps from durable metadata and recreate index objects
+        #    from the (durable) catalog — empty for now, rebuilt in step 5.
+        for schema in self.catalog.tables():
+            table = TableObject(schema=schema, heap=HeapFile(schema.name, self.pool))
+            self.tables[schema.name.lower()] = table
+            for page_id in self._durable_table_pages.get(schema.name.lower(), []):
+                if self.disk.has_page(page_id):
+                    table.heap.adopt_page(page_id)
+                    self.pool.note_existing_page_id(page_id)
+            for index_schema in schema.indexes.values():
+                try:
+                    obj = self._create_index_object(table, index_schema)
+                except SqlError:
+                    # A RND range index with no enclave configured (e.g. a
+                    # backup restored on an enclave-less machine): index
+                    # invalidation is automatic (Section 4.5).
+                    index_schema.valid = False
+                    report.invalidated_indexes.append(index_schema.name)
+                    continue
+                if not index_schema.valid:
+                    obj.state = IndexState.INVALID
+
+        records = self.wal.records(durable_only=True)
+
+        # 2. Physical redo of every row operation, in LSN order. Idempotent
+        #    and keyless: images are (possibly ciphertext) bytes.
+        for record in records:
+            if record.op is LogOp.INSERT:
+                table = self.table(record.table)
+                table.heap.insert_at(record.rid, deserialize_row(record.after))
+                self.pool.note_existing_page_id(record.rid.page_id)
+                report.redone += 1
+            elif record.op is LogOp.DELETE:
+                table = self.table(record.table)
+                if table.heap.read_or_none(record.rid) is not None:
+                    table.heap.delete(record.rid)
+                report.redone += 1
+            elif record.op is LogOp.UPDATE:
+                table = self.table(record.table)
+                table.heap.insert_at(record.rid, deserialize_row(record.after))
+                report.redone += 1
+
+        # 3. Identify loser transactions.
+        finished = {
+            r.txn_id for r in records if r.op in (LogOp.COMMIT, LogOp.ABORT)
+        }
+        losers: dict[int, Transaction] = {}
+        for record in records:
+            if record.op is LogOp.BEGIN and record.txn_id not in finished:
+                losers[record.txn_id] = Transaction(txn_id=record.txn_id)
+        for record in records:
+            loser = losers.get(record.txn_id)
+            if loser is None:
+                continue
+            if record.op is LogOp.INSERT:
+                loser.undo_log.append(
+                    UndoEntry("insert", record.table, record.rid, None, deserialize_row(record.after))
+                )
+                loser.touched_tables.add(record.table)
+            elif record.op is LogOp.DELETE:
+                loser.undo_log.append(
+                    UndoEntry("delete", record.table, record.rid, deserialize_row(record.before), None)
+                )
+                loser.touched_tables.add(record.table)
+            elif record.op is LogOp.UPDATE:
+                loser.undo_log.append(
+                    UndoEntry(
+                        "update",
+                        record.table,
+                        record.rid,
+                        deserialize_row(record.before),
+                        deserialize_row(record.after),
+                    )
+                )
+                loser.touched_tables.add(record.table)
+
+        # 4. Undo losers — deferring those gated on missing enclave keys.
+        for loser in losers.values():
+            gating = self._keyless_encrypted_indexes(loser.touched_tables)
+            if gating and self.enclave is None:
+                # No enclave configured (e.g. restoring a backup on a
+                # machine without one): invalidation is automatic.
+                for table_name, index_name in gating:
+                    self.invalidate_index(table_name, index_name)
+                    report.invalidated_indexes.append(index_name)
+                gating = []
+            if gating:
+                if self.ctr_enabled:
+                    # CTR: committed versions become visible immediately
+                    # (keyless heap undo), locks are NOT retained; the
+                    # version cleaner owns the index-side cleanup.
+                    self._undo_heap_only(loser)
+                    for table_name, __ in gating:
+                        self.pending_cleanups.append(
+                            PendingCleanup(txn_id=loser.txn_id, table=table_name)
+                        )
+                    loser.state = TxnState.ABORTED
+                    self.wal.append(loser.txn_id, LogOp.ABORT)
+                    report.ctr_reverted.append(loser.txn_id)
+                else:
+                    loser.state = TxnState.DEFERRED
+                    self.deferred[loser.txn_id] = loser
+                    self.locks.rehold(
+                        loser.txn_id,
+                        {("row", e.table, e.rid) for e in loser.undo_log},
+                    )
+                    report.deferred.append(loser.txn_id)
+            else:
+                self._undo_heap_only(loser)
+                loser.state = TxnState.ABORTED
+                self.wal.append(loser.txn_id, LogOp.ABORT)
+                report.undone.append(loser.txn_id)
+        self.wal.flush()
+
+        # 5. Rebuild indexes. Keyless kinds rebuild now; enclave-comparator
+        #    indexes rebuild only if the CEK is installed.
+        for table in self.tables.values():
+            for obj in table.indexes.values():
+                if not obj.schema.valid:
+                    obj.state = IndexState.INVALID
+                    continue
+                try:
+                    self._rebuild_index(table, obj)
+                except KeysUnavailableError:
+                    obj.state = IndexState.PENDING_REBUILD
+                    report.pending_indexes.append(obj.schema.name)
+
+        return report
+
+    def _undo_heap_only(self, txn: Transaction) -> None:
+        """Undo against the heap using before-images; indexes are derived
+        later by rebuild, so no index navigation (no keys) is needed."""
+        for entry in reversed(txn.undo_log):
+            table = self.table(entry.table)
+            if entry.op == "insert":
+                if table.heap.read_or_none(entry.rid) is not None:
+                    table.heap.delete(entry.rid)
+            elif entry.op == "delete":
+                assert entry.before is not None
+                table.heap.insert_at(entry.rid, entry.before)
+            elif entry.op == "update":
+                assert entry.before is not None
+                table.heap.insert_at(entry.rid, entry.before)
+            self.wal.append(
+                txn.txn_id,
+                LogOp.UPDATE if entry.op == "update" else
+                (LogOp.DELETE if entry.op == "insert" else LogOp.INSERT),
+                table=entry.table,
+                rid=entry.rid,
+                before=serialize_row(entry.after) if entry.op == "update" else (
+                    serialize_row(entry.after) if entry.op == "insert" else None
+                ),
+                after=serialize_row(entry.before) if entry.op in ("delete", "update") else None,
+            )
+
+    def _keyless_encrypted_indexes(self, table_names: set[str]) -> list[tuple[str, str]]:
+        """(table, index) pairs with enclave comparators whose CEK is absent."""
+        gating: list[tuple[str, str]] = []
+        for table_name in table_names:
+            table = self.tables.get(table_name)
+            if table is None:
+                continue
+            for obj in table.indexes.values():
+                if not obj.schema.valid:
+                    continue
+                needs_enclave = any(
+                    isinstance(cell.inner, EnclaveComparator)
+                    for cell in obj.tree.comparator.cells
+                )
+                if needs_enclave and (
+                    self.enclave is None
+                    or not all(self.enclave.sqlos.has_key(c) for c in obj.cek_names)
+                ):
+                    gating.append((table_name, obj.schema.name))
+        return gating
+
+    # ------------------------------------------------ deferred-txn resolution
+
+    def resolve_deferred_transactions(self) -> list[int]:
+        """Retry deferred undo — called when the client has supplied keys."""
+        resolved: list[int] = []
+        for txn_id in list(self.deferred):
+            txn = self.deferred[txn_id]
+            gating = self._keyless_encrypted_indexes(txn.touched_tables)
+            if gating:
+                continue
+            self._undo_heap_only(txn)
+            txn.state = TxnState.ABORTED
+            self.wal.append(txn.txn_id, LogOp.ABORT)
+            self.locks.release_all(txn_id)
+            del self.deferred[txn_id]
+            resolved.append(txn_id)
+        self.wal.flush()
+        # Indexes pending rebuild may now be buildable.
+        self.retry_pending_indexes()
+        return resolved
+
+    def retry_pending_indexes(self) -> list[str]:
+        rebuilt: list[str] = []
+        for table in self.tables.values():
+            for obj in table.indexes.values():
+                if obj.state is IndexState.PENDING_REBUILD and obj.schema.valid:
+                    try:
+                        self._rebuild_index(table, obj)
+                        rebuilt.append(obj.schema.name)
+                    except KeysUnavailableError:
+                        pass
+        return rebuilt
+
+    def run_version_cleaner(self) -> tuple[int, int]:
+        """One CTR version-cleaner pass; returns (cleaned, still_pending).
+
+        Cleanup here is completing the pending index rebuilds; each failed
+        attempt increments the retry counter, reproducing "it keeps
+        retrying" from Section 4.5.
+        """
+        still: list[PendingCleanup] = []
+        cleaned = 0
+        for pending in self.pending_cleanups:
+            table = self.tables.get(pending.table)
+            done = True
+            if table is not None:
+                for obj in table.indexes.values():
+                    if obj.state is IndexState.PENDING_REBUILD and obj.schema.valid:
+                        try:
+                            self._rebuild_index(table, obj)
+                        except KeysUnavailableError:
+                            done = False
+            if done:
+                cleaned += 1
+            else:
+                pending.retries += 1
+                still.append(pending)
+        self.pending_cleanups = still
+        return cleaned, len(still)
+
+    def invalidate_index(self, table_name: str, index_name: str) -> None:
+        """Skip recovery of an index and mark it invalid (Section 4.5)."""
+        table = self.table(table_name)
+        obj = table.indexes.get(index_name)
+        if obj is None:
+            raise SqlError(f"unknown index {index_name!r}")
+        if obj.schema.clustered:
+            raise RecoveryError("invalidating a clustered index would lose data")
+        obj.schema.valid = False
+        obj.state = IndexState.INVALID
+        # Deferred transactions gated only on this index can now resolve.
+        self.resolve_deferred_transactions()
+
+    def apply_invalidation_policy(self, max_log_records: int | None = None) -> list[str]:
+        """Policy-driven invalidation: e.g. log-space consumption threshold."""
+        invalidated: list[str] = []
+        if max_log_records is not None and self.wal.size() > max_log_records and self.deferred:
+            tables = set()
+            for txn in self.deferred.values():
+                tables |= txn.touched_tables
+            for table_name, index_name in self._keyless_encrypted_indexes(tables):
+                self.invalidate_index(table_name, index_name)
+                invalidated.append(index_name)
+        return invalidated
+
+    def truncate_log(self) -> int:
+        """Truncate the WAL; blocked while deferred transactions exist."""
+        if self.deferred:
+            raise TransactionError(
+                "log truncation is blocked by deferred transactions "
+                "(client keys or index invalidation required)"
+            )
+        return self.wal.truncate_before(self.wal.flushed_lsn + 1)
+
+
+@dataclass
+class RecoveryReport:
+    """What recovery did — the observable Section 4.5 outcomes."""
+
+    redone: int = 0
+    undone: list[int] = field(default_factory=list)
+    deferred: list[int] = field(default_factory=list)
+    ctr_reverted: list[int] = field(default_factory=list)
+    pending_indexes: list[str] = field(default_factory=list)
+    invalidated_indexes: list[str] = field(default_factory=list)

@@ -1,0 +1,13 @@
+"""Execution: access-path planning and the iterator executor."""
+
+from repro.sqlengine.exec.executor import Executor, QueryResult, ResultColumn
+from repro.sqlengine.exec.planner import AccessPath, choose_access_path, extract_sargs
+
+__all__ = [
+    "AccessPath",
+    "Executor",
+    "QueryResult",
+    "ResultColumn",
+    "choose_access_path",
+    "extract_sargs",
+]

@@ -1,0 +1,148 @@
+"""Access-path selection: scan vs. index seek/range.
+
+A deliberately simple rule-based planner: it decomposes the WHERE clause
+into a conjunction, finds sargable conjuncts (column OP param/literal) on
+the main table, and matches them against available indexes.
+
+Encryption awareness mirrors Section 3.1:
+
+* any usable index supports equality-prefix seeks (DET ciphertext order
+  clusters equal values, so equality works through it);
+* a *value-range* conjunct can extend the prefix only when the next index
+  column's order is semantic (plaintext or RND-enclave, never DET);
+* invalid or pending indexes (Section 4.5) are never chosen.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.sqlengine.engine import IndexObject, TableObject
+from repro.sqlengine.scope import Scope
+from repro.sqlengine.sqlparser import ast
+
+
+@dataclass(frozen=True)
+class Sarg:
+    """A sargable conjunct: ``column OP operand`` with a constant operand."""
+
+    column: str           # lower-cased column name on the main table
+    op: str               # = < <= > >=
+    operand: ast.AstExpr  # Param or Literal
+
+
+@dataclass
+class AccessPath:
+    """How the main table will be accessed."""
+
+    kind: str                     # "scan" | "seek" | "range"
+    index: IndexObject | None = None
+    # Equality prefix: operands for index columns [0..len-1].
+    eq_operands: list[ast.AstExpr] = field(default_factory=list)
+    # Optional range bounds on the next index column.
+    low: tuple[ast.AstExpr, bool] | None = None   # (operand, inclusive)
+    high: tuple[ast.AstExpr, bool] | None = None
+
+    def describe(self) -> str:
+        if self.kind == "scan":
+            return "TableScan"
+        name = self.index.schema.name if self.index else "?"
+        return f"Index{'Seek' if self.kind == 'seek' else 'RangeScan'}({name})"
+
+
+def conjuncts(expr: ast.AstExpr | None) -> list[ast.AstExpr]:
+    """Flatten a predicate into its AND-ed conjuncts."""
+    if expr is None:
+        return []
+    if isinstance(expr, ast.BinaryOp) and expr.op.upper() == "AND":
+        return conjuncts(expr.left) + conjuncts(expr.right)
+    return [expr]
+
+
+def _constant(expr: ast.AstExpr) -> bool:
+    return isinstance(expr, (ast.Param, ast.Literal))
+
+
+def extract_sargs(where: ast.AstExpr | None, scope: Scope, main_binding: str) -> list[Sarg]:
+    """Sargable conjuncts over main-table columns."""
+    sargs: list[Sarg] = []
+    for conjunct in conjuncts(where):
+        if isinstance(conjunct, ast.BinaryOp) and conjunct.op in ("=", "<", "<=", ">", ">="):
+            pairs = [
+                (conjunct.left, conjunct.right, conjunct.op),
+                (conjunct.right, conjunct.left, _flip(conjunct.op)),
+            ]
+            for column_side, operand_side, op in pairs:
+                if isinstance(column_side, ast.ColumnName) and _constant(operand_side):
+                    try:
+                        resolved = scope.resolve(column_side)
+                    except Exception:
+                        continue
+                    if resolved.binding == main_binding:
+                        sargs.append(
+                            Sarg(column=resolved.column.name.lower(), op=op, operand=operand_side)
+                        )
+                    break
+        elif isinstance(conjunct, ast.BetweenOp):
+            if isinstance(conjunct.value, ast.ColumnName) and _constant(conjunct.low) and _constant(conjunct.high):
+                try:
+                    resolved = scope.resolve(conjunct.value)
+                except Exception:
+                    continue
+                if resolved.binding == main_binding:
+                    name = resolved.column.name.lower()
+                    sargs.append(Sarg(column=name, op=">=", operand=conjunct.low))
+                    sargs.append(Sarg(column=name, op="<=", operand=conjunct.high))
+    return sargs
+
+
+def _flip(op: str) -> str:
+    return {"=": "=", "<": ">", "<=": ">=", ">": "<", ">=": "<="}[op]
+
+
+def choose_access_path(table: TableObject, sargs: list[Sarg]) -> AccessPath:
+    """Pick the best usable index for the sargs, or fall back to a scan."""
+    eq_by_column: dict[str, ast.AstExpr] = {}
+    ranges_by_column: dict[str, list[Sarg]] = {}
+    for sarg in sargs:
+        if sarg.op == "=":
+            eq_by_column.setdefault(sarg.column, sarg.operand)
+        else:
+            ranges_by_column.setdefault(sarg.column, []).append(sarg)
+
+    best: AccessPath | None = None
+    best_score = 0
+    for obj in table.indexes.values():
+        if not obj.usable:
+            continue
+        columns = [c.lower() for c in obj.schema.column_names]
+        prefix: list[ast.AstExpr] = []
+        for column in columns:
+            if column in eq_by_column:
+                prefix.append(eq_by_column[column])
+            else:
+                break
+        low = high = None
+        extra = 0
+        if len(prefix) < len(columns):
+            next_cell = obj.tree.comparator.cells[len(prefix)]
+            if next_cell.semantic_order:
+                # Value-range bounds are only meaningful when this column's
+                # index order matches plaintext order (not DET).
+                next_column = columns[len(prefix)]
+                for sarg in ranges_by_column.get(next_column, []):
+                    bound = (sarg.operand, sarg.op in (">=", "<="))
+                    if sarg.op in (">", ">="):
+                        low = low or bound
+                    else:
+                        high = high or bound
+                extra = 1 if (low or high) else 0
+        if prefix or low or high:
+            score = len(prefix) * 2 + extra
+            if score > best_score:
+                kind = "seek" if len(prefix) == len(columns) else "range"
+                best = AccessPath(
+                    kind=kind, index=obj, eq_operands=prefix, low=low, high=high
+                )
+                best_score = score
+    return best or AccessPath(kind="scan")

@@ -1,0 +1,49 @@
+"""Expression services (ES): trees, stack programs, compiler, and VM.
+
+This is the module the paper identifies as the *only* engine component
+that computes on column values — and therefore the only component that
+had to learn about encryption and be ported into the enclave.
+"""
+
+from repro.sqlengine.expression.compiler import CompiledExpression, compile_expression
+from repro.sqlengine.expression.program import Instruction, Opcode, StackProgram
+from repro.sqlengine.expression.tree import (
+    AndExpr,
+    ArithExpr,
+    ArithOp,
+    ColumnRefExpr,
+    CompareExpr,
+    CompareOp,
+    Expr,
+    IsNullExpr,
+    LikeExpr,
+    LiteralExpr,
+    NotExpr,
+    OrExpr,
+    ParameterExpr,
+)
+from repro.sqlengine.expression.vm import CryptoContext, EnclaveConnector, StackMachine
+
+__all__ = [
+    "AndExpr",
+    "ArithExpr",
+    "ArithOp",
+    "ColumnRefExpr",
+    "CompareExpr",
+    "CompareOp",
+    "CompiledExpression",
+    "CryptoContext",
+    "EnclaveConnector",
+    "Expr",
+    "Instruction",
+    "IsNullExpr",
+    "LikeExpr",
+    "LiteralExpr",
+    "NotExpr",
+    "Opcode",
+    "OrExpr",
+    "ParameterExpr",
+    "StackMachine",
+    "StackProgram",
+    "compile_expression",
+]

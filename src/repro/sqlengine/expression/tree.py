@@ -1,0 +1,133 @@
+"""Scalar expression trees — the analog of SQL Server's ``CScaOp`` nodes.
+
+Query compilation produces these trees (from parsed predicates and
+projections); the expression compiler then lowers them to stack programs,
+splitting enclave-required subtrees out behind ``TMEval`` exactly as
+Figure 7 of the paper illustrates.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+
+from repro.sqlengine.types import ColumnType
+from repro.sqlengine.values import SqlScalar
+
+
+class CompareOp(enum.Enum):
+    EQ = "="
+    NE = "<>"
+    LT = "<"
+    LE = "<="
+    GT = ">"
+    GE = ">="
+
+    def flip(self) -> "CompareOp":
+        """The operator with operands swapped (a OP b == b OP.flip a)."""
+        return {
+            CompareOp.EQ: CompareOp.EQ,
+            CompareOp.NE: CompareOp.NE,
+            CompareOp.LT: CompareOp.GT,
+            CompareOp.LE: CompareOp.GE,
+            CompareOp.GT: CompareOp.LT,
+            CompareOp.GE: CompareOp.LE,
+        }[self]
+
+
+class ArithOp(enum.Enum):
+    ADD = "+"
+    SUB = "-"
+    MUL = "*"
+    DIV = "/"
+
+
+class Expr:
+    """Base class for scalar expression nodes."""
+
+    __slots__ = ()
+
+
+@dataclass(frozen=True)
+class ColumnRefExpr(Expr):
+    """A reference to an input column (``CScaOp_Identifier``).
+
+    ``slot`` is the position of the column's value in the row layout the
+    expression runs against; ``column_type`` carries the encryption
+    attribute used by the compiler to decide the host/enclave split.
+    """
+
+    name: str
+    slot: int
+    column_type: ColumnType
+
+
+@dataclass(frozen=True)
+class LiteralExpr(Expr):
+    """A constant known at compile time (plaintext)."""
+
+    value: SqlScalar
+    column_type: ColumnType
+
+
+@dataclass(frozen=True)
+class ParameterExpr(Expr):
+    """A query parameter (``@name``).
+
+    At execution time the driver has already encrypted the parameter when
+    type deduction required it; ``column_type`` records the deduced type.
+    ``slot`` indexes into the parameter array appended after column slots.
+    """
+
+    name: str
+    slot: int
+    column_type: ColumnType
+
+
+@dataclass(frozen=True)
+class CompareExpr(Expr):
+    """A comparison (``CScaOp_Comp``)."""
+
+    op: CompareOp
+    left: Expr
+    right: Expr
+
+
+@dataclass(frozen=True)
+class LikeExpr(Expr):
+    """``value LIKE pattern`` string pattern matching."""
+
+    value: Expr
+    pattern: Expr
+
+
+@dataclass(frozen=True)
+class AndExpr(Expr):
+    left: Expr
+    right: Expr
+
+
+@dataclass(frozen=True)
+class OrExpr(Expr):
+    left: Expr
+    right: Expr
+
+
+@dataclass(frozen=True)
+class NotExpr(Expr):
+    operand: Expr
+
+
+@dataclass(frozen=True)
+class ArithExpr(Expr):
+    """Arithmetic on plaintext operands (never enclave-evaluated in AEv2)."""
+
+    op: ArithOp
+    left: Expr
+    right: Expr
+
+
+@dataclass(frozen=True)
+class IsNullExpr(Expr):
+    operand: Expr
+    negated: bool = False

@@ -1,0 +1,267 @@
+"""The expression-services stack machine evaluator.
+
+The same VM runs in two places, mirroring the paper's "compile ES into two
+binaries" approach (Section 4.4):
+
+* **Host side** — crypto context is ``None``. Encrypted cells are opaque
+  :class:`~repro.sqlengine.cells.Ciphertext` blobs; the only computation
+  allowed on them is binary equality (DET columns). Any ``TM_EVAL``
+  instruction delegates to an :class:`EnclaveConnector`.
+* **Enclave side** — a crypto context backed by the enclave's CEK store is
+  supplied, so ``GET_DATA`` / ``SET_DATA`` transparently decrypt/encrypt at
+  the stack boundary and the program body computes on plaintext.
+
+Comparison results use SQL three-valued logic: ``None`` is UNKNOWN and
+propagates through comparisons; AND/OR follow Kleene semantics.
+"""
+
+from __future__ import annotations
+
+from typing import Protocol
+
+from repro.errors import ExecutionError
+from repro.sqlengine.cells import Ciphertext
+from repro.sqlengine.expression.program import Instruction, Opcode, StackProgram
+from repro.sqlengine.types import EncryptionInfo
+from repro.sqlengine.values import SqlScalar, compare_values, like_match
+
+
+class CryptoContext(Protocol):
+    """Decrypt/encrypt services available only inside the enclave."""
+
+    def decrypt_cell(self, ciphertext: Ciphertext, enc: EncryptionInfo) -> SqlScalar: ...
+
+    def encrypt_cell(self, value: SqlScalar, enc: EncryptionInfo) -> Ciphertext: ...
+
+
+class EnclaveConnector(Protocol):
+    """How the host VM reaches the enclave for ``TM_EVAL``.
+
+    ``register`` installs a serialized program once and returns a handle
+    (the paper's registration/handle usage pattern); ``eval`` runs it.
+    """
+
+    def register_program(self, program_bytes: bytes) -> int: ...
+
+    def eval(self, handle: int, inputs: list[object]) -> list[object]: ...
+
+
+class StackMachine:
+    """Evaluates :class:`StackProgram` objects against input slot arrays."""
+
+    def __init__(
+        self,
+        crypto: CryptoContext | None = None,
+        enclave: EnclaveConnector | None = None,
+    ):
+        self._crypto = crypto
+        self._enclave = enclave
+        self._handle_cache: dict[bytes, int] = {}
+
+    def eval(self, program: StackProgram, inputs: list[object], n_outputs: int = 1) -> list[object]:
+        """Run ``program``; returns the outputs array (size ``n_outputs``)."""
+        stack: list[object] = []
+        outputs: list[object] = [None] * n_outputs
+        for ins in program.instructions:
+            self._step(ins, stack, inputs, outputs)
+        if stack:
+            # A predicate program with no SET_DATA leaves its result on the
+            # stack; surface it as output 0 for convenience.
+            outputs[0] = stack[-1]
+        return outputs
+
+    def eval_predicate(self, program: StackProgram, inputs: list[object]) -> bool | None:
+        """Run a boolean-valued program; returns True/False/None (UNKNOWN)."""
+        result = self.eval(program, inputs, n_outputs=1)[0]
+        if result is not None and not isinstance(result, bool):
+            raise ExecutionError(f"predicate produced non-boolean {result!r}")
+        return result
+
+    # -- dispatch ------------------------------------------------------------
+
+    def _step(
+        self,
+        ins: Instruction,
+        stack: list[object],
+        inputs: list[object],
+        outputs: list[object],
+    ) -> None:
+        opcode = ins.opcode
+        if opcode is Opcode.GET_DATA:
+            slot, enc = ins.operand  # type: ignore[misc]
+            if slot >= len(inputs):
+                raise ExecutionError(f"GET_DATA slot {slot} out of range ({len(inputs)} inputs)")
+            value = inputs[slot]
+            if enc is not None and value is not None:
+                value = self._decrypt(value, enc)
+            stack.append(value)
+        elif opcode is Opcode.SET_DATA:
+            slot, enc = ins.operand  # type: ignore[misc]
+            if not stack:
+                raise ExecutionError("SET_DATA on empty stack")
+            value = stack.pop()
+            if enc is not None and value is not None:
+                value = self._encrypt(value, enc)
+            if slot >= len(outputs):
+                raise ExecutionError(f"SET_DATA slot {slot} out of range")
+            outputs[slot] = value
+        elif opcode is Opcode.PUSH_CONST:
+            stack.append(ins.operand)
+        elif opcode is Opcode.COMP:
+            right, left = _pop2(stack, "COMP")
+            stack.append(_compare(str(ins.operand), left, right))
+        elif opcode is Opcode.LIKE:
+            pattern, value = _pop2(stack, "LIKE")
+            stack.append(_like(value, pattern))
+        elif opcode is Opcode.AND:
+            right, left = _pop2(stack, "AND")
+            stack.append(_kleene_and(left, right))
+        elif opcode is Opcode.OR:
+            right, left = _pop2(stack, "OR")
+            stack.append(_kleene_or(left, right))
+        elif opcode is Opcode.NOT:
+            if not stack:
+                raise ExecutionError("NOT on empty stack")
+            value = stack.pop()
+            stack.append(None if value is None else not value)
+        elif opcode is Opcode.ARITH:
+            right, left = _pop2(stack, "ARITH")
+            stack.append(_arith(str(ins.operand), left, right))
+        elif opcode is Opcode.IS_NULL:
+            if not stack:
+                raise ExecutionError("IS_NULL on empty stack")
+            value = stack.pop()
+            result = value is None
+            stack.append(not result if ins.operand else result)
+        elif opcode is Opcode.TM_EVAL:
+            blob, n_inputs = ins.operand  # type: ignore[misc]
+            if self._enclave is None:
+                raise ExecutionError(
+                    "TM_EVAL encountered but no enclave is configured for this query"
+                )
+            if len(stack) < n_inputs:
+                raise ExecutionError("TM_EVAL underflow: not enough inputs on stack")
+            popped = [stack.pop() for __ in range(n_inputs)]
+            enclave_inputs = list(reversed(popped))
+            handle = self._handle_cache.get(blob)
+            if handle is None:
+                handle = self._enclave.register_program(blob)
+                self._handle_cache[blob] = handle
+            result = self._enclave.eval(handle, enclave_inputs)
+            stack.append(result[0])
+        else:  # pragma: no cover - exhaustive
+            raise ExecutionError(f"unknown opcode {opcode}")
+
+    def _decrypt(self, value: object, enc: EncryptionInfo) -> SqlScalar:
+        if self._crypto is None:
+            raise ExecutionError(
+                "encrypted GET_DATA outside the enclave: the host must never "
+                "decrypt column data"
+            )
+        if not isinstance(value, Ciphertext):
+            raise ExecutionError(
+                f"GET_DATA annotated encrypted but input is {type(value).__name__}"
+            )
+        return self._crypto.decrypt_cell(value, enc)
+
+    def _encrypt(self, value: object, enc: EncryptionInfo) -> Ciphertext:
+        if self._crypto is None:
+            raise ExecutionError(
+                "encrypted SET_DATA outside the enclave: the host must never "
+                "encrypt column data"
+            )
+        return self._crypto.encrypt_cell(value, enc)  # type: ignore[arg-type]
+
+
+# ---------------------------------------------------------------------------
+# Operation semantics
+# ---------------------------------------------------------------------------
+
+
+def _pop2(stack: list[object], what: str) -> tuple[object, object]:
+    if len(stack) < 2:
+        raise ExecutionError(f"{what} needs two operands, stack has {len(stack)}")
+    return stack.pop(), stack.pop()
+
+
+def _compare(op: str, left: object, right: object) -> bool | None:
+    if left is None or right is None:
+        return None
+    left_ct = isinstance(left, Ciphertext)
+    right_ct = isinstance(right, Ciphertext)
+    if left_ct != right_ct:
+        raise ExecutionError(
+            "cannot compare an encrypted value with a plaintext value"
+        )
+    if left_ct and right_ct:
+        # DET ciphertext: equality preserved value-wise, so =/<> are exact.
+        # Anything else on ciphertext is meaningless and rejected.
+        if op == "=":
+            return left.envelope == right.envelope  # type: ignore[union-attr]
+        if op == "<>":
+            return left.envelope != right.envelope  # type: ignore[union-attr]
+        raise ExecutionError(f"operator {op!r} is not supported on ciphertext")
+    c = compare_values(left, right)  # type: ignore[arg-type]
+    if op == "=":
+        return c == 0
+    if op == "<>":
+        return c != 0
+    if op == "<":
+        return c < 0
+    if op == "<=":
+        return c <= 0
+    if op == ">":
+        return c > 0
+    if op == ">=":
+        return c >= 0
+    raise ExecutionError(f"unknown comparison operator {op!r}")
+
+
+def _like(value: object, pattern: object) -> bool | None:
+    if value is None or pattern is None:
+        return None
+    if isinstance(value, Ciphertext) or isinstance(pattern, Ciphertext):
+        raise ExecutionError("LIKE on ciphertext requires enclave evaluation")
+    if not isinstance(value, str) or not isinstance(pattern, str):
+        raise ExecutionError("LIKE requires string operands")
+    return like_match(value, pattern)
+
+
+def _kleene_and(left: object, right: object) -> bool | None:
+    if left is False or right is False:
+        return False
+    if left is None or right is None:
+        return None
+    return bool(left) and bool(right)
+
+
+def _kleene_or(left: object, right: object) -> bool | None:
+    if left is True or right is True:
+        return True
+    if left is None or right is None:
+        return None
+    return bool(left) or bool(right)
+
+
+def _arith(op: str, left: object, right: object) -> SqlScalar:
+    if left is None or right is None:
+        return None
+    if isinstance(left, Ciphertext) or isinstance(right, Ciphertext):
+        raise ExecutionError("arithmetic on encrypted values is not supported in AEv2")
+    if not isinstance(left, (int, float)) or not isinstance(right, (int, float)):
+        raise ExecutionError("arithmetic requires numeric operands")
+    if op == "+":
+        return left + right
+    if op == "-":
+        return left - right
+    if op == "*":
+        return left * right
+    if op == "/":
+        if right == 0:
+            raise ExecutionError("division by zero")
+        if isinstance(left, int) and isinstance(right, int):
+            # SQL integer division truncates toward zero.
+            quotient = abs(left) // abs(right)
+            return quotient if (left >= 0) == (right >= 0) else -quotient
+        return left / right
+    raise ExecutionError(f"unknown arithmetic operator {op!r}")

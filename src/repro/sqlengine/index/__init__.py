@@ -1,0 +1,19 @@
+"""Indexes: a comparator-parameterized B+-tree (Section 3.1)."""
+
+from repro.sqlengine.index.btree import BPlusTree
+from repro.sqlengine.index.comparators import (
+    CiphertextBinaryComparator,
+    CountingComparator,
+    EnclaveComparator,
+    KeyComparator,
+    PlaintextComparator,
+)
+
+__all__ = [
+    "BPlusTree",
+    "CiphertextBinaryComparator",
+    "CountingComparator",
+    "EnclaveComparator",
+    "KeyComparator",
+    "PlaintextComparator",
+]

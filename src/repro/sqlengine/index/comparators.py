@@ -1,0 +1,210 @@
+"""Key comparators for B+-trees over plaintext and encrypted columns.
+
+The paper's two index flavours (Section 3.1) differ only in how keys are
+ordered:
+
+* **Equality indexes (DET)** order keys by *ciphertext* bytes. Because
+  deterministic encryption is one-to-one at whole-value granularity,
+  equality lookups through ciphertext order are exact — but the order
+  itself is meaningless, so range lookups are unsupported.
+* **Range indexes (RND)** order keys by *plaintext* value, obtained by
+  routing every comparison to the enclave, which decrypts and returns the
+  ordering in the clear.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Protocol
+
+from repro.enclave.runtime import Enclave
+from repro.errors import SqlError
+from repro.sqlengine.cells import Ciphertext
+from repro.sqlengine.values import compare_values
+
+
+class KeyComparator(Protocol):
+    """Three-way comparison over index key values.
+
+    ``supports_range`` — the comparator defines a consistent total order,
+    so ordered B+-tree scans are well-defined. ``semantic_order`` — that
+    order matches *plaintext* order, so value-range predicates (<, >,
+    BETWEEN) may use it. DET ciphertext order is consistent but not
+    semantic: equal values cluster (prefix-equality seeks work), yet byte
+    order says nothing about plaintext order.
+    """
+
+    def compare(self, left: object, right: object) -> int: ...
+
+    @property
+    def supports_range(self) -> bool: ...
+
+    @property
+    def semantic_order(self) -> bool: ...
+
+
+class PlaintextComparator:
+    """Orders plaintext keys by value; supports ranges."""
+
+    supports_range = True
+    semantic_order = True
+
+    def compare(self, left: object, right: object) -> int:
+        return compare_values(left, right)  # type: ignore[arg-type]
+
+
+class CiphertextBinaryComparator:
+    """Orders DET ciphertexts by envelope bytes; equality-only semantics.
+
+    Byte order of ciphertexts is a *consistent* total order (so B+-tree
+    scans and prefix-equality seeks are fine) but has no relation to
+    plaintext order — ``semantic_order`` is False and the planner must
+    never emit value-range scans through this comparator.
+    """
+
+    supports_range = True
+    semantic_order = False
+
+    def compare(self, left: object, right: object) -> int:
+        left_bytes = self._envelope(left)
+        right_bytes = self._envelope(right)
+        return (left_bytes > right_bytes) - (left_bytes < right_bytes)
+
+    @staticmethod
+    def _envelope(value: object) -> bytes:
+        if isinstance(value, Ciphertext):
+            return value.envelope
+        raise SqlError(
+            f"DET index comparator expects ciphertext keys, got {type(value).__name__}"
+        )
+
+
+class EnclaveComparator:
+    """Routes comparisons to the enclave (Figure 4); supports ranges.
+
+    Raises :class:`~repro.errors.KeysUnavailableError` (from inside the
+    enclave) when the CEK is not installed — the trigger for deferred
+    transactions during recovery.
+    """
+
+    supports_range = True
+    semantic_order = True
+
+    def __init__(self, enclave: Enclave, cek_name: str):
+        self._enclave = enclave
+        self._cek_name = cek_name
+
+    @property
+    def cek_name(self) -> str:
+        return self._cek_name
+
+    def compare(self, left: object, right: object) -> int:
+        if not isinstance(left, Ciphertext) or not isinstance(right, Ciphertext):
+            raise SqlError("enclave comparator expects ciphertext keys on both sides")
+        return self._enclave.compare(self._cek_name, left, right)
+
+
+class _Sentinel:
+    def __init__(self, name: str, sign: int):
+        self.name = name
+        self.sign = sign  # -1 sorts before everything, +1 after
+
+    def __repr__(self) -> str:
+        return self.name
+
+
+# Open-interval markers for prefix scans over composite keys.
+MIN_KEY = _Sentinel("MIN_KEY", -1)
+MAX_KEY = _Sentinel("MAX_KEY", +1)
+
+
+class CellComparator:
+    """Wraps a value comparator with NULL and sentinel ordering.
+
+    SQL index order: NULL sorts first; MIN_KEY/MAX_KEY bound everything.
+    """
+
+    def __init__(self, inner: KeyComparator):
+        self._inner = inner
+
+    @property
+    def supports_range(self) -> bool:
+        return self._inner.supports_range
+
+    @property
+    def semantic_order(self) -> bool:
+        return getattr(self._inner, "semantic_order", True)
+
+    @property
+    def inner(self) -> KeyComparator:
+        return self._inner
+
+    def compare(self, left: object, right: object) -> int:
+        if isinstance(left, _Sentinel) or isinstance(right, _Sentinel):
+            left_rank = left.sign if isinstance(left, _Sentinel) else 0
+            right_rank = right.sign if isinstance(right, _Sentinel) else 0
+            return (left_rank > right_rank) - (left_rank < right_rank)
+        if left is None or right is None:
+            if left is None and right is None:
+                return 0
+            return -1 if left is None else 1
+        return self._inner.compare(left, right)
+
+
+class CompositeComparator:
+    """Lexicographic comparison of tuple keys, one comparator per column.
+
+    A shorter tuple that is a prefix of a longer one compares *less*, so a
+    bare prefix works directly as a lower bound, and prefix + ``MAX_KEY``
+    as an upper bound.
+    """
+
+    def __init__(self, cells: list[CellComparator]):
+        if not cells:
+            raise SqlError("composite comparator needs at least one column")
+        self._cells = cells
+
+    @property
+    def supports_range(self) -> bool:
+        return all(cell.supports_range for cell in self._cells)
+
+    @property
+    def semantic_order(self) -> bool:
+        return all(cell.semantic_order for cell in self._cells)
+
+    @property
+    def cells(self) -> list[CellComparator]:
+        return list(self._cells)
+
+    def compare(self, left: object, right: object) -> int:
+        if not isinstance(left, tuple) or not isinstance(right, tuple):
+            raise SqlError("composite comparator expects tuple keys")
+        for i in range(min(len(left), len(right))):
+            cell = self._cells[i] if i < len(self._cells) else self._cells[-1]
+            c = cell.compare(left[i], right[i])
+            if c != 0:
+                return c
+        return (len(left) > len(right)) - (len(left) < len(right))
+
+
+class CountingComparator:
+    """Wraps any comparator and counts invocations (tests / Figure 4)."""
+
+    def __init__(self, inner: KeyComparator, on_compare: Callable[[object, object, int], None] | None = None):
+        self._inner = inner
+        self.count = 0
+        self._on_compare = on_compare
+
+    @property
+    def supports_range(self) -> bool:
+        return self._inner.supports_range
+
+    @property
+    def semantic_order(self) -> bool:
+        return getattr(self._inner, "semantic_order", True)
+
+    def compare(self, left: object, right: object) -> int:
+        result = self._inner.compare(left, right)
+        self.count += 1
+        if self._on_compare is not None:
+            self._on_compare(left, right, result)
+        return result

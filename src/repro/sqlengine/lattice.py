@@ -1,0 +1,144 @@
+"""The encryption type lattice of Figure 6, including the enclave extension.
+
+Without enclaves there are three generalized encryption types —
+``PLAINTEXT ≤ DETERMINISTIC ≤ RANDOMIZED`` — where the set of supported
+operations strictly *decreases* going up. The paper notes that adding
+enclaves yields more generalized types that still form a lattice: an
+enclave-enabled key restores operations that its non-enclave counterpart
+loses. We model the five generalized types explicitly and expose the
+lattice order plus the operation table that type deduction consults.
+"""
+
+from __future__ import annotations
+
+import enum
+
+
+class GeneralizedType(enum.Enum):
+    """Generalized encryption types (no specific CEK attached)."""
+
+    PLAINTEXT = "Plaintext"
+    DETERMINISTIC = "Deterministic"
+    RANDOMIZED = "Randomized"
+    DETERMINISTIC_ENCLAVE = "Deterministic(enclave)"
+    RANDOMIZED_ENCLAVE = "Randomized(enclave)"
+
+    @property
+    def is_encrypted(self) -> bool:
+        return self is not GeneralizedType.PLAINTEXT
+
+    @property
+    def enclave_enabled(self) -> bool:
+        return self in (
+            GeneralizedType.DETERMINISTIC_ENCLAVE,
+            GeneralizedType.RANDOMIZED_ENCLAVE,
+        )
+
+
+# Lattice order: a ≤ b means "b is at least as restricted as a" — the arrows
+# of Figure 6 point from Plaintext toward Randomized. The enclave variants
+# sit between their plain counterparts and the next restriction level,
+# because the enclave restores (but does not exceed) plaintext operations.
+_ORDER: dict[GeneralizedType, set[GeneralizedType]] = {
+    GeneralizedType.PLAINTEXT: set(),
+    GeneralizedType.DETERMINISTIC_ENCLAVE: {GeneralizedType.PLAINTEXT},
+    GeneralizedType.DETERMINISTIC: {
+        GeneralizedType.PLAINTEXT,
+        GeneralizedType.DETERMINISTIC_ENCLAVE,
+    },
+    GeneralizedType.RANDOMIZED_ENCLAVE: {
+        GeneralizedType.PLAINTEXT,
+        GeneralizedType.DETERMINISTIC_ENCLAVE,
+    },
+    GeneralizedType.RANDOMIZED: {
+        GeneralizedType.PLAINTEXT,
+        GeneralizedType.DETERMINISTIC_ENCLAVE,
+        GeneralizedType.DETERMINISTIC,
+        GeneralizedType.RANDOMIZED_ENCLAVE,
+    },
+}
+
+
+def lattice_le(a: GeneralizedType, b: GeneralizedType) -> bool:
+    """True if ``a ≤ b`` in the lattice order (a is no more restricted)."""
+    return a is b or a in _ORDER[b]
+
+
+def join(a: GeneralizedType, b: GeneralizedType) -> GeneralizedType | None:
+    """Least upper bound of two generalized types, or None if incomparable
+    upward (should not happen: RANDOMIZED is the top element)."""
+    candidates = [
+        t for t in GeneralizedType if lattice_le(a, t) and lattice_le(b, t)
+    ]
+    # The minimum among the common upper bounds.
+    best = None
+    for t in candidates:
+        if best is None or lattice_le(t, best):
+            best = t
+    return best
+
+
+class Operation(enum.Enum):
+    """Scalar operation classes whose legality depends on encryption type."""
+
+    EQUALITY = "equality"          # =, equi-join, GROUP BY
+    RANGE = "range"                # <, <=, >, >=, BETWEEN, range index
+    LIKE = "like"                  # string pattern matching
+    ARITHMETIC = "arithmetic"      # +, -, *, /
+    ORDER_BY = "order_by"          # sorting for output
+    PROJECT = "project"            # appear in SELECT list
+
+
+# Which operations each generalized type supports (Sections 2.3, 2.4.3).
+# AEv2 does not support ORDER BY or arithmetic in the enclave — the paper's
+# TPC-C modifications exist precisely because of the ORDER BY restriction.
+_SUPPORTED: dict[GeneralizedType, frozenset[Operation]] = {
+    GeneralizedType.PLAINTEXT: frozenset(Operation),
+    GeneralizedType.DETERMINISTIC: frozenset({Operation.EQUALITY, Operation.PROJECT}),
+    GeneralizedType.DETERMINISTIC_ENCLAVE: frozenset(
+        {Operation.EQUALITY, Operation.PROJECT}
+    ),
+    GeneralizedType.RANDOMIZED: frozenset({Operation.PROJECT}),
+    GeneralizedType.RANDOMIZED_ENCLAVE: frozenset(
+        {Operation.EQUALITY, Operation.RANGE, Operation.LIKE, Operation.PROJECT}
+    ),
+}
+
+
+def supports(gtype: GeneralizedType, operation: Operation) -> bool:
+    """Does this generalized encryption type support the operation?"""
+    return operation in _SUPPORTED[gtype]
+
+
+def requires_enclave(gtype: GeneralizedType, operation: Operation) -> bool:
+    """Does evaluating ``operation`` on ``gtype`` need the enclave?
+
+    DET equality runs outside the enclave (plain VARBINARY comparison of
+    ciphertexts); everything else on encrypted data goes through TMEval.
+    """
+    if gtype is GeneralizedType.PLAINTEXT:
+        return False
+    if gtype in (GeneralizedType.DETERMINISTIC, GeneralizedType.DETERMINISTIC_ENCLAVE):
+        return operation is not Operation.EQUALITY and operation is not Operation.PROJECT
+    if gtype is GeneralizedType.RANDOMIZED_ENCLAVE:
+        return operation is not Operation.PROJECT
+    return False
+
+
+def generalize(scheme_short: str | None, enclave_enabled: bool) -> GeneralizedType:
+    """Map a concrete column encryption setting to its generalized type."""
+    if scheme_short is None:
+        return GeneralizedType.PLAINTEXT
+    if scheme_short == "DET":
+        return (
+            GeneralizedType.DETERMINISTIC_ENCLAVE
+            if enclave_enabled
+            else GeneralizedType.DETERMINISTIC
+        )
+    if scheme_short == "RND":
+        return (
+            GeneralizedType.RANDOMIZED_ENCLAVE
+            if enclave_enabled
+            else GeneralizedType.RANDOMIZED
+        )
+    raise ValueError(f"unknown scheme {scheme_short!r}")

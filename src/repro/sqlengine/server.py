@@ -1,0 +1,473 @@
+"""The (untrusted) SQL Server facade.
+
+Implements the server-side surface the paper describes:
+
+* ``sp_describe_parameter_encryption`` (Section 4.1) — parse + bind +
+  encryption type deduction, returning per-parameter encryption types, the
+  CEK/CMK metadata the driver needs, and — when the query needs the
+  enclave — attestation information;
+* query execution through the executor, with a plan cache holding the
+  results of type deduction alongside parsed statements (Section 4.3);
+* DDL, including the enclave-mediated ``ALTER TABLE ALTER COLUMN`` paths
+  for initial encryption, key rotation, and decryption (Sections 2.4.2,
+  3.2) — all *online* and without any client round-trip per row;
+* forwarding sealed CEK packages from driver to enclave (SQL is the
+  untrusted man-in-the-middle), which also unblocks deferred transactions
+  and pending index rebuilds, since "the client connects and sends keys".
+"""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass, field
+
+from repro.attestation.hgs import HostGuardianService
+from repro.attestation.protocol import AttestationInfo, server_attest
+from repro.attestation.tpm import HostMachine
+from repro.crypto.aead import ALGORITHM_NAME, EncryptionScheme
+from repro.enclave.channel import SealedPackage
+from repro.enclave.runtime import Enclave
+from repro.enclave.worker import CallMode, EnclaveCallGateway
+from repro.errors import EnclaveError, SqlError, TransactionError
+from repro.keys.cek import CekEncryptedValue, ColumnEncryptionKey
+from repro.keys.cmk import ColumnMasterKey
+from repro.sqlengine.catalog import Catalog, ColumnSchema, IndexSchema, TableSchema
+from repro.sqlengine.cells import Ciphertext
+from repro.sqlengine.engine import StorageEngine
+from repro.sqlengine.exec.executor import Executor, QueryResult
+from repro.sqlengine.scope import Scope
+from repro.sqlengine.sqlparser import ast, parse
+from repro.sqlengine.typededuce import DeductionResult, deduce
+from repro.sqlengine.types import ColumnType, SqlType
+from repro.sqlengine.values import deserialize_value, serialize_value
+
+
+@dataclass(frozen=True)
+class ParameterDescription:
+    """Encryption type info for one query parameter."""
+
+    name: str
+    column_type: ColumnType
+
+
+@dataclass(frozen=True)
+class CekMetadata:
+    """CEK metadata as shipped to the driver: encrypted values + CMK info."""
+
+    cek: ColumnEncryptionKey
+    cmks: tuple[ColumnMasterKey, ...]
+
+
+@dataclass
+class DescribeResult:
+    """Output of ``sp_describe_parameter_encryption``."""
+
+    parameters: list[ParameterDescription]
+    parameter_ceks: dict[str, CekMetadata]   # cek name → metadata
+    enclave_ceks: list[CekMetadata]          # CEKs needed inside the enclave
+    attestation: AttestationInfo | None = None
+
+    @property
+    def uses_enclave(self) -> bool:
+        return bool(self.enclave_ceks)
+
+
+@dataclass
+class _CachedPlan:
+    stmt: ast.Statement
+    deduction: DeductionResult
+    hits: int = 0
+
+
+class SqlServer:
+    """One SQL Server instance (the shaded, untrusted box of Figure 3)."""
+
+    def __init__(
+        self,
+        enclave: Enclave | None = None,
+        host_machine: HostMachine | None = None,
+        hgs: HostGuardianService | None = None,
+        ctr_enabled: bool = True,
+        enclave_threads: int = 4,
+        enclave_call_mode: CallMode = CallMode.QUEUED,
+        lock_timeout_s: float = 2.0,
+        allow_enclave_order_by: bool = False,
+    ):
+        self.catalog = Catalog()
+        self.enclave = enclave
+        self.host_machine = host_machine
+        self.hgs = hgs
+        self.engine = StorageEngine(
+            catalog=self.catalog,
+            enclave=enclave,
+            ctr_enabled=ctr_enabled,
+            lock_timeout_s=lock_timeout_s,
+        )
+        self.gateway: EnclaveCallGateway | None = None
+        if enclave is not None:
+            self.gateway = EnclaveCallGateway(
+                enclave, mode=enclave_call_mode, n_threads=enclave_threads
+            )
+        self.allow_enclave_order_by = allow_enclave_order_by
+        self.executor = Executor(
+            self.engine,
+            enclave_gateway=self.gateway,
+            allow_enclave_order_by=allow_enclave_order_by,
+        )
+        self._plan_cache: dict[str, _CachedPlan] = {}
+        self.plan_cache_hits = 0
+        self.plan_cache_misses = 0
+        self.describe_calls = 0
+        self._session_ids = itertools.count(1)
+
+    # ------------------------------------------------------------- connections
+
+    def connect(self) -> "ServerSession":
+        return ServerSession(self, next(self._session_ids))
+
+    # ------------------------------------------------------------- plan cache
+
+    def _plan(self, query_text: str) -> _CachedPlan:
+        cached = self._plan_cache.get(query_text)
+        if cached is not None:
+            cached.hits += 1
+            self.plan_cache_hits += 1
+            return cached
+        self.plan_cache_misses += 1
+        stmt = parse(query_text)
+        deduction = self._deduce(stmt)
+        cached = _CachedPlan(stmt=stmt, deduction=deduction)
+        if isinstance(stmt, (ast.SelectStmt, ast.InsertStmt, ast.UpdateStmt, ast.DeleteStmt)):
+            self._plan_cache[query_text] = cached
+        return cached
+
+    def _deduce(self, stmt: ast.Statement) -> DeductionResult:
+        scope = Scope(self.catalog)
+        if isinstance(stmt, ast.SelectStmt):
+            if stmt.table is not None:
+                scope.add_table(stmt.table)
+            for join in stmt.joins:
+                scope.add_table(join.table)
+        elif isinstance(stmt, (ast.InsertStmt, ast.UpdateStmt, ast.DeleteStmt)):
+            scope.add_table(ast.TableRef(name=stmt.table))
+        else:
+            return DeductionResult(param_types={}, enclave_ceks=set())
+        return deduce(stmt, scope, allow_enclave_order_by=self.allow_enclave_order_by)
+
+    def _invalidate_plan_cache(self) -> None:
+        self._plan_cache.clear()
+
+    # ------------------------------------------- sp_describe_parameter_encryption
+
+    def describe_parameter_encryption(
+        self, query_text: str, client_dh_public: int | None = None
+    ) -> DescribeResult:
+        """The Section 4.1 API: per-parameter encryption types, CEK/CMK
+        metadata, and attestation info when the enclave is involved."""
+        self.describe_calls += 1
+        plan = self._plan(query_text)
+        parameters = [
+            ParameterDescription(name=name, column_type=column_type)
+            for name, column_type in plan.deduction.param_types.items()
+        ]
+        parameter_ceks: dict[str, CekMetadata] = {}
+        for description in parameters:
+            enc = description.column_type.encryption
+            if enc is not None:
+                parameter_ceks[enc.cek_name] = self._cek_metadata(enc.cek_name)
+        enclave_ceks = [
+            self._cek_metadata(name) for name in sorted(plan.deduction.enclave_ceks)
+        ]
+        attestation = None
+        if enclave_ceks and client_dh_public is not None:
+            attestation = self.attest(client_dh_public)
+        return DescribeResult(
+            parameters=parameters,
+            parameter_ceks=parameter_ceks,
+            enclave_ceks=enclave_ceks,
+            attestation=attestation,
+        )
+
+    def attest(self, client_dh_public: int) -> AttestationInfo:
+        if self.enclave is None or self.host_machine is None or self.hgs is None:
+            raise EnclaveError("this server has no enclave/attestation configured")
+        return server_attest(self.host_machine, self.hgs, self.enclave, client_dh_public)
+
+    def _cek_metadata(self, cek_name: str) -> CekMetadata:
+        cek = self.catalog.cek(cek_name)
+        cmks = tuple(self.catalog.cmk(name) for name in cek.cmk_names())
+        return CekMetadata(cek=cek, cmks=cmks)
+
+    def fetch_cek_metadata(self, cek_name: str) -> CekMetadata:
+        """Driver-side helper for decrypting result columns."""
+        return self._cek_metadata(cek_name)
+
+    # --------------------------------------------------------- enclave forwarding
+
+    def forward_enclave_package(self, enclave_session_id: int, sealed: SealedPackage) -> None:
+        """Forward a driver's sealed CEK package to the enclave.
+
+        SQL cannot read the package (it is encrypted under the attestation
+        shared secret); it is purely a conduit. A client connecting with
+        keys is also the event that unblocks deferred transactions and
+        pending index rebuilds (Section 4.5).
+        """
+        if self.enclave is None:
+            raise EnclaveError("no enclave configured")
+        self.enclave.install_package(enclave_session_id, sealed)
+        self.engine.resolve_deferred_transactions()
+
+    # ------------------------------------------------------------------- recovery
+
+    def crash(self) -> None:
+        self.engine.crash()
+        self._invalidate_plan_cache()
+
+    def recover(self):
+        return self.engine.recover()
+
+
+class ServerSession:
+    """One client connection: transaction state + execution entry point."""
+
+    def __init__(self, server: SqlServer, session_id: int):
+        self.server = server
+        self.session_id = session_id
+        self._txn = None
+
+    # -- transactions -------------------------------------------------------------
+
+    @property
+    def in_transaction(self) -> bool:
+        return self._txn is not None
+
+    def _begin(self) -> None:
+        if self._txn is not None:
+            raise TransactionError("transaction already open on this session")
+        self._txn = self.server.engine.begin()
+
+    def _commit(self) -> None:
+        if self._txn is None:
+            raise TransactionError("no open transaction")
+        self.server.engine.commit(self._txn)
+        self._txn = None
+
+    def _rollback(self) -> None:
+        if self._txn is None:
+            raise TransactionError("no open transaction")
+        self.server.engine.abort(self._txn)
+        self._txn = None
+
+    # -- execution ------------------------------------------------------------------
+
+    def execute(self, query_text: str, params: dict[str, object] | None = None) -> QueryResult:
+        """Execute a statement. Parameters arrive already encrypted when the
+        column requires it (the driver did that); SQL never sees plaintext
+        for encrypted columns."""
+        stmt_probe = query_text.lstrip().upper()
+        if stmt_probe.startswith(("CREATE", "DROP", "ALTER")):
+            result = self._execute_ddl(query_text)
+            self.server._invalidate_plan_cache()
+            return result
+        if stmt_probe.startswith("BEGIN"):
+            self._begin()
+            return QueryResult()
+        if stmt_probe.startswith("COMMIT"):
+            self._commit()
+            return QueryResult()
+        if stmt_probe.startswith("ROLLBACK"):
+            self._rollback()
+            return QueryResult()
+
+        plan = self.server._plan(query_text)
+        autocommit = self._txn is None and not isinstance(plan.stmt, ast.SelectStmt)
+        txn = self._txn
+        if autocommit:
+            txn = self.server.engine.begin()
+        try:
+            result = self.server.executor.execute(
+                plan.stmt, params or {}, txn=txn, deduction=plan.deduction
+            )
+        except Exception:
+            if autocommit and txn is not None:
+                self.server.engine.abort(txn)
+            raise
+        if autocommit and txn is not None:
+            self.server.engine.commit(txn)
+        return result
+
+    # -- DDL ---------------------------------------------------------------------------
+
+    def _execute_ddl(self, query_text: str) -> QueryResult:
+        stmt = parse(query_text)
+        if isinstance(stmt, ast.CreateCmkStmt):
+            cmk = ColumnMasterKey(
+                name=stmt.name,
+                key_store_provider_name=stmt.key_store_provider_name,
+                key_path=stmt.key_path,
+                allow_enclave_computations=stmt.enclave_computations_signature is not None,
+                signature=stmt.enclave_computations_signature or b"",
+            )
+            self.server.catalog.create_cmk(cmk)
+            return QueryResult()
+        if isinstance(stmt, ast.CreateCekStmt):
+            value = CekEncryptedValue(
+                column_master_key_name=stmt.cmk_name,
+                algorithm=stmt.algorithm,
+                encrypted_value=stmt.encrypted_value,
+                signature=stmt.signature,
+            )
+            cek = ColumnEncryptionKey(name=stmt.name, encrypted_values=[value])
+            self.server.catalog.create_cek(cek)
+            return QueryResult()
+        if isinstance(stmt, ast.CreateTableStmt):
+            return self._create_table(stmt)
+        if isinstance(stmt, ast.CreateIndexStmt):
+            self.server.engine.create_index(
+                IndexSchema(
+                    name=stmt.name,
+                    table_name=stmt.table,
+                    column_names=stmt.columns,
+                    unique=stmt.unique,
+                    clustered=stmt.clustered,
+                )
+            )
+            return QueryResult()
+        if isinstance(stmt, ast.DropTableStmt):
+            self.server.engine.tables.pop(stmt.name.lower(), None)
+            self.server.catalog.drop_table(stmt.name)
+            return QueryResult()
+        if isinstance(stmt, ast.DropIndexStmt):
+            self.server.engine.drop_index(stmt.table, stmt.name)
+            return QueryResult()
+        if isinstance(stmt, ast.AlterColumnStmt):
+            return self._alter_column(query_text, stmt)
+        raise SqlError(f"unsupported DDL {type(stmt).__name__}")
+
+    def _create_table(self, stmt: ast.CreateTableStmt) -> QueryResult:
+        columns: list[ColumnSchema] = []
+        for definition in stmt.columns:
+            encryption = None
+            if definition.encryption is not None:
+                scheme = (
+                    EncryptionScheme.DETERMINISTIC
+                    if definition.encryption.encryption_type == "Deterministic"
+                    else EncryptionScheme.RANDOMIZED
+                )
+                encryption = self.server.catalog.encryption_info(
+                    definition.encryption.cek_name, scheme, definition.encryption.algorithm
+                )
+            columns.append(
+                ColumnSchema(
+                    name=definition.name,
+                    column_type=ColumnType(
+                        sql_type=SqlType(definition.type_name, definition.type_length),
+                        encryption=encryption,
+                    ),
+                    nullable=definition.nullable,
+                )
+            )
+        schema = TableSchema(name=stmt.name, columns=columns, primary_key=stmt.primary_key)
+        self.server.engine.create_table(schema)
+        return QueryResult()
+
+    def _alter_column(self, query_text: str, stmt: ast.AlterColumnStmt) -> QueryResult:
+        """In-place (initial) encryption / rotation / decryption (§2.4.2, §3.2).
+
+        Uses the enclave's gated Encrypt/Recrypt/Decrypt: the enclave will
+        refuse unless the client authorized exactly this query text via the
+        sealed CEK package. All row rewrites run in one transaction and are
+        logged, so the operation is online and recoverable.
+        """
+        server = self.server
+        if server.enclave is None:
+            raise EnclaveError(
+                "ALTER COLUMN encryption changes require an enclave; use the "
+                "client-side tools for enclave-less (round-trip) encryption"
+            )
+        engine = server.engine
+        table = engine.table(stmt.table)
+        schema = table.schema
+        column = schema.column(stmt.column)
+        slot = schema.column_index(stmt.column)
+        old_enc = column.column_type.encryption
+
+        new_enc = None
+        if stmt.encryption is not None:
+            scheme = (
+                EncryptionScheme.DETERMINISTIC
+                if stmt.encryption.encryption_type == "Deterministic"
+                else EncryptionScheme.RANDOMIZED
+            )
+            new_enc = server.catalog.encryption_info(
+                stmt.encryption.cek_name, scheme, stmt.encryption.algorithm
+            )
+            if not new_enc.enclave_enabled:
+                raise EnclaveError(
+                    "in-place encryption requires an enclave-enabled CEK; "
+                    "otherwise a client round-trip is needed"
+                )
+        if old_enc is None and new_enc is None:
+            raise SqlError("ALTER COLUMN: column is already plaintext")
+
+        # Indexes keyed on this column must be rebuilt under the new type;
+        # drop their trees and recreate after the rewrite.
+        affected_indexes = [
+            obj.schema
+            for obj in table.indexes.values()
+            if slot in obj.key_slots
+        ]
+        for index_schema in affected_indexes:
+            engine.drop_index(stmt.table, index_schema.name)
+
+        # Update the schema first so row validation accepts the new cell
+        # form during the rewrite; on failure the old type is restored.
+        old_column_type = column.column_type
+        column.column_type = ColumnType(
+            sql_type=SqlType(stmt.type_name, stmt.type_length), encryption=new_enc
+        )
+        txn = engine.begin()
+        try:
+            for rid, row in list(table.heap.scan()):
+                cell = row[slot]
+                if cell is None:
+                    continue
+                new_cell = self._convert_cell(query_text, cell, old_enc, new_enc)
+                new_row = list(row)
+                new_row[slot] = new_cell
+                engine.update(txn, stmt.table, rid, tuple(new_row))
+            engine.commit(txn)
+        except Exception:
+            if txn.is_active:
+                engine.abort(txn)
+            column.column_type = old_column_type
+            raise
+        for index_schema in affected_indexes:
+            index_schema.valid = True
+            engine.create_index(index_schema)
+        server._invalidate_plan_cache()
+        return QueryResult()
+
+    def _convert_cell(self, query_text, cell, old_enc, new_enc):
+        enclave = self.server.enclave
+        if old_enc is None:
+            # Initial encryption: plaintext → ciphertext via the gated oracle.
+            return enclave.encrypt_for_ddl(
+                query_text, new_enc.cek_name, serialize_value(cell), new_enc.scheme
+            )
+        if new_enc is None:
+            # Decryption back to plaintext (client-authorized).
+            if not isinstance(cell, Ciphertext):
+                raise SqlError("expected ciphertext cell during decryption DDL")
+            return deserialize_value(
+                enclave.decrypt_for_ddl(query_text, old_enc.cek_name, cell)
+            )
+        # Key rotation / scheme change: recrypt inside the enclave.
+        if not isinstance(cell, Ciphertext):
+            raise SqlError("expected ciphertext cell during recrypt DDL")
+        return enclave.recrypt_for_ddl(
+            query_text, old_enc.cek_name, new_enc.cek_name, cell, new_enc.scheme
+        )
+
+
+ALGORITHM = ALGORITHM_NAME

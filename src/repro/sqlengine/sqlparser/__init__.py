@@ -1,0 +1,7 @@
+"""SQL lexer, AST, and parser."""
+
+from repro.sqlengine.sqlparser import ast
+from repro.sqlengine.sqlparser.lexer import Token, TokenType, tokenize
+from repro.sqlengine.sqlparser.parser import parse
+
+__all__ = ["Token", "TokenType", "ast", "parse", "tokenize"]

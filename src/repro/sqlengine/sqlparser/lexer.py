@@ -1,0 +1,141 @@
+"""SQL lexer: tokens for the dialect subset this engine speaks."""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+
+from repro.errors import ParseError
+
+KEYWORDS = {
+    "SELECT", "FROM", "WHERE", "AND", "OR", "NOT", "LIKE", "BETWEEN", "IN",
+    "IS", "NULL", "AS", "JOIN", "INNER", "ON", "GROUP", "BY", "ORDER", "ASC",
+    "DESC", "LIMIT", "DISTINCT", "INSERT", "INTO", "VALUES", "UPDATE", "SET",
+    "DELETE", "CREATE", "TABLE", "INDEX", "UNIQUE", "CLUSTERED",
+    "NONCLUSTERED", "DROP", "ALTER", "COLUMN", "MASTER", "KEY", "ENCRYPTION",
+    "WITH", "ENCRYPTED", "PRIMARY", "BEGIN", "TRANSACTION", "COMMIT",
+    "ROLLBACK", "COUNT", "SUM", "AVG", "MIN", "MAX", "TRUE", "FALSE",
+}
+
+
+class TokenType(enum.Enum):
+    KEYWORD = "keyword"
+    IDENT = "ident"
+    NUMBER = "number"
+    STRING = "string"
+    HEXBLOB = "hexblob"
+    PARAM = "param"         # @name
+    OPERATOR = "operator"   # = <> < <= > >= + - * / . , ( ) ; *
+    EOF = "eof"
+
+
+@dataclass(frozen=True)
+class Token:
+    type: TokenType
+    value: str
+    position: int
+
+    def matches(self, type_: TokenType, value: str | None = None) -> bool:
+        if self.type is not type_:
+            return False
+        if value is None:
+            return True
+        return self.value.upper() == value.upper()
+
+
+_OPERATORS = ("<=", ">=", "<>", "!=", "=", "<", ">", "+", "-", "*", "/", "(", ")", ",", ".", ";")
+
+
+def tokenize(sql: str) -> list[Token]:
+    """Tokenize a SQL statement; raises :class:`ParseError` on bad input."""
+    tokens: list[Token] = []
+    i = 0
+    n = len(sql)
+    while i < n:
+        ch = sql[i]
+        if ch.isspace():
+            i += 1
+            continue
+        if sql.startswith("--", i):
+            end = sql.find("\n", i)
+            i = n if end == -1 else end + 1
+            continue
+        # Hex blob: 0x...
+        if ch == "0" and i + 1 < n and sql[i + 1] in "xX":
+            j = i + 2
+            while j < n and sql[j] in "0123456789abcdefABCDEF":
+                j += 1
+            if j == i + 2:
+                raise ParseError(f"empty hex literal at position {i}")
+            tokens.append(Token(TokenType.HEXBLOB, sql[i + 2 : j], i))
+            i = j
+            continue
+        if ch.isdigit():
+            j = i
+            seen_dot = False
+            while j < n and (sql[j].isdigit() or (sql[j] == "." and not seen_dot)):
+                if sql[j] == ".":
+                    # A dot not followed by a digit is a separate token.
+                    if j + 1 >= n or not sql[j + 1].isdigit():
+                        break
+                    seen_dot = True
+                j += 1
+            tokens.append(Token(TokenType.NUMBER, sql[i:j], i))
+            i = j
+            continue
+        if ch == "@":
+            j = i + 1
+            while j < n and (sql[j].isalnum() or sql[j] == "_"):
+                j += 1
+            if j == i + 1:
+                raise ParseError(f"bare '@' at position {i}")
+            tokens.append(Token(TokenType.PARAM, sql[i + 1 : j], i))
+            i = j
+            continue
+        if ch == "'" or (ch in "nN" and i + 1 < n and sql[i + 1] == "'"):
+            if ch in "nN":
+                i += 1  # N'...' national string prefix
+            j = i + 1
+            buf: list[str] = []
+            while j < n:
+                if sql[j] == "'":
+                    if j + 1 < n and sql[j + 1] == "'":
+                        buf.append("'")
+                        j += 2
+                        continue
+                    break
+                buf.append(sql[j])
+                j += 1
+            else:
+                raise ParseError(f"unterminated string starting at position {i}")
+            tokens.append(Token(TokenType.STRING, "".join(buf), i))
+            i = j + 1
+            continue
+        if ch == "[":
+            j = sql.find("]", i)
+            if j == -1:
+                raise ParseError(f"unterminated bracketed identifier at position {i}")
+            tokens.append(Token(TokenType.IDENT, sql[i + 1 : j], i))
+            i = j + 1
+            continue
+        if ch.isalpha() or ch == "_":
+            j = i
+            while j < n and (sql[j].isalnum() or sql[j] == "_"):
+                j += 1
+            word = sql[i:j]
+            if word.upper() in KEYWORDS:
+                tokens.append(Token(TokenType.KEYWORD, word.upper(), i))
+            else:
+                tokens.append(Token(TokenType.IDENT, word, i))
+            i = j
+            continue
+        for op in _OPERATORS:
+            if sql.startswith(op, i):
+                value = "<>" if op == "!=" else op
+                tokens.append(Token(TokenType.OPERATOR, value, i))
+                i += len(op)
+                break
+        else:
+            raise ParseError(f"unexpected character {ch!r} at position {i}")
+    tokens.append(Token(TokenType.EOF, "", n))
+    return tokens

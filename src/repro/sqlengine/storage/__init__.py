@@ -1,0 +1,22 @@
+"""Storage: slotted pages, disk, buffer pool, heap files, write-ahead log."""
+
+from repro.sqlengine.storage.bufferpool import BufferPool
+from repro.sqlengine.storage.disk import Disk
+from repro.sqlengine.storage.heap import HeapFile, RowId
+from repro.sqlengine.storage.page import PAGE_SIZE, Page
+from repro.sqlengine.storage.record import deserialize_row, serialize_row
+from repro.sqlengine.storage.wal import LogOp, LogRecord, WriteAheadLog
+
+__all__ = [
+    "BufferPool",
+    "Disk",
+    "HeapFile",
+    "LogOp",
+    "LogRecord",
+    "PAGE_SIZE",
+    "Page",
+    "RowId",
+    "WriteAheadLog",
+    "deserialize_row",
+    "serialize_row",
+]

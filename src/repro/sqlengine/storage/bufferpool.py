@@ -1,0 +1,85 @@
+"""A simple LRU buffer pool between the executor and the disk.
+
+Encrypted cells stay encrypted in the buffer pool — the paper's central
+operational guarantee ("encrypted ... in SQL Server's internal memory while
+in use"). The pool never deserializes cell contents; it caches
+:class:`~repro.sqlengine.storage.page.Page` objects whose records are raw
+bytes.
+"""
+
+from __future__ import annotations
+
+from collections import OrderedDict
+
+from repro.sqlengine.storage.disk import Disk
+from repro.sqlengine.storage.page import Page
+
+
+class BufferPool:
+    """LRU cache of pages with write-back on eviction and explicit flush."""
+
+    def __init__(self, disk: Disk, capacity: int = 256):
+        self._disk = disk
+        self._capacity = max(1, capacity)
+        self._pages: OrderedDict[int, Page] = OrderedDict()
+        self.hits = 0
+        self.misses = 0
+        self._next_page_id = 0
+
+    def allocate_page(self) -> Page:
+        """Create a brand-new page (not yet on disk until flushed/evicted)."""
+        page = Page(self._next_page_id)
+        self._next_page_id += 1
+        self._put(page)
+        return page
+
+    def note_existing_page_id(self, page_id: int) -> None:
+        """Advance the allocator past ids found on disk (recovery path)."""
+        self._next_page_id = max(self._next_page_id, page_id + 1)
+
+    def get_or_create(self, page_id: int) -> Page:
+        """Fetch a page, materializing an empty one if it exists nowhere.
+
+        Recovery redo may reference pages that were allocated before the
+        crash but never flushed; physically redoing into a fresh page of
+        the same id is exactly what page-oriented redo does.
+        """
+        if page_id in self._pages or self._disk.has_page(page_id):
+            return self.get(page_id)
+        page = Page(page_id)
+        self.note_existing_page_id(page_id)
+        self._put(page)
+        return page
+
+    def get(self, page_id: int) -> Page:
+        page = self._pages.get(page_id)
+        if page is not None:
+            self._pages.move_to_end(page_id)
+            self.hits += 1
+            return page
+        self.misses += 1
+        page = Page.from_bytes(self._disk.read_page(page_id))
+        self._put(page)
+        return page
+
+    def _put(self, page: Page) -> None:
+        self._pages[page.page_id] = page
+        self._pages.move_to_end(page.page_id)
+        while len(self._pages) > self._capacity:
+            __, evicted = self._pages.popitem(last=False)
+            if evicted.dirty:
+                self._disk.write_page(evicted.page_id, evicted.to_bytes())
+                evicted.dirty = False
+
+    def flush_all(self) -> None:
+        for page in self._pages.values():
+            if page.dirty:
+                self._disk.write_page(page.page_id, page.to_bytes())
+                page.dirty = False
+
+    def drop_all(self) -> None:
+        """Discard every cached page without writing (crash simulation)."""
+        self._pages.clear()
+
+    def cached_page_ids(self) -> list[int]:
+        return list(self._pages)

@@ -1,0 +1,50 @@
+"""The simulated disk: a flat store of serialized page images.
+
+Separate from the buffer pool so a "crash" can discard all in-memory state
+while the disk (and the log file, kept beside it) survives — the scenario
+Section 4.5's recovery machinery exists for. The adversary can read every
+byte here; tests assert that no plaintext of encrypted columns ever lands
+on it.
+"""
+
+from __future__ import annotations
+
+import threading
+
+from repro.errors import SqlError
+
+
+class Disk:
+    """Page-addressed persistent storage."""
+
+    def __init__(self) -> None:
+        self._pages: dict[int, bytes] = {}
+        self._lock = threading.Lock()
+        self.reads = 0
+        self.writes = 0
+
+    def write_page(self, page_id: int, image: bytes) -> None:
+        with self._lock:
+            self._pages[page_id] = image
+            self.writes += 1
+
+    def read_page(self, page_id: int) -> bytes:
+        with self._lock:
+            self.reads += 1
+            try:
+                return self._pages[page_id]
+            except KeyError:
+                raise SqlError(f"page {page_id} does not exist on disk") from None
+
+    def has_page(self, page_id: int) -> bool:
+        with self._lock:
+            return page_id in self._pages
+
+    def page_ids(self) -> list[int]:
+        with self._lock:
+            return sorted(self._pages)
+
+    def raw_bytes(self) -> bytes:
+        """Everything on disk, concatenated — the adversary's view."""
+        with self._lock:
+            return b"".join(self._pages[pid] for pid in sorted(self._pages))

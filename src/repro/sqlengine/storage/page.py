@@ -1,0 +1,122 @@
+"""Slotted pages — the unit of storage and buffering.
+
+A page holds variable-length records in slots. Deleted slots leave
+tombstones so row ids (page id, slot id) stay stable, which both the heap
+and the B+-trees rely on. Pages serialize to a flat byte image — that
+image is what lives on the simulated disk and what the strong adversary
+reads.
+"""
+
+from __future__ import annotations
+
+import struct
+
+from repro.errors import SqlError
+
+PAGE_SIZE = 8192
+_HEADER = struct.Struct(">IH")  # page_id, slot_count
+_SLOT = struct.Struct(">I")     # record length (0xFFFFFFFF = tombstone)
+
+_TOMBSTONE = 0xFFFFFFFF
+
+
+class Page:
+    """An in-memory slotted page."""
+
+    def __init__(self, page_id: int):
+        self.page_id = page_id
+        self._records: list[bytes | None] = []  # None = tombstone
+        self.dirty = False
+
+    # -- record operations -------------------------------------------------
+
+    def free_space(self) -> int:
+        used = _HEADER.size
+        for record in self._records:
+            used += _SLOT.size + (len(record) if record is not None else 0)
+        return PAGE_SIZE - used
+
+    def can_fit(self, record: bytes) -> bool:
+        return self.free_space() >= _SLOT.size + len(record)
+
+    def insert(self, record: bytes) -> int:
+        """Insert a record; returns its slot id. Reuses tombstoned slots."""
+        if not self.can_fit(record):
+            raise SqlError(f"record of {len(record)} bytes does not fit in page {self.page_id}")
+        for slot, existing in enumerate(self._records):
+            if existing is None:
+                self._records[slot] = record
+                self.dirty = True
+                return slot
+        self._records.append(record)
+        self.dirty = True
+        return len(self._records) - 1
+
+    def insert_at(self, slot: int, record: bytes) -> None:
+        """Place a record at a specific slot (physical redo during recovery)."""
+        while len(self._records) <= slot:
+            self._records.append(None)
+        self._records[slot] = record
+        self.dirty = True
+
+    def read(self, slot: int) -> bytes:
+        record = self._slot(slot)
+        if record is None:
+            raise SqlError(f"slot {slot} of page {self.page_id} is empty")
+        return record
+
+    def read_or_none(self, slot: int) -> bytes | None:
+        if slot >= len(self._records):
+            return None
+        return self._records[slot]
+
+    def update(self, slot: int, record: bytes) -> None:
+        self._slot(slot)  # must exist
+        self._records[slot] = record
+        if not self.can_fit(b""):
+            raise SqlError(f"update overflows page {self.page_id}")
+        self.dirty = True
+
+    def delete(self, slot: int) -> None:
+        self._slot(slot)  # must exist
+        self._records[slot] = None
+        self.dirty = True
+
+    def slots(self) -> list[tuple[int, bytes]]:
+        """All live (slot, record) pairs."""
+        return [(i, r) for i, r in enumerate(self._records) if r is not None]
+
+    def _slot(self, slot: int) -> bytes | None:
+        if slot < 0 or slot >= len(self._records):
+            raise SqlError(f"slot {slot} out of range on page {self.page_id}")
+        return self._records[slot]
+
+    # -- serialization -------------------------------------------------------
+
+    def to_bytes(self) -> bytes:
+        out = bytearray(_HEADER.pack(self.page_id, len(self._records)))
+        for record in self._records:
+            if record is None:
+                out += _SLOT.pack(_TOMBSTONE)
+            else:
+                out += _SLOT.pack(len(record))
+                out += record
+        if len(out) > PAGE_SIZE:
+            raise SqlError(f"page {self.page_id} overflows PAGE_SIZE on serialization")
+        out += b"\x00" * (PAGE_SIZE - len(out))
+        return bytes(out)
+
+    @classmethod
+    def from_bytes(cls, data: bytes) -> "Page":
+        page_id, slot_count = _HEADER.unpack_from(data, 0)
+        page = cls(page_id)
+        offset = _HEADER.size
+        for __ in range(slot_count):
+            (length,) = _SLOT.unpack_from(data, offset)
+            offset += _SLOT.size
+            if length == _TOMBSTONE:
+                page._records.append(None)
+            else:
+                page._records.append(data[offset : offset + length])
+                offset += length
+        return page

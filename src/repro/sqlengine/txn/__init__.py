@@ -1,0 +1,18 @@
+"""Transactions: locks, lifecycle, and recovery support."""
+
+from repro.sqlengine.txn.locks import LockManager, LockMode
+from repro.sqlengine.txn.transaction import (
+    Transaction,
+    TransactionManager,
+    TxnState,
+    UndoEntry,
+)
+
+__all__ = [
+    "LockManager",
+    "LockMode",
+    "Transaction",
+    "TransactionManager",
+    "TxnState",
+    "UndoEntry",
+]

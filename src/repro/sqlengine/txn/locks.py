@@ -1,0 +1,119 @@
+"""A lock manager with shared/exclusive row and table locks.
+
+Deadlocks are handled by timeout (the workload transactions acquire locks
+in consistent orders, so timeouts indicate either contention with a
+*deferred* transaction — the Section 4.5 scenario — or a genuine cycle).
+"""
+
+from __future__ import annotations
+
+import enum
+import threading
+from collections import defaultdict
+from dataclasses import dataclass, field
+
+from repro.errors import LockTimeoutError
+
+Resource = tuple  # ("table", name) or ("row", table, rid)
+
+
+class LockMode(enum.Enum):
+    SHARED = "S"
+    EXCLUSIVE = "X"
+
+
+@dataclass
+class _LockState:
+    mode: LockMode | None = None
+    holders: set[int] = field(default_factory=set)
+
+
+class LockManager:
+    """Grants S/X locks on opaque resource tuples."""
+
+    def __init__(self, default_timeout_s: float = 2.0):
+        self._states: dict[Resource, _LockState] = defaultdict(_LockState)
+        self._held: dict[int, set[Resource]] = defaultdict(set)
+        self._cond = threading.Condition()
+        self.default_timeout_s = default_timeout_s
+
+    def acquire(
+        self,
+        txn_id: int,
+        resource: Resource,
+        mode: LockMode,
+        timeout_s: float | None = None,
+    ) -> None:
+        """Block until the lock is granted; raise on timeout."""
+        deadline = None
+        timeout = self.default_timeout_s if timeout_s is None else timeout_s
+        with self._cond:
+            while True:
+                state = self._states[resource]
+                if self._compatible(state, txn_id, mode):
+                    state.holders.add(txn_id)
+                    if mode is LockMode.EXCLUSIVE or state.mode is None:
+                        state.mode = (
+                            LockMode.EXCLUSIVE
+                            if mode is LockMode.EXCLUSIVE or state.mode is LockMode.EXCLUSIVE
+                            else LockMode.SHARED
+                        )
+                    self._held[txn_id].add(resource)
+                    return
+                if deadline is None:
+                    import time
+
+                    deadline = time.monotonic() + timeout
+                import time
+
+                remaining = deadline - time.monotonic()
+                if remaining <= 0:
+                    raise LockTimeoutError(
+                        f"txn {txn_id} timed out waiting for {mode.value} lock on {resource}"
+                    )
+                self._cond.wait(timeout=remaining)
+
+    @staticmethod
+    def _compatible(state: _LockState, txn_id: int, mode: LockMode) -> bool:
+        if not state.holders:
+            return True
+        if state.holders == {txn_id}:
+            return True  # upgrade / re-entrant
+        if mode is LockMode.SHARED and state.mode is LockMode.SHARED:
+            return True
+        return False
+
+    def release_all(self, txn_id: int) -> None:
+        with self._cond:
+            for resource in self._held.pop(txn_id, set()):
+                state = self._states.get(resource)
+                if state is None:
+                    continue
+                state.holders.discard(txn_id)
+                if not state.holders:
+                    state.mode = None
+                    self._states.pop(resource, None)
+                elif state.holders and state.mode is LockMode.EXCLUSIVE:
+                    # Sole-holder X may remain only if a single holder is left.
+                    if len(state.holders) > 1:
+                        state.mode = LockMode.SHARED
+            self._cond.notify_all()
+
+    def held_by(self, txn_id: int) -> set[Resource]:
+        with self._cond:
+            return set(self._held.get(txn_id, set()))
+
+    def is_locked(self, resource: Resource) -> bool:
+        with self._cond:
+            state = self._states.get(resource)
+            return bool(state and state.holders)
+
+    def rehold(self, txn_id: int, resources: set[Resource]) -> None:
+        """Re-grant locks to a transaction (recovery re-acquires the locks
+        a deferred transaction held before the crash)."""
+        with self._cond:
+            for resource in resources:
+                state = self._states[resource]
+                state.holders.add(txn_id)
+                state.mode = LockMode.EXCLUSIVE
+                self._held[txn_id].add(resource)

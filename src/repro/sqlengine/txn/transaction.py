@@ -1,0 +1,81 @@
+"""Transaction objects and lifecycle."""
+
+from __future__ import annotations
+
+import enum
+import itertools
+import threading
+from dataclasses import dataclass, field
+
+from repro.sqlengine.storage.heap import RowId
+
+
+class TxnState(enum.Enum):
+    ACTIVE = "active"
+    COMMITTED = "committed"
+    ABORTED = "aborted"
+    # A recovery transaction whose undo needs enclave keys that are not
+    # present (Section 4.5). Holds its locks until resolved or forced.
+    DEFERRED = "deferred"
+
+
+@dataclass
+class UndoEntry:
+    """One logged modification, with images for logical undo."""
+
+    op: str                    # "insert" | "delete" | "update"
+    table: str
+    rid: RowId
+    before: tuple | None      # row image before (None for insert)
+    after: tuple | None       # row image after (None for delete)
+
+
+@dataclass
+class Transaction:
+    txn_id: int
+    state: TxnState = TxnState.ACTIVE
+    undo_log: list[UndoEntry] = field(default_factory=list)
+    touched_tables: set[str] = field(default_factory=set)
+
+    @property
+    def is_active(self) -> bool:
+        return self.state is TxnState.ACTIVE
+
+
+class TransactionManager:
+    """Allocates transaction ids and tracks live transactions."""
+
+    def __init__(self) -> None:
+        self._ids = itertools.count(1)
+        self._live: dict[int, Transaction] = {}
+        self._lock = threading.Lock()
+
+    def begin(self) -> Transaction:
+        txn = Transaction(txn_id=next(self._ids))
+        with self._lock:
+            self._live[txn.txn_id] = txn
+        return txn
+
+    def adopt(self, txn: Transaction) -> None:
+        """Track a transaction reconstructed by recovery."""
+        with self._lock:
+            self._live[txn.txn_id] = txn
+            # Keep the id counter ahead of recovered ids.
+            while True:
+                peek = next(self._ids)
+                if peek > txn.txn_id:
+                    self._ids = itertools.count(peek)
+                    break
+
+    def finish(self, txn: Transaction, state: TxnState) -> None:
+        txn.state = state
+        with self._lock:
+            self._live.pop(txn.txn_id, None)
+
+    def live_transactions(self) -> list[Transaction]:
+        with self._lock:
+            return list(self._live.values())
+
+    def get(self, txn_id: int) -> Transaction | None:
+        with self._lock:
+            return self._live.get(txn_id)

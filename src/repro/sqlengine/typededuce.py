@@ -1,0 +1,348 @@
+"""Encryption type deduction (Section 4.3).
+
+Encryption types are not declared in the (transparent) input query, so they
+are inferred. Following the paper, the deducer builds equivalence classes
+of operands with a union-find structure:
+
+* an equality/assignment constraint *merges* the operands' classes (both
+  sides of a comparison must share scheme and CEK);
+* an operation constraint (equality, range, LIKE, arithmetic, ORDER BY,
+  grouping) restricts what the class's resolved type may support, checked
+  against the Figure 6 lattice's operation table;
+* classes that remain unconstrained resolve to Plaintext — "our preference
+  is to solve using the Plaintext type".
+
+The result is exactly the payload of ``sp_describe_parameter_encryption``:
+per-parameter encryption types, plus the set of CEKs the enclave will need
+to evaluate the query.
+"""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass, field
+
+from repro.errors import TypeDeductionError
+from repro.sqlengine.lattice import (
+    GeneralizedType,
+    Operation,
+    generalize,
+    requires_enclave,
+    supports,
+)
+from repro.sqlengine.scope import Scope
+from repro.sqlengine.sqlparser import ast
+from repro.sqlengine.types import ColumnType, EncryptionInfo, SqlType
+
+
+@dataclass
+class _Class:
+    """One union-find equivalence class."""
+
+    encryption: EncryptionInfo | None = None
+    known: bool = False                  # encryption field is authoritative
+    sql_type: SqlType | None = None
+    operations: set[Operation] = field(default_factory=set)
+    members: list[str] = field(default_factory=list)
+
+
+@dataclass
+class DeductionResult:
+    """The output of encryption type deduction for one statement."""
+
+    # Parameter name → full deduced type (encryption may be None).
+    param_types: dict[str, ColumnType]
+    # CEKs needed inside the enclave to evaluate this statement.
+    enclave_ceks: set[str]
+
+    @property
+    def uses_enclave(self) -> bool:
+        return bool(self.enclave_ceks)
+
+
+class UnionFind:
+    """Union-find over expression nodes carrying encryption attributes."""
+
+    def __init__(self) -> None:
+        self._parent: dict[str, str] = {}
+        self._classes: dict[str, _Class] = {}
+
+    def make(self, key: str, encryption: EncryptionInfo | None = None, known: bool = False, sql_type: SqlType | None = None) -> str:
+        if key not in self._parent:
+            self._parent[key] = key
+            self._classes[key] = _Class(
+                encryption=encryption, known=known, sql_type=sql_type, members=[key]
+            )
+        return key
+
+    def find(self, key: str) -> str:
+        root = key
+        while self._parent[root] != root:
+            root = self._parent[root]
+        while self._parent[key] != root:  # path compression
+            self._parent[key], key = root, self._parent[key]
+        return root
+
+    def cls(self, key: str) -> _Class:
+        return self._classes[self.find(key)]
+
+    def union(self, a: str, b: str, context: str) -> None:
+        ra, rb = self.find(a), self.find(b)
+        if ra == rb:
+            return
+        ca, cb = self._classes[ra], self._classes[rb]
+        if ca.known and cb.known:
+            if ca.encryption != cb.encryption:
+                raise TypeDeductionError(
+                    f"{context}: operands have incompatible encryption types "
+                    f"({_describe(ca.encryption)} vs {_describe(cb.encryption)}); "
+                    "both operands of a comparison must share the same CEK and scheme"
+                )
+        merged = _Class(
+            encryption=ca.encryption if ca.known else cb.encryption,
+            known=ca.known or cb.known,
+            sql_type=ca.sql_type or cb.sql_type,
+            operations=ca.operations | cb.operations,
+            members=ca.members + cb.members,
+        )
+        self._parent[rb] = ra
+        self._classes[ra] = merged
+        del self._classes[rb]
+
+    def restrict(self, key: str, operation: Operation) -> None:
+        self.cls(key).operations.add(operation)
+
+    def classes(self) -> list[_Class]:
+        return [self._classes[r] for r in set(self.find(k) for k in self._parent)]
+
+
+def _describe(enc: EncryptionInfo | None) -> str:
+    return "Plaintext" if enc is None else str(enc)
+
+
+def _gtype(enc: EncryptionInfo | None) -> GeneralizedType:
+    if enc is None:
+        return GeneralizedType.PLAINTEXT
+    return generalize(enc.scheme.short_name, enc.enclave_enabled)
+
+
+class EncryptionTypeDeducer:
+    """Runs deduction over a bound-scope AST statement.
+
+    ``allow_enclave_order_by`` enables the paper's future-work extension:
+    ORDER BY over enclave-enabled RND columns, evaluated as enclave
+    comparisons (same machinery — and same ordering leakage — as range
+    predicates). AEv2 as shipped does not support it, so it is off by
+    default; the TPC-C benchmark keeps it off to match Section 5.3.
+    """
+
+    def __init__(self, scope: Scope, allow_enclave_order_by: bool = False):
+        self._scope = scope
+        self._uf = UnionFind()
+        self._ids = itertools.count()
+        self._allow_enclave_order_by = allow_enclave_order_by
+
+    # -- node keys ---------------------------------------------------------------
+
+    def _column_key(self, name: ast.ColumnName) -> str:
+        resolved = self._scope.resolve(name)
+        key = f"col:{resolved.binding}.{resolved.column.name.lower()}"
+        self._uf.make(
+            key,
+            encryption=resolved.column.column_type.encryption,
+            known=True,
+            sql_type=resolved.column.column_type.sql_type,
+        )
+        return key
+
+    def _param_key(self, param: ast.Param) -> str:
+        return self._uf.make(f"param:{param.name.lower()}")
+
+    def _fresh_plain(self, label: str) -> str:
+        key = f"{label}:{next(self._ids)}"
+        return self._uf.make(key, encryption=None, known=True)
+
+    # -- expression walk ------------------------------------------------------------
+
+    def node(self, expr: ast.AstExpr) -> str:
+        """Return the union-find key for an expression node, adding constraints."""
+        if isinstance(expr, ast.ColumnName):
+            return self._column_key(expr)
+        if isinstance(expr, ast.Param):
+            return self._param_key(expr)
+        if isinstance(expr, ast.Literal):
+            # Literals are plaintext: the driver cannot transparently
+            # encrypt an inline literal, which is why AE requires
+            # parameterized queries for encrypted comparisons.
+            return self._fresh_plain("lit")
+        if isinstance(expr, ast.BinaryOp):
+            return self._binary(expr)
+        if isinstance(expr, ast.UnaryOp):
+            if expr.op == "-":
+                key = self.node(expr.operand)
+                self._uf.restrict(key, Operation.ARITHMETIC)
+                return key
+            self.predicate(expr)  # NOT — boolean context
+            return self._fresh_plain("bool")
+        if isinstance(expr, (ast.LikeOp, ast.BetweenOp, ast.InOp, ast.IsNullOp)):
+            self.predicate(expr)
+            return self._fresh_plain("bool")
+        if isinstance(expr, ast.Aggregate):
+            return self._aggregate(expr)
+        raise TypeDeductionError(f"cannot deduce over node {type(expr).__name__}")
+
+    def _binary(self, expr: ast.BinaryOp) -> str:
+        op = expr.op.upper()
+        if op in ("AND", "OR"):
+            self.predicate(expr.left)
+            self.predicate(expr.right)
+            return self._fresh_plain("bool")
+        left = self.node(expr.left)
+        right = self.node(expr.right)
+        if op in ("=", "<>"):
+            self._uf.union(left, right, f"equality {expr.op!r}")
+            self._uf.restrict(left, Operation.EQUALITY)
+            return self._fresh_plain("bool")
+        if op in ("<", "<=", ">", ">="):
+            self._uf.union(left, right, f"comparison {expr.op!r}")
+            self._uf.restrict(left, Operation.RANGE)
+            return self._fresh_plain("bool")
+        if op in ("+", "-", "*", "/"):
+            self._uf.restrict(left, Operation.ARITHMETIC)
+            self._uf.restrict(right, Operation.ARITHMETIC)
+            # Arithmetic only exists over plaintext; the result is plaintext.
+            return self._fresh_plain("arith")
+        raise TypeDeductionError(f"unknown operator {expr.op!r}")
+
+    def _aggregate(self, expr: ast.Aggregate) -> str:
+        if expr.argument is None:  # COUNT(*) — counts rows, touches no values
+            return self._fresh_plain("agg")
+        key = self.node(expr.argument)
+        if expr.func == "COUNT":
+            return self._fresh_plain("agg")
+        if expr.func in ("MIN", "MAX"):
+            self._uf.restrict(key, Operation.RANGE)
+            self._uf.restrict(key, Operation.ORDER_BY)
+        else:  # SUM / AVG
+            self._uf.restrict(key, Operation.ARITHMETIC)
+        return self._fresh_plain("agg")
+
+    def predicate(self, expr: ast.AstExpr) -> None:
+        """Walk a boolean-context expression."""
+        if isinstance(expr, ast.BinaryOp) and expr.op.upper() in ("AND", "OR"):
+            self.predicate(expr.left)
+            self.predicate(expr.right)
+            return
+        if isinstance(expr, ast.UnaryOp) and expr.op == "NOT":
+            self.predicate(expr.operand)
+            return
+        if isinstance(expr, ast.LikeOp):
+            value = self.node(expr.value)
+            pattern = self.node(expr.pattern)
+            self._uf.union(value, pattern, "LIKE")
+            self._uf.restrict(value, Operation.LIKE)
+            return
+        if isinstance(expr, ast.BetweenOp):
+            value = self.node(expr.value)
+            low = self.node(expr.low)
+            high = self.node(expr.high)
+            self._uf.union(value, low, "BETWEEN")
+            self._uf.union(value, high, "BETWEEN")
+            self._uf.restrict(value, Operation.RANGE)
+            return
+        if isinstance(expr, ast.InOp):
+            value = self.node(expr.value)
+            for option in expr.options:
+                self._uf.union(value, self.node(option), "IN")
+            self._uf.restrict(value, Operation.EQUALITY)
+            return
+        if isinstance(expr, ast.IsNullOp):
+            self.node(expr.value)  # nullness is not hidden by encryption
+            return
+        self.node(expr)
+
+    def assignment(self, column: ast.ColumnName, expr: ast.AstExpr) -> None:
+        """col = expr in UPDATE SET / INSERT: same encryption type."""
+        col_key = self._column_key(column)
+        expr_key = self.node(expr)
+        self._uf.union(col_key, expr_key, f"assignment to {column}")
+
+    def order_by(self, expr: ast.AstExpr) -> None:
+        key = self.node(expr)
+        if self._allow_enclave_order_by:
+            # The extension treats sorting as repeated range comparisons
+            # routed through the enclave.
+            self._uf.restrict(key, Operation.RANGE)
+        else:
+            self._uf.restrict(key, Operation.ORDER_BY)
+
+    def group_by(self, expr: ast.AstExpr) -> None:
+        key = self.node(expr)
+        self._uf.restrict(key, Operation.EQUALITY)
+
+    def projection(self, expr: ast.AstExpr) -> None:
+        key = self.node(expr)
+        self._uf.restrict(key, Operation.PROJECT)
+
+    # -- solving ---------------------------------------------------------------------
+
+    def solve(self) -> DeductionResult:
+        """Check all constraints and extract parameter types + enclave CEKs."""
+        param_types: dict[str, ColumnType] = {}
+        enclave_ceks: set[str] = set()
+        for cls in self._uf.classes():
+            # Unknown classes resolve to Plaintext (the paper's preference).
+            encryption = cls.encryption if cls.known else None
+            gtype = _gtype(encryption)
+            for operation in cls.operations:
+                if not supports(gtype, operation):
+                    raise TypeDeductionError(
+                        f"operation {operation.value!r} is not supported on "
+                        f"{gtype.value} data (members: {', '.join(cls.members)})"
+                    )
+                if encryption is not None and requires_enclave(gtype, operation):
+                    enclave_ceks.add(encryption.cek_name)
+            for member in cls.members:
+                if member.startswith("param:"):
+                    name = member[len("param:") :]
+                    sql_type = cls.sql_type or SqlType("VARCHAR")
+                    param_types[name] = ColumnType(sql_type=sql_type, encryption=encryption)
+        return DeductionResult(param_types=param_types, enclave_ceks=enclave_ceks)
+
+
+def deduce(
+    stmt: ast.Statement, scope: Scope, allow_enclave_order_by: bool = False
+) -> DeductionResult:
+    """Run encryption type deduction for a statement against a scope."""
+    deducer = EncryptionTypeDeducer(scope, allow_enclave_order_by=allow_enclave_order_by)
+    if isinstance(stmt, ast.SelectStmt):
+        for item in stmt.items:
+            if item.expr is not None:
+                deducer.projection(item.expr)
+        for join in stmt.joins:
+            deducer.predicate(join.condition)
+        if stmt.where is not None:
+            deducer.predicate(stmt.where)
+        for expr in stmt.group_by:
+            deducer.group_by(expr)
+        for item in stmt.order_by:
+            deducer.order_by(item.expr)
+    elif isinstance(stmt, ast.InsertStmt):
+        table = scope.bindings()[0][1]
+        columns = stmt.columns or tuple(table.column_names())
+        for row in stmt.rows:
+            if len(row) != len(columns):
+                raise TypeDeductionError(
+                    f"INSERT row has {len(row)} values for {len(columns)} columns"
+                )
+            for column_name, expr in zip(columns, row):
+                deducer.assignment(ast.ColumnName(column_name), expr)
+    elif isinstance(stmt, ast.UpdateStmt):
+        for column_name, expr in stmt.assignments:
+            deducer.assignment(ast.ColumnName(column_name), expr)
+        if stmt.where is not None:
+            deducer.predicate(stmt.where)
+    elif isinstance(stmt, ast.DeleteStmt):
+        if stmt.where is not None:
+            deducer.predicate(stmt.where)
+    return deducer.solve()

@@ -1,0 +1,112 @@
+"""SQL type system extended with encryption attributes (Section 4.3).
+
+The paper enhances SQL Server's type system so encryption is "an additional
+attribute of SQL types": an encrypted integer, encrypted string, and so on.
+Here a column's full type is a :class:`ColumnType` — a plaintext
+:class:`SqlType` plus an optional :class:`EncryptionInfo` carrying the
+scheme, the algorithm, and the identity of the CEK.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.crypto.aead import ALGORITHM_NAME, EncryptionScheme
+from repro.errors import SqlError
+from repro.sqlengine.values import SqlScalar
+
+_VALID_BASES = {"INT", "BIGINT", "FLOAT", "VARCHAR", "CHAR", "VARBINARY", "BIT"}
+_LENGTH_BASES = {"VARCHAR", "CHAR", "VARBINARY"}
+
+
+@dataclass(frozen=True)
+class SqlType:
+    """A plaintext SQL type: base name plus optional length."""
+
+    base: str
+    length: int | None = None
+
+    def __post_init__(self) -> None:
+        base = self.base.upper()
+        object.__setattr__(self, "base", base)
+        if base not in _VALID_BASES:
+            raise SqlError(f"unsupported SQL type {base!r}")
+        if self.length is not None and base not in _LENGTH_BASES:
+            raise SqlError(f"type {base} does not take a length")
+
+    def validate(self, value: SqlScalar) -> None:
+        """Raise :class:`SqlError` if ``value`` does not fit this type."""
+        if value is None:
+            return
+        base = self.base
+        if base in ("INT", "BIGINT"):
+            if isinstance(value, bool) or not isinstance(value, int):
+                raise SqlError(f"expected integer for {base}, got {type(value).__name__}")
+        elif base == "FLOAT":
+            if isinstance(value, bool) or not isinstance(value, (int, float)):
+                raise SqlError(f"expected numeric for FLOAT, got {type(value).__name__}")
+        elif base in ("VARCHAR", "CHAR"):
+            if not isinstance(value, str):
+                raise SqlError(f"expected string for {base}, got {type(value).__name__}")
+            if self.length is not None and len(value) > self.length:
+                raise SqlError(
+                    f"string of length {len(value)} exceeds {base}({self.length})"
+                )
+        elif base == "VARBINARY":
+            if not isinstance(value, (bytes, bytearray)):
+                raise SqlError(f"expected bytes for VARBINARY, got {type(value).__name__}")
+            if self.length is not None and len(value) > self.length:
+                raise SqlError(
+                    f"binary of length {len(value)} exceeds VARBINARY({self.length})"
+                )
+        elif base == "BIT":
+            if not isinstance(value, bool):
+                raise SqlError(f"expected bool for BIT, got {type(value).__name__}")
+
+    def __str__(self) -> str:
+        if self.length is not None:
+            return f"{self.base}({self.length})"
+        return self.base
+
+
+@dataclass(frozen=True)
+class EncryptionInfo:
+    """The encryption attribute of a column type.
+
+    ``enclave_enabled`` is derived from the CEK's CMK at DDL time and
+    cached here because every type-deduction decision needs it.
+    """
+
+    scheme: EncryptionScheme
+    cek_name: str
+    enclave_enabled: bool
+    algorithm: str = ALGORITHM_NAME
+
+    def __str__(self) -> str:
+        enclave = ", enclave" if self.enclave_enabled else ""
+        return f"{self.scheme.short_name}(cek={self.cek_name}{enclave})"
+
+
+@dataclass(frozen=True)
+class ColumnType:
+    """The full type of a column / parameter: plaintext type + encryption."""
+
+    sql_type: SqlType
+    encryption: EncryptionInfo | None = None
+
+    @property
+    def is_encrypted(self) -> bool:
+        return self.encryption is not None
+
+    def __str__(self) -> str:
+        if self.encryption is None:
+            return str(self.sql_type)
+        return f"{self.sql_type} ENCRYPTED[{self.encryption}]"
+
+
+def int_type() -> SqlType:
+    return SqlType("INT")
+
+
+def varchar(length: int | None = None) -> SqlType:
+    return SqlType("VARCHAR", length)

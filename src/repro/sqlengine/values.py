@@ -1,0 +1,123 @@
+"""SQL values and their canonical binary serialization.
+
+Cell encryption operates on *serialized* values: the driver and the enclave
+must agree byte-for-byte on how an INT or VARCHAR is laid out, because
+deterministic encryption preserves equality only of identical plaintext
+bytes. This module defines that canonical encoding.
+
+NULL handling follows the shipped feature: NULL cells are stored as NULL
+(no ciphertext), so encryption never hides nullness — the paper already
+concedes value lengths and cardinalities as metadata leakage.
+"""
+
+from __future__ import annotations
+
+import struct
+from typing import Union
+
+from repro.errors import SqlError
+
+SqlScalar = Union[int, float, str, bytes, bool, None]
+
+_TAG_INT = 0x01
+_TAG_FLOAT = 0x02
+_TAG_STR = 0x03
+_TAG_BYTES = 0x04
+_TAG_BOOL = 0x05
+
+_INT64_MIN = -(2**63)
+_INT64_MAX = 2**63 - 1
+
+
+def serialize_value(value: SqlScalar) -> bytes:
+    """Serialize a non-NULL scalar to canonical type-tagged bytes."""
+    if value is None:
+        raise SqlError("NULL values are stored as NULL, never serialized for encryption")
+    if isinstance(value, bool):
+        # bool before int: bool is a subclass of int in Python.
+        return bytes([_TAG_BOOL, 1 if value else 0])
+    if isinstance(value, int):
+        if not _INT64_MIN <= value <= _INT64_MAX:
+            raise SqlError(f"integer {value} out of 64-bit range")
+        return bytes([_TAG_INT]) + struct.pack(">q", value)
+    if isinstance(value, float):
+        return bytes([_TAG_FLOAT]) + struct.pack(">d", value)
+    if isinstance(value, str):
+        return bytes([_TAG_STR]) + value.encode("utf-8")
+    if isinstance(value, (bytes, bytearray)):
+        return bytes([_TAG_BYTES]) + bytes(value)
+    raise SqlError(f"unsupported SQL value type {type(value).__name__}")
+
+
+def deserialize_value(data: bytes) -> SqlScalar:
+    """Invert :func:`serialize_value`."""
+    if not data:
+        raise SqlError("empty serialized value")
+    tag, body = data[0], data[1:]
+    if tag == _TAG_BOOL:
+        if len(body) != 1 or body[0] not in (0, 1):
+            raise SqlError("malformed serialized BIT value")
+        return body[0] == 1
+    if tag == _TAG_INT:
+        if len(body) != 8:
+            raise SqlError("malformed serialized INT value")
+        return struct.unpack(">q", body)[0]
+    if tag == _TAG_FLOAT:
+        if len(body) != 8:
+            raise SqlError("malformed serialized FLOAT value")
+        return struct.unpack(">d", body)[0]
+    if tag == _TAG_STR:
+        return body.decode("utf-8")
+    if tag == _TAG_BYTES:
+        return body
+    raise SqlError(f"unknown serialized value tag {tag:#x}")
+
+
+def compare_values(left: SqlScalar, right: SqlScalar) -> int:
+    """Three-way comparison with SQL semantics for supported scalars.
+
+    Mixed int/float compare numerically; everything else must match in
+    type. NULLs never reach here: SQL three-valued logic is handled by the
+    expression VM, which short-circuits NULL operands to UNKNOWN.
+    """
+    if left is None or right is None:
+        raise SqlError("compare_values does not accept NULL; handle three-valued logic upstream")
+    numeric = (int, float)
+    if isinstance(left, bool) != isinstance(right, bool):
+        raise SqlError("cannot compare BIT with non-BIT value")
+    if isinstance(left, numeric) and isinstance(right, numeric):
+        return (left > right) - (left < right)
+    if type(left) is not type(right):
+        raise SqlError(
+            f"cannot compare {type(left).__name__} with {type(right).__name__}"
+        )
+    return (left > right) - (left < right)  # type: ignore[operator]
+
+
+def like_match(value: str, pattern: str) -> bool:
+    """Evaluate a SQL LIKE pattern (``%`` any run, ``_`` one char).
+
+    This is the string pattern matching the paper's enclave supports. A
+    simple backtracking matcher; no escape-character support (the TPC-C
+    workload and our examples don't need it).
+    """
+    # Iterative two-pointer algorithm with backtracking on '%'.
+    v_idx = p_idx = 0
+    star_p = star_v = -1
+    while v_idx < len(value):
+        if p_idx < len(pattern) and (pattern[p_idx] == "_" or pattern[p_idx] == value[v_idx]):
+            v_idx += 1
+            p_idx += 1
+        elif p_idx < len(pattern) and pattern[p_idx] == "%":
+            star_p = p_idx
+            star_v = v_idx
+            p_idx += 1
+        elif star_p != -1:
+            star_v += 1
+            v_idx = star_v
+            p_idx = star_p + 1
+        else:
+            return False
+    while p_idx < len(pattern) and pattern[p_idx] == "%":
+        p_idx += 1
+    return p_idx == len(pattern)

@@ -1,0 +1,67 @@
+"""TPC-C configuration: scale factors and encryption modes (Section 5).
+
+The paper's configurations:
+
+* **SQL-PT** — no encryption, plain connection string;
+* **SQL-PT-AEConn** — no encryption, AE connection string (pays the extra
+  ``sp_describe_parameter_encryption`` round-trip);
+* **SQL-AE-DET** — PII columns DET-encrypted with enclave-*disabled* keys;
+* **SQL-AE-RND-k** — PII columns RND-encrypted with enclave-enabled keys
+  and *k* enclave threads (the paper uses k ∈ {1, 4}).
+
+The paper runs W=800; a pure-Python engine calibrates per-transaction
+costs at reduced scale and feeds them into the queueing model, so the
+defaults here are laptop-sized and fully configurable.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+
+# The PII columns the paper encrypts (all in CUSTOMER, one shared CEK).
+PII_COLUMNS = ("C_FIRST", "C_LAST", "C_STREET_1", "C_STREET_2", "C_CITY", "C_STATE")
+
+
+class EncryptionMode(enum.Enum):
+    PLAINTEXT = "SQL-PT"
+    PLAINTEXT_AECONN = "SQL-PT-AEConn"
+    DET = "SQL-AE-DET"
+    RND = "SQL-AE-RND"
+
+
+@dataclass(frozen=True)
+class TpccConfig:
+    """One benchmark configuration."""
+
+    warehouses: int = 2
+    districts_per_warehouse: int = 2
+    customers_per_district: int = 30
+    items: int = 100
+    mode: EncryptionMode = EncryptionMode.PLAINTEXT
+    enclave_threads: int = 4
+    seed: int = 42
+
+    @property
+    def uses_encryption(self) -> bool:
+        return self.mode in (EncryptionMode.DET, EncryptionMode.RND)
+
+    @property
+    def ae_connection(self) -> bool:
+        return self.mode is not EncryptionMode.PLAINTEXT
+
+    @property
+    def label(self) -> str:
+        if self.mode is EncryptionMode.RND:
+            return f"SQL-AE-RND-{self.enclave_threads}"
+        return self.mode.value
+
+
+# The paper's transaction mix (standard TPC-C weights).
+TRANSACTION_MIX: list[tuple[str, float]] = [
+    ("new_order", 0.45),
+    ("payment", 0.43),
+    ("order_status", 0.04),
+    ("delivery", 0.04),
+    ("stock_level", 0.04),
+]

@@ -1,0 +1,218 @@
+"""TPC-C data generation (population rules of the spec, scaled down).
+
+Customer last names follow the spec's syllable construction and the
+NURand non-uniform selection, so the Payment/Order-Status "lookup by last
+name" path — the one that exercises encrypted-column predicates — has the
+spec's skew.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+
+from repro.client.driver import Connection
+from repro.workloads.tpcc.config import TpccConfig
+
+SYLLABLES = [
+    "BAR", "OUGHT", "ABLE", "PRI", "PRES", "ESE", "ANTI", "CALLY", "ATION", "EING",
+]
+
+_C_FOR_C_LAST = 123  # spec: a per-run constant for NURand(255, ...)
+
+
+def c_last_name(number: int) -> str:
+    """Spec rule: concatenate three syllables from the number's digits."""
+    return (
+        SYLLABLES[(number // 100) % 10]
+        + SYLLABLES[(number // 10) % 10]
+        + SYLLABLES[number % 10]
+    )
+
+
+def nurand(rng: random.Random, a: int, x: int, y: int, c: int = _C_FOR_C_LAST) -> int:
+    """The spec's non-uniform random distribution."""
+    return ((rng.randint(0, a) | rng.randint(x, y)) + c) % (y - x + 1) + x
+
+
+@dataclass
+class TpccLoader:
+    """Populates a fresh database through the (AE-aware) connection, so the
+    load itself exercises parameter encryption for PII columns."""
+
+    connection: Connection
+    config: TpccConfig
+
+    def load(self) -> None:
+        rng = random.Random(self.config.seed)
+        self._load_items(rng)
+        for w_id in range(1, self.config.warehouses + 1):
+            self._load_warehouse(rng, w_id)
+
+    # -- pieces -----------------------------------------------------------------
+
+    def _load_items(self, rng: random.Random) -> None:
+        conn = self.connection
+        for i_id in range(1, self.config.items + 1):
+            conn.execute(
+                "INSERT INTO ITEM (I_ID, I_IM_ID, I_NAME, I_PRICE, I_DATA) "
+                "VALUES (@id, @im, @name, @price, @data)",
+                {
+                    "id": i_id,
+                    "im": rng.randint(1, 10000),
+                    "name": f"item-{i_id}",
+                    "price": round(rng.uniform(1.0, 100.0), 2),
+                    "data": _maybe_original(rng),
+                },
+            )
+
+    def _load_warehouse(self, rng: random.Random, w_id: int) -> None:
+        conn = self.connection
+        conn.execute(
+            "INSERT INTO WAREHOUSE (W_ID, W_NAME, W_STREET_1, W_STREET_2, W_CITY, "
+            "W_STATE, W_ZIP, W_TAX, W_YTD) "
+            "VALUES (@id, @name, @s1, @s2, @city, @state, @zip, @tax, @ytd)",
+            {
+                "id": w_id,
+                "name": f"wh-{w_id}",
+                "s1": _street(rng),
+                "s2": _street(rng),
+                "city": _city(rng),
+                "state": _state(rng),
+                "zip": _zip(rng),
+                "tax": round(rng.uniform(0.0, 0.2), 4),
+                "ytd": 300000.0,
+            },
+        )
+        for s_i_id in range(1, self.config.items + 1):
+            conn.execute(
+                "INSERT INTO STOCK (S_I_ID, S_W_ID, S_QUANTITY, S_DIST_01, S_YTD, "
+                "S_ORDER_CNT, S_REMOTE_CNT, S_DATA) "
+                "VALUES (@i, @w, @q, @d, 0, 0, 0, @data)",
+                {
+                    "i": s_i_id,
+                    "w": w_id,
+                    "q": rng.randint(10, 100),
+                    "d": _alpha(rng, 24),
+                    "data": _maybe_original(rng),
+                },
+            )
+        for d_id in range(1, self.config.districts_per_warehouse + 1):
+            self._load_district(rng, w_id, d_id)
+
+    def _load_district(self, rng: random.Random, w_id: int, d_id: int) -> None:
+        conn = self.connection
+        customers = self.config.customers_per_district
+        conn.execute(
+            "INSERT INTO DISTRICT (D_ID, D_W_ID, D_NAME, D_STREET_1, D_STREET_2, "
+            "D_CITY, D_STATE, D_ZIP, D_TAX, D_YTD, D_NEXT_O_ID) "
+            "VALUES (@d, @w, @name, @s1, @s2, @city, @state, @zip, @tax, 30000.0, @next)",
+            {
+                "d": d_id,
+                "w": w_id,
+                "name": f"d-{d_id}",
+                "s1": _street(rng),
+                "s2": _street(rng),
+                "city": _city(rng),
+                "state": _state(rng),
+                "zip": _zip(rng),
+                "tax": round(rng.uniform(0.0, 0.2), 4),
+                "next": customers + 1,
+            },
+        )
+        for c_id in range(1, customers + 1):
+            # Spec: first 1000 customers cycle last names 0..999; beyond
+            # that, NURand. At reduced scale the cycle covers everyone.
+            last = c_last_name((c_id - 1) % 1000)
+            conn.execute(
+                "INSERT INTO CUSTOMER (C_ID, C_D_ID, C_W_ID, C_FIRST, C_MIDDLE, "
+                "C_LAST, C_STREET_1, C_STREET_2, C_CITY, C_STATE, C_ZIP, C_PHONE, "
+                "C_SINCE, C_CREDIT, C_CREDIT_LIM, C_DISCOUNT, C_BALANCE, "
+                "C_YTD_PAYMENT, C_PAYMENT_CNT, C_DELIVERY_CNT, C_DATA) "
+                "VALUES (@id, @d, @w, @first, 'OE', @last, @s1, @s2, @city, @state, "
+                "@zip, @phone, @since, @credit, 50000.0, @disc, -10.0, 10.0, 1, 0, @data)",
+                {
+                    "id": c_id,
+                    "d": d_id,
+                    "w": w_id,
+                    "first": _alpha(rng, rng.randint(8, 16)),
+                    "last": last,
+                    "s1": _street(rng),
+                    "s2": _street(rng),
+                    "city": _city(rng),
+                    "state": _state(rng),
+                    "zip": _zip(rng),
+                    "phone": "".join(rng.choice("0123456789") for __ in range(16)),
+                    "since": "2026-01-01 00:00:00",
+                    "credit": "BC" if rng.random() < 0.1 else "GC",
+                    "disc": round(rng.uniform(0.0, 0.5), 4),
+                    "data": _alpha(rng, rng.randint(30, 100)),
+                },
+            )
+            # One initial order per customer keeps Order-Status/Delivery
+            # meaningful without full-scale history.
+            o_id = c_id
+            conn.execute(
+                "INSERT INTO ORDERS (O_ID, O_D_ID, O_W_ID, O_C_ID, O_ENTRY_D, "
+                "O_CARRIER_ID, O_OL_CNT, O_ALL_LOCAL) "
+                "VALUES (@o, @d, @w, @c, @entry, @carrier, @cnt, 1)",
+                {
+                    "o": o_id,
+                    "d": d_id,
+                    "w": w_id,
+                    "c": c_id,
+                    "entry": "2026-01-01 00:00:00",
+                    "carrier": rng.randint(1, 10) if rng.random() < 0.7 else None,
+                    "cnt": 5,
+                },
+            )
+            for ol_number in range(1, 6):
+                conn.execute(
+                    "INSERT INTO ORDER_LINE (OL_O_ID, OL_D_ID, OL_W_ID, OL_NUMBER, "
+                    "OL_I_ID, OL_SUPPLY_W_ID, OL_DELIVERY_D, OL_QUANTITY, OL_AMOUNT, "
+                    "OL_DIST_INFO) VALUES (@o, @d, @w, @n, @i, @sw, @dd, 5, @amt, @info)",
+                    {
+                        "o": o_id,
+                        "d": d_id,
+                        "w": w_id,
+                        "n": ol_number,
+                        "i": rng.randint(1, self.config.items),
+                        "sw": w_id,
+                        "dd": "2026-01-02 00:00:00",
+                        "amt": round(rng.uniform(0.01, 99.99), 2),
+                        "info": _alpha(rng, 24),
+                    },
+                )
+            if c_id > customers * 2 // 3:
+                conn.execute(
+                    "INSERT INTO NEW_ORDER (NO_O_ID, NO_D_ID, NO_W_ID) VALUES (@o, @d, @w)",
+                    {"o": o_id, "d": d_id, "w": w_id},
+                )
+
+
+def _alpha(rng: random.Random, length: int) -> str:
+    return "".join(rng.choice("abcdefghijklmnopqrstuvwxyz") for __ in range(length))
+
+
+def _street(rng: random.Random) -> str:
+    return f"{rng.randint(1, 999)} {_alpha(rng, 8)} st"[:20]
+
+
+def _city(rng: random.Random) -> str:
+    return _alpha(rng, rng.randint(6, 12))
+
+
+def _state(rng: random.Random) -> str:
+    return "".join(rng.choice("ABCDEFGHIJKLMNOPQRSTUVWXYZ") for __ in range(2))
+
+
+def _zip(rng: random.Random) -> str:
+    return "".join(rng.choice("0123456789") for __ in range(4)) + "11111"
+
+
+def _maybe_original(rng: random.Random) -> str:
+    data = _alpha(rng, rng.randint(26, 50))
+    if rng.random() < 0.1:
+        pos = rng.randint(0, len(data) - 8)
+        data = data[:pos] + "ORIGINAL" + data[pos + 8 :]
+    return data[:50]

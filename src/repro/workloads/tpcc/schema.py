@@ -1,0 +1,90 @@
+"""TPC-C schema DDL, with the paper's encryption configuration.
+
+Nine tables; the Section 5.3 configuration encrypts the six PII columns of
+CUSTOMER under a single CEK, and creates the NONCLUSTERED (non-unique)
+index ``CUSTOMER_NC1 ON CUSTOMER(C_W_ID, C_D_ID, C_LAST, C_FIRST, C_ID)``
+— the paper's deviation from the spec's unique constraint, necessary
+because a unique index over encrypted columns cannot be checked without
+enclave round-trips on every insert.
+"""
+
+from __future__ import annotations
+
+from repro.workloads.tpcc.config import PII_COLUMNS, EncryptionMode, TpccConfig
+
+ALGORITHM = "AEAD_AES_256_CBC_HMAC_SHA_256"
+
+
+def _enc_clause(config: TpccConfig, cek_name: str) -> str:
+    if not config.uses_encryption:
+        return ""
+    scheme = "Deterministic" if config.mode is EncryptionMode.DET else "Randomized"
+    return (
+        f" ENCRYPTED WITH (COLUMN_ENCRYPTION_KEY = {cek_name}, "
+        f"ENCRYPTION_TYPE = {scheme}, ALGORITHM = '{ALGORITHM}')"
+    )
+
+
+def create_table_statements(config: TpccConfig, cek_name: str = "TpccCEK") -> list[str]:
+    """DDL for the nine TPC-C tables under the given configuration."""
+    enc = _enc_clause(config, cek_name)
+    return [
+        """CREATE TABLE WAREHOUSE (
+            W_ID int NOT NULL, W_NAME varchar(10), W_STREET_1 varchar(20),
+            W_STREET_2 varchar(20), W_CITY varchar(20), W_STATE varchar(2),
+            W_ZIP varchar(9), W_TAX float, W_YTD float,
+            PRIMARY KEY (W_ID))""",
+        """CREATE TABLE DISTRICT (
+            D_ID int NOT NULL, D_W_ID int NOT NULL, D_NAME varchar(10),
+            D_STREET_1 varchar(20), D_STREET_2 varchar(20), D_CITY varchar(20),
+            D_STATE varchar(2), D_ZIP varchar(9), D_TAX float, D_YTD float,
+            D_NEXT_O_ID int)""",
+        f"""CREATE TABLE CUSTOMER (
+            C_ID int NOT NULL, C_D_ID int NOT NULL, C_W_ID int NOT NULL,
+            C_FIRST varchar(16){enc}, C_MIDDLE varchar(2),
+            C_LAST varchar(16){enc},
+            C_STREET_1 varchar(20){enc}, C_STREET_2 varchar(20){enc},
+            C_CITY varchar(20){enc}, C_STATE varchar(2){enc},
+            C_ZIP varchar(9), C_PHONE varchar(16), C_SINCE varchar(25),
+            C_CREDIT varchar(2), C_CREDIT_LIM float, C_DISCOUNT float,
+            C_BALANCE float, C_YTD_PAYMENT float, C_PAYMENT_CNT int,
+            C_DELIVERY_CNT int, C_DATA varchar(500))""",
+        """CREATE TABLE HISTORY (
+            H_C_ID int, H_C_D_ID int, H_C_W_ID int, H_D_ID int, H_W_ID int,
+            H_DATE varchar(25), H_AMOUNT float, H_DATA varchar(24))""",
+        """CREATE TABLE NEW_ORDER (
+            NO_O_ID int NOT NULL, NO_D_ID int NOT NULL, NO_W_ID int NOT NULL)""",
+        """CREATE TABLE ORDERS (
+            O_ID int NOT NULL, O_D_ID int NOT NULL, O_W_ID int NOT NULL,
+            O_C_ID int, O_ENTRY_D varchar(25), O_CARRIER_ID int,
+            O_OL_CNT int, O_ALL_LOCAL int)""",
+        """CREATE TABLE ORDER_LINE (
+            OL_O_ID int NOT NULL, OL_D_ID int NOT NULL, OL_W_ID int NOT NULL,
+            OL_NUMBER int NOT NULL, OL_I_ID int, OL_SUPPLY_W_ID int,
+            OL_DELIVERY_D varchar(25), OL_QUANTITY int, OL_AMOUNT float,
+            OL_DIST_INFO varchar(24))""",
+        """CREATE TABLE ITEM (
+            I_ID int NOT NULL, I_IM_ID int, I_NAME varchar(24),
+            I_PRICE float, I_DATA varchar(50),
+            PRIMARY KEY (I_ID))""",
+        """CREATE TABLE STOCK (
+            S_I_ID int NOT NULL, S_W_ID int NOT NULL, S_QUANTITY int,
+            S_DIST_01 varchar(24), S_YTD int, S_ORDER_CNT int,
+            S_REMOTE_CNT int, S_DATA varchar(50))""",
+    ]
+
+
+def create_index_statements(config: TpccConfig) -> list[str]:
+    """Secondary indexes, including the paper's CUSTOMER_NC1."""
+    return [
+        "CREATE UNIQUE INDEX DISTRICT_PK ON DISTRICT(D_W_ID, D_ID)",
+        "CREATE UNIQUE INDEX CUSTOMER_PK ON CUSTOMER(C_W_ID, C_D_ID, C_ID)",
+        # The paper: NONCLUSTERED, non-unique, deviating from the spec.
+        "CREATE NONCLUSTERED INDEX CUSTOMER_NC1 ON "
+        "CUSTOMER(C_W_ID, C_D_ID, C_LAST, C_FIRST, C_ID)",
+        "CREATE UNIQUE INDEX NEW_ORDER_PK ON NEW_ORDER(NO_W_ID, NO_D_ID, NO_O_ID)",
+        "CREATE UNIQUE INDEX ORDERS_PK ON ORDERS(O_W_ID, O_D_ID, O_ID)",
+        "CREATE UNIQUE INDEX ORDER_LINE_PK ON "
+        "ORDER_LINE(OL_W_ID, OL_D_ID, OL_O_ID, OL_NUMBER)",
+        "CREATE UNIQUE INDEX STOCK_PK ON STOCK(S_W_ID, S_I_ID)",
+    ]

@@ -1,0 +1,61 @@
+"""The Host Guardian Service: whitelist + health certificates."""
+
+import dataclasses
+
+import pytest
+
+from repro.attestation.hgs import HostGuardianService
+from repro.attestation.tpm import HostMachine
+from repro.errors import AttestationError
+
+
+class TestAttest:
+    def test_registered_host_gets_certificate(self, host_machine):
+        hgs = HostGuardianService()
+        hgs.register_host(host_machine.boot_and_measure())
+        cert = hgs.attest(
+            host_machine.boot_and_measure(), host_machine.host_signing_key.public
+        )
+        assert cert.verify(hgs.signing_public_key)
+        assert cert.host_signing_public == host_machine.host_signing_key.public
+
+    def test_unregistered_host_rejected(self, host_machine):
+        hgs = HostGuardianService()
+        with pytest.raises(AttestationError):
+            hgs.attest(host_machine.boot_and_measure(), host_machine.host_signing_key.public)
+
+    def test_unregister(self, host_machine):
+        hgs = HostGuardianService()
+        log = host_machine.boot_and_measure()
+        hgs.register_host(log)
+        hgs.unregister_host(log)
+        with pytest.raises(AttestationError):
+            hgs.attest(log, host_machine.host_signing_key.public)
+
+    def test_certificate_from_other_hgs_fails_verification(self, host_machine):
+        hgs_a = HostGuardianService()
+        hgs_b = HostGuardianService()
+        hgs_a.register_host(host_machine.boot_and_measure())
+        cert = hgs_a.attest(
+            host_machine.boot_and_measure(), host_machine.host_signing_key.public
+        )
+        assert not cert.verify(hgs_b.signing_public_key)
+
+    def test_tampered_certificate_rejected(self, host_machine):
+        hgs = HostGuardianService()
+        hgs.register_host(host_machine.boot_and_measure())
+        cert = hgs.attest(
+            host_machine.boot_and_measure(), host_machine.host_signing_key.public
+        )
+        from repro.crypto.rsa import RsaKeyPair
+
+        rogue = RsaKeyPair.generate(512)
+        tampered = dataclasses.replace(cert, host_signing_public=rogue.public)
+        assert not tampered.verify(hgs.signing_public_key)
+
+    def test_call_accounting(self, host_machine):
+        hgs = HostGuardianService()
+        hgs.register_host(host_machine.boot_and_measure())
+        before = hgs.attest_calls
+        hgs.attest(host_machine.boot_and_measure(), host_machine.host_signing_key.public)
+        assert hgs.attest_calls == before + 1

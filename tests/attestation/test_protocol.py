@@ -1,0 +1,149 @@
+"""The attestation chain of trust — each link verified and attacked."""
+
+import dataclasses
+
+import pytest
+
+from repro.attestation.hgs import AttestationPolicy, HostGuardianService
+from repro.attestation.protocol import (
+    AttestationInfo,
+    server_attest,
+    verify_attestation_and_derive_secret,
+)
+from repro.attestation.report import SignedReport
+from repro.attestation.tpm import HostMachine
+from repro.crypto.dh import DiffieHellman
+from repro.crypto.rsa import RsaKeyPair
+from repro.enclave.runtime import Enclave, EnclaveBinary
+from repro.errors import AttestationError
+
+
+@pytest.fixture()
+def attested(enclave, host_machine, hgs):
+    client_dh = DiffieHellman()
+    info = server_attest(host_machine, hgs, enclave, client_dh.public_key)
+    return client_dh, info
+
+
+class TestHappyPath:
+    def test_shared_secret_established(self, attested, hgs, attestation_policy, enclave):
+        client_dh, info = attested
+        secret = verify_attestation_and_derive_secret(
+            info, client_dh, hgs.signing_public_key, attestation_policy
+        )
+        assert len(secret) == 32
+        # The enclave already holds the same secret: installing a package
+        # sealed under it must succeed.
+        from repro.enclave.channel import CekPackage, seal_package
+
+        enclave.install_package(
+            info.session_id, seal_package(secret, CekPackage(nonce=0))
+        )
+
+    def test_binary_hash_policy_alternative(self, attested, hgs, enclave_binary):
+        client_dh, info = attested
+        policy = AttestationPolicy(
+            extra_trusted_binary_hashes=frozenset({enclave_binary.binary_hash})
+        )
+        verify_attestation_and_derive_secret(
+            info, client_dh, hgs.signing_public_key, policy
+        )
+
+
+class TestChainAttacks:
+    def test_unregistered_host_fails_hgs(self, enclave):
+        rogue_host = HostMachine(hypervisor_image=b"rogue-hypervisor")
+        hgs = HostGuardianService()  # empty whitelist
+        with pytest.raises(AttestationError, match="whitelist|TCG"):
+            server_attest(rogue_host, hgs, enclave, DiffieHellman().public_key)
+
+    def test_tampered_hypervisor_fails_whitelist(self, host_machine, enclave):
+        hgs = HostGuardianService()
+        hgs.register_host(host_machine.boot_and_measure())
+        compromised = HostMachine(
+            hypervisor_image=b"evil-hypervisor",
+            host_signing_key=host_machine.host_signing_key,
+        )
+        with pytest.raises(AttestationError):
+            server_attest(compromised, hgs, enclave, DiffieHellman().public_key)
+
+    def test_tampered_kernel_still_attests(self, host_machine, enclave, hgs):
+        # VBS trusts only up to the hypervisor; a modified host kernel
+        # does not change the whitelisted measurement (Section 4.2).
+        patched = HostMachine(
+            kernel_image=b"patched-kernel",
+            host_signing_key=host_machine.host_signing_key,
+        )
+        info = server_attest(patched, hgs, enclave, DiffieHellman().public_key)
+        assert info.health_certificate.verify(hgs.signing_public_key)
+
+    def test_forged_health_certificate_rejected(self, attested, attestation_policy):
+        client_dh, info = attested
+        rogue_hgs = HostGuardianService()
+        with pytest.raises(AttestationError, match="HGS"):
+            verify_attestation_and_derive_secret(
+                info, client_dh, rogue_hgs.signing_public_key, attestation_policy
+            )
+
+    def test_report_not_signed_by_attested_host(self, attested, hgs, attestation_policy):
+        client_dh, info = attested
+        rogue_key = RsaKeyPair.generate(512)
+        forged = SignedReport.create(info.signed_report.report, rogue_key)
+        tampered = dataclasses.replace(info, signed_report=forged)
+        with pytest.raises(AttestationError, match="attested host"):
+            verify_attestation_and_derive_secret(
+                tampered, client_dh, hgs.signing_public_key, attestation_policy
+            )
+
+    def test_untrusted_author_rejected(self, host_machine, hgs):
+        rogue_author = RsaKeyPair.generate(512)
+        rogue_enclave = Enclave(EnclaveBinary.build(rogue_author))
+        client_dh = DiffieHellman()
+        info = server_attest(host_machine, hgs, rogue_enclave, client_dh.public_key)
+        policy = AttestationPolicy(trusted_author_ids=frozenset({b"\x00" * 32}))
+        with pytest.raises(AttestationError, match="author"):
+            verify_attestation_and_derive_secret(
+                info, client_dh, hgs.signing_public_key, policy
+            )
+
+    def test_old_enclave_version_rejected(self, attested, hgs, enclave_binary):
+        # The client-enforced security-update mechanism: bump the minimum.
+        client_dh, info = attested
+        policy = AttestationPolicy(
+            trusted_author_ids=frozenset({enclave_binary.author_id}),
+            min_enclave_version=99,
+        )
+        with pytest.raises(AttestationError, match="version"):
+            verify_attestation_and_derive_secret(
+                info, client_dh, hgs.signing_public_key, policy
+            )
+
+    def test_old_hypervisor_version_rejected(self, attested, hgs, enclave_binary):
+        client_dh, info = attested
+        policy = AttestationPolicy(
+            trusted_author_ids=frozenset({enclave_binary.author_id}),
+            min_hypervisor_version=99,
+        )
+        with pytest.raises(AttestationError, match="hypervisor"):
+            verify_attestation_and_derive_secret(
+                info, client_dh, hgs.signing_public_key, policy
+            )
+
+    def test_swapped_enclave_public_key_rejected(self, attested, hgs, attestation_policy):
+        client_dh, info = attested
+        rogue = RsaKeyPair.generate(512)
+        tampered = dataclasses.replace(info, enclave_rsa_public=rogue.public)
+        with pytest.raises(AttestationError, match="public key"):
+            verify_attestation_and_derive_secret(
+                tampered, client_dh, hgs.signing_public_key, attestation_policy
+            )
+
+    def test_mitm_dh_substitution_rejected(self, attested, hgs, attestation_policy):
+        # SQL (the man in the middle) substitutes its own DH public key.
+        client_dh, info = attested
+        mitm_dh = DiffieHellman()
+        tampered = dataclasses.replace(info, enclave_dh_public=mitm_dh.public_key)
+        with pytest.raises(AttestationError, match="DH"):
+            verify_attestation_and_derive_secret(
+                tampered, client_dh, hgs.signing_public_key, attestation_policy
+            )

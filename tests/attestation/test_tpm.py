@@ -1,0 +1,42 @@
+"""TPM / TCG-log measurement simulation."""
+
+from repro.attestation.tpm import HostMachine, TcgLog, TcgLogEntry
+
+
+class TestMeasurement:
+    def test_boot_is_deterministic(self):
+        host = HostMachine()
+        a = host.boot_and_measure()
+        b = host.boot_and_measure()
+        assert a.digest_until_hypervisor() == b.digest_until_hypervisor()
+
+    def test_hypervisor_change_changes_digest(self):
+        a = HostMachine().boot_and_measure()
+        b = HostMachine(hypervisor_image=b"other").boot_and_measure()
+        assert a.digest_until_hypervisor() != b.digest_until_hypervisor()
+
+    def test_kernel_change_does_not_change_vbs_digest(self):
+        # Only the boot sequence up to the hypervisor matters for VBS.
+        a = HostMachine(kernel_image=b"k1").boot_and_measure()
+        b = HostMachine(kernel_image=b"k2").boot_and_measure()
+        assert a.digest_until_hypervisor() == b.digest_until_hypervisor()
+        assert a.full_digest() != b.full_digest()
+
+    def test_firmware_change_changes_digest(self):
+        a = HostMachine(firmware_image=b"f1").boot_and_measure()
+        b = HostMachine(firmware_image=b"f2").boot_and_measure()
+        assert a.digest_until_hypervisor() != b.digest_until_hypervisor()
+
+    def test_log_entry_measures_image(self):
+        e1 = TcgLogEntry.measure("firmware", b"image-a")
+        e2 = TcgLogEntry.measure("firmware", b"image-b")
+        assert e1.measurement != e2.measurement
+        assert len(e1.measurement) == 32
+
+    def test_log_order_matters(self):
+        entries = (
+            TcgLogEntry.measure("firmware", b"a"),
+            TcgLogEntry.measure("hypervisor", b"b"),
+        )
+        swapped = (entries[1], entries[0])
+        assert TcgLog(entries).full_digest() != TcgLog(swapped).full_digest()

@@ -1,0 +1,56 @@
+"""Driver-side caches in isolation."""
+
+from repro.client.caches import AttestationSession, CekCache
+
+
+class TestCekCache:
+    def test_hit_and_miss_accounting(self):
+        cache = CekCache(ttl_s=100)
+        assert cache.get("K") is None
+        cache.put("K", b"material")
+        assert cache.get("K") == b"material"
+        assert cache.hits == 1 and cache.misses == 1
+
+    def test_ttl_expiry(self):
+        clock = [0.0]
+        cache = CekCache(ttl_s=10, clock=lambda: clock[0])
+        cache.put("K", b"m")
+        clock[0] = 5.0
+        assert cache.get("K") == b"m"
+        clock[0] = 11.0
+        assert cache.get("K") is None
+
+    def test_invalidate_single(self):
+        cache = CekCache()
+        cache.put("A", b"a")
+        cache.put("B", b"b")
+        cache.invalidate("A")
+        assert cache.get("A") is None
+        assert cache.get("B") == b"b"
+
+    def test_invalidate_all(self):
+        cache = CekCache()
+        cache.put("A", b"a")
+        cache.invalidate()
+        assert cache.get("A") is None
+
+    def test_put_refreshes_ttl(self):
+        clock = [0.0]
+        cache = CekCache(ttl_s=10, clock=lambda: clock[0])
+        cache.put("K", b"m")
+        clock[0] = 8.0
+        cache.put("K", b"m2")
+        clock[0] = 15.0
+        assert cache.get("K") == b"m2"
+
+
+class TestAttestationSession:
+    def test_nonce_counter_monotone(self):
+        session = AttestationSession(enclave_session_id=1, shared_secret=bytes(32))
+        assert session.nonces.next() == 0
+        assert session.nonces.next() == 1
+
+    def test_tracks_installed_ceks(self):
+        session = AttestationSession(enclave_session_id=1, shared_secret=bytes(32))
+        session.installed_ceks.add("K")
+        assert "K" in session.installed_ceks

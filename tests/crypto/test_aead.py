@@ -1,0 +1,138 @@
+"""AEAD_AES_256_CBC_HMAC_SHA_256 cell encryption (paper Section 2.3)."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.crypto.aead import (
+    ALGORITHM_VERSION,
+    MAC_SIZE,
+    CellCipher,
+    EncryptionScheme,
+    generate_cek_material,
+)
+from repro.errors import CryptoError, IntegrityError
+
+CEK = bytes(range(32))
+
+
+@pytest.fixture()
+def cipher() -> CellCipher:
+    return CellCipher(CEK)
+
+
+class TestDeterministic:
+    def test_same_plaintext_same_ciphertext(self, cipher):
+        a = cipher.encrypt(b"alice", EncryptionScheme.DETERMINISTIC)
+        b = cipher.encrypt(b"alice", EncryptionScheme.DETERMINISTIC)
+        assert a == b
+
+    def test_different_plaintext_different_ciphertext(self, cipher):
+        a = cipher.encrypt(b"alice", EncryptionScheme.DETERMINISTIC)
+        b = cipher.encrypt(b"alicf", EncryptionScheme.DETERMINISTIC)
+        assert a != b
+
+    def test_whole_value_equality_not_blockwise(self, cipher):
+        # Unlike ECB, repeating 16-byte blocks inside a value must NOT
+        # produce repeating ciphertext blocks (the paper's ECB contrast).
+        pt = b"B" * 16 + b"B" * 16
+        envelope = cipher.encrypt(pt, EncryptionScheme.DETERMINISTIC)
+        body = envelope[1 + MAC_SIZE + 16 :]
+        assert body[:16] != body[16:32]
+
+    def test_det_differs_across_keys(self):
+        a = CellCipher(bytes(32)).encrypt(b"x", EncryptionScheme.DETERMINISTIC)
+        b = CellCipher(bytes([9]) * 32).encrypt(b"x", EncryptionScheme.DETERMINISTIC)
+        assert a != b
+
+
+class TestRandomized:
+    def test_same_plaintext_different_ciphertext(self, cipher):
+        a = cipher.encrypt(b"alice", EncryptionScheme.RANDOMIZED)
+        b = cipher.encrypt(b"alice", EncryptionScheme.RANDOMIZED)
+        assert a != b
+
+    def test_decrypts_correctly(self, cipher):
+        envelope = cipher.encrypt(b"some value", EncryptionScheme.RANDOMIZED)
+        assert cipher.decrypt(envelope) == b"some value"
+
+
+class TestEnvelope:
+    def test_version_byte(self, cipher):
+        envelope = cipher.encrypt(b"x", EncryptionScheme.RANDOMIZED)
+        assert envelope[0] == ALGORITHM_VERSION
+
+    def test_mac_tamper_detected(self, cipher):
+        envelope = bytearray(cipher.encrypt(b"x", EncryptionScheme.RANDOMIZED))
+        envelope[1] ^= 0xFF  # flip a MAC byte
+        with pytest.raises(IntegrityError):
+            cipher.decrypt(bytes(envelope))
+
+    def test_body_tamper_detected(self, cipher):
+        envelope = bytearray(cipher.encrypt(b"x", EncryptionScheme.RANDOMIZED))
+        envelope[-1] ^= 0x01
+        with pytest.raises(IntegrityError):
+            cipher.decrypt(bytes(envelope))
+
+    def test_iv_tamper_detected(self, cipher):
+        envelope = bytearray(cipher.encrypt(b"x", EncryptionScheme.RANDOMIZED))
+        envelope[1 + MAC_SIZE] ^= 0x01
+        with pytest.raises(IntegrityError):
+            cipher.decrypt(bytes(envelope))
+
+    def test_wrong_key_rejected(self, cipher):
+        envelope = cipher.encrypt(b"x", EncryptionScheme.RANDOMIZED)
+        other = CellCipher(bytes([7]) * 32)
+        with pytest.raises(IntegrityError):
+            other.decrypt(envelope)
+
+    def test_verify_distinguishes_garbage(self, cipher):
+        # The paper's HMAC usability rationale: detect garbage ciphertext.
+        envelope = cipher.encrypt(b"x", EncryptionScheme.RANDOMIZED)
+        assert cipher.verify(envelope)
+        assert not cipher.verify(b"\x01" + b"\x00" * 80)
+        assert not cipher.verify(b"")
+
+    def test_wrong_version_rejected(self, cipher):
+        envelope = bytearray(cipher.encrypt(b"x", EncryptionScheme.RANDOMIZED))
+        envelope[0] = 0x02
+        with pytest.raises(CryptoError):
+            cipher.decrypt(bytes(envelope))
+
+    def test_truncated_envelope_rejected(self, cipher):
+        envelope = cipher.encrypt(b"x", EncryptionScheme.RANDOMIZED)
+        with pytest.raises(CryptoError):
+            cipher.decrypt(envelope[:40])
+
+
+class TestKeys:
+    def test_bad_key_size_rejected(self):
+        with pytest.raises(CryptoError):
+            CellCipher(b"short")
+
+    def test_generate_material(self):
+        a = generate_cek_material()
+        b = generate_cek_material()
+        assert len(a) == 32 and len(b) == 32 and a != b
+
+
+class TestProperties:
+    @given(data=st.binary(min_size=0, max_size=500))
+    @settings(max_examples=50, deadline=None)
+    def test_roundtrip_rnd(self, data):
+        cipher = CellCipher(CEK)
+        assert cipher.decrypt(cipher.encrypt(data, EncryptionScheme.RANDOMIZED)) == data
+
+    @given(data=st.binary(min_size=0, max_size=500))
+    @settings(max_examples=50, deadline=None)
+    def test_roundtrip_det(self, data):
+        cipher = CellCipher(CEK)
+        assert cipher.decrypt(cipher.encrypt(data, EncryptionScheme.DETERMINISTIC)) == data
+
+    @given(a=st.binary(max_size=64), b=st.binary(max_size=64))
+    @settings(max_examples=50, deadline=None)
+    def test_det_equality_iff_plaintext_equality(self, a, b):
+        cipher = CellCipher(CEK)
+        ct_a = cipher.encrypt(a, EncryptionScheme.DETERMINISTIC)
+        ct_b = cipher.encrypt(b, EncryptionScheme.DETERMINISTIC)
+        assert (ct_a == ct_b) == (a == b)

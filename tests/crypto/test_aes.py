@@ -1,0 +1,95 @@
+"""AES correctness: FIPS 197 vectors, NIST CBC vectors, and properties."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.crypto.aes import AES, BLOCK_SIZE, INV_SBOX, SBOX
+from repro.errors import CryptoError
+
+FIPS_PLAINTEXT = bytes.fromhex("00112233445566778899aabbccddeeff")
+
+
+class TestFips197Vectors:
+    def test_aes128_appendix_c1(self):
+        key = bytes.fromhex("000102030405060708090a0b0c0d0e0f")
+        assert AES(key).encrypt_block(FIPS_PLAINTEXT).hex() == "69c4e0d86a7b0430d8cdb78070b4c55a"
+
+    def test_aes192_appendix_c2(self):
+        key = bytes.fromhex("000102030405060708090a0b0c0d0e0f1011121314151617")
+        assert AES(key).encrypt_block(FIPS_PLAINTEXT).hex() == "dda97ca4864cdfe06eaf70a0ec0d7191"
+
+    def test_aes256_appendix_c3(self):
+        key = bytes.fromhex(
+            "000102030405060708090a0b0c0d0e0f101112131415161718191a1b1c1d1e1f"
+        )
+        assert AES(key).encrypt_block(FIPS_PLAINTEXT).hex() == "8ea2b7ca516745bfeafc49904b496089"
+
+    def test_decrypt_inverts_all_key_sizes(self):
+        for size in (16, 24, 32):
+            key = bytes(range(size))
+            cipher = AES(key)
+            ct = cipher.encrypt_block(FIPS_PLAINTEXT)
+            assert cipher.decrypt_block(ct) == FIPS_PLAINTEXT
+
+    def test_sp800_38a_ecb_block(self):
+        # SP 800-38A F.1.5 ECB-AES256, first block.
+        key = bytes.fromhex(
+            "603deb1015ca71be2b73aef0857d77811f352c073b6108d72d9810a30914dff4"
+        )
+        pt = bytes.fromhex("6bc1bee22e409f96e93d7e117393172a")
+        assert AES(key).encrypt_block(pt).hex() == "f3eed1bdb5d2a03c064b5a7e3db181f8"
+
+
+class TestSbox:
+    def test_sbox_known_values(self):
+        assert SBOX[0x00] == 0x63
+        assert SBOX[0x01] == 0x7C
+        assert SBOX[0x53] == 0xED
+        assert SBOX[0xFF] == 0x16
+
+    def test_inverse_sbox_inverts(self):
+        for value in range(256):
+            assert INV_SBOX[SBOX[value]] == value
+
+    def test_sbox_is_permutation(self):
+        assert sorted(SBOX) == list(range(256))
+
+
+class TestValidation:
+    def test_bad_key_length_rejected(self):
+        with pytest.raises(CryptoError):
+            AES(b"short")
+
+    @pytest.mark.parametrize("size", [0, 15, 17, 32])
+    def test_bad_block_length_rejected(self, size):
+        cipher = AES(bytes(32))
+        with pytest.raises(CryptoError):
+            cipher.encrypt_block(bytes(size))
+        with pytest.raises(CryptoError):
+            cipher.decrypt_block(bytes(size))
+
+
+class TestProperties:
+    @given(key=st.binary(min_size=32, max_size=32), block=st.binary(min_size=16, max_size=16))
+    @settings(max_examples=50, deadline=None)
+    def test_roundtrip(self, key, block):
+        cipher = AES(key)
+        assert cipher.decrypt_block(cipher.encrypt_block(block)) == block
+
+    @given(key=st.binary(min_size=32, max_size=32), block=st.binary(min_size=16, max_size=16))
+    @settings(max_examples=25, deadline=None)
+    def test_encryption_changes_data(self, key, block):
+        # A block cipher is a permutation; a fixed point is astronomically
+        # unlikely for random inputs.
+        assert AES(key).encrypt_block(block) != block
+
+    @given(block=st.binary(min_size=16, max_size=16))
+    @settings(max_examples=25, deadline=None)
+    def test_different_keys_differ(self, block):
+        a = AES(bytes(32)).encrypt_block(block)
+        b = AES(bytes([1]) + bytes(31)).encrypt_block(block)
+        assert a != b
+
+    def test_block_size_constant(self):
+        assert BLOCK_SIZE == 16

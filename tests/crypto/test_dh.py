@@ -1,0 +1,37 @@
+"""Diffie–Hellman key exchange (the attestation-folded handshake)."""
+
+import pytest
+
+from repro.crypto.dh import MODP_2048_PRIME, DiffieHellman, public_key_bytes
+from repro.errors import CryptoError
+
+
+class TestDiffieHellman:
+    def test_shared_secret_agrees(self):
+        a, b = DiffieHellman(), DiffieHellman()
+        assert a.shared_secret(b.public_key) == b.shared_secret(a.public_key)
+
+    def test_secret_is_32_bytes(self):
+        a, b = DiffieHellman(), DiffieHellman()
+        assert len(a.shared_secret(b.public_key)) == 32
+
+    def test_different_parties_different_secrets(self):
+        a, b, c = DiffieHellman(), DiffieHellman(), DiffieHellman()
+        assert a.shared_secret(b.public_key) != a.shared_secret(c.public_key)
+
+    def test_public_key_in_range(self):
+        a = DiffieHellman()
+        assert 2 <= a.public_key <= MODP_2048_PRIME - 2
+
+    @pytest.mark.parametrize("bad", [0, 1, MODP_2048_PRIME - 1, MODP_2048_PRIME])
+    def test_degenerate_peer_keys_rejected(self, bad):
+        with pytest.raises(CryptoError):
+            DiffieHellman().shared_secret(bad)
+
+    def test_public_key_bytes_length(self):
+        assert len(public_key_bytes(DiffieHellman().public_key)) == 256
+
+    def test_fixed_private_reproducible(self):
+        a1 = DiffieHellman(_private=12345)
+        a2 = DiffieHellman(_private=12345)
+        assert a1.public_key == a2.public_key

@@ -1,0 +1,97 @@
+"""CBC mode and PKCS#7 padding."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.crypto.aes import AES
+from repro.crypto.modes import cbc_decrypt, cbc_encrypt, pkcs7_pad, pkcs7_unpad
+from repro.errors import CryptoError
+
+KEY = bytes(range(32))
+IV = bytes(range(16))
+
+
+class TestPkcs7:
+    def test_pad_empty(self):
+        assert pkcs7_pad(b"") == bytes([16]) * 16
+
+    def test_pad_full_block_adds_block(self):
+        padded = pkcs7_pad(b"x" * 16)
+        assert len(padded) == 32
+        assert padded[-1] == 16
+
+    @pytest.mark.parametrize("n", range(0, 33))
+    def test_roundtrip_all_lengths(self, n):
+        data = b"a" * n
+        assert pkcs7_unpad(pkcs7_pad(data)) == data
+
+    def test_unpad_rejects_zero_padding(self):
+        with pytest.raises(CryptoError):
+            pkcs7_unpad(b"x" * 15 + b"\x00")
+
+    def test_unpad_rejects_oversized_padding(self):
+        with pytest.raises(CryptoError):
+            pkcs7_unpad(b"x" * 15 + b"\x11")
+
+    def test_unpad_rejects_inconsistent_bytes(self):
+        with pytest.raises(CryptoError):
+            pkcs7_unpad(b"x" * 13 + b"\x01\x02\x03")
+
+    def test_unpad_rejects_unaligned(self):
+        with pytest.raises(CryptoError):
+            pkcs7_unpad(b"x" * 15)
+
+
+class TestCbc:
+    def test_sp800_38a_cbc_aes256(self):
+        # NIST SP 800-38A F.2.5 CBC-AES256.Encrypt, first two blocks.
+        key = bytes.fromhex(
+            "603deb1015ca71be2b73aef0857d77811f352c073b6108d72d9810a30914dff4"
+        )
+        iv = bytes.fromhex("000102030405060708090a0b0c0d0e0f")
+        pt = bytes.fromhex(
+            "6bc1bee22e409f96e93d7e117393172a"
+            "ae2d8a571e03ac9c9eb76fac45af8e51"
+        )
+        expected = (
+            "f58c4c04d6e5f1ba779eabfb5f7bfbd6"
+            "9cfc4e967edb808d679f777bc6702c7d"
+        )
+        assert cbc_encrypt(AES(key), iv, pt).hex() == expected
+
+    def test_roundtrip(self):
+        cipher = AES(KEY)
+        pt = pkcs7_pad(b"the quick brown fox")
+        assert cbc_decrypt(cipher, IV, cbc_encrypt(cipher, IV, pt)) == pt
+
+    def test_iv_changes_ciphertext(self):
+        cipher = AES(KEY)
+        pt = b"a" * 32
+        iv2 = bytes(reversed(IV))
+        assert cbc_encrypt(cipher, IV, pt) != cbc_encrypt(cipher, iv2, pt)
+
+    def test_chaining_propagates(self):
+        # Identical plaintext blocks produce different ciphertext blocks.
+        cipher = AES(KEY)
+        ct = cbc_encrypt(cipher, IV, b"b" * 32)
+        assert ct[:16] != ct[16:]
+
+    def test_rejects_bad_iv(self):
+        with pytest.raises(CryptoError):
+            cbc_encrypt(AES(KEY), b"short", b"a" * 16)
+
+    def test_rejects_unaligned_plaintext(self):
+        with pytest.raises(CryptoError):
+            cbc_encrypt(AES(KEY), IV, b"a" * 15)
+
+    def test_rejects_empty_ciphertext(self):
+        with pytest.raises(CryptoError):
+            cbc_decrypt(AES(KEY), IV, b"")
+
+    @given(data=st.binary(min_size=0, max_size=200), iv=st.binary(min_size=16, max_size=16))
+    @settings(max_examples=30, deadline=None)
+    def test_property_roundtrip(self, data, iv):
+        cipher = AES(KEY)
+        ct = cbc_encrypt(cipher, iv, pkcs7_pad(data))
+        assert pkcs7_unpad(cbc_decrypt(cipher, iv, ct)) == data

@@ -1,0 +1,125 @@
+"""RSA keygen, OAEP, and signatures."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.crypto.rsa import (
+    RsaKeyPair,
+    RsaPublicKey,
+    encrypt_oaep,
+    verify_signature,
+    _is_probable_prime,
+)
+from repro.errors import CryptoError
+
+
+@pytest.fixture(scope="module")
+def keypair() -> RsaKeyPair:
+    return RsaKeyPair.generate(1024)
+
+
+class TestPrimality:
+    @pytest.mark.parametrize("p", [2, 3, 5, 7, 97, 101, 7919, 104729])
+    def test_known_primes(self, p):
+        assert _is_probable_prime(p)
+
+    @pytest.mark.parametrize("n", [0, 1, 4, 100, 7917, 561, 1105, 6601])
+    def test_composites_and_carmichael(self, n):
+        assert not _is_probable_prime(n)
+
+
+class TestKeygen:
+    def test_modulus_size(self, keypair):
+        assert keypair.public.n.bit_length() == 1024
+
+    def test_keys_differ(self):
+        a = RsaKeyPair.generate(512)
+        b = RsaKeyPair.generate(512)
+        assert a.public.n != b.public.n
+
+    def test_private_consistency(self, keypair):
+        # d inverts e mod phi: a single modexp roundtrip must hold.
+        m = 123456789
+        c = pow(m, keypair.public.e, keypair.public.n)
+        assert keypair._private_op(c) == m
+
+    def test_too_small_rejected(self):
+        with pytest.raises(CryptoError):
+            RsaKeyPair.generate(128)
+
+
+class TestOaep:
+    def test_roundtrip(self, keypair):
+        pt = b"column encryption key material.."
+        assert keypair.decrypt_oaep(encrypt_oaep(keypair.public, pt)) == pt
+
+    def test_randomized(self, keypair):
+        pt = b"x" * 32
+        assert encrypt_oaep(keypair.public, pt) != encrypt_oaep(keypair.public, pt)
+
+    def test_label_mismatch_rejected(self, keypair):
+        ct = encrypt_oaep(keypair.public, b"data", label=b"A")
+        with pytest.raises(CryptoError):
+            keypair.decrypt_oaep(ct, label=b"B")
+
+    def test_tamper_rejected(self, keypair):
+        ct = bytearray(encrypt_oaep(keypair.public, b"data"))
+        ct[-1] ^= 1
+        with pytest.raises(CryptoError):
+            keypair.decrypt_oaep(bytes(ct))
+
+    def test_too_long_plaintext_rejected(self, keypair):
+        with pytest.raises(CryptoError):
+            encrypt_oaep(keypair.public, b"x" * 200)
+
+    def test_wrong_length_ciphertext_rejected(self, keypair):
+        with pytest.raises(CryptoError):
+            keypair.decrypt_oaep(b"\x00" * 64)
+
+    @given(data=st.binary(min_size=0, max_size=32))
+    @settings(max_examples=15, deadline=None)
+    def test_property_roundtrip(self, keypair, data):
+        assert keypair.decrypt_oaep(encrypt_oaep(keypair.public, data)) == data
+
+
+class TestSignatures:
+    def test_sign_verify(self, keypair):
+        sig = keypair.sign(b"message")
+        assert verify_signature(keypair.public, b"message", sig)
+
+    def test_wrong_message_rejected(self, keypair):
+        sig = keypair.sign(b"message")
+        assert not verify_signature(keypair.public, b"other", sig)
+
+    def test_wrong_key_rejected(self, keypair):
+        other = RsaKeyPair.generate(512)
+        sig = keypair.sign(b"message")
+        assert not verify_signature(other.public, b"message", sig)
+
+    def test_tampered_signature_rejected(self, keypair):
+        sig = bytearray(keypair.sign(b"message"))
+        sig[0] ^= 1
+        assert not verify_signature(keypair.public, b"message", bytes(sig))
+
+    def test_wrong_length_signature_rejected(self, keypair):
+        assert not verify_signature(keypair.public, b"message", b"short")
+
+    def test_deterministic(self, keypair):
+        assert keypair.sign(b"m") == keypair.sign(b"m")
+
+
+class TestPublicKeySerialization:
+    def test_roundtrip(self, keypair):
+        data = keypair.public.to_bytes()
+        restored = RsaPublicKey.from_bytes(data)
+        assert restored == keypair.public
+
+    def test_fingerprint_stable_and_distinct(self, keypair):
+        assert keypair.public.fingerprint() == keypair.public.fingerprint()
+        other = RsaKeyPair.generate(512)
+        assert keypair.public.fingerprint() != other.public.fingerprint()
+
+    def test_malformed_rejected(self):
+        with pytest.raises(CryptoError):
+            RsaPublicKey.from_bytes(b"junk")

@@ -1,0 +1,75 @@
+"""The sealed CEK-package channel between driver and enclave."""
+
+import pytest
+
+from repro.enclave.channel import (
+    CekPackage,
+    SealedPackage,
+    open_package,
+    seal_package,
+    sign_query_authorization,
+)
+from repro.errors import EnclaveError, IntegrityError
+
+SECRET = bytes(range(32))
+
+
+class TestPackageSerialization:
+    def test_roundtrip(self):
+        package = CekPackage(
+            nonce=7,
+            ceks=(("CEK1", bytes(32)), ("CEK2", bytes([1]) * 32)),
+            authorized_query_hashes=(bytes(32),),
+        )
+        assert CekPackage.deserialize(package.serialize()) == package
+
+    def test_empty_package(self):
+        package = CekPackage(nonce=0)
+        assert CekPackage.deserialize(package.serialize()) == package
+
+    def test_bad_hash_length_rejected(self):
+        with pytest.raises(EnclaveError):
+            CekPackage(nonce=0, authorized_query_hashes=(b"short",)).serialize()
+
+    def test_trailing_bytes_rejected(self):
+        blob = CekPackage(nonce=0).serialize() + b"x"
+        with pytest.raises(EnclaveError):
+            CekPackage.deserialize(blob)
+
+    def test_truncated_rejected(self):
+        with pytest.raises(EnclaveError):
+            CekPackage.deserialize(b"\x00\x01")
+
+
+class TestSealing:
+    def test_seal_open_roundtrip(self):
+        package = CekPackage(nonce=3, ceks=(("K", bytes(32)),))
+        sealed = seal_package(SECRET, package)
+        assert open_package(SECRET, sealed) == package
+
+    def test_wrong_secret_rejected(self):
+        sealed = seal_package(SECRET, CekPackage(nonce=1))
+        with pytest.raises(IntegrityError):
+            open_package(bytes(32), sealed)
+
+    def test_sealed_blob_hides_key_material(self):
+        material = bytes(range(32))
+        sealed = seal_package(SECRET, CekPackage(nonce=1, ceks=(("K", material),)))
+        assert material not in sealed.blob
+
+    def test_tampered_blob_rejected(self):
+        sealed = seal_package(SECRET, CekPackage(nonce=1))
+        tampered = SealedPackage(blob=sealed.blob[:-1] + bytes([sealed.blob[-1] ^ 1]))
+        with pytest.raises(IntegrityError):
+            open_package(SECRET, tampered)
+
+    def test_sealing_is_randomized(self):
+        package = CekPackage(nonce=1)
+        assert seal_package(SECRET, package).blob != seal_package(SECRET, package).blob
+
+
+class TestQueryAuthorization:
+    def test_deterministic_per_secret(self):
+        digest = bytes(32)
+        assert sign_query_authorization(SECRET, digest) == sign_query_authorization(SECRET, digest)
+        assert sign_query_authorization(SECRET, digest) != sign_query_authorization(bytes(32), digest)

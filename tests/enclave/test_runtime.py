@@ -1,0 +1,186 @@
+"""The enclave runtime: sessions, CEK install, eval, gated oracles."""
+
+import pytest
+
+from repro.crypto.aead import CellCipher, EncryptionScheme
+from repro.crypto.dh import DiffieHellman, public_key_bytes
+from repro.crypto.rsa import verify_signature
+from repro.enclave.channel import CekPackage, SealedPackage, seal_package
+from repro.errors import EnclaveError, KeysUnavailableError, ReplayError
+from repro.sqlengine.cells import Ciphertext
+from repro.sqlengine.expression.program import Instruction, Opcode, StackProgram
+from repro.sqlengine.types import EncryptionInfo
+from repro.sqlengine.values import serialize_value
+
+ENC = EncryptionInfo(
+    scheme=EncryptionScheme.RANDOMIZED, cek_name="TestCEK", enclave_enabled=True
+)
+
+
+@pytest.fixture()
+def session(enclave, cek_material):
+    """An enclave with an attested session and TestCEK installed."""
+    client_dh = DiffieHellman()
+    session_id, enclave_dh_public, __ = enclave.start_session(client_dh.public_key)
+    secret = client_dh.shared_secret(enclave_dh_public)
+    package = CekPackage(nonce=0, ceks=(("TestCEK", cek_material),))
+    enclave.install_package(session_id, seal_package(secret, package))
+    return session_id, secret
+
+
+def rnd_cell(cek_material, value) -> Ciphertext:
+    cipher = CellCipher(cek_material)
+    return Ciphertext(cipher.encrypt(serialize_value(value), EncryptionScheme.RANDOMIZED))
+
+
+class TestSession:
+    def test_dh_binding_signature_valid(self, enclave):
+        client_dh = DiffieHellman()
+        __, enclave_dh_public, signature = enclave.start_session(client_dh.public_key)
+        message = (
+            b"AE-DH-BINDING\x00"
+            + public_key_bytes(enclave_dh_public)
+            + public_key_bytes(client_dh.public_key)
+        )
+        assert verify_signature(enclave.public_key, message, signature)
+
+    def test_unknown_session_rejected(self, enclave):
+        with pytest.raises(EnclaveError):
+            enclave.install_package(9999, SealedPackage(blob=b"x" * 100))
+
+    def test_replayed_package_rejected(self, enclave, session, cek_material):
+        session_id, secret = session
+        package = CekPackage(nonce=0, ceks=(("TestCEK", cek_material),))
+        with pytest.raises(ReplayError):
+            enclave.install_package(session_id, seal_package(secret, package))
+
+    def test_garbage_package_rejected(self, enclave, session):
+        session_id, __ = session
+        with pytest.raises(EnclaveError):
+            enclave.install_package(session_id, SealedPackage(blob=b"\x01" + b"\x00" * 100))
+
+    def test_report_reflects_binary(self, enclave, enclave_binary):
+        report = enclave.measure()
+        assert report.binary_hash == enclave_binary.binary_hash
+        assert report.author_id == enclave_binary.author_id
+        assert report.enclave_public_key_hash == enclave.public_key.fingerprint()
+
+
+class TestEval:
+    def _comparison_handle(self, enclave, op="<"):
+        prog = StackProgram([
+            Instruction(Opcode.GET_DATA, (0, ENC)),
+            Instruction(Opcode.GET_DATA, (1, ENC)),
+            Instruction(Opcode.COMP, op),
+            Instruction(Opcode.SET_DATA, (0, None)),
+        ])
+        return enclave.register_program(prog.serialize())
+
+    def test_comparison_result_in_clear(self, enclave, session, cek_material):
+        handle = self._comparison_handle(enclave)
+        a, b = rnd_cell(cek_material, 5), rnd_cell(cek_material, 9)
+        assert enclave.eval(handle, [a, b]) == [True]
+        assert enclave.eval(handle, [b, a]) == [False]
+
+    def test_null_propagates(self, enclave, session, cek_material):
+        handle = self._comparison_handle(enclave)
+        assert enclave.eval(handle, [None, rnd_cell(cek_material, 1)]) == [None]
+
+    def test_registration_idempotent(self, enclave, session):
+        prog = StackProgram([
+            Instruction(Opcode.GET_DATA, (0, ENC)),
+            Instruction(Opcode.GET_DATA, (1, ENC)),
+            Instruction(Opcode.COMP, "="),
+            Instruction(Opcode.SET_DATA, (0, None)),
+        ]).serialize()
+        assert enclave.register_program(prog) == enclave.register_program(prog)
+
+    def test_unknown_handle_rejected(self, enclave, session):
+        with pytest.raises(EnclaveError):
+            enclave.eval(424242, [])
+
+    def test_registration_requires_installed_keys(self, enclave):
+        # No session/keys installed on this fresh enclave.
+        prog = StackProgram([
+            Instruction(Opcode.GET_DATA, (0, ENC)),
+            Instruction(Opcode.GET_DATA, (1, ENC)),
+            Instruction(Opcode.COMP, "="),
+            Instruction(Opcode.SET_DATA, (0, None)),
+        ]).serialize()
+        with pytest.raises(EnclaveError):
+            enclave.register_program(prog)
+
+    def test_counters_track_work(self, enclave, session, cek_material):
+        handle = self._comparison_handle(enclave)
+        before = enclave.counters.evals
+        enclave.eval(handle, [rnd_cell(cek_material, 1), rnd_cell(cek_material, 2)])
+        assert enclave.counters.evals == before + 1
+        assert enclave.counters.cpu_seconds > 0
+
+
+class TestCompare:
+    def test_three_way(self, enclave, session, cek_material):
+        a, b = rnd_cell(cek_material, 10), rnd_cell(cek_material, 20)
+        assert enclave.compare("TestCEK", a, b) == -1
+        assert enclave.compare("TestCEK", b, a) == 1
+        assert enclave.compare("TestCEK", a, rnd_cell(cek_material, 10)) == 0
+
+    def test_missing_key_raises_keys_unavailable(self, enclave, cek_material):
+        a = rnd_cell(cek_material, 1)
+        with pytest.raises(KeysUnavailableError):
+            enclave.compare("TestCEK", a, a)
+
+
+class TestGatedOracles:
+    DDL = "ALTER TABLE T ALTER COLUMN v int ENCRYPTED WITH (...)"
+
+    def _authorize(self, enclave, session, query_text):
+        import hashlib
+
+        session_id, secret = session
+        package = CekPackage(
+            nonce=1,
+            authorized_query_hashes=(hashlib.sha256(query_text.encode()).digest(),),
+        )
+        enclave.install_package(session_id, seal_package(secret, package))
+
+    def test_encrypt_requires_authorization(self, enclave, session):
+        with pytest.raises(EnclaveError, match="refused"):
+            enclave.encrypt_for_ddl(
+                self.DDL, "TestCEK", serialize_value(1), EncryptionScheme.RANDOMIZED
+            )
+
+    def test_encrypt_after_authorization(self, enclave, session, cek_material):
+        self._authorize(enclave, session, self.DDL)
+        cell = enclave.encrypt_for_ddl(
+            self.DDL, "TestCEK", serialize_value(7), EncryptionScheme.RANDOMIZED
+        )
+        assert CellCipher(cek_material).decrypt(cell.envelope) == serialize_value(7)
+
+    def test_different_query_text_not_authorized(self, enclave, session):
+        self._authorize(enclave, session, self.DDL)
+        with pytest.raises(EnclaveError, match="refused"):
+            enclave.encrypt_for_ddl(
+                self.DDL + " ", "TestCEK", serialize_value(1), EncryptionScheme.RANDOMIZED
+            )
+
+    def test_recrypt_gated_and_works(self, enclave, session, cek_material):
+        self._authorize(enclave, session, self.DDL)
+        session_id, secret = session
+        new_material = bytes([5]) * 32
+        enclave.install_package(
+            session_id,
+            seal_package(secret, CekPackage(nonce=2, ceks=(("NewCEK", new_material),))),
+        )
+        old_cell = rnd_cell(cek_material, 99)
+        new_cell = enclave.recrypt_for_ddl(
+            self.DDL, "TestCEK", "NewCEK", old_cell, EncryptionScheme.RANDOMIZED
+        )
+        assert CellCipher(new_material).decrypt(new_cell.envelope) == serialize_value(99)
+
+    def test_decrypt_gated(self, enclave, session, cek_material):
+        cell = rnd_cell(cek_material, 3)
+        with pytest.raises(EnclaveError, match="refused"):
+            enclave.decrypt_for_ddl("some ddl", "TestCEK", cell)
+        self._authorize(enclave, session, "some ddl")
+        assert enclave.decrypt_for_ddl("some ddl", "TestCEK", cell) == serialize_value(3)

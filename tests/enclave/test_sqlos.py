@@ -1,0 +1,58 @@
+"""The enclave SQL OS layer."""
+
+import pytest
+
+from repro.enclave.sqlos import SqlOs
+from repro.errors import EnclaveError, KeysUnavailableError
+
+
+class TestKeys:
+    def test_install_and_fetch(self):
+        sqlos = SqlOs()
+        sqlos.install_key("K", bytes(32))
+        assert sqlos.has_key("K")
+        assert sqlos.cipher_for("K") is sqlos.cipher_for("K")
+        assert sqlos.key_material("K") == bytes(32)
+
+    def test_missing_key_raises_keys_unavailable(self):
+        sqlos = SqlOs()
+        with pytest.raises(KeysUnavailableError):
+            sqlos.cipher_for("missing")
+        with pytest.raises(KeysUnavailableError):
+            sqlos.key_material("missing")
+
+    def test_installed_keys_snapshot(self):
+        sqlos = SqlOs()
+        sqlos.install_key("A", bytes(32))
+        sqlos.install_key("B", bytes([1]) * 32)
+        assert sqlos.installed_keys() == frozenset({"A", "B"})
+
+
+class TestMemory:
+    def test_accounting(self):
+        sqlos = SqlOs(memory_limit_bytes=100)
+        sqlos.allocate(60)
+        assert sqlos.memory_used == 60
+        sqlos.free(20)
+        assert sqlos.memory_used == 40
+
+    def test_limit_enforced(self):
+        sqlos = SqlOs(memory_limit_bytes=10)
+        with pytest.raises(EnclaveError):
+            sqlos.allocate(11)
+
+    def test_free_never_negative(self):
+        sqlos = SqlOs()
+        sqlos.free(100)
+        assert sqlos.memory_used == 0
+
+
+class TestFaults:
+    def test_fault_recording_is_coarse(self):
+        # Faults carry kind + location only — no plaintext (Section 4.4.1).
+        sqlos = SqlOs()
+        sqlos.record_fault("access_violation", "Eval")
+        assert len(sqlos.faults) == 1
+        fault = sqlos.faults[0]
+        assert fault.kind == "access_violation"
+        assert not hasattr(fault, "plaintext")

@@ -1,0 +1,111 @@
+"""The enclave worker-queue optimization (Section 4.6)."""
+
+import threading
+
+import pytest
+
+from repro.crypto.aead import CellCipher, EncryptionScheme
+from repro.crypto.dh import DiffieHellman
+from repro.enclave.channel import CekPackage, seal_package
+from repro.enclave.worker import CallMode, EnclaveCallGateway
+from repro.errors import EnclaveError
+from repro.sqlengine.cells import Ciphertext
+from repro.sqlengine.expression.program import Instruction, Opcode, StackProgram
+from repro.sqlengine.types import EncryptionInfo
+from repro.sqlengine.values import serialize_value
+
+ENC = EncryptionInfo(
+    scheme=EncryptionScheme.RANDOMIZED, cek_name="TestCEK", enclave_enabled=True
+)
+
+
+@pytest.fixture()
+def ready_enclave(enclave, cek_material):
+    client_dh = DiffieHellman()
+    session_id, enclave_dh, __ = enclave.start_session(client_dh.public_key)
+    secret = client_dh.shared_secret(enclave_dh)
+    enclave.install_package(
+        session_id, seal_package(secret, CekPackage(nonce=0, ceks=(("TestCEK", cek_material),)))
+    )
+    return enclave
+
+
+def comparison_blob() -> bytes:
+    return StackProgram([
+        Instruction(Opcode.GET_DATA, (0, ENC)),
+        Instruction(Opcode.GET_DATA, (1, ENC)),
+        Instruction(Opcode.COMP, "<"),
+        Instruction(Opcode.SET_DATA, (0, None)),
+    ]).serialize()
+
+
+def cell(material, value) -> Ciphertext:
+    return Ciphertext(
+        CellCipher(material).encrypt(serialize_value(value), EncryptionScheme.RANDOMIZED)
+    )
+
+
+class TestSynchronous:
+    def test_sync_eval(self, ready_enclave, cek_material):
+        gateway = EnclaveCallGateway(ready_enclave, mode=CallMode.SYNCHRONOUS)
+        handle = gateway.register_program(comparison_blob())
+        result = gateway.eval(handle, [cell(cek_material, 1), cell(cek_material, 2)])
+        assert result == [True]
+
+    def test_sync_charges_transition_per_call(self, ready_enclave, cek_material):
+        gateway = EnclaveCallGateway(ready_enclave, mode=CallMode.SYNCHRONOUS)
+        handle = gateway.register_program(comparison_blob())
+        for __ in range(5):
+            gateway.eval(handle, [cell(cek_material, 1), cell(cek_material, 2)])
+        assert gateway.stats.boundary_transitions == 5
+        assert gateway.stats.calls == 5
+
+
+class TestQueued:
+    def test_queued_eval(self, ready_enclave, cek_material):
+        with EnclaveCallGateway(ready_enclave, mode=CallMode.QUEUED, n_threads=2) as gateway:
+            handle = gateway.register_program(comparison_blob())
+            result = gateway.eval(handle, [cell(cek_material, 3), cell(cek_material, 2)])
+            assert result == [False]
+
+    def test_hot_worker_amortizes_transitions(self, ready_enclave, cek_material):
+        with EnclaveCallGateway(
+            ready_enclave, mode=CallMode.QUEUED, n_threads=1, spin_duration_s=0.05
+        ) as gateway:
+            handle = gateway.register_program(comparison_blob())
+            a, b = cell(cek_material, 1), cell(cek_material, 2)
+            for __ in range(20):
+                gateway.eval(handle, [a, b])
+            # Back-to-back calls should mostly be picked up by the spinning
+            # (hot) worker, far fewer transitions than calls.
+            assert gateway.stats.boundary_transitions < gateway.stats.calls
+            assert gateway.stats.spin_hits > 0
+
+    def test_errors_propagate_to_submitter(self, ready_enclave):
+        with EnclaveCallGateway(ready_enclave, mode=CallMode.QUEUED, n_threads=1) as gateway:
+            with pytest.raises(EnclaveError):
+                gateway.eval(987654, [])
+
+    def test_concurrent_submitters(self, ready_enclave, cek_material):
+        with EnclaveCallGateway(ready_enclave, mode=CallMode.QUEUED, n_threads=4) as gateway:
+            handle = gateway.register_program(comparison_blob())
+            a, b = cell(cek_material, 1), cell(cek_material, 2)
+            results = []
+            lock = threading.Lock()
+
+            def worker():
+                for __ in range(10):
+                    r = gateway.eval(handle, [a, b])
+                    with lock:
+                        results.append(r[0])
+
+            threads = [threading.Thread(target=worker) for __ in range(4)]
+            for t in threads:
+                t.start()
+            for t in threads:
+                t.join()
+            assert results == [True] * 40
+
+    def test_needs_at_least_one_thread(self, ready_enclave):
+        with pytest.raises(EnclaveError):
+            EnclaveCallGateway(ready_enclave, n_threads=0)

@@ -1,0 +1,58 @@
+"""Experiment calibration plumbing (tiny-scale smoke of the Figure 8/9 path)."""
+
+import pytest
+
+from repro.harness.experiments import (
+    Calibration,
+    TpccScale,
+    calibrate_system,
+    run_figure9,
+)
+from repro.workloads.tpcc import EncryptionMode, TpccConfig, build_system
+
+TINY = TpccScale(warehouses=1, districts_per_warehouse=1, customers_per_district=8, items=12)
+
+
+class TestCalibration:
+    def test_calibration_measures_demands(self):
+        system = build_system(
+            TpccConfig(
+                warehouses=1, districts_per_warehouse=1,
+                customers_per_district=8, items=12,
+                mode=EncryptionMode.PLAINTEXT,
+            )
+        )
+        calibration = calibrate_system(system, n_transactions=10)
+        assert calibration.wall_s_per_txn > 0
+        assert calibration.enclave_s_per_txn == 0.0
+        assert calibration.roundtrips_per_txn > 1  # several statements/txn
+
+    def test_rnd_calibration_includes_enclave_time(self):
+        system = build_system(
+            TpccConfig(
+                warehouses=1, districts_per_warehouse=1,
+                customers_per_district=8, items=12,
+                mode=EncryptionMode.RND,
+            )
+        )
+        calibration = calibrate_system(system, n_transactions=10)
+        assert calibration.enclave_s_per_txn > 0
+        assert calibration.enclave_s_per_txn < calibration.wall_s_per_txn
+
+    def test_demands_split_host_and_enclave(self):
+        c = Calibration(
+            label="X", wall_s_per_txn=0.010, enclave_s_per_txn=0.002,
+            roundtrips_per_txn=30, transactions_run=10,
+        )
+        d = c.demands()
+        assert d.host_cpu_s == pytest.approx(0.008)
+        assert d.enclave_cpu_s == pytest.approx(0.002)
+
+
+class TestFigure9Smoke:
+    def test_orderings_hold_at_tiny_scale(self):
+        result = run_figure9(scale=TINY, n_transactions=10)
+        n = result.normalized
+        assert n["SQL-PT"] == 1.0
+        assert n["SQL-AE-RND-1"] < n["SQL-AE-RND-4"]
+        assert n["SQL-PT-AEConn"] < 1.0

@@ -1,0 +1,117 @@
+"""The MVA queueing model: limits, monotonicity, and paper-shape checks."""
+
+import pytest
+
+from repro.harness.perfmodel import (
+    ModelConfig,
+    NormalizedFigure,
+    ServiceDemands,
+    solve_throughput,
+    sweep,
+)
+
+
+def demands(host=0.005, enclave=0.0, rtts=30.0, label="X"):
+    return ServiceDemands(label=label, host_cpu_s=host, enclave_cpu_s=enclave, roundtrips=rtts)
+
+
+MODEL = ModelConfig(server_cores=20, enclave_threads=4, rtt_s=0.0005)
+
+
+class TestMvaBasics:
+    def test_single_client_throughput(self):
+        # One client: X = 1 / (demand + delay), no queueing.
+        d = demands(host=0.010, rtts=0.0)
+        x = solve_throughput(d, ModelConfig(server_cores=1, rtt_s=0.0), 1)
+        assert x == pytest.approx(100.0, rel=1e-6)
+
+    def test_throughput_monotone_in_clients(self):
+        d = demands()
+        xs = [solve_throughput(d, MODEL, n) for n in (1, 5, 20, 50, 100, 200)]
+        assert all(b >= a - 1e-9 for a, b in zip(xs, xs[1:]))
+
+    def test_saturation_bound(self):
+        # Throughput can never exceed cores / host demand.
+        d = demands(host=0.010, rtts=0.0)
+        cap = MODEL.server_cores / d.host_cpu_s
+        assert solve_throughput(d, MODEL, 10_000) <= cap * (1 + 1e-9)
+
+    def test_saturation_approached(self):
+        d = demands(host=0.010, rtts=0.0)
+        cap = MODEL.server_cores / d.host_cpu_s
+        assert solve_throughput(d, MODEL, 5_000) >= 0.95 * cap
+
+    def test_enclave_center_throttles(self):
+        without = demands(host=0.005, enclave=0.0, rtts=0.0)
+        with_enclave = demands(host=0.005, enclave=0.004, rtts=0.0)
+        x1 = solve_throughput(without, MODEL, 200)
+        x2 = solve_throughput(with_enclave, MODEL, 200)
+        assert x2 < x1
+
+    def test_more_enclave_threads_help(self):
+        d = demands(host=0.004, enclave=0.004, rtts=0.0)
+        x1 = solve_throughput(d, ModelConfig(server_cores=20, enclave_threads=1), 100)
+        x4 = solve_throughput(d, ModelConfig(server_cores=20, enclave_threads=4), 100)
+        assert x4 > x1
+        # And the enclave bound is threads / enclave demand.
+        assert x1 <= 1 / 0.004 + 1e-6
+
+    def test_roundtrips_delay_low_concurrency_only(self):
+        fast = demands(rtts=0.0)
+        slow = demands(rtts=60.0)
+        # At N=1 the extra round-trips dominate...
+        assert solve_throughput(slow, MODEL, 1) < 0.5 * solve_throughput(fast, MODEL, 1)
+        # ...but with enough clients both saturate the same CPU.
+        x_fast = solve_throughput(fast, MODEL, 5_000)
+        x_slow = solve_throughput(slow, MODEL, 5_000)
+        assert x_slow == pytest.approx(x_fast, rel=0.05)
+
+    def test_think_time_reduces_low_n_throughput(self):
+        d = demands(rtts=0.0)
+        base = ModelConfig(rtt_s=0.0, client_think_s=0.0)
+        thinking = ModelConfig(rtt_s=0.0, client_think_s=0.05)
+        assert solve_throughput(d, thinking, 1) < solve_throughput(d, base, 1)
+
+
+class TestSweepAndNormalization:
+    def test_sweep_returns_curve(self):
+        curve = sweep(demands(label="A"), MODEL, [10, 50, 100])
+        assert curve.clients == [10, 50, 100]
+        assert len(curve.throughput) == 3
+
+    def test_normalization_baseline_peak_is_one(self):
+        a = sweep(demands(host=0.004, label="A"), MODEL, [10, 100])
+        b = sweep(demands(host=0.008, label="B"), MODEL, [10, 100])
+        figure = NormalizedFigure(curves=[a, b], baseline_label="A")
+        assert max(figure.normalized["A"]) == pytest.approx(1.0)
+        assert all(v <= 1.0 + 1e-9 for v in figure.normalized["B"])
+
+    def test_rows_layout(self):
+        a = sweep(demands(label="A"), MODEL, [10, 20])
+        figure = NormalizedFigure(curves=[a], baseline_label="A")
+        rows = figure.rows()
+        assert rows[0][0] == 10 and len(rows[0]) == 2
+
+
+class TestPaperShape:
+    """The qualitative Figure 8/9 claims, using paper-plausible demands."""
+
+    def test_figure8_ordering_at_100_clients(self):
+        # Demands shaped like our calibration: AE ~1.3x host CPU of PT plus
+        # enclave work; AEConn doubles round-trips and adds describe CPU.
+        pt = demands(host=0.0043, rtts=31, label="SQL-PT")
+        aeconn = demands(host=0.0049, rtts=60, label="SQL-PT-AEConn")
+        ae = ServiceDemands("SQL-AE-RND-4", host_cpu_s=0.0052, enclave_cpu_s=0.0005, roundtrips=60)
+        curves = [sweep(d, MODEL, [10, 50, 100]) for d in (pt, aeconn, ae)]
+        figure = NormalizedFigure(curves=curves, baseline_label="SQL-PT")
+        at100 = {c.label: figure.normalized[c.label][-1] for c in curves}
+        assert at100["SQL-PT"] > at100["SQL-PT-AEConn"] > at100["SQL-AE-RND-4"]
+        # AEConn lands in the paper's ballpark (64%) and AE roughly half.
+        assert 0.45 < at100["SQL-PT-AEConn"] < 0.85
+        assert 0.35 < at100["SQL-AE-RND-4"] < 0.8
+
+    def test_figure9_rnd1_below_rnd4(self):
+        ae = ServiceDemands("AE", host_cpu_s=0.005, enclave_cpu_s=0.002, roundtrips=60)
+        x1 = solve_throughput(ae, ModelConfig(20, 1, 0.0005), 100)
+        x4 = solve_throughput(ae, ModelConfig(20, 4, 0.0005), 100)
+        assert x1 < x4

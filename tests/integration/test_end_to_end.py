@@ -1,0 +1,148 @@
+"""Full-stack integration: the paper's flows end to end."""
+
+import pytest
+
+from repro.client.driver import connect
+from repro.enclave.runtime import Enclave
+from repro.errors import LockTimeoutError, TransactionError
+from repro.sqlengine.cells import Ciphertext
+from tests.conftest import ALGO, make_encrypted_table
+
+
+class TestFigure3Flow:
+    """The architecture walkthrough: parameterized query over RND data."""
+
+    def test_running_example(self, encrypted_table, server, enclave):
+        result = encrypted_table.execute("SELECT * FROM T WHERE value = @v", {"v": 70})
+        assert result.rows == [(7, 70)]
+        # The query went through the enclave...
+        assert enclave.counters.evals > 0
+        # ...exactly one attestation, one CEK install.
+        assert enclave.counters.sessions_started == 1
+        assert enclave.counters.packages_installed == 1
+
+    def test_range_and_like_through_enclave(self, ae_connection):
+        ae_connection.execute_ddl(
+            "CREATE TABLE people (pid int PRIMARY KEY, "
+            f"name varchar(20) ENCRYPTED WITH (COLUMN_ENCRYPTION_KEY = TestCEK, "
+            f"ENCRYPTION_TYPE = Randomized, ALGORITHM = '{ALGO}'), "
+            f"age int ENCRYPTED WITH (COLUMN_ENCRYPTION_KEY = TestCEK, "
+            f"ENCRYPTION_TYPE = Randomized, ALGORITHM = '{ALGO}'))"
+        )
+        people = [(1, "alice", 30), (2, "bob", 45), (3, "alina", 27), (4, "carol", 52)]
+        for pid, name, age in people:
+            ae_connection.execute(
+                "INSERT INTO people (pid, name, age) VALUES (@p, @n, @a)",
+                {"p": pid, "n": name, "a": age},
+            )
+        r = ae_connection.execute("SELECT pid FROM people WHERE age >= @a", {"a": 40})
+        assert sorted(x[0] for x in r.rows) == [2, 4]
+        r = ae_connection.execute("SELECT pid FROM people WHERE name LIKE @p", {"p": "ali%"})
+        assert sorted(x[0] for x in r.rows) == [1, 3]
+        r = ae_connection.execute(
+            "SELECT pid FROM people WHERE age BETWEEN @lo AND @hi", {"lo": 27, "hi": 45}
+        )
+        assert sorted(x[0] for x in r.rows) == [1, 2, 3]
+
+    def test_update_delete_on_encrypted_predicate(self, encrypted_table):
+        r = encrypted_table.execute("UPDATE T SET id = @n WHERE value = @v", {"n": 100, "v": 90})
+        assert r.rowcount == 1
+        r = encrypted_table.execute("DELETE FROM T WHERE value > @v", {"v": 75})
+        assert r.rowcount == 2  # 80 and 90
+        r = encrypted_table.execute("SELECT COUNT(*) FROM T", {})
+        assert r.rows == [(8,)]
+
+    def test_range_index_used_for_encrypted_range(self, encrypted_table, server):
+        encrypted_table.execute_ddl("CREATE NONCLUSTERED INDEX T_V ON T(value)")
+        r = encrypted_table.execute("SELECT id FROM T WHERE value > @v", {"v": 55})
+        assert "T_V" in r.plan_info
+        assert sorted(x[0] for x in r.rows) == [6, 7, 8, 9]
+
+
+class TestFigure2Schema:
+    """The Account example of Figure 2: mixed plaintext/RND/DET."""
+
+    def test_account_table(self, ae_connection, server):
+        ae_connection.execute_ddl(
+            "CREATE TABLE Account (AcctID int PRIMARY KEY, "
+            f"AcctBal float ENCRYPTED WITH (COLUMN_ENCRYPTION_KEY = TestCEK, "
+            f"ENCRYPTION_TYPE = Randomized, ALGORITHM = '{ALGO}'), "
+            f"Branch varchar(20) ENCRYPTED WITH (COLUMN_ENCRYPTION_KEY = TestCEK, "
+            f"ENCRYPTION_TYPE = Deterministic, ALGORITHM = '{ALGO}'))"
+        )
+        rows = [(1, 100.0, "Seattle"), (2, 200.0, "Seattle"), (3, 200.0, "Zurich")]
+        for acct, bal, branch in rows:
+            ae_connection.execute(
+                "INSERT INTO Account (AcctID, AcctBal, Branch) VALUES (@a, @b, @c)",
+                {"a": acct, "b": bal, "c": branch},
+            )
+        # DET equality (no enclave) + plaintext id both work.
+        r = ae_connection.execute(
+            "SELECT AcctID FROM Account WHERE Branch = @b", {"b": "Seattle"}
+        )
+        assert sorted(x[0] for x in r.rows) == [1, 2]
+        # Equal branches share ciphertext (DET), equal balances do not (RND).
+        stored = [row for __, row in server.engine.scan("Account")]
+        branch_cts = {row[2].envelope for row in stored if row[2] is not None}
+        assert len(branch_cts) == 2  # Seattle, Zurich
+        bal_cts = {row[1].envelope for row in stored}
+        assert len(bal_cts) == 3     # all distinct despite equal values
+
+
+class TestServerSideRecoveryFlow:
+    def test_crash_defer_reconnect_resolve(self, server, registry, attestation_policy,
+                                            enclave_cmk, enclave_cek, enclave_binary,
+                                            cek_material):
+        server.catalog.create_cmk(enclave_cmk)
+        server.catalog.create_cek(enclave_cek)
+        server.engine.ctr_enabled = False
+        conn = connect(server, registry, attestation_policy=attestation_policy)
+        make_encrypted_table(conn)
+        conn.execute_ddl("CREATE NONCLUSTERED INDEX T_V ON T(value)")
+        for i in range(5):
+            conn.execute("INSERT INTO T (id, value) VALUES (@i, @v)", {"i": i, "v": i})
+        # Crash mid-transaction.
+        conn.begin()
+        conn.execute("INSERT INTO T (id, value) VALUES (@i, @v)", {"i": 50, "v": 50})
+        server.engine.checkpoint()
+        new_enclave = Enclave(enclave_binary)
+        server.crash()
+        server.engine.enclave = new_enclave
+        server.enclave = new_enclave
+        report = server.recover()
+        assert report.deferred
+
+        # A fresh client connects and queries → keys flow → deferral resolves.
+        conn2 = connect(server, registry, attestation_policy=attestation_policy)
+        r = conn2.execute("SELECT id FROM T WHERE value = @v", {"v": 3})
+        assert r.rows == [(3,)]
+        assert not server.engine.deferred
+        r = conn2.execute("SELECT COUNT(*) FROM T", {})
+        assert r.rows == [(5,)]  # uncommitted insert rolled back
+
+
+class TestMultiConnection:
+    def test_two_clients_share_server(self, server, registry, attestation_policy,
+                                      enclave_cmk, enclave_cek):
+        server.catalog.create_cmk(enclave_cmk)
+        server.catalog.create_cek(enclave_cek)
+        a = connect(server, registry, attestation_policy=attestation_policy)
+        b = connect(server, registry, attestation_policy=attestation_policy)
+        make_encrypted_table(a)
+        a.execute("INSERT INTO T (id, value) VALUES (@i, @v)", {"i": 1, "v": 11})
+        r = b.execute("SELECT value FROM T WHERE id = @i", {"i": 1})
+        assert r.rows == [(11,)]
+
+    def test_write_conflict_times_out(self, server, registry, attestation_policy,
+                                      enclave_cmk, enclave_cek):
+        server.catalog.create_cmk(enclave_cmk)
+        server.catalog.create_cek(enclave_cek)
+        a = connect(server, registry, attestation_policy=attestation_policy)
+        b = connect(server, registry, attestation_policy=attestation_policy)
+        make_encrypted_table(a)
+        a.execute("INSERT INTO T (id, value) VALUES (@i, @v)", {"i": 1, "v": 11})
+        a.begin()
+        a.execute("UPDATE T SET value = @v WHERE id = @i", {"v": 12, "i": 1})
+        with pytest.raises((LockTimeoutError, TransactionError)):
+            b.execute("DELETE FROM T WHERE id = @i", {"i": 1})
+        a.rollback()

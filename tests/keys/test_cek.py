@@ -1,0 +1,83 @@
+"""CEK metadata: wrapping, signatures, and dual-CMK rotation states."""
+
+import dataclasses
+
+import pytest
+
+from repro.errors import KeyError_, SecurityViolation
+from repro.keys.cek import CekEncryptedValue, ColumnEncryptionKey
+from repro.keys.cmk import ColumnMasterKey
+
+
+@pytest.fixture()
+def vault(registry):
+    return registry.get("AZURE_KEY_VAULT_PROVIDER")
+
+
+class TestCekLifecycle:
+    def test_create_returns_material_and_metadata(self, enclave_cmk, vault):
+        cek, material = ColumnEncryptionKey.create("K", enclave_cmk, vault)
+        assert len(material) == 32
+        assert cek.cmk_names() == [enclave_cmk.name]
+        # The metadata never contains the raw material.
+        assert material not in cek.encrypted_values[0].encrypted_value
+
+    def test_decrypt_roundtrip(self, enclave_cmk, vault, registry):
+        cek, material = ColumnEncryptionKey.create("K2", enclave_cmk, vault)
+        value = cek.value_for_cmk(enclave_cmk.name)
+        assert value.decrypt(enclave_cmk, registry) == material
+
+    def test_unsupported_algorithm_rejected(self, enclave_cmk, vault):
+        with pytest.raises(KeyError_):
+            CekEncryptedValue.create(enclave_cmk, vault, bytes(32), algorithm="RSA_PKCS1")
+
+    def test_signature_tamper_rejected(self, enclave_cmk, vault, registry):
+        cek, __ = ColumnEncryptionKey.create("K3", enclave_cmk, vault)
+        value = cek.encrypted_values[0]
+        tampered = dataclasses.replace(value, encrypted_value=b"\x00" * len(value.encrypted_value))
+        with pytest.raises(SecurityViolation):
+            tampered.decrypt(enclave_cmk, registry)
+
+    def test_missing_cmk_value_rejected(self, enclave_cmk, vault):
+        cek, __ = ColumnEncryptionKey.create("K4", enclave_cmk, vault)
+        with pytest.raises(KeyError_):
+            cek.value_for_cmk("OtherCMK")
+
+
+class TestRotationStates:
+    @pytest.fixture()
+    def second_cmk(self, vault) -> ColumnMasterKey:
+        try:
+            vault.create_key("https://vault.azure.net/keys/rotation-target", bits=1024)
+        except Exception:
+            pass  # session-scoped vault: key persists across tests
+        return ColumnMasterKey.create(
+            "RotCMK", vault, "https://vault.azure.net/keys/rotation-target",
+            allow_enclave_computations=True,
+        )
+
+    def test_dual_encryption_during_rotation(self, enclave_cmk, second_cmk, vault, registry):
+        cek, material = ColumnEncryptionKey.create("K5", enclave_cmk, vault)
+        second_value = CekEncryptedValue.create(second_cmk, vault, material)
+        cek.add_encrypted_value(second_value)
+        # Both CMKs can unwrap — no downtime mid-rotation (Section 2.4.2).
+        assert cek.value_for_cmk(enclave_cmk.name).decrypt(enclave_cmk, registry) == material
+        assert cek.value_for_cmk(second_cmk.name).decrypt(second_cmk, registry) == material
+
+    def test_complete_rotation_drops_old(self, enclave_cmk, second_cmk, vault):
+        cek, material = ColumnEncryptionKey.create("K6", enclave_cmk, vault)
+        cek.add_encrypted_value(CekEncryptedValue.create(second_cmk, vault, material))
+        cek.drop_encrypted_value(enclave_cmk.name)
+        assert cek.cmk_names() == [second_cmk.name]
+
+    def test_cannot_drop_only_value(self, enclave_cmk, vault):
+        cek, __ = ColumnEncryptionKey.create("K7", enclave_cmk, vault)
+        with pytest.raises(KeyError_):
+            cek.drop_encrypted_value(enclave_cmk.name)
+
+    def test_duplicate_cmk_value_rejected(self, enclave_cmk, vault):
+        cek, material = ColumnEncryptionKey.create("K8", enclave_cmk, vault)
+        with pytest.raises(KeyError_):
+            cek.add_encrypted_value(
+                CekEncryptedValue.create(enclave_cmk, vault, material)
+            )

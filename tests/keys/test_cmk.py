@@ -1,0 +1,50 @@
+"""CMK metadata and the anti-tampering signature (Section 2.2)."""
+
+import dataclasses
+
+import pytest
+
+from repro.errors import SecurityViolation
+from repro.keys.cmk import ColumnMasterKey
+
+
+@pytest.fixture()
+def vault(registry):
+    return registry.get("AZURE_KEY_VAULT_PROVIDER")
+
+
+class TestCmkSignature:
+    def test_enclave_cmk_has_valid_signature(self, enclave_cmk, registry):
+        assert enclave_cmk.verify_signature(registry)
+
+    def test_plain_cmk_valid_without_signature(self, plain_cmk, registry):
+        assert plain_cmk.signature == b""
+        assert plain_cmk.verify_signature(registry)
+
+    def test_flipping_enclave_flag_breaks_signature(self, plain_cmk, registry):
+        # The attack the signature defends against: SQL Server claims an
+        # enclave-disabled CMK allows enclave computations.
+        tampered = dataclasses.replace(plain_cmk, allow_enclave_computations=True)
+        assert not tampered.verify_signature(registry)
+        with pytest.raises(SecurityViolation):
+            tampered.require_valid(registry)
+
+    def test_changing_key_path_breaks_signature(self, enclave_cmk, registry, vault):
+        vault.create_key("https://vault.azure.net/keys/other", bits=512)
+        tampered = dataclasses.replace(
+            enclave_cmk, key_path="https://vault.azure.net/keys/other"
+        )
+        assert not tampered.verify_signature(registry)
+
+    def test_garbage_signature_rejected(self, enclave_cmk, registry):
+        tampered = dataclasses.replace(enclave_cmk, signature=b"\x00" * 128)
+        assert not tampered.verify_signature(registry)
+
+    def test_create_signs_when_enclave_enabled(self, vault, registry):
+        vault.create_key("https://vault.azure.net/keys/fresh", bits=512)
+        cmk = ColumnMasterKey.create(
+            "Fresh", vault, "https://vault.azure.net/keys/fresh",
+            allow_enclave_computations=True,
+        )
+        assert cmk.signature
+        assert cmk.verify_signature(registry)

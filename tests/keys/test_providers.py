@@ -1,0 +1,84 @@
+"""Key providers and the extensible registry (Section 2.2)."""
+
+import pytest
+
+from repro.errors import KeyProviderError
+from repro.keys.providers import (
+    AzureKeyVaultSim,
+    CertificateStoreSim,
+    HsmKeyProviderSim,
+    InMemoryKeyProvider,
+    JavaKeyStoreSim,
+    KeyProviderRegistry,
+    default_registry,
+)
+
+
+@pytest.fixture()
+def vault() -> AzureKeyVaultSim:
+    provider = AzureKeyVaultSim()
+    provider.create_key("https://vault.azure.net/keys/k1", bits=1024)
+    return provider
+
+
+class TestProviders:
+    def test_wrap_unwrap(self, vault):
+        material = bytes(range(32))
+        wrapped = vault.wrap_key("https://vault.azure.net/keys/k1", material)
+        assert wrapped != material
+        assert vault.unwrap_key("https://vault.azure.net/keys/k1", wrapped) == material
+
+    def test_sign_verify(self, vault):
+        sig = vault.sign("https://vault.azure.net/keys/k1", b"metadata")
+        assert vault.verify("https://vault.azure.net/keys/k1", b"metadata", sig)
+        assert not vault.verify("https://vault.azure.net/keys/k1", b"other", sig)
+
+    def test_unknown_path_rejected(self, vault):
+        with pytest.raises(KeyProviderError):
+            vault.wrap_key("https://vault.azure.net/keys/nope", b"x" * 32)
+
+    def test_duplicate_create_rejected(self, vault):
+        with pytest.raises(KeyProviderError):
+            vault.create_key("https://vault.azure.net/keys/k1")
+
+    def test_akv_requires_https_path(self):
+        with pytest.raises(KeyProviderError):
+            AzureKeyVaultSim().create_key("not-a-uri")
+
+    def test_latency_accounting(self):
+        provider = AzureKeyVaultSim(latency_s=0.0)
+        provider.create_key("https://v/k", bits=1024)
+        before = provider.call_count
+        provider.get_public_key("https://v/k")
+        provider.wrap_key("https://v/k", b"x" * 32)
+        assert provider.call_count == before + 2
+
+    def test_provider_names(self):
+        assert AzureKeyVaultSim().provider_name == "AZURE_KEY_VAULT_PROVIDER"
+        assert CertificateStoreSim().provider_name == "MSSQL_CERTIFICATE_STORE"
+        assert JavaKeyStoreSim().provider_name == "MSSQL_JAVA_KEYSTORE"
+        assert HsmKeyProviderSim().provider_name == "HSM_PROVIDER"
+
+
+class TestRegistry:
+    def test_default_registry_has_all_providers(self):
+        registry = default_registry()
+        assert set(registry.names()) == {
+            "AZURE_KEY_VAULT_PROVIDER",
+            "MSSQL_CERTIFICATE_STORE",
+            "MSSQL_JAVA_KEYSTORE",
+            "HSM_PROVIDER",
+        }
+
+    def test_unknown_provider_rejected(self):
+        with pytest.raises(KeyProviderError):
+            default_registry().get("NOPE")
+
+    def test_custom_provider_pluggable(self):
+        # The paper's extensible interface: customers plug in providers.
+        class MyProvider(InMemoryKeyProvider):
+            provider_name = "CUSTOM_HSM"
+
+        registry = KeyProviderRegistry()
+        registry.register(MyProvider())
+        assert registry.get("CUSTOM_HSM").provider_name == "CUSTOM_HSM"

@@ -1,0 +1,251 @@
+"""B+-tree correctness over all comparator flavours, incl. Figure 4."""
+
+import random
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.crypto.aead import CellCipher, EncryptionScheme
+from repro.errors import ConstraintError, SqlError
+from repro.sqlengine.cells import Ciphertext
+from repro.sqlengine.index.btree import BPlusTree
+from repro.sqlengine.index.comparators import (
+    MAX_KEY,
+    CellComparator,
+    CiphertextBinaryComparator,
+    CompositeComparator,
+    CountingComparator,
+    EnclaveComparator,
+    PlaintextComparator,
+)
+from repro.sqlengine.storage.heap import RowId
+from repro.sqlengine.values import serialize_value
+
+
+def plain_tree(order=8, unique=False):
+    return BPlusTree(
+        CompositeComparator([CellComparator(PlaintextComparator())]),
+        order=order,
+        unique=unique,
+    )
+
+
+def rid(n):
+    return RowId(0, n)
+
+
+class TestPlaintextTree:
+    def test_insert_search(self):
+        tree = plain_tree()
+        data = list(range(200))
+        random.Random(3).shuffle(data)
+        for v in data:
+            tree.insert((v,), rid(v))
+        for v in (0, 57, 199):
+            assert [r.slot for r in tree.search_eq((v,))] == [v]
+        assert tree.search_eq((1000,)) == []
+
+    def test_range_scan(self):
+        tree = plain_tree()
+        for v in range(100):
+            tree.insert((v,), rid(v))
+        got = [k[0] for k, __ in tree.range_scan((20,), (30,))]
+        assert got == list(range(20, 31))
+
+    def test_exclusive_bounds(self):
+        tree = plain_tree()
+        for v in range(10):
+            tree.insert((v,), rid(v))
+        got = [k[0] for k, __ in tree.range_scan((2,), (8,), low_inclusive=False, high_inclusive=False)]
+        assert got == [3, 4, 5, 6, 7]
+
+    def test_unbounded_scans(self):
+        tree = plain_tree()
+        for v in range(20):
+            tree.insert((v,), rid(v))
+        assert len(list(tree.range_scan())) == 20
+        assert [k[0] for k, __ in tree.range_scan(low=(15,))] == [15, 16, 17, 18, 19]
+        assert [k[0] for k, __ in tree.range_scan(high=(4,))] == [0, 1, 2, 3, 4]
+
+    def test_duplicates_across_splits(self):
+        tree = plain_tree(order=4)
+        for i in range(30):
+            tree.insert((7,), rid(i))
+        assert len(tree.search_eq((7,))) == 30
+
+    def test_delete(self):
+        tree = plain_tree()
+        for v in range(50):
+            tree.insert((v,), rid(v))
+        assert tree.delete((25,), rid(25))
+        assert tree.search_eq((25,)) == []
+        assert not tree.delete((25,), rid(25))
+        assert len(tree) == 49
+
+    def test_delete_specific_duplicate(self):
+        tree = plain_tree()
+        tree.insert((1,), rid(10))
+        tree.insert((1,), rid(11))
+        assert tree.delete((1,), rid(10))
+        assert [r.slot for r in tree.search_eq((1,))] == [11]
+
+    def test_unique_constraint(self):
+        tree = plain_tree(unique=True)
+        tree.insert((1,), rid(0))
+        with pytest.raises(ConstraintError):
+            tree.insert((1,), rid(1))
+
+    def test_null_keys_sort_first(self):
+        tree = plain_tree()
+        tree.insert((5,), rid(5))
+        tree.insert((None,), rid(99))
+        keys = [k[0] for k, __ in tree.scan_all()]
+        assert keys == [None, 5]
+
+    def test_bulk_build_equals_incremental(self):
+        entries = [((v,), rid(v)) for v in range(100)]
+        random.Random(5).shuffle(entries)
+        bulk = plain_tree()
+        bulk.bulk_build(entries)
+        assert [k[0] for k, __ in bulk.scan_all()] == list(range(100))
+
+    def test_bulk_build_requires_empty(self):
+        tree = plain_tree()
+        tree.insert((1,), rid(1))
+        with pytest.raises(SqlError):
+            tree.bulk_build([])
+
+    @given(st.lists(st.integers(-50, 50), max_size=150))
+    @settings(max_examples=40, deadline=None)
+    def test_property_scan_is_sorted_multiset(self, values):
+        tree = plain_tree(order=6)
+        for i, v in enumerate(values):
+            tree.insert((v,), rid(i))
+        scanned = [k[0] for k, __ in tree.scan_all()]
+        assert scanned == sorted(values)
+
+    @given(st.sets(st.integers(0, 200), max_size=80), st.integers(0, 200), st.integers(0, 200))
+    @settings(max_examples=40, deadline=None)
+    def test_property_range_scan_matches_filter(self, values, a, b):
+        lo, hi = min(a, b), max(a, b)
+        tree = plain_tree(order=6)
+        for v in values:
+            tree.insert((v,), rid(v))
+        got = [k[0] for k, __ in tree.range_scan((lo,), (hi,))]
+        assert got == sorted(v for v in values if lo <= v <= hi)
+
+
+class TestDetTree:
+    def _cell(self, cipher, value):
+        return Ciphertext(cipher.encrypt(serialize_value(value), EncryptionScheme.DETERMINISTIC))
+
+    def test_equality_through_ciphertext_order(self, cek_material):
+        cipher = CellCipher(cek_material)
+        tree = BPlusTree(
+            CompositeComparator([CellComparator(CiphertextBinaryComparator())]), order=6
+        )
+        for i, value in enumerate(["red", "blue", "red", "green", "red"]):
+            tree.insert((self._cell(cipher, value),), rid(i))
+        probe = (self._cell(cipher, "red"),)
+        assert sorted(r.slot for r in tree.search_eq(probe)) == [0, 2, 4]
+
+    def test_semantic_range_blocked_by_planner_contract(self, cek_material):
+        comparator = CompositeComparator([CellComparator(CiphertextBinaryComparator())])
+        assert comparator.supports_range        # scans are well-defined...
+        assert not comparator.semantic_order    # ...but order is not plaintext order
+
+
+class TestEnclaveTree:
+    def test_figure4_walkthrough(self, enclave, cek_material):
+        """Figure 4: inserting (encrypted) key 7 into a range index routes
+        comparisons to the enclave and lands between 6 and 8."""
+        enclave.sqlos.install_key("TestCEK", cek_material)
+        cipher = CellCipher(cek_material)
+
+        def cell(v):
+            return Ciphertext(cipher.encrypt(serialize_value(v), EncryptionScheme.RANDOMIZED))
+
+        inner = EnclaveComparator(enclave, "TestCEK")
+        counter = CountingComparator(inner)
+        tree = BPlusTree(
+            CompositeComparator([CellComparator(counter)]), order=4
+        )
+        for v in [1, 2, 3, 4, 5, 6, 8, 9]:
+            tree.insert((cell(v),), rid(v))
+
+        comparisons_before = enclave.counters.comparisons
+        tree.insert((cell(7),), rid(7))
+        assert enclave.counters.comparisons > comparisons_before
+
+        # The index stores only ciphertexts, ordered by plaintext.
+        decrypted_order = [
+            int.from_bytes(cipher.decrypt(k[0].envelope)[1:], "big", signed=True)
+            for k, __ in tree.scan_all()
+        ]
+        assert decrypted_order == [1, 2, 3, 4, 5, 6, 7, 8, 9]
+
+    def test_range_scan_by_plaintext_order(self, enclave, cek_material):
+        enclave.sqlos.install_key("TestCEK", cek_material)
+        cipher = CellCipher(cek_material)
+
+        def cell(v):
+            return Ciphertext(cipher.encrypt(serialize_value(v), EncryptionScheme.RANDOMIZED))
+
+        tree = BPlusTree(
+            CompositeComparator([CellComparator(EnclaveComparator(enclave, "TestCEK"))]),
+            order=4,
+        )
+        for v in range(0, 100, 10):
+            tree.insert((cell(v),), rid(v))
+        got = [r.slot for __, r in tree.range_scan((cell(25),), (cell(65),))]
+        assert got == [30, 40, 50, 60]
+
+
+class TestCompositeTree:
+    def test_prefix_scan(self):
+        tree = BPlusTree(
+            CompositeComparator([
+                CellComparator(PlaintextComparator()),
+                CellComparator(PlaintextComparator()),
+            ]),
+            order=4,
+        )
+        n = 0
+        for a in range(3):
+            for b in range(5):
+                tree.insert((a, b), rid(n))
+                n += 1
+        got = [k for k, __ in tree.range_scan((1,), (1, MAX_KEY))]
+        assert got == [(1, b) for b in range(5)]
+
+    def test_full_key_seek(self):
+        tree = BPlusTree(
+            CompositeComparator([
+                CellComparator(PlaintextComparator()),
+                CellComparator(PlaintextComparator()),
+            ]),
+        )
+        tree.insert((1, "x"), rid(1))
+        tree.insert((1, "y"), rid(2))
+        assert [r.slot for r in tree.search_eq((1, "y"))] == [2]
+
+    def test_mixed_plain_and_det_components(self, cek_material):
+        cipher = CellCipher(cek_material)
+
+        def det(v):
+            return Ciphertext(cipher.encrypt(serialize_value(v), EncryptionScheme.DETERMINISTIC))
+
+        tree = BPlusTree(
+            CompositeComparator([
+                CellComparator(PlaintextComparator()),
+                CellComparator(CiphertextBinaryComparator()),
+            ]),
+        )
+        tree.insert((1, det("smith")), rid(1))
+        tree.insert((1, det("jones")), rid(2))
+        tree.insert((2, det("smith")), rid(3))
+        assert [r.slot for r in tree.search_eq((1, det("smith")))] == [1]
+        # Prefix-equality scan over (w) works even with a DET component.
+        got = sorted(r.slot for __, r in tree.range_scan((1,), (1, MAX_KEY)))
+        assert got == [1, 2]

@@ -1,0 +1,96 @@
+"""Catalog: tables, key metadata system tables, enclave-flag derivation."""
+
+import pytest
+
+from repro.crypto.aead import EncryptionScheme
+from repro.errors import BindError, SqlError
+from repro.keys.cek import CekEncryptedValue
+from repro.sqlengine.catalog import Catalog, ColumnSchema, TableSchema, plain_column
+from repro.sqlengine.types import ColumnType, SqlType
+
+
+@pytest.fixture()
+def catalog(enclave_cmk, enclave_cek, plain_cmk, plain_cek):
+    c = Catalog()
+    c.create_cmk(enclave_cmk)
+    c.create_cek(enclave_cek)
+    c.create_cmk(plain_cmk)
+    c.create_cek(plain_cek)
+    return c
+
+
+class TestTables:
+    def test_create_lookup_case_insensitive(self, catalog):
+        catalog.create_table(TableSchema(name="Foo", columns=[plain_column("a", "INT")]))
+        assert catalog.table("foo").name == "Foo"
+        assert catalog.table("FOO").name == "Foo"
+        assert catalog.has_table("fOo")
+
+    def test_duplicate_rejected(self, catalog):
+        catalog.create_table(TableSchema(name="t", columns=[plain_column("a", "INT")]))
+        with pytest.raises(SqlError):
+            catalog.create_table(TableSchema(name="T", columns=[plain_column("a", "INT")]))
+
+    def test_unknown_table_rejected(self, catalog):
+        with pytest.raises(BindError):
+            catalog.table("ghost")
+
+    def test_drop(self, catalog):
+        catalog.create_table(TableSchema(name="t", columns=[plain_column("a", "INT")]))
+        catalog.drop_table("t")
+        assert not catalog.has_table("t")
+
+    def test_column_lookup(self, catalog):
+        schema = TableSchema(
+            name="t", columns=[plain_column("a", "INT"), plain_column("B", "VARCHAR", 5)]
+        )
+        assert schema.column("b").name == "B"
+        assert schema.column_index("A") == 0
+        with pytest.raises(BindError):
+            schema.column("zzz")
+
+
+class TestKeyMetadata:
+    def test_cek_references_must_resolve(self, catalog):
+        orphan = CekEncryptedValue(
+            column_master_key_name="NOPE", algorithm="RSA_OAEP",
+            encrypted_value=b"x", signature=b"y",
+        )
+        from repro.keys.cek import ColumnEncryptionKey
+
+        with pytest.raises(BindError):
+            catalog.create_cek(ColumnEncryptionKey(name="Bad", encrypted_values=[orphan]))
+
+    def test_enclave_flag_derivation(self, catalog):
+        assert catalog.cek_enclave_enabled("TestCEK")
+        assert not catalog.cek_enclave_enabled("PlainCEK")
+
+    def test_encryption_info_carries_flag(self, catalog):
+        info = catalog.encryption_info("TestCEK", EncryptionScheme.RANDOMIZED)
+        assert info.enclave_enabled
+        info = catalog.encryption_info("PlainCEK", EncryptionScheme.DETERMINISTIC)
+        assert not info.enclave_enabled
+
+    def test_unknown_algorithm_rejected(self, catalog):
+        with pytest.raises(SqlError):
+            catalog.encryption_info("TestCEK", EncryptionScheme.RANDOMIZED, algorithm="ROT13")
+
+    def test_unknown_cek_rejected(self, catalog):
+        with pytest.raises(BindError):
+            catalog.encryption_info("GHOST", EncryptionScheme.RANDOMIZED)
+
+    def test_duplicate_cmk_rejected(self, catalog, enclave_cmk):
+        with pytest.raises(SqlError):
+            catalog.create_cmk(enclave_cmk)
+
+    def test_listing(self, catalog):
+        assert {c.name for c in catalog.cmks()} == {"TestCMK", "PlainCMK"}
+        assert {c.name for c in catalog.ceks()} == {"TestCEK", "PlainCEK"}
+
+
+class TestColumnSchema:
+    def test_is_encrypted(self, catalog):
+        info = catalog.encryption_info("TestCEK", EncryptionScheme.RANDOMIZED)
+        column = ColumnSchema("x", ColumnType(SqlType("INT"), info))
+        assert column.is_encrypted
+        assert not plain_column("y", "INT").is_encrypted

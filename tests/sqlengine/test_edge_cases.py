@@ -1,0 +1,158 @@
+"""Edge cases across the engine surface."""
+
+import pytest
+
+from repro.errors import BindError, ExecutionError, ParseError, SqlError
+from repro.sqlengine.server import SqlServer
+from tests.conftest import ALGO, make_encrypted_table
+
+
+@pytest.fixture()
+def session(plain_server):
+    s = plain_server.connect()
+    s.execute("CREATE TABLE t (a int NOT NULL, b varchar(10), PRIMARY KEY (a))")
+    return s
+
+
+class TestEmptyAndNull:
+    def test_select_from_empty_table(self, session):
+        assert session.execute("SELECT * FROM t", {}).rows == []
+
+    def test_aggregate_over_empty(self, session):
+        r = session.execute("SELECT COUNT(*), SUM(a), MIN(a) FROM t", {})
+        assert r.rows == [(0, None, None)]
+
+    def test_update_delete_empty(self, session):
+        assert session.execute("UPDATE t SET b = 'x'", {}).rowcount == 0
+        assert session.execute("DELETE FROM t", {}).rowcount == 0
+
+    def test_insert_null_into_nullable(self, session):
+        session.execute("INSERT INTO t (a, b) VALUES (@a, @b)", {"a": 1, "b": None})
+        r = session.execute("SELECT b FROM t WHERE a = 1", {})
+        assert r.rows == [(None,)]
+
+    def test_null_param_in_predicate_matches_nothing(self, session):
+        session.execute("INSERT INTO t (a, b) VALUES (1, NULL), (2, 'x')")
+        r = session.execute("SELECT a FROM t WHERE b = @b", {"b": None})
+        assert r.rows == []  # NULL = NULL is UNKNOWN
+
+
+class TestStatementEdges:
+    def test_multi_row_insert_atomic_on_failure(self, session):
+        session.execute("INSERT INTO t (a, b) VALUES (1, 'x')")
+        with pytest.raises(Exception):
+            # Second row violates the PK; the autocommit txn rolls back
+            # the whole statement.
+            session.execute("INSERT INTO t (a, b) VALUES (2, 'y'), (1, 'dup')")
+        r = session.execute("SELECT a FROM t", {})
+        assert sorted(x[0] for x in r.rows) == [1]
+
+    def test_self_join_with_aliases(self, session):
+        for a in (1, 2, 3):
+            session.execute("INSERT INTO t (a, b) VALUES (@a, 'v')", {"a": a})
+        r = session.execute(
+            "SELECT l.a, r.a FROM t l JOIN t r ON l.a = r.a", {}
+        )
+        assert len(r.rows) == 3
+
+    def test_select_expression_without_from(self, plain_server):
+        r = plain_server.connect().execute("SELECT 1 + 2 AS x", {})
+        assert r.rows == [(3,)]
+
+    def test_case_insensitive_identifiers(self, session):
+        session.execute("INSERT INTO T (A, B) VALUES (7, 'q')")
+        r = session.execute("SELECT B FROM T WHERE A = 7", {})
+        assert r.rows == [("q",)]
+
+    def test_parse_error_reported(self, session):
+        with pytest.raises(ParseError):
+            session.execute("SELEKT * FROM t")
+
+    def test_empty_in_list_is_parse_error(self, session):
+        with pytest.raises(ParseError):
+            session.execute("SELECT a FROM t WHERE a IN ()")
+
+    def test_limit_zero(self, session):
+        session.execute("INSERT INTO t (a, b) VALUES (1, 'x')")
+        r = session.execute("SELECT a FROM t LIMIT 0", {})
+        assert r.rows == []
+
+    def test_nested_transaction_rejected(self, session):
+        session.execute("BEGIN TRANSACTION")
+        from repro.errors import TransactionError
+
+        with pytest.raises(TransactionError):
+            session.execute("BEGIN TRANSACTION")
+        session.execute("ROLLBACK")
+
+    def test_commit_without_begin_rejected(self, session):
+        from repro.errors import TransactionError
+
+        with pytest.raises(TransactionError):
+            session.execute("COMMIT")
+
+
+class TestLargeValues:
+    def test_row_spanning_many_pages(self, plain_server):
+        session = plain_server.connect()
+        session.execute("CREATE TABLE big (k int NOT NULL, data varchar(4000), PRIMARY KEY (k))")
+        payload = "z" * 3500
+        for k in range(10):
+            session.execute(
+                "INSERT INTO big (k, data) VALUES (@k, @d)", {"k": k, "d": payload}
+            )
+        r = session.execute("SELECT COUNT(*) FROM big", {})
+        assert r.rows == [(10,)]
+        assert len(plain_server.engine.table("big").heap.page_ids) >= 5
+
+    def test_growing_update_relocates(self, plain_server):
+        session = plain_server.connect()
+        session.execute("CREATE TABLE g (k int NOT NULL, d varchar(4000), PRIMARY KEY (k))")
+        for k in range(4):
+            session.execute("INSERT INTO g (k, d) VALUES (@k, 'tiny')", {"k": k})
+        # Grow every row far past the original page's free space.
+        session.execute("UPDATE g SET d = @d", {"d": "y" * 3000})
+        r = session.execute("SELECT k FROM g WHERE d LIKE 'y%'", {})
+        assert sorted(x[0] for x in r.rows) == [0, 1, 2, 3]
+        # PK index still seeks correctly after relocation.
+        r = session.execute("SELECT d FROM g WHERE k = @k", {"k": 2})
+        assert r.rows[0][0].startswith("y")
+        assert "IndexSeek" in r.plan_info
+
+
+class TestEncryptedEdges:
+    def test_delete_by_encrypted_predicate_with_index(self, ae_connection, server):
+        make_encrypted_table(ae_connection, name="E")
+        ae_connection.execute_ddl("CREATE NONCLUSTERED INDEX E_V ON E(value)")
+        for i in range(8):
+            ae_connection.execute(
+                "INSERT INTO E (id, value) VALUES (@i, @v)", {"i": i, "v": i}
+            )
+        r = ae_connection.execute("DELETE FROM E WHERE value >= @v", {"v": 5})
+        assert r.rowcount == 3
+        r = ae_connection.execute("SELECT COUNT(*) FROM E", {})
+        assert r.rows == [(5,)]
+
+    def test_update_encrypted_value_itself(self, ae_connection):
+        make_encrypted_table(ae_connection, name="U")
+        ae_connection.execute("INSERT INTO U (id, value) VALUES (@i, @v)", {"i": 1, "v": 10})
+        ae_connection.execute(
+            "UPDATE U SET value = @new WHERE value = @old", {"new": 99, "old": 10}
+        )
+        r = ae_connection.execute("SELECT value FROM U WHERE id = @i", {"i": 1})
+        assert r.rows == [(99,)]
+
+    def test_count_star_on_encrypted_table_without_keys(self, server, registry,
+                                                        enclave_cmk, enclave_cek):
+        # A connection with no attestation policy can still run queries
+        # that never touch encrypted values.
+        from repro.client.driver import connect
+
+        server.catalog.create_cmk(enclave_cmk)
+        server.catalog.create_cek(enclave_cek)
+        writer = connect(server, registry, attestation_policy=None)
+        make_encrypted_table(writer, name="K")
+        # (insert needs only driver-side encryption — no enclave)
+        writer.execute("INSERT INTO K (id, value) VALUES (@i, @v)", {"i": 1, "v": 5})
+        r = writer.execute("SELECT COUNT(*) FROM K", {})
+        assert r.rows == [(1,)]

@@ -1,0 +1,164 @@
+"""Expression compilation and the Figure 7 host/enclave split."""
+
+import pytest
+
+from repro.crypto.aead import EncryptionScheme
+from repro.errors import TypeDeductionError
+from repro.sqlengine.expression.compiler import compile_expression
+from repro.sqlengine.expression.program import Opcode, StackProgram
+from repro.sqlengine.expression.tree import (
+    AndExpr,
+    ArithExpr,
+    ArithOp,
+    ColumnRefExpr,
+    CompareExpr,
+    CompareOp,
+    LikeExpr,
+    LiteralExpr,
+    ParameterExpr,
+)
+from repro.sqlengine.types import ColumnType, EncryptionInfo, SqlType
+
+RND_ENC = EncryptionInfo(scheme=EncryptionScheme.RANDOMIZED, cek_name="CEK", enclave_enabled=True)
+DET_ENC = EncryptionInfo(scheme=EncryptionScheme.DETERMINISTIC, cek_name="CEK", enclave_enabled=False)
+RND_NOENC = EncryptionInfo(scheme=EncryptionScheme.RANDOMIZED, cek_name="CEK", enclave_enabled=False)
+
+INT = SqlType("INT")
+
+
+def col(slot, enc=None):
+    return ColumnRefExpr(name=f"c{slot}", slot=slot, column_type=ColumnType(INT, enc))
+
+
+def param(slot, enc=None):
+    return ParameterExpr(name=f"p{slot}", slot=slot, column_type=ColumnType(INT, enc))
+
+
+def lit(value):
+    return LiteralExpr(value=value, column_type=ColumnType(INT))
+
+
+class TestFigure7Split:
+    def test_figure7_split(self):
+        """value = @v over an enclave-enabled RND column compiles to a host
+        program with TM_EVAL whose operand serializes the enclave program
+        — exactly the two CEsComp objects of Figure 7."""
+        expr = CompareExpr(CompareOp.EQ, col(0, RND_ENC), param(1, RND_ENC))
+        compiled = compile_expression(expr)
+
+        host_ops = [i.opcode for i in compiled.host_program.instructions]
+        assert host_ops == [Opcode.GET_DATA, Opcode.GET_DATA, Opcode.TM_EVAL]
+        # Host GET_DATAs carry NO encryption annotation: the host moves
+        # opaque ciphertext, never decrypts.
+        for ins in compiled.host_program.instructions[:2]:
+            assert ins.operand[1] is None
+
+        assert compiled.uses_enclave
+        assert compiled.enclave_ceks == {"CEK"}
+        blob, n_inputs = compiled.host_program.instructions[2].operand
+        assert n_inputs == 2
+        enclave_program = StackProgram.deserialize(blob)
+        enclave_ops = [i.opcode for i in enclave_program.instructions]
+        assert enclave_ops == [Opcode.GET_DATA, Opcode.GET_DATA, Opcode.COMP, Opcode.SET_DATA]
+        # Enclave GET_DATAs carry the CEK annotations (decrypt-at-ingress).
+        assert enclave_program.instructions[0].operand[1] == RND_ENC
+        # The result SET_DATA is plaintext (the boolean returned in clear).
+        assert enclave_program.instructions[3].operand[1] is None
+
+    def test_range_comparison_splits(self):
+        compiled = compile_expression(CompareExpr(CompareOp.LT, col(0, RND_ENC), param(1, RND_ENC)))
+        assert compiled.uses_enclave
+
+    def test_like_splits(self):
+        compiled = compile_expression(LikeExpr(value=col(0, RND_ENC), pattern=param(1, RND_ENC)))
+        assert compiled.uses_enclave
+        blob, __ = compiled.host_program.instructions[-1].operand
+        ops = [i.opcode for i in StackProgram.deserialize(blob).instructions]
+        assert Opcode.LIKE in ops
+
+
+class TestDetStaysOnHost:
+    def test_det_equality_no_tmeval(self):
+        """Equality on DET is VARBINARY comparison, no TMEval (Section 4.4)."""
+        compiled = compile_expression(CompareExpr(CompareOp.EQ, col(0, DET_ENC), param(1, DET_ENC)))
+        assert not compiled.uses_enclave
+        ops = [i.opcode for i in compiled.host_program.instructions]
+        assert Opcode.TM_EVAL not in ops
+        assert Opcode.COMP in ops
+
+    def test_det_inequality_allowed(self):
+        compiled = compile_expression(CompareExpr(CompareOp.NE, col(0, DET_ENC), param(1, DET_ENC)))
+        assert not compiled.uses_enclave
+
+    def test_det_range_rejected(self):
+        with pytest.raises(TypeDeductionError):
+            compile_expression(CompareExpr(CompareOp.LT, col(0, DET_ENC), param(1, DET_ENC)))
+
+
+class TestRejections:
+    def test_rnd_without_enclave_rejected(self):
+        with pytest.raises(TypeDeductionError):
+            compile_expression(CompareExpr(CompareOp.EQ, col(0, RND_NOENC), param(1, RND_NOENC)))
+
+    def test_encrypted_vs_plaintext_rejected(self):
+        with pytest.raises(TypeDeductionError):
+            compile_expression(CompareExpr(CompareOp.EQ, col(0, RND_ENC), lit(5)))
+
+    def test_cross_cek_rejected(self):
+        other = EncryptionInfo(scheme=EncryptionScheme.RANDOMIZED, cek_name="OTHER", enclave_enabled=True)
+        with pytest.raises(TypeDeductionError):
+            compile_expression(CompareExpr(CompareOp.EQ, col(0, RND_ENC), col(1, other)))
+
+    def test_arith_on_encrypted_rejected(self):
+        with pytest.raises(TypeDeductionError):
+            compile_expression(ArithExpr(ArithOp.ADD, col(0, RND_ENC), lit(1)))
+
+
+class TestPlaintextCompilation:
+    def test_plain_comparison(self):
+        compiled = compile_expression(CompareExpr(CompareOp.LT, col(0), lit(10)))
+        assert not compiled.uses_enclave
+        ops = [i.opcode for i in compiled.host_program.instructions]
+        assert ops == [Opcode.GET_DATA, Opcode.PUSH_CONST, Opcode.COMP]
+
+    def test_and_combines_subprograms(self):
+        expr = AndExpr(
+            CompareExpr(CompareOp.EQ, col(0), lit(1)),
+            CompareExpr(CompareOp.EQ, col(1, RND_ENC), param(2, RND_ENC)),
+        )
+        compiled = compile_expression(expr)
+        ops = [i.opcode for i in compiled.host_program.instructions]
+        assert ops[-1] == Opcode.AND
+        assert compiled.uses_enclave
+
+    def test_same_predicate_one_blob_per_compare(self):
+        expr = AndExpr(
+            CompareExpr(CompareOp.GT, col(0, RND_ENC), param(1, RND_ENC)),
+            CompareExpr(CompareOp.LT, col(0, RND_ENC), param(2, RND_ENC)),
+        )
+        compiled = compile_expression(expr)
+        assert len(compiled.enclave_programs) == 2
+
+
+class TestSerializationRoundtrip:
+    def test_program_roundtrip(self):
+        expr = CompareExpr(CompareOp.EQ, col(0, RND_ENC), param(1, RND_ENC))
+        compiled = compile_expression(expr)
+        blob = compiled.host_program.serialize()
+        restored = StackProgram.deserialize(blob)
+        assert restored.serialize() == blob
+
+    def test_referenced_ceks_recurses_into_tmeval(self):
+        expr = CompareExpr(CompareOp.EQ, col(0, RND_ENC), param(1, RND_ENC))
+        compiled = compile_expression(expr)
+        assert compiled.host_program.referenced_ceks() == {"CEK"}
+
+    def test_const_null_roundtrip(self):
+        program = StackProgram([])
+        from repro.sqlengine.expression.program import Instruction
+
+        program.instructions.append(Instruction(Opcode.PUSH_CONST, None))
+        program.instructions.append(Instruction(Opcode.PUSH_CONST, "text"))
+        program.instructions.append(Instruction(Opcode.PUSH_CONST, 3.5))
+        restored = StackProgram.deserialize(program.serialize())
+        assert [i.operand for i in restored.instructions] == [None, "text", 3.5]

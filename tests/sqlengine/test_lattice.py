@@ -1,0 +1,128 @@
+"""The encryption type lattice of Figure 6 and its operation table."""
+
+import itertools
+
+import pytest
+
+from repro.sqlengine.lattice import (
+    GeneralizedType,
+    Operation,
+    generalize,
+    join,
+    lattice_le,
+    requires_enclave,
+    supports,
+)
+
+P = GeneralizedType.PLAINTEXT
+D = GeneralizedType.DETERMINISTIC
+R = GeneralizedType.RANDOMIZED
+DE = GeneralizedType.DETERMINISTIC_ENCLAVE
+RE = GeneralizedType.RANDOMIZED_ENCLAVE
+
+
+class TestFigure6Order:
+    def test_base_chain(self):
+        # The arrows of Figure 6: Plaintext → Deterministic → Randomized.
+        assert lattice_le(P, D)
+        assert lattice_le(D, R)
+        assert lattice_le(P, R)
+
+    def test_antisymmetry(self):
+        assert not lattice_le(D, P)
+        assert not lattice_le(R, D)
+
+    def test_reflexive(self):
+        for t in GeneralizedType:
+            assert lattice_le(t, t)
+
+    def test_is_partial_order(self):
+        # Transitivity over the full relation.
+        for a, b, c in itertools.product(GeneralizedType, repeat=3):
+            if lattice_le(a, b) and lattice_le(b, c):
+                assert lattice_le(a, c), (a, b, c)
+
+    def test_randomized_is_top(self):
+        for t in GeneralizedType:
+            assert lattice_le(t, R)
+
+    def test_plaintext_is_bottom(self):
+        for t in GeneralizedType:
+            assert lattice_le(P, t)
+
+    def test_join_exists_for_all_pairs(self):
+        for a, b in itertools.product(GeneralizedType, repeat=2):
+            j = join(a, b)
+            assert j is not None
+            assert lattice_le(a, j) and lattice_le(b, j)
+
+    def test_join_examples(self):
+        assert join(P, D) is D
+        assert join(D, RE) is R
+        assert join(DE, DE) is DE
+
+
+class TestOperationsDecrease:
+    def test_operations_strictly_decrease_up_the_base_chain(self):
+        # "Operations decrease strictly as we go from Plaintext to
+        # Deterministic to Randomized."
+        ops = lambda t: {op for op in Operation if supports(t, op)}
+        assert ops(D) < ops(P)
+        assert ops(R) < ops(D)
+
+    def test_plaintext_supports_everything(self):
+        for op in Operation:
+            assert supports(P, op)
+
+    def test_det_equality_only(self):
+        assert supports(D, Operation.EQUALITY)
+        assert not supports(D, Operation.RANGE)
+        assert not supports(D, Operation.LIKE)
+        assert not supports(D, Operation.ORDER_BY)
+
+    def test_rnd_without_enclave_projection_only(self):
+        assert supports(R, Operation.PROJECT)
+        assert not supports(R, Operation.EQUALITY)
+
+    def test_rnd_enclave_restores_rich_operations(self):
+        for op in (Operation.EQUALITY, Operation.RANGE, Operation.LIKE):
+            assert supports(RE, op)
+
+    def test_enclave_does_not_restore_order_by_or_arithmetic(self):
+        # AEv2 limitation the paper works around in TPC-C.
+        assert not supports(RE, Operation.ORDER_BY)
+        assert not supports(RE, Operation.ARITHMETIC)
+
+
+class TestEnclaveRouting:
+    def test_det_equality_stays_on_host(self):
+        assert not requires_enclave(D, Operation.EQUALITY)
+        assert not requires_enclave(DE, Operation.EQUALITY)
+
+    def test_rnd_enclave_ops_route_to_enclave(self):
+        assert requires_enclave(RE, Operation.EQUALITY)
+        assert requires_enclave(RE, Operation.RANGE)
+        assert requires_enclave(RE, Operation.LIKE)
+
+    def test_projection_never_needs_enclave(self):
+        for t in GeneralizedType:
+            assert not requires_enclave(t, Operation.PROJECT)
+
+
+class TestGeneralize:
+    @pytest.mark.parametrize(
+        "scheme,enclave,expected",
+        [
+            (None, False, P),
+            ("DET", False, D),
+            ("DET", True, DE),
+            ("RND", False, R),
+            ("RND", True, RE),
+        ],
+    )
+    def test_mapping(self, scheme, enclave, expected):
+        assert generalize(scheme, enclave) is expected
+
+    def test_unknown_scheme_rejected(self):
+        with pytest.raises(ValueError):
+            generalize("XXX", False)

@@ -1,0 +1,77 @@
+"""The lock manager."""
+
+import threading
+
+import pytest
+
+from repro.errors import LockTimeoutError
+from repro.sqlengine.txn.locks import LockManager, LockMode
+
+
+class TestLocks:
+    def test_shared_locks_compatible(self):
+        lm = LockManager(default_timeout_s=0.1)
+        lm.acquire(1, ("row", "t", 1), LockMode.SHARED)
+        lm.acquire(2, ("row", "t", 1), LockMode.SHARED)
+
+    def test_exclusive_conflicts_with_shared(self):
+        lm = LockManager(default_timeout_s=0.05)
+        lm.acquire(1, ("row", "t", 1), LockMode.SHARED)
+        with pytest.raises(LockTimeoutError):
+            lm.acquire(2, ("row", "t", 1), LockMode.EXCLUSIVE)
+
+    def test_exclusive_conflicts_with_exclusive(self):
+        lm = LockManager(default_timeout_s=0.05)
+        lm.acquire(1, ("row", "t", 1), LockMode.EXCLUSIVE)
+        with pytest.raises(LockTimeoutError):
+            lm.acquire(2, ("row", "t", 1), LockMode.EXCLUSIVE)
+
+    def test_reentrant(self):
+        lm = LockManager(default_timeout_s=0.05)
+        lm.acquire(1, ("row", "t", 1), LockMode.EXCLUSIVE)
+        lm.acquire(1, ("row", "t", 1), LockMode.EXCLUSIVE)
+        lm.acquire(1, ("row", "t", 1), LockMode.SHARED)
+
+    def test_release_unblocks_waiter(self):
+        lm = LockManager(default_timeout_s=2.0)
+        lm.acquire(1, ("row", "t", 1), LockMode.EXCLUSIVE)
+        acquired = threading.Event()
+
+        def waiter():
+            lm.acquire(2, ("row", "t", 1), LockMode.EXCLUSIVE)
+            acquired.set()
+
+        thread = threading.Thread(target=waiter)
+        thread.start()
+        lm.release_all(1)
+        assert acquired.wait(timeout=2.0)
+        thread.join()
+
+    def test_release_all_releases_everything(self):
+        lm = LockManager(default_timeout_s=0.05)
+        lm.acquire(1, ("row", "t", 1), LockMode.EXCLUSIVE)
+        lm.acquire(1, ("row", "t", 2), LockMode.EXCLUSIVE)
+        lm.release_all(1)
+        lm.acquire(2, ("row", "t", 1), LockMode.EXCLUSIVE)
+        lm.acquire(2, ("row", "t", 2), LockMode.EXCLUSIVE)
+
+    def test_held_by(self):
+        lm = LockManager()
+        lm.acquire(1, ("row", "t", 1), LockMode.EXCLUSIVE)
+        assert lm.held_by(1) == {("row", "t", 1)}
+        assert lm.held_by(2) == set()
+
+    def test_rehold_for_deferred_recovery(self):
+        # Recovery re-grants a deferred transaction's locks (Section 4.5).
+        lm = LockManager(default_timeout_s=0.05)
+        lm.rehold(99, {("row", "t", 1), ("row", "t", 2)})
+        assert lm.is_locked(("row", "t", 1))
+        with pytest.raises(LockTimeoutError):
+            lm.acquire(1, ("row", "t", 2), LockMode.EXCLUSIVE)
+        lm.release_all(99)
+        lm.acquire(1, ("row", "t", 2), LockMode.EXCLUSIVE)
+
+    def test_different_resources_independent(self):
+        lm = LockManager(default_timeout_s=0.05)
+        lm.acquire(1, ("row", "t", 1), LockMode.EXCLUSIVE)
+        lm.acquire(2, ("row", "t", 2), LockMode.EXCLUSIVE)

@@ -1,0 +1,79 @@
+"""Parser robustness: arbitrary input never crashes — it parses or raises
+ParseError, and valid statements round-trip through re-parsing."""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.errors import ParseError
+from repro.sqlengine.sqlparser import ast, parse, tokenize
+
+
+class TestLexerFuzz:
+    @given(st.text(max_size=200))
+    @settings(max_examples=200, deadline=None)
+    def test_tokenize_never_crashes_unexpectedly(self, text):
+        try:
+            tokens = tokenize(text)
+        except ParseError:
+            return
+        assert tokens[-1].value == ""  # EOF sentinel
+
+    @given(st.text(alphabet="SELECTFROMWHERE@=<>()'0x123abc ,;*", max_size=120))
+    @settings(max_examples=200, deadline=None)
+    def test_parse_never_crashes_unexpectedly(self, text):
+        try:
+            parse(text)
+        except ParseError:
+            pass
+
+
+class TestParseStability:
+    """Structured SQL generated from fragments parses deterministically."""
+
+    columns = st.sampled_from(["a", "b", "c_last", "value"])
+    numbers = st.integers(-999, 999)
+
+    @given(
+        col=columns,
+        op=st.sampled_from(["=", "<>", "<", "<=", ">", ">="]),
+        n=numbers,
+        limit=st.integers(0, 50),
+    )
+    @settings(max_examples=100, deadline=None)
+    def test_generated_selects_parse(self, col, op, n, limit):
+        stmt = parse(f"SELECT {col} FROM t WHERE {col} {op} {n} LIMIT {limit}")
+        assert isinstance(stmt, ast.SelectStmt)
+        assert stmt.limit == limit
+        assert isinstance(stmt.where, ast.BinaryOp)
+        assert stmt.where.op == ("<>" if op == "<>" else op)
+
+    @given(values=st.lists(numbers, min_size=1, max_size=8))
+    @settings(max_examples=50, deadline=None)
+    def test_generated_in_lists_parse(self, values):
+        sql = f"SELECT a FROM t WHERE a IN ({', '.join(map(str, values))})"
+        stmt = parse(sql)
+        in_op = stmt.where
+        assert isinstance(in_op, ast.InOp)
+        assert [option.value for option in in_op.options] == values
+
+    @given(name=st.text(alphabet="abcdefghijklmnopqrstuvwxyz_", min_size=1, max_size=20))
+    @settings(max_examples=100, deadline=None)
+    def test_identifiers_roundtrip(self, name):
+        from repro.sqlengine.sqlparser.lexer import KEYWORDS
+
+        if name.upper() in KEYWORDS:
+            return
+        stmt = parse(f"SELECT {name} FROM {name}")
+        assert stmt.table.name == name
+        assert stmt.items[0].expr.name == name
+
+    @given(
+        s=st.text(
+            alphabet=st.characters(blacklist_characters="'", min_codepoint=32, max_codepoint=1000),
+            max_size=40,
+        )
+    )
+    @settings(max_examples=100, deadline=None)
+    def test_string_literals_roundtrip(self, s):
+        stmt = parse(f"SELECT a FROM t WHERE b = '{s}'")
+        assert stmt.where.right.value == s

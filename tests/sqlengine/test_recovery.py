@@ -1,0 +1,279 @@
+"""Crash recovery (Section 4.5): redo, undo, deferral, CTR, invalidation."""
+
+import pytest
+
+from repro.crypto.aead import CellCipher, EncryptionScheme
+from repro.enclave.runtime import Enclave
+from repro.errors import LockTimeoutError, TransactionError
+from repro.sqlengine.catalog import Catalog, ColumnSchema, IndexSchema, TableSchema, plain_column
+from repro.sqlengine.cells import Ciphertext
+from repro.sqlengine.engine import IndexState, StorageEngine
+from repro.sqlengine.types import ColumnType, SqlType
+from repro.sqlengine.values import serialize_value
+
+
+def cell(material, v):
+    return Ciphertext(
+        CellCipher(material).encrypt(serialize_value(v), EncryptionScheme.RANDOMIZED)
+    )
+
+
+@pytest.fixture()
+def plain_engine():
+    eng = StorageEngine(lock_timeout_s=0.2, ctr_enabled=False)
+    eng.create_table(
+        TableSchema(
+            name="t",
+            columns=[plain_column("id", "INT", nullable=False), plain_column("v", "INT")],
+            primary_key=("id",),
+        )
+    )
+    return eng
+
+
+def encrypted_engine(enclave, enclave_cmk, enclave_cek, cek_material, ctr: bool):
+    catalog = Catalog()
+    catalog.create_cmk(enclave_cmk)
+    catalog.create_cek(enclave_cek)
+    enc = catalog.encryption_info("TestCEK", EncryptionScheme.RANDOMIZED)
+    eng = StorageEngine(catalog=catalog, enclave=enclave, lock_timeout_s=0.2, ctr_enabled=ctr)
+    eng.create_table(
+        TableSchema(
+            name="e",
+            columns=[
+                plain_column("id", "INT", nullable=False),
+                ColumnSchema("secret", ColumnType(SqlType("INT"), enc)),
+            ],
+            primary_key=("id",),
+        )
+    )
+    enclave.sqlos.install_key("TestCEK", cek_material)
+    eng.create_index(IndexSchema(name="ix", table_name="e", column_names=("secret",)))
+    txn = eng.begin()
+    for i in range(6):
+        eng.insert(txn, "e", (i, cell(cek_material, i * 10)))
+    eng.commit(txn)
+    return eng
+
+
+class TestPlainRecovery:
+    def test_committed_survive_uncommitted_undone(self, plain_engine):
+        eng = plain_engine
+        txn1 = eng.begin()
+        eng.insert(txn1, "t", (1, 100))
+        eng.commit(txn1)
+        txn2 = eng.begin()
+        eng.insert(txn2, "t", (2, 200))
+        eng.checkpoint()
+        eng.crash()
+        report = eng.recover()
+        rows = {row[0] for __, row in eng.scan("t")}
+        assert rows == {1}
+        assert report.undone and not report.deferred
+
+    def test_uncheckpointed_committed_data_redone(self, plain_engine):
+        eng = plain_engine
+        eng.checkpoint()
+        txn = eng.begin()
+        eng.insert(txn, "t", (5, 50))
+        eng.commit(txn)  # commit flushes the log, not the pages
+        eng.crash()
+        eng.recover()
+        assert {row[0] for __, row in eng.scan("t")} == {5}
+
+    def test_update_redo(self, plain_engine):
+        eng = plain_engine
+        txn = eng.begin()
+        rid = eng.insert(txn, "t", (1, 10))
+        eng.commit(txn)
+        txn2 = eng.begin()
+        eng.update(txn2, "t", rid, (1, 999))
+        eng.commit(txn2)
+        eng.crash()
+        eng.recover()
+        assert eng.read("t", rid) == (1, 999)
+
+    def test_delete_redo(self, plain_engine):
+        eng = plain_engine
+        txn = eng.begin()
+        rid = eng.insert(txn, "t", (1, 10))
+        eng.commit(txn)
+        txn2 = eng.begin()
+        eng.delete(txn2, "t", rid)
+        eng.commit(txn2)
+        eng.crash()
+        eng.recover()
+        assert eng.read("t", rid) is None
+
+    def test_aborted_txn_stays_aborted(self, plain_engine):
+        eng = plain_engine
+        txn = eng.begin()
+        eng.insert(txn, "t", (1, 10))
+        eng.abort(txn)
+        eng.crash()
+        eng.recover()
+        assert eng.table("t").heap.row_count() == 0
+
+    def test_indexes_rebuilt(self, plain_engine):
+        eng = plain_engine
+        txn = eng.begin()
+        for i in range(20):
+            eng.insert(txn, "t", (i, i))
+        eng.commit(txn)
+        eng.crash()
+        eng.recover()
+        pk = eng.table("t").indexes["pk_t"]
+        assert pk.state is IndexState.READY
+        assert len(pk.tree.search_eq((7,))) == 1
+
+    def test_recovery_idempotent(self, plain_engine):
+        eng = plain_engine
+        txn = eng.begin()
+        eng.insert(txn, "t", (1, 10))
+        eng.commit(txn)
+        eng.crash()
+        eng.recover()
+        eng.crash()
+        eng.recover()
+        assert eng.table("t").heap.row_count() == 1
+
+
+class TestDeferredTransactions:
+    def test_keyless_recovery_defers(self, enclave_binary, enclave, enclave_cmk, enclave_cek, cek_material):
+        eng = encrypted_engine(enclave, enclave_cmk, enclave_cek, cek_material, ctr=False)
+        txn = eng.begin()
+        eng.insert(txn, "e", (100, cell(cek_material, 1000)))
+        eng.checkpoint()
+        eng.crash()
+        eng.enclave = Enclave(enclave_binary)  # rebooted: no keys
+        report = eng.recover()
+        assert report.deferred
+        assert "ix" in report.pending_indexes
+
+    def test_deferred_txn_blocks_updates(self, enclave_binary, enclave, enclave_cmk, enclave_cek, cek_material):
+        eng = encrypted_engine(enclave, enclave_cmk, enclave_cek, cek_material, ctr=False)
+        txn = eng.begin()
+        eng.insert(txn, "e", (100, cell(cek_material, 1000)))
+        eng.checkpoint()
+        eng.crash()
+        eng.enclave = Enclave(enclave_binary)
+        eng.recover()
+        blocked_rid = list(eng.deferred.values())[0].undo_log[0].rid
+        txn2 = eng.begin()
+        with pytest.raises(LockTimeoutError):
+            eng.delete(txn2, "e", blocked_rid)
+
+    def test_log_truncation_blocked(self, enclave_binary, enclave, enclave_cmk, enclave_cek, cek_material):
+        eng = encrypted_engine(enclave, enclave_cmk, enclave_cek, cek_material, ctr=False)
+        txn = eng.begin()
+        eng.insert(txn, "e", (100, cell(cek_material, 1000)))
+        eng.checkpoint()
+        eng.crash()
+        eng.enclave = Enclave(enclave_binary)
+        eng.recover()
+        with pytest.raises(TransactionError, match="deferred"):
+            eng.truncate_log()
+
+    def test_keys_resolve_deferred(self, enclave_binary, enclave, enclave_cmk, enclave_cek, cek_material):
+        eng = encrypted_engine(enclave, enclave_cmk, enclave_cek, cek_material, ctr=False)
+        txn = eng.begin()
+        eng.insert(txn, "e", (100, cell(cek_material, 1000)))
+        eng.checkpoint()
+        eng.crash()
+        new_enclave = Enclave(enclave_binary)
+        eng.enclave = new_enclave
+        eng.recover()
+        new_enclave.sqlos.install_key("TestCEK", cek_material)
+        resolved = eng.resolve_deferred_transactions()
+        assert resolved
+        assert not eng.deferred
+        assert eng.table("e").heap.row_count() == 6  # uncommitted insert undone
+        assert eng.table("e").indexes["ix"].state is IndexState.READY
+        eng.truncate_log()  # now allowed
+
+    def test_no_encrypted_work_no_deferral(self, enclave_binary, enclave, enclave_cmk, enclave_cek, cek_material):
+        # A loser that never touched the encrypted-index table resolves fully.
+        eng = encrypted_engine(enclave, enclave_cmk, enclave_cek, cek_material, ctr=False)
+        eng.create_table(
+            TableSchema(name="p", columns=[plain_column("id", "INT", nullable=False)], primary_key=("id",))
+        )
+        txn = eng.begin()
+        eng.insert(txn, "p", (1,))
+        eng.checkpoint()
+        eng.crash()
+        eng.enclave = Enclave(enclave_binary)
+        report = eng.recover()
+        assert not report.deferred
+        assert report.undone
+
+
+class TestCtr:
+    def test_immediate_availability(self, enclave_binary, enclave, enclave_cmk, enclave_cek, cek_material):
+        eng = encrypted_engine(enclave, enclave_cmk, enclave_cek, cek_material, ctr=True)
+        txn = eng.begin()
+        eng.insert(txn, "e", (100, cell(cek_material, 1000)))
+        eng.checkpoint()
+        eng.crash()
+        eng.enclave = Enclave(enclave_binary)
+        report = eng.recover()
+        assert report.ctr_reverted and not report.deferred
+        # Committed data visible, locks free, uncommitted row gone.
+        assert eng.table("e").heap.row_count() == 6
+        txn2 = eng.begin()
+        rid, row = next(eng.scan("e"))
+        eng.delete(txn2, "e", rid)  # no lock timeout
+        eng.abort(txn2)
+
+    def test_version_cleaner_retries_until_keys(self, enclave_binary, enclave, enclave_cmk, enclave_cek, cek_material):
+        eng = encrypted_engine(enclave, enclave_cmk, enclave_cek, cek_material, ctr=True)
+        txn = eng.begin()
+        eng.insert(txn, "e", (100, cell(cek_material, 1000)))
+        eng.checkpoint()
+        eng.crash()
+        new_enclave = Enclave(enclave_binary)
+        eng.enclave = new_enclave
+        eng.recover()
+        cleaned, pending = eng.run_version_cleaner()
+        assert pending == 1 and cleaned == 0
+        assert eng.pending_cleanups[0].retries == 1
+        new_enclave.sqlos.install_key("TestCEK", cek_material)
+        cleaned, pending = eng.run_version_cleaner()
+        assert cleaned == 1 and pending == 0
+        assert eng.table("e").indexes["ix"].state is IndexState.READY
+
+
+class TestInvalidation:
+    def test_policy_invalidation_releases_everything(self, enclave_binary, enclave, enclave_cmk, enclave_cek, cek_material):
+        eng = encrypted_engine(enclave, enclave_cmk, enclave_cek, cek_material, ctr=False)
+        txn = eng.begin()
+        eng.insert(txn, "e", (100, cell(cek_material, 1000)))
+        eng.checkpoint()
+        eng.crash()
+        eng.enclave = Enclave(enclave_binary)
+        eng.recover()
+        invalidated = eng.apply_invalidation_policy(max_log_records=0)
+        assert invalidated == ["ix"]
+        assert not eng.deferred
+        assert eng.table("e").indexes["ix"].state is IndexState.INVALID
+        eng.truncate_log()
+
+    def test_policy_noop_below_threshold(self, enclave_binary, enclave, enclave_cmk, enclave_cek, cek_material):
+        eng = encrypted_engine(enclave, enclave_cmk, enclave_cek, cek_material, ctr=False)
+        txn = eng.begin()
+        eng.insert(txn, "e", (100, cell(cek_material, 1000)))
+        eng.checkpoint()
+        eng.crash()
+        eng.enclave = Enclave(enclave_binary)
+        eng.recover()
+        assert eng.apply_invalidation_policy(max_log_records=10_000) == []
+        assert eng.deferred
+
+    def test_no_enclave_automatic_invalidation(self, enclave, enclave_cmk, enclave_cek, cek_material):
+        # Restoring a backup on an enclave-less machine (Section 4.5).
+        eng = encrypted_engine(enclave, enclave_cmk, enclave_cek, cek_material, ctr=False)
+        eng.checkpoint()
+        eng.crash()
+        eng.enclave = None
+        report = eng.recover()
+        assert "ix" in report.invalidated_indexes
+        assert not eng.deferred

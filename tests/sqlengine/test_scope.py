@@ -1,0 +1,71 @@
+"""Name resolution scopes."""
+
+import pytest
+
+from repro.errors import BindError
+from repro.sqlengine.catalog import Catalog, TableSchema, plain_column
+from repro.sqlengine.scope import Scope
+from repro.sqlengine.sqlparser import ast
+
+
+@pytest.fixture()
+def catalog():
+    c = Catalog()
+    c.create_table(TableSchema(name="a", columns=[plain_column("x", "INT"), plain_column("y", "INT")]))
+    c.create_table(TableSchema(name="b", columns=[plain_column("y", "INT"), plain_column("z", "INT")]))
+    return c
+
+
+class TestScope:
+    def test_slots_concatenate(self, catalog):
+        scope = Scope(catalog)
+        scope.add_table(ast.TableRef(name="a"))
+        scope.add_table(ast.TableRef(name="b"))
+        assert scope.width == 4
+        assert scope.resolve(ast.ColumnName("x")).slot == 0
+        assert scope.resolve(ast.ColumnName("z")).slot == 3
+
+    def test_ambiguous_column_rejected(self, catalog):
+        scope = Scope(catalog)
+        scope.add_table(ast.TableRef(name="a"))
+        scope.add_table(ast.TableRef(name="b"))
+        with pytest.raises(BindError, match="ambiguous"):
+            scope.resolve(ast.ColumnName("y"))
+
+    def test_qualification_disambiguates(self, catalog):
+        scope = Scope(catalog)
+        scope.add_table(ast.TableRef(name="a"))
+        scope.add_table(ast.TableRef(name="b"))
+        assert scope.resolve(ast.ColumnName("y", table="a")).slot == 1
+        assert scope.resolve(ast.ColumnName("y", table="b")).slot == 2
+
+    def test_alias_binding(self, catalog):
+        scope = Scope(catalog)
+        scope.add_table(ast.TableRef(name="a", alias="t1"))
+        assert scope.resolve(ast.ColumnName("x", table="t1")).slot == 0
+        with pytest.raises(BindError):
+            scope.resolve(ast.ColumnName("x", table="a"))  # alias replaces name
+
+    def test_self_join_needs_aliases(self, catalog):
+        scope = Scope(catalog)
+        scope.add_table(ast.TableRef(name="a", alias="l"))
+        scope.add_table(ast.TableRef(name="a", alias="r"))
+        assert scope.resolve(ast.ColumnName("x", table="r")).slot == 2
+
+    def test_duplicate_binding_rejected(self, catalog):
+        scope = Scope(catalog)
+        scope.add_table(ast.TableRef(name="a"))
+        with pytest.raises(BindError):
+            scope.add_table(ast.TableRef(name="a"))
+
+    def test_unknown_column(self, catalog):
+        scope = Scope(catalog)
+        scope.add_table(ast.TableRef(name="a"))
+        with pytest.raises(BindError):
+            scope.resolve(ast.ColumnName("nope"))
+
+    def test_all_columns(self, catalog):
+        scope = Scope(catalog)
+        scope.add_table(ast.TableRef(name="a"))
+        scope.add_table(ast.TableRef(name="b"))
+        assert [c.column.name for c in scope.all_columns()] == ["x", "y", "y", "z"]

@@ -1,0 +1,191 @@
+"""Encryption type deduction via union-find (Section 4.3, Example 4.2)."""
+
+import pytest
+
+from repro.crypto.aead import EncryptionScheme
+from repro.errors import TypeDeductionError
+from repro.sqlengine.catalog import Catalog, ColumnSchema, TableSchema, plain_column
+from repro.sqlengine.scope import Scope
+from repro.sqlengine.sqlparser import ast, parse
+from repro.sqlengine.typededuce import deduce
+from repro.sqlengine.types import ColumnType, EncryptionInfo, SqlType
+
+
+def make_catalog(scheme=EncryptionScheme.RANDOMIZED, enclave=True) -> Catalog:
+    catalog = Catalog()
+    enc = EncryptionInfo(scheme=scheme, cek_name="CEK", enclave_enabled=enclave)
+    enc2 = EncryptionInfo(scheme=scheme, cek_name="CEK2", enclave_enabled=enclave)
+    catalog.create_table(
+        TableSchema(
+            name="T",
+            columns=[
+                plain_column("id", "INT"),
+                ColumnSchema("value", ColumnType(SqlType("INT"), enc)),
+                ColumnSchema("name", ColumnType(SqlType("VARCHAR", 20), enc)),
+                ColumnSchema("other", ColumnType(SqlType("INT"), enc2)),
+                plain_column("plain", "INT"),
+            ],
+        )
+    )
+    return catalog
+
+
+def run(sql: str, scheme=EncryptionScheme.RANDOMIZED, enclave=True):
+    catalog = make_catalog(scheme, enclave)
+    stmt = parse(sql)
+    scope = Scope(catalog)
+    if isinstance(stmt, ast.SelectStmt):
+        scope.add_table(stmt.table)
+    else:
+        scope.add_table(ast.TableRef(name=stmt.table))
+    return deduce(stmt, scope)
+
+
+class TestExample42:
+    def test_param_inherits_column_encryption(self):
+        # select * from T where value = @v  (the paper's running example)
+        result = run("SELECT * FROM T WHERE value = @v")
+        enc = result.param_types["v"].encryption
+        assert enc is not None and enc.cek_name == "CEK"
+        assert enc.scheme is EncryptionScheme.RANDOMIZED
+
+    def test_param_sql_type_deduced(self):
+        result = run("SELECT * FROM T WHERE value = @v")
+        assert result.param_types["v"].sql_type.base == "INT"
+
+    def test_plaintext_preference_for_unconstrained(self):
+        # "our preference is to solve using the Plaintext type"
+        result = run("SELECT * FROM T WHERE plain = @p")
+        assert result.param_types["p"].encryption is None
+
+
+class TestEnclaveRequirements:
+    def test_rnd_equality_needs_enclave(self):
+        result = run("SELECT * FROM T WHERE value = @v")
+        assert result.enclave_ceks == {"CEK"}
+
+    def test_rnd_range_needs_enclave(self):
+        result = run("SELECT * FROM T WHERE value > @v")
+        assert result.uses_enclave
+
+    def test_like_needs_enclave(self):
+        result = run("SELECT * FROM T WHERE name LIKE @p")
+        assert result.enclave_ceks == {"CEK"}
+
+    def test_det_equality_needs_no_enclave(self):
+        result = run(
+            "SELECT * FROM T WHERE value = @v",
+            scheme=EncryptionScheme.DETERMINISTIC,
+            enclave=False,
+        )
+        assert not result.uses_enclave
+        assert result.param_types["v"].encryption.scheme is EncryptionScheme.DETERMINISTIC
+
+    def test_plaintext_query_needs_no_enclave(self):
+        result = run("SELECT * FROM T WHERE plain = @p AND id = 3")
+        assert not result.uses_enclave
+
+
+class TestRejections:
+    def test_rnd_without_enclave_rejects_equality(self):
+        with pytest.raises(TypeDeductionError):
+            run("SELECT * FROM T WHERE value = @v", enclave=False)
+
+    def test_det_rejects_range(self):
+        with pytest.raises(TypeDeductionError):
+            run(
+                "SELECT * FROM T WHERE value < @v",
+                scheme=EncryptionScheme.DETERMINISTIC,
+                enclave=False,
+            )
+
+    def test_det_rejects_like(self):
+        with pytest.raises(TypeDeductionError):
+            run(
+                "SELECT * FROM T WHERE name LIKE @p",
+                scheme=EncryptionScheme.DETERMINISTIC,
+                enclave=False,
+            )
+
+    def test_encrypted_vs_literal_rejected(self):
+        # Literals cannot be transparently encrypted — parameterize!
+        with pytest.raises(TypeDeductionError):
+            run("SELECT * FROM T WHERE value = 5")
+
+    def test_cross_cek_comparison_rejected(self):
+        with pytest.raises(TypeDeductionError):
+            run("SELECT * FROM T WHERE value = other")
+
+    def test_encrypted_vs_plain_column_rejected(self):
+        with pytest.raises(TypeDeductionError):
+            run("SELECT * FROM T WHERE value = plain")
+
+    def test_arithmetic_on_encrypted_rejected(self):
+        with pytest.raises(TypeDeductionError):
+            run("SELECT * FROM T WHERE value + 1 = @v")
+
+    def test_order_by_encrypted_rejected(self):
+        # The AEv2 restriction that forced the paper's TPC-C modification.
+        with pytest.raises(TypeDeductionError):
+            run("SELECT name FROM T ORDER BY name")
+
+    def test_sum_on_encrypted_rejected(self):
+        with pytest.raises(TypeDeductionError):
+            run("SELECT SUM(value) FROM T")
+
+    def test_min_on_encrypted_rejected(self):
+        with pytest.raises(TypeDeductionError):
+            run("SELECT MIN(value) FROM T")
+
+
+class TestStatementKinds:
+    def test_insert_params_inherit_column_types(self):
+        result = run("INSERT INTO T (id, value) VALUES (@a, @b)")
+        assert result.param_types["a"].encryption is None
+        assert result.param_types["b"].encryption.cek_name == "CEK"
+
+    def test_insert_literal_into_encrypted_rejected(self):
+        with pytest.raises(TypeDeductionError):
+            run("INSERT INTO T (value) VALUES (42)")
+
+    def test_update_assignment_and_where(self):
+        result = run("UPDATE T SET value = @new WHERE value = @old")
+        assert result.param_types["new"].encryption is not None
+        assert result.param_types["old"].encryption is not None
+        assert result.uses_enclave
+
+    def test_delete_where(self):
+        result = run("DELETE FROM T WHERE name = @n")
+        assert result.param_types["n"].encryption is not None
+
+    def test_between_unifies_all_three(self):
+        result = run("SELECT * FROM T WHERE value BETWEEN @lo AND @hi")
+        assert result.param_types["lo"].encryption.cek_name == "CEK"
+        assert result.param_types["hi"].encryption.cek_name == "CEK"
+
+    def test_in_list_unifies(self):
+        result = run("SELECT * FROM T WHERE value IN (@a, @b)")
+        assert result.param_types["a"].encryption is not None
+        assert result.param_types["b"].encryption is not None
+
+    def test_count_star_is_fine(self):
+        result = run("SELECT COUNT(*) FROM T")
+        assert not result.uses_enclave
+
+    def test_projection_of_encrypted_is_fine(self):
+        # RND columns may always be fetched (SELECT clause only).
+        result = run("SELECT name, value FROM T", enclave=False)
+        assert not result.uses_enclave
+
+    def test_group_by_det_allowed(self):
+        result = run(
+            "SELECT name, COUNT(*) FROM T GROUP BY name",
+            scheme=EncryptionScheme.DETERMINISTIC,
+            enclave=False,
+        )
+        assert not result.uses_enclave
+
+    def test_is_null_on_encrypted_allowed(self):
+        # Nullness is not hidden by encryption.
+        result = run("SELECT * FROM T WHERE value IS NULL", enclave=False)
+        assert not result.uses_enclave

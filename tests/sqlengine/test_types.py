@@ -1,0 +1,75 @@
+"""SQL types with encryption attributes."""
+
+import pytest
+
+from repro.crypto.aead import EncryptionScheme
+from repro.errors import SqlError
+from repro.sqlengine.types import ColumnType, EncryptionInfo, SqlType, int_type, varchar
+
+
+class TestSqlType:
+    def test_normalizes_case(self):
+        assert SqlType("int").base == "INT"
+
+    def test_unknown_base_rejected(self):
+        with pytest.raises(SqlError):
+            SqlType("GEOGRAPHY")
+
+    def test_length_only_for_string_types(self):
+        SqlType("VARCHAR", 10)
+        SqlType("VARBINARY", 4)
+        with pytest.raises(SqlError):
+            SqlType("INT", 4)
+
+    @pytest.mark.parametrize(
+        "base,ok,bad",
+        [
+            ("INT", 5, "x"),
+            ("BIGINT", 2**40, 1.5),
+            ("FLOAT", 2.5, "x"),
+            ("BIT", True, 1),
+            ("VARBINARY", b"ab", "ab"),
+        ],
+    )
+    def test_validation(self, base, ok, bad):
+        t = SqlType(base)
+        t.validate(ok)
+        with pytest.raises(SqlError):
+            t.validate(bad)
+
+    def test_bool_not_an_int(self):
+        with pytest.raises(SqlError):
+            SqlType("INT").validate(True)
+
+    def test_varchar_length_enforced(self):
+        varchar(3).validate("abc")
+        with pytest.raises(SqlError):
+            varchar(3).validate("abcd")
+
+    def test_null_always_valid(self):
+        SqlType("INT").validate(None)
+
+    def test_str(self):
+        assert str(SqlType("VARCHAR", 10)) == "VARCHAR(10)"
+        assert str(int_type()) == "INT"
+
+
+class TestColumnType:
+    def test_plaintext(self):
+        ct = ColumnType(int_type())
+        assert not ct.is_encrypted
+        assert str(ct) == "INT"
+
+    def test_encrypted_rendering(self):
+        info = EncryptionInfo(
+            scheme=EncryptionScheme.RANDOMIZED, cek_name="K", enclave_enabled=True
+        )
+        ct = ColumnType(int_type(), info)
+        assert ct.is_encrypted
+        assert "RND" in str(ct) and "enclave" in str(ct)
+
+    def test_encryption_info_equality(self):
+        a = EncryptionInfo(EncryptionScheme.DETERMINISTIC, "K", False)
+        b = EncryptionInfo(EncryptionScheme.DETERMINISTIC, "K", False)
+        c = EncryptionInfo(EncryptionScheme.DETERMINISTIC, "K2", False)
+        assert a == b and a != c

@@ -1,0 +1,135 @@
+"""Value serialization, comparison, and LIKE matching."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.errors import SqlError
+from repro.sqlengine.values import (
+    compare_values,
+    deserialize_value,
+    like_match,
+    serialize_value,
+)
+
+SCALARS = st.one_of(
+    st.integers(min_value=-(2**63), max_value=2**63 - 1),
+    st.floats(allow_nan=False),
+    st.text(max_size=100),
+    st.binary(max_size=100),
+    st.booleans(),
+)
+
+
+class TestSerialization:
+    @pytest.mark.parametrize(
+        "value", [0, -1, 2**63 - 1, -(2**63), 3.14, "", "héllo", b"", b"\x00", True, False]
+    )
+    def test_roundtrip(self, value):
+        assert deserialize_value(serialize_value(value)) == value
+
+    def test_null_not_serializable(self):
+        with pytest.raises(SqlError):
+            serialize_value(None)
+
+    def test_int_out_of_range(self):
+        with pytest.raises(SqlError):
+            serialize_value(2**63)
+
+    def test_type_tags_distinguish(self):
+        # 1 (int) and True (bool) and 1.0 (float) serialize differently —
+        # DET equality must not conflate them.
+        assert serialize_value(1) != serialize_value(True)
+        assert serialize_value(1) != serialize_value(1.0)
+
+    def test_canonical_for_det(self):
+        # Byte-identical serialization is what makes DET equality exact.
+        assert serialize_value("abc") == serialize_value("abc")
+
+    def test_empty_input_rejected(self):
+        with pytest.raises(SqlError):
+            deserialize_value(b"")
+
+    def test_unknown_tag_rejected(self):
+        with pytest.raises(SqlError):
+            deserialize_value(b"\x99abc")
+
+    def test_malformed_int_rejected(self):
+        with pytest.raises(SqlError):
+            deserialize_value(b"\x01\x00\x00")
+
+    @given(SCALARS)
+    @settings(max_examples=100, deadline=None)
+    def test_property_roundtrip(self, value):
+        result = deserialize_value(serialize_value(value))
+        assert result == value and type(result) is type(value)
+
+
+class TestComparison:
+    def test_three_way(self):
+        assert compare_values(1, 2) == -1
+        assert compare_values(2, 1) == 1
+        assert compare_values(2, 2) == 0
+
+    def test_mixed_numerics(self):
+        assert compare_values(1, 1.5) == -1
+        assert compare_values(2.0, 2) == 0
+
+    def test_strings(self):
+        assert compare_values("a", "b") == -1
+        assert compare_values("b", "a") == 1
+
+    def test_incompatible_types_rejected(self):
+        with pytest.raises(SqlError):
+            compare_values(1, "a")
+
+    def test_bool_not_comparable_with_int(self):
+        with pytest.raises(SqlError):
+            compare_values(True, 1)
+
+    def test_null_rejected(self):
+        with pytest.raises(SqlError):
+            compare_values(None, 1)
+
+    @given(a=st.integers(), b=st.integers())
+    @settings(max_examples=50, deadline=None)
+    def test_antisymmetry(self, a, b):
+        assert compare_values(a, b) == -compare_values(b, a)
+
+
+class TestLike:
+    @pytest.mark.parametrize(
+        "value,pattern,expected",
+        [
+            ("hello", "hello", True),
+            ("hello", "h%", True),
+            ("hello", "%o", True),
+            ("hello", "%ell%", True),
+            ("hello", "h_llo", True),
+            ("hello", "h_lo", False),
+            ("hello", "h__lo", True),
+            ("hello", "", False),
+            ("", "", True),
+            ("", "%", True),
+            ("abc", "%%", True),
+            ("abc", "a%c", True),
+            ("abc", "a%b", False),
+            ("BARBAR", "BAR%", True),
+            ("OUGHTBAR", "BAR%", False),
+            ("aXbXc", "a_b_c", True),
+            ("mississippi", "m%iss%ppi", True),
+            ("mississippi", "m%xss%", False),
+        ],
+    )
+    def test_patterns(self, value, pattern, expected):
+        assert like_match(value, pattern) is expected
+
+    @given(st.text(alphabet="ab", max_size=20))
+    @settings(max_examples=50, deadline=None)
+    def test_percent_matches_everything(self, value):
+        assert like_match(value, "%")
+
+    @given(st.text(alphabet="ab", max_size=20))
+    @settings(max_examples=50, deadline=None)
+    def test_exact_pattern_matches_itself(self, value):
+        assert like_match(value, value)

@@ -1,0 +1,156 @@
+"""The host-side stack machine: three-valued logic, ciphertext movement."""
+
+import pytest
+
+from repro.errors import ExecutionError
+from repro.sqlengine.cells import Ciphertext
+from repro.sqlengine.expression.program import Instruction, Opcode, StackProgram
+from repro.sqlengine.expression.vm import StackMachine
+
+
+def run(instructions, inputs=()):
+    vm = StackMachine()
+    return vm.eval(StackProgram(list(instructions)), list(inputs))[0]
+
+
+def get(slot):
+    return Instruction(Opcode.GET_DATA, (slot, None))
+
+
+def const(v):
+    return Instruction(Opcode.PUSH_CONST, v)
+
+
+class TestComparisons:
+    @pytest.mark.parametrize(
+        "op,a,b,expected",
+        [
+            ("=", 1, 1, True), ("=", 1, 2, False),
+            ("<>", 1, 2, True), ("<>", 2, 2, False),
+            ("<", 1, 2, True), ("<=", 2, 2, True),
+            (">", 3, 2, True), (">=", 1, 2, False),
+        ],
+    )
+    def test_operators(self, op, a, b, expected):
+        assert run([const(a), const(b), Instruction(Opcode.COMP, op)]) is expected
+
+    def test_null_propagates_to_unknown(self):
+        assert run([const(None), const(1), Instruction(Opcode.COMP, "=")]) is None
+        assert run([const(1), const(None), Instruction(Opcode.COMP, "<")]) is None
+
+    def test_string_comparison(self):
+        assert run([const("a"), const("b"), Instruction(Opcode.COMP, "<")]) is True
+
+
+class TestCiphertextOnHost:
+    def test_det_equality_by_envelope(self):
+        a = Ciphertext(b"\x01" * 80)
+        b = Ciphertext(b"\x01" * 80)
+        c = Ciphertext(b"\x02" * 80)
+        assert run([get(0), get(1), Instruction(Opcode.COMP, "=")], [a, b]) is True
+        assert run([get(0), get(1), Instruction(Opcode.COMP, "=")], [a, c]) is False
+        assert run([get(0), get(1), Instruction(Opcode.COMP, "<>")], [a, c]) is True
+
+    def test_ciphertext_range_rejected_on_host(self):
+        a, b = Ciphertext(b"\x01" * 80), Ciphertext(b"\x02" * 80)
+        with pytest.raises(ExecutionError):
+            run([get(0), get(1), Instruction(Opcode.COMP, "<")], [a, b])
+
+    def test_ciphertext_vs_plaintext_rejected(self):
+        with pytest.raises(ExecutionError):
+            run([get(0), const(1), Instruction(Opcode.COMP, "=")], [Ciphertext(b"x" * 80)])
+
+    def test_host_cannot_decrypt(self):
+        # An encrypted GET_DATA annotation outside the enclave must fail.
+        from repro.crypto.aead import EncryptionScheme
+        from repro.sqlengine.types import EncryptionInfo
+
+        enc = EncryptionInfo(
+            scheme=EncryptionScheme.RANDOMIZED, cek_name="K", enclave_enabled=True
+        )
+        program = StackProgram([Instruction(Opcode.GET_DATA, (0, enc))])
+        with pytest.raises(ExecutionError, match="never"):
+            StackMachine().eval(program, [Ciphertext(b"x" * 80)])
+
+    def test_like_on_ciphertext_rejected(self):
+        with pytest.raises(ExecutionError):
+            run([get(0), const("%"), Instruction(Opcode.LIKE)], [Ciphertext(b"x" * 80)])
+
+
+class TestKleeneLogic:
+    T, F, N = True, False, None
+
+    @pytest.mark.parametrize(
+        "a,b,expected",
+        [(T, T, T), (T, F, F), (F, N, F), (N, T, N), (N, N, N)],
+    )
+    def test_and(self, a, b, expected):
+        assert run([const(a), const(b), Instruction(Opcode.AND)]) is expected
+
+    @pytest.mark.parametrize(
+        "a,b,expected",
+        [(T, T, T), (T, F, T), (F, N, N), (N, T, T), (F, F, F), (N, N, N)],
+    )
+    def test_or(self, a, b, expected):
+        assert run([const(a), const(b), Instruction(Opcode.OR)]) is expected
+
+    @pytest.mark.parametrize("a,expected", [(T, F), (F, T), (N, N)])
+    def test_not(self, a, expected):
+        assert run([const(a), Instruction(Opcode.NOT)]) is expected
+
+
+class TestArithmetic:
+    def test_operations(self):
+        assert run([const(2), const(3), Instruction(Opcode.ARITH, "+")]) == 5
+        assert run([const(2), const(3), Instruction(Opcode.ARITH, "-")]) == -1
+        assert run([const(2), const(3), Instruction(Opcode.ARITH, "*")]) == 6
+
+    def test_integer_division_truncates_toward_zero(self):
+        assert run([const(7), const(2), Instruction(Opcode.ARITH, "/")]) == 3
+        assert run([const(-7), const(2), Instruction(Opcode.ARITH, "/")]) == -3
+
+    def test_float_division(self):
+        assert run([const(7.0), const(2), Instruction(Opcode.ARITH, "/")]) == 3.5
+
+    def test_division_by_zero(self):
+        with pytest.raises(ExecutionError):
+            run([const(1), const(0), Instruction(Opcode.ARITH, "/")])
+
+    def test_null_propagates(self):
+        assert run([const(None), const(3), Instruction(Opcode.ARITH, "+")]) is None
+
+    def test_arith_on_ciphertext_rejected(self):
+        with pytest.raises(ExecutionError):
+            run([get(0), const(1), Instruction(Opcode.ARITH, "+")], [Ciphertext(b"x" * 80)])
+
+
+class TestMisc:
+    def test_is_null(self):
+        assert run([const(None), Instruction(Opcode.IS_NULL, False)]) is True
+        assert run([const(1), Instruction(Opcode.IS_NULL, False)]) is False
+        assert run([const(None), Instruction(Opcode.IS_NULL, True)]) is False
+
+    def test_like(self):
+        assert run([const("hello"), const("h%"), Instruction(Opcode.LIKE)]) is True
+
+    def test_set_data_routes_output(self):
+        vm = StackMachine()
+        program = StackProgram([const(42), Instruction(Opcode.SET_DATA, (0, None))])
+        assert vm.eval(program, [], n_outputs=1) == [42]
+
+    def test_get_data_out_of_range(self):
+        with pytest.raises(ExecutionError):
+            run([get(5)], [1])
+
+    def test_tm_eval_without_enclave_rejected(self):
+        with pytest.raises(ExecutionError, match="enclave"):
+            run([const(1), Instruction(Opcode.TM_EVAL, (b"", 1))])
+
+    def test_eval_predicate_type_checked(self):
+        vm = StackMachine()
+        with pytest.raises(ExecutionError):
+            vm.eval_predicate(StackProgram([const(42)]), [])
+
+    def test_stack_underflow(self):
+        with pytest.raises(ExecutionError):
+            run([Instruction(Opcode.COMP, "=")])

@@ -1,0 +1,161 @@
+"""Client-side tooling: provisioning, rotation, initial encryption."""
+
+import pytest
+
+from repro.client.driver import connect
+from repro.crypto.aead import EncryptionScheme
+from repro.errors import EnclaveError
+from repro.tools.initial_encryption import client_side_initial_encryption
+from repro.tools.provisioning import (
+    provision_cek,
+    provision_cmk,
+    rotate_cek_in_place,
+    rotate_cmk,
+)
+from tests.conftest import ALGO
+
+
+@pytest.fixture()
+def conn(server, registry, attestation_policy):
+    return connect(server, registry, attestation_policy=attestation_policy)
+
+
+@pytest.fixture()
+def vault(registry):
+    return registry.get("AZURE_KEY_VAULT_PROVIDER")
+
+
+class TestProvisioning:
+    def test_provision_cmk_populates_catalog(self, conn, vault, server):
+        cmk = provision_cmk(conn, vault, "PCMK", "https://vault.azure.net/keys/p1")
+        assert server.catalog.cmk("PCMK").key_path == cmk.key_path
+        assert server.catalog.cmk("PCMK").allow_enclave_computations
+
+    def test_provision_cek_material_stays_client_side(self, conn, vault, server):
+        cmk = provision_cmk(conn, vault, "PCMK2", "https://vault.azure.net/keys/p2")
+        material = provision_cek(conn, vault, cmk, "PCEK")
+        stored = server.catalog.cek("PCEK")
+        assert material not in stored.encrypted_values[0].encrypted_value
+        assert conn.cek_cache.get("PCEK") == material
+
+    def test_enclave_disabled_cmk(self, conn, vault, server):
+        provision_cmk(
+            conn, vault, "NoEnc", "https://vault.azure.net/keys/p3",
+            allow_enclave_computations=False,
+        )
+        assert not server.catalog.cmk("NoEnc").allow_enclave_computations
+
+
+class TestInPlaceDdl:
+    @pytest.fixture()
+    def loaded(self, conn, vault, server):
+        cmk = provision_cmk(conn, vault, "ECMK", "https://vault.azure.net/keys/e1")
+        provision_cek(conn, vault, cmk, "ECEK")
+        conn.execute_ddl("CREATE TABLE d (k int PRIMARY KEY, v varchar(20))")
+        for k in range(4):
+            conn.execute("INSERT INTO d (k, v) VALUES (@k, @v)", {"k": k, "v": f"val-{k}"})
+        return cmk
+
+    def test_initial_encryption_in_place(self, conn, loaded, server, enclave):
+        before = enclave.counters.cell_encrypts
+        conn.execute_ddl(
+            "ALTER TABLE d ALTER COLUMN v varchar(20) ENCRYPTED WITH ("
+            f"COLUMN_ENCRYPTION_KEY = ECEK, ENCRYPTION_TYPE = Randomized, "
+            f"ALGORITHM = '{ALGO}')",
+            authorize_enclave=True,
+        )
+        assert enclave.counters.cell_encrypts - before == 4
+        from repro.sqlengine.cells import Ciphertext
+
+        for __, row in server.engine.scan("d"):
+            assert isinstance(row[1], Ciphertext)
+        # Transparent querying continues.
+        r = conn.execute("SELECT k FROM d WHERE v = @v", {"v": "val-2"})
+        assert r.rows == [(2,)]
+
+    def test_unauthorized_initial_encryption_refused(self, conn, loaded):
+        with pytest.raises(EnclaveError):
+            conn.execute_ddl(
+                "ALTER TABLE d ALTER COLUMN v varchar(20) ENCRYPTED WITH ("
+                f"COLUMN_ENCRYPTION_KEY = ECEK, ENCRYPTION_TYPE = Randomized, "
+                f"ALGORITHM = '{ALGO}')",
+                authorize_enclave=False,
+            )
+
+    def test_decryption_ddl(self, conn, loaded, server):
+        conn.execute_ddl(
+            "ALTER TABLE d ALTER COLUMN v varchar(20) ENCRYPTED WITH ("
+            f"COLUMN_ENCRYPTION_KEY = ECEK, ENCRYPTION_TYPE = Randomized, "
+            f"ALGORITHM = '{ALGO}')",
+            authorize_enclave=True,
+        )
+        conn.execute_ddl(
+            "ALTER TABLE d ALTER COLUMN v varchar(20)", authorize_enclave=True
+        )
+        rows = {row[1] for __, row in server.engine.scan("d")}
+        assert rows == {f"val-{k}" for k in range(4)}
+
+    def test_cek_rotation_in_place(self, conn, loaded, vault, server, enclave):
+        conn.execute_ddl(
+            "ALTER TABLE d ALTER COLUMN v varchar(20) ENCRYPTED WITH ("
+            f"COLUMN_ENCRYPTION_KEY = ECEK, ENCRYPTION_TYPE = Randomized, "
+            f"ALGORITHM = '{ALGO}')",
+            authorize_enclave=True,
+        )
+        cmk = server.catalog.cmk("ECMK")
+        provision_cek(conn, vault, cmk, "ECEK2")
+        rotate_cek_in_place(conn, "d", "v", "varchar(20)", "ECEK2")
+        column = server.catalog.table("d").column("v")
+        assert column.column_type.encryption.cek_name == "ECEK2"
+        r = conn.execute("SELECT k FROM d WHERE v = @v", {"v": "val-1"})
+        assert r.rows == [(1,)]
+
+
+class TestCmkRotation:
+    def test_rotate_cmk_no_data_touch(self, conn, vault, server, enclave):
+        old_cmk = provision_cmk(conn, vault, "R1", "https://vault.azure.net/keys/r1")
+        provision_cek(conn, vault, old_cmk, "RCEK")
+        new_cmk = provision_cmk(conn, vault, "R2", "https://vault.azure.net/keys/r2")
+        decrypts = enclave.counters.cell_decrypts
+        rotate_cmk(conn, vault, "RCEK", old_cmk=old_cmk, new_cmk=new_cmk)
+        assert enclave.counters.cell_decrypts == decrypts  # zero data work
+        assert server.catalog.cek("RCEK").cmk_names() == ["R2"]
+        # CEK still unwraps (through the new CMK).
+        conn.cek_cache.invalidate()
+        metadata = server.fetch_cek_metadata("RCEK")
+        assert conn._unwrap_cek(metadata)
+
+
+class TestClientSideInitialEncryption:
+    def test_aev1_roundtrip_path(self, conn, vault, server):
+        cmk = provision_cmk(
+            conn, vault, "V1CMK", "https://vault.azure.net/keys/v1",
+            allow_enclave_computations=False,
+        )
+        material = provision_cek(conn, vault, cmk, "V1CEK")
+        conn.execute_ddl("CREATE TABLE legacy (k int PRIMARY KEY, s varchar(10))")
+        for k in range(6):
+            conn.execute("INSERT INTO legacy (k, s) VALUES (@k, @s)", {"k": k, "s": f"s{k}"})
+        count = client_side_initial_encryption(
+            conn, "legacy", "s", "V1CEK", material, EncryptionScheme.DETERMINISTIC
+        )
+        assert count == 6
+        r = conn.execute("SELECT k FROM legacy WHERE s = @s", {"s": "s3"})
+        assert r.rows == [(3,)]
+
+    def test_already_encrypted_rejected(self, conn, vault, server):
+        from repro.errors import DriverError
+
+        cmk = provision_cmk(
+            conn, vault, "V1CMK2", "https://vault.azure.net/keys/v2",
+            allow_enclave_computations=False,
+        )
+        material = provision_cek(conn, vault, cmk, "V1CEK2")
+        conn.execute_ddl("CREATE TABLE legacy2 (k int PRIMARY KEY, s varchar(10))")
+        client_side_initial_encryption(
+            conn, "legacy2", "s", "V1CEK2", material, EncryptionScheme.DETERMINISTIC
+        )
+        with pytest.raises(DriverError):
+            client_side_initial_encryption(
+                conn, "legacy2", "s", "V1CEK2", material, EncryptionScheme.DETERMINISTIC
+            )
