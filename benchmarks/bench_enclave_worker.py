@@ -7,9 +7,12 @@ when the workload keeps the enclave busy, the queue avoids nearly all
 transition costs.
 """
 
+import json
+
 import pytest
 
 from repro.crypto.aead import CellCipher, EncryptionScheme
+from repro.obs.metrics import get_registry
 from repro.crypto.dh import DiffieHellman
 from repro.crypto.rsa import RsaKeyPair
 from repro.enclave.channel import CekPackage, seal_package
@@ -63,6 +66,11 @@ def test_enclave_call_modes(benchmark, mode):
         transition_cost_s=TRANSITION_COST_S,
         spin_duration_s=0.002,
     )
+    registry = get_registry()
+    before = {
+        "calls": registry.value("worker.calls"),
+        "boundary_transitions": registry.value("worker.boundary_transitions"),
+    }
     try:
         benchmark.pedantic(
             comparison_workload, args=(gateway, 200), rounds=3, iterations=1
@@ -70,11 +78,19 @@ def test_enclave_call_modes(benchmark, mode):
     finally:
         stats = gateway.stats
         gateway.shutdown()
-    print(
-        f"\n  {mode.value}: calls={stats.calls} "
-        f"boundary_transitions={stats.boundary_transitions} "
-        f"spin_hits={stats.spin_hits}"
-    )
+    # The per-mode summary comes from the telemetry registry, not from
+    # hand-kept ints; the gateway's stats view must agree with it exactly.
+    delta = {key: registry.value(f"worker.{key}") - base for key, base in before.items()}
+    assert delta["calls"] == stats.calls
+    assert delta["boundary_transitions"] == stats.boundary_transitions
+    summary = {
+        "mode": mode.value,
+        "calls": stats.calls,
+        "boundary_transitions": stats.boundary_transitions,
+        "transitions_per_call": round(stats.boundary_transitions / stats.calls, 4),
+        "spin_hits": stats.spin_hits,
+    }
+    print("\n  metrics_snapshot: " + json.dumps(summary, sort_keys=True))
     if mode is CallMode.SYNCHRONOUS:
         assert stats.boundary_transitions == stats.calls
     else:

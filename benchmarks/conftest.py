@@ -2,15 +2,24 @@
 
 ``REPRO_BENCH_SCALE`` (small|medium) controls the TPC-C calibration scale;
 small keeps the whole benchmark suite in a few minutes on a laptop.
+
+Every benchmark runs against a freshly reset metrics registry, and its
+final registry snapshot is written as JSON to
+``benchmarks/.metrics/<test_name>.json`` — set ``REPRO_BENCH_METRICS_DIR``
+to relocate, or to an empty string to disable.
 """
 
 from __future__ import annotations
 
+import json
 import os
+import pathlib
+import re
 
 import pytest
 
 from repro.harness.experiments import TpccScale
+from repro.obs.metrics import get_registry
 
 SCALES = {
     "small": TpccScale(
@@ -30,3 +39,33 @@ def tpcc_scale() -> TpccScale:
 @pytest.fixture(scope="session")
 def calibration_transactions() -> int:
     return int(os.environ.get("REPRO_BENCH_TXNS", "40"))
+
+
+def _metrics_dir() -> pathlib.Path | None:
+    configured = os.environ.get("REPRO_BENCH_METRICS_DIR")
+    if configured == "":
+        return None
+    if configured is not None:
+        return pathlib.Path(configured)
+    return pathlib.Path(__file__).parent / ".metrics"
+
+
+@pytest.fixture(autouse=True)
+def metrics_snapshot(request):
+    """Reset the registry per benchmark; dump its snapshot as JSON after."""
+    registry = get_registry()
+    registry.reset()
+    yield registry
+    out_dir = _metrics_dir()
+    if out_dir is None:
+        return
+    out_dir.mkdir(parents=True, exist_ok=True)
+    safe_name = re.sub(r"[^A-Za-z0-9_.-]+", "_", request.node.name)
+    path = out_dir / f"{safe_name}.json"
+    path.write_text(
+        json.dumps(
+            {"benchmark": request.node.nodeid, "metrics": registry.snapshot()},
+            indent=2,
+            sort_keys=True,
+        )
+    )

@@ -15,29 +15,50 @@ import time
 from dataclasses import dataclass, field
 
 from repro.enclave.nonce import NonceCounter
+from repro.obs.metrics import StatsView
+
+
+class _CekCacheStats(StatsView):
+    """Per-cache view over the global driver cache counters."""
+
+    FIELDS = {
+        "hits": "driver.cek_cache_hits",
+        "misses": "driver.cek_cache_misses",
+    }
 
 
 class CekCache:
-    """Decrypted CEK material with a client-controlled TTL."""
+    """Decrypted CEK material with a client-controlled TTL.
+
+    ``hits``/``misses`` keep their historical attribute API but are now
+    views over the ``driver.cek_cache_*`` registry counters.
+    """
 
     def __init__(self, ttl_s: float = 7200.0, clock=time.monotonic):
         self.ttl_s = ttl_s
         self._clock = clock
         self._entries: dict[str, tuple[bytes, float]] = {}
-        self.hits = 0
-        self.misses = 0
+        self._stats = _CekCacheStats()
+
+    @property
+    def hits(self) -> int:
+        return self._stats.hits
+
+    @property
+    def misses(self) -> int:
+        return self._stats.misses
 
     def get(self, cek_name: str) -> bytes | None:
         entry = self._entries.get(cek_name)
         if entry is None:
-            self.misses += 1
+            self._stats.inc("misses")
             return None
         material, stored_at = entry
         if self._clock() - stored_at > self.ttl_s:
             del self._entries[cek_name]
-            self.misses += 1
+            self._stats.inc("misses")
             return None
-        self.hits += 1
+        self._stats.inc("hits")
         return material
 
     def put(self, cek_name: str, material: bytes) -> None:

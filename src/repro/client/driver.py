@@ -29,6 +29,8 @@ from repro.enclave.channel import CekPackage, seal_package
 from repro.errors import DriverError, SecurityViolation
 from repro.keys.providers import KeyProviderRegistry
 from repro.client.caches import AttestationSession, CekCache
+from repro.obs.metrics import StatsView
+from repro.obs.querystats import DriverStatsCollector, format_explain_stats
 from repro.sqlengine.cells import Ciphertext
 from repro.sqlengine.exec.executor import QueryResult
 from repro.sqlengine.server import CekMetadata, DescribeResult, SqlServer
@@ -36,17 +38,21 @@ from repro.sqlengine.types import EncryptionInfo
 from repro.sqlengine.values import deserialize_value, serialize_value
 
 
-@dataclass
-class DriverStats:
-    """Round-trip and cache accounting (feeds the performance model)."""
+class DriverStats(StatsView):
+    """Round-trip and cache accounting (feeds the performance model).
 
-    executes: int = 0
-    describe_roundtrips: int = 0
-    execute_roundtrips: int = 0
-    package_roundtrips: int = 0
-    key_provider_calls: int = 0
-    params_encrypted: int = 0
-    results_decrypted: int = 0
+    Per-connection view over the ``driver.*`` registry counters; the
+    attribute API is unchanged from the old plain-int dataclass."""
+
+    FIELDS = {
+        "executes": "driver.executes",
+        "describe_roundtrips": "driver.describe_roundtrips",
+        "execute_roundtrips": "driver.execute_roundtrips",
+        "package_roundtrips": "driver.package_roundtrips",
+        "key_provider_calls": "driver.key_provider_calls",
+        "params_encrypted": "driver.params_encrypted",
+        "results_decrypted": "driver.results_decrypted",
+    }
 
     @property
     def total_roundtrips(self) -> int:
@@ -102,11 +108,14 @@ class Connection:
         about a column being plaintext.
         """
         params = params or {}
-        self.stats.executes += 1
+        self.stats.inc("executes")
+        collector = DriverStatsCollector()
         if not self.options.column_encryption:
             # Plain connection: no describe round-trip, params pass through.
-            self.stats.execute_roundtrips += 1
-            return self.session.execute(query_text, params)
+            self.stats.inc("execute_roundtrips")
+            result = self.session.execute(query_text, params)
+            collector.apply(result.stats)
+            return result
 
         describe = self._describe(query_text)
         self._check_forced(describe, force_encryption)
@@ -128,14 +137,25 @@ class Connection:
             wire_params[key] = Ciphertext(
                 cipher.encrypt(serialize_value(plaintext), enc.scheme)
             )
-            self.stats.params_encrypted += 1
+            self.stats.inc("params_encrypted")
 
         if describe.uses_enclave:
             self._ensure_enclave_keys(describe)
 
-        self.stats.execute_roundtrips += 1
+        self.stats.inc("execute_roundtrips")
         result = self.session.execute(query_text, wire_params)
-        return self._decrypt_result(result)
+        result = self._decrypt_result(result)
+        collector.apply(result.stats)
+        return result
+
+    def explain_stats(
+        self, query_text: str, params: dict[str, object] | None = None
+    ) -> str:
+        """Run a statement and pretty-print its :class:`QueryStats`."""
+        result = self.execute(query_text, params)
+        if result.stats is None:
+            return "EXPLAIN STATS\n  <no stats collected>"
+        return format_explain_stats(result.stats)
 
     def execute_ddl(self, query_text: str, authorize_enclave: bool = False) -> QueryResult:
         """Run DDL; with ``authorize_enclave`` the driver signs the query
@@ -174,10 +194,10 @@ class Connection:
             self.server.forward_enclave_package(
                 session.enclave_session_id, seal_package(session.shared_secret, package)
             )
-            self.stats.package_roundtrips += 1
+            self.stats.inc("package_roundtrips")
             for name, __ in ceks:
                 session.installed_ceks.add(name)
-        self.stats.execute_roundtrips += 1
+        self.stats.inc("execute_roundtrips")
         result = self.session.execute(query_text)
         # DDL can change encryption metadata (rotation, initial encryption);
         # cached describe results and CEK material may now be stale.
@@ -207,7 +227,7 @@ class Connection:
         self.server.forward_enclave_package(
             session.enclave_session_id, seal_package(session.shared_secret, package)
         )
-        self.stats.package_roundtrips += 1
+        self.stats.inc("package_roundtrips")
         for name, __ in missing:
             session.installed_ceks.add(name)
 
@@ -256,7 +276,7 @@ class Connection:
             query_text,
             client_dh_public=client_dh.public_key if client_dh is not None else None,
         )
-        self.stats.describe_roundtrips += 1
+        self.stats.inc("describe_roundtrips")
         if describe.attestation is not None and self._attestation is None:
             secret = self._verify_attestation(describe, client_dh)
             self._attestation = AttestationSession(
@@ -288,7 +308,7 @@ class Connection:
             raise DriverError("no attestation policy configured")
         client_dh = DiffieHellman()
         info = self.server.attest(client_dh.public_key)
-        self.stats.describe_roundtrips += 1
+        self.stats.inc("describe_roundtrips")
         if self.server.hgs is None:
             raise DriverError("server has no HGS to verify attestation against")
         secret = verify_attestation_and_derive_secret(
@@ -342,7 +362,7 @@ class Connection:
         for cmk in metadata.cmks:
             value = metadata.cek.value_for_cmk(cmk.name)
             try:
-                self.stats.key_provider_calls += 1
+                self.stats.inc("key_provider_calls")
                 return value.decrypt(cmk, self.registry)
             except Exception as exc:  # try the other CMK (mid-rotation)
                 errors.append(str(exc))
@@ -401,7 +421,7 @@ class Connection:
                         "ciphertext but is not"
                     )
                 cells[i] = deserialize_value(ciphers[enc.cek_name].decrypt(cell.envelope))
-                self.stats.results_decrypted += 1
+                self.stats.inc("results_decrypted")
             out_rows.append(tuple(cells))
         result.rows = out_rows
         return result
@@ -428,15 +448,15 @@ class Connection:
     # -- transactions ---------------------------------------------------------------
 
     def begin(self) -> None:
-        self.stats.execute_roundtrips += 1
+        self.stats.inc("execute_roundtrips")
         self.session.execute("BEGIN TRANSACTION")
 
     def commit(self) -> None:
-        self.stats.execute_roundtrips += 1
+        self.stats.inc("execute_roundtrips")
         self.session.execute("COMMIT")
 
     def rollback(self) -> None:
-        self.stats.execute_roundtrips += 1
+        self.stats.inc("execute_roundtrips")
         self.session.execute("ROLLBACK")
 
 

@@ -29,6 +29,7 @@ from repro.enclave.channel import SealedPackage, SessionSecrets, open_package
 from repro.enclave.sqlos import SqlOs
 from repro.enclave.validate import validate_program
 from repro.errors import CryptoError, EnclaveError, IntegrityError
+from repro.obs.metrics import StatsView
 from repro.sqlengine.cells import Ciphertext
 from repro.sqlengine.expression.program import StackProgram
 from repro.sqlengine.expression.vm import StackMachine
@@ -78,24 +79,26 @@ class EnclaveBinary:
         return self.author_key.public.fingerprint()
 
 
-@dataclass
-class EnclaveCounters:
-    """Boundary-crossing and work counters (perf model + leakage analysis)."""
+class EnclaveCounters(StatsView):
+    """Boundary-crossing and work counters (perf model + leakage analysis).
 
-    ecalls: int = 0
-    sessions_started: int = 0
-    packages_installed: int = 0
-    programs_registered: int = 0
-    evals: int = 0
-    comparisons: int = 0
-    cell_decrypts: int = 0
-    cell_encrypts: int = 0
-    # CPU seconds spent inside enclave computation ecalls (eval/compare/
-    # DDL crypto) — the enclave service demand for the performance model.
-    cpu_seconds: float = 0.0
+    Backed by the global metrics registry; each enclave instance reads its
+    own deltas since construction. ``cpu_seconds`` is the CPU time spent
+    inside enclave computation ecalls (eval/compare/DDL crypto) — the
+    enclave service demand for the performance model.
+    """
 
-    def snapshot(self) -> dict[str, float]:
-        return dict(self.__dict__)
+    FIELDS = {
+        "ecalls": "enclave.ecalls",
+        "sessions_started": "enclave.sessions_started",
+        "packages_installed": "enclave.packages_installed",
+        "programs_registered": "enclave.programs_registered",
+        "evals": "enclave.evals",
+        "comparisons": "enclave.comparisons",
+        "cell_decrypts": "enclave.cell_decrypts",
+        "cell_encrypts": "enclave.cell_encrypts",
+        "cpu_seconds": "enclave.cpu_seconds",
+    }
 
 
 # Observer signature: (ecall_name, adversary_visible_inputs, visible_outputs)
@@ -110,12 +113,12 @@ class _EnclaveCryptoContext:
 
     def decrypt_cell(self, ciphertext: Ciphertext, enc: EncryptionInfo) -> SqlScalar:
         cipher = self._enclave.sqlos.cipher_for(enc.cek_name)
-        self._enclave.counters.cell_decrypts += 1
+        self._enclave.counters.inc("cell_decrypts")
         return deserialize_value(cipher.decrypt(ciphertext.envelope))
 
     def encrypt_cell(self, value: SqlScalar, enc: EncryptionInfo) -> Ciphertext:
         cipher = self._enclave.sqlos.cipher_for(enc.cek_name)
-        self._enclave.counters.cell_encrypts += 1
+        self._enclave.counters.inc("cell_encrypts")
         return Ciphertext(cipher.encrypt(serialize_value(value), enc.scheme))
 
 
@@ -153,7 +156,7 @@ class Enclave:
         self._observers.append(observer)
 
     def _observe(self, name: str, visible_inputs: tuple, visible_output: object) -> None:
-        self.counters.ecalls += 1
+        self.counters.inc("ecalls")
         for observer in self._observers:
             observer(name, visible_inputs, visible_output)
 
@@ -187,7 +190,7 @@ class Enclave:
             + public_key_bytes(client_dh_public)
         )
         signature = self._rsa.sign(message)
-        self.counters.sessions_started += 1
+        self.counters.inc("sessions_started")
         self._observe(
             "start_session", (client_dh_public,), (session_id, dh.public_key)
         )
@@ -216,7 +219,7 @@ class Enclave:
                     self.sqlos.install_key(name, material)
             for digest in package.authorized_query_hashes:
                 session.authorized_query_hashes.add(digest)
-        self.counters.packages_installed += 1
+        self.counters.inc("packages_installed")
         # Adversary sees only the opaque blob and the session id.
         self._observe("install_package", (session_id, sealed.blob), None)
 
@@ -240,7 +243,7 @@ class Enclave:
             handle = next(self._next_handle)
             self._programs[handle] = program
             self._program_handles[program_bytes] = handle
-        self.counters.programs_registered += 1
+        self.counters.inc("programs_registered")
         self._observe("register_program", (program_bytes,), handle)
         return handle
 
@@ -252,8 +255,8 @@ class Enclave:
             raise EnclaveError(f"no registered program with handle {handle}")
         started = time.perf_counter()
         outputs = self._vm.eval(program, inputs, n_outputs=1)
-        self.counters.cpu_seconds += time.perf_counter() - started
-        self.counters.evals += 1
+        self.counters.inc("cpu_seconds", time.perf_counter() - started)
+        self.counters.inc("evals")
         # The adversary sees the (ciphertext) inputs and the cleartext result.
         self._observe("eval", (handle, tuple(inputs)), tuple(outputs))
         return outputs
@@ -272,10 +275,10 @@ class Enclave:
         started = time.perf_counter()
         left_value = deserialize_value(cipher.decrypt(left.envelope))
         right_value = deserialize_value(cipher.decrypt(right.envelope))
-        self.counters.cell_decrypts += 2
+        self.counters.inc("cell_decrypts", 2)
         result = compare_values(left_value, right_value)
-        self.counters.cpu_seconds += time.perf_counter() - started
-        self.counters.comparisons += 1
+        self.counters.inc("cpu_seconds", time.perf_counter() - started)
+        self.counters.inc("comparisons")
         self._observe("compare", (cek_name, left, right), result)
         return result
 
@@ -297,7 +300,7 @@ class Enclave:
         self._require_authorized(query_text, "Encrypt")
         cipher = self.sqlos.cipher_for(cek_name)
         envelope = cipher.encrypt(serialized_plaintext, scheme)
-        self.counters.cell_encrypts += 1
+        self.counters.inc("cell_encrypts")
         self._observe("encrypt_for_ddl", (query_text, cek_name), None)
         return Ciphertext(envelope)
 
@@ -316,8 +319,8 @@ class Enclave:
         new_cipher = self.sqlos.cipher_for(new_cek)
         plaintext = old_cipher.decrypt(ciphertext.envelope)
         envelope = new_cipher.encrypt(plaintext, new_scheme)
-        self.counters.cell_decrypts += 1
-        self.counters.cell_encrypts += 1
+        self.counters.inc("cell_decrypts")
+        self.counters.inc("cell_encrypts")
         self._observe("recrypt_for_ddl", (query_text, old_cek, new_cek), None)
         return Ciphertext(envelope)
 
@@ -331,7 +334,7 @@ class Enclave:
         self._require_authorized(query_text, "Decrypt")
         cipher = self.sqlos.cipher_for(cek_name)
         plaintext = cipher.decrypt(ciphertext.envelope)
-        self.counters.cell_decrypts += 1
+        self.counters.inc("cell_decrypts")
         self._observe("decrypt_for_ddl", (query_text, cek_name), None)
         return plaintext
 

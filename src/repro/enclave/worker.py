@@ -25,6 +25,8 @@ from dataclasses import dataclass, field
 
 from repro.enclave.runtime import Enclave
 from repro.errors import EnclaveError
+from repro.obs.metrics import StatsView, get_registry
+from repro.obs.tracing import get_tracer
 
 
 class CallMode(enum.Enum):
@@ -32,12 +34,20 @@ class CallMode(enum.Enum):
     QUEUED = "queued"        # worker threads amortize transitions
 
 
-@dataclass
-class WorkerStats:
-    calls: int = 0
-    boundary_transitions: int = 0   # times the transition cost was paid
-    worker_wakeups: int = 0         # queue workers transitioning sleep→hot
-    spin_hits: int = 0              # work picked up while spinning (no cost)
+class WorkerStats(StatsView):
+    """Per-gateway view over the global ``worker.*`` counters.
+
+    calls / boundary_transitions (times the transition cost was paid) /
+    worker_wakeups (queue workers transitioning sleep→hot) / spin_hits
+    (work picked up while spinning, no cost).
+    """
+
+    FIELDS = {
+        "calls": "worker.calls",
+        "boundary_transitions": "worker.boundary_transitions",
+        "worker_wakeups": "worker.wakeups",
+        "spin_hits": "worker.spin_hits",
+    }
 
 
 def _busy_wait(duration_s: float) -> None:
@@ -85,8 +95,11 @@ class EnclaveCallGateway:
         self.transition_cost_s = transition_cost_s
         self.spin_duration_s = spin_duration_s
         self.stats = WorkerStats()
+        self._tracer = get_tracer()
+        self._queue_depth = get_registry().gauge(
+            "worker.queue_depth", help="items waiting in the enclave work queue"
+        )
         self._queue: queue.Queue[_WorkItem | None] = queue.Queue()
-        self._stats_lock = threading.Lock()
         self._shutdown = False
         self._threads: list[threading.Thread] = []
         if mode is CallMode.QUEUED:
@@ -103,16 +116,19 @@ class EnclaveCallGateway:
         return self.enclave.register_program(program_bytes)
 
     def eval(self, handle: int, inputs: list) -> list:
-        with self._stats_lock:
-            self.stats.calls += 1
+        self.stats.inc("calls")
         if self.mode is CallMode.SYNCHRONOUS:
-            with self._stats_lock:
-                self.stats.boundary_transitions += 1
-            _busy_wait(self.transition_cost_s)
-            return self.enclave.eval(handle, inputs)
+            self.stats.inc("boundary_transitions")
+            with self._tracer.ecall_span("enclave.eval", mode="sync"):
+                _busy_wait(self.transition_cost_s)
+                return self.enclave.eval(handle, inputs)
         item = _WorkItem(handle=handle, inputs=inputs)
-        self._queue.put(item)
-        item.done.wait()
+        # The span covers submit→completion as seen by the host thread: the
+        # full cost of routing one evaluation through the enclave boundary.
+        with self._tracer.ecall_span("enclave.eval", mode="queued"):
+            self._queue.put(item)
+            self._queue_depth.set(self._queue.qsize())
+            item.done.wait()
         if item.error is not None:
             raise item.error
         assert item.result is not None
@@ -130,9 +146,8 @@ class EnclaveCallGateway:
                 continue
             if item is None:
                 return
-            with self._stats_lock:
-                self.stats.worker_wakeups += 1
-                self.stats.boundary_transitions += 1
+            self.stats.inc("worker_wakeups")
+            self.stats.inc("boundary_transitions")
             _busy_wait(self.transition_cost_s)
             self._process(item)
             # Hot state: spin polling for more work before exiting. The
@@ -147,12 +162,12 @@ class EnclaveCallGateway:
                     continue
                 if item is None:
                     return
-                with self._stats_lock:
-                    self.stats.spin_hits += 1
+                self.stats.inc("spin_hits")
                 self._process(item)
                 deadline = time.perf_counter() + self.spin_duration_s
 
     def _process(self, item: _WorkItem) -> None:
+        self._queue_depth.set(self._queue.qsize())
         try:
             item.result = self.enclave.eval(item.handle, item.inputs)
         except Exception as exc:  # propagate to the submitting host thread

@@ -1,0 +1,56 @@
+"""Zero-dependency telemetry: metrics registry, span tracer, QueryStats.
+
+Three pillars (see ``docs/OBSERVABILITY.md``):
+
+* :class:`MetricsRegistry` — process-global named counters, gauges, and
+  fixed-bucket histograms with JSON and Prometheus-text exposition;
+* :class:`Tracer` — context-manager spans forming per-query trees, with a
+  dedicated ``enclave.ecall`` span kind for boundary transitions;
+* :class:`QueryStats` — the per-statement cost facade the engine attaches
+  to every result, plus the ``EXPLAIN STATS`` pretty-printer.
+"""
+
+from repro.obs.metrics import (
+    Counter,
+    Gauge,
+    Histogram,
+    MetricError,
+    MetricKind,
+    MetricsRegistry,
+    StatsView,
+    get_registry,
+    snapshot_from_json,
+    snapshot_from_prometheus_text,
+    validate_metric_name,
+)
+from repro.obs.querystats import (
+    DriverStatsCollector,
+    QueryStats,
+    QueryStatsCollector,
+    format_explain_stats,
+)
+from repro.obs.tracing import ECALL, OPERATOR, STATEMENT, Span, Tracer, get_tracer
+
+__all__ = [
+    "Counter",
+    "DriverStatsCollector",
+    "ECALL",
+    "Gauge",
+    "Histogram",
+    "MetricError",
+    "MetricKind",
+    "MetricsRegistry",
+    "OPERATOR",
+    "QueryStats",
+    "QueryStatsCollector",
+    "STATEMENT",
+    "Span",
+    "StatsView",
+    "Tracer",
+    "format_explain_stats",
+    "get_registry",
+    "get_tracer",
+    "snapshot_from_json",
+    "snapshot_from_prometheus_text",
+    "validate_metric_name",
+]

@@ -1,0 +1,188 @@
+"""Per-statement execution statistics.
+
+The engine attaches a :class:`QueryStats` to every statement result: the
+registry deltas accumulated while the statement ran, plus (when tracing is
+on) the statement's span tree. This is the repro's ``SET STATISTICS``
+equivalent — and the measurement substrate the paper's claims are checked
+against: ecalls per query (Section 4.6), pages touched per index seek over
+ciphertext (Section 3.1.2), and driver cache effectiveness (Section 4.1).
+
+The collector works by snapshotting a fixed set of counters before the
+statement and diffing after. That is exact for a single statement at a
+time per process; concurrent statements fold into each other's deltas,
+which is the usual caveat of process-global counters.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.obs.metrics import MetricsRegistry, get_registry
+from repro.obs.tracing import ECALL, Span
+
+# Counter names diffed into QueryStats. Keys are QueryStats field names.
+_SERVER_DELTA_FIELDS: dict[str, str] = {
+    "ecalls": "enclave.ecalls",
+    "enclave_evals": "enclave.evals",
+    "enclave_comparisons": "enclave.comparisons",
+    "boundary_transitions": "worker.boundary_transitions",
+    "rows_scanned": "executor.rows_scanned",
+    "index_node_visits": "index.nodes_visited",
+    "page_hits": "bufferpool.page_hits",
+    "page_misses": "bufferpool.page_misses",
+    "pages_evicted": "bufferpool.pages_evicted",
+    "wal_records": "wal.records_appended",
+    "wal_bytes": "wal.bytes_written",
+    "lock_waits": "locks.waits",
+    "plan_cache_hits": "server.plan_cache_hits",
+}
+
+_DRIVER_DELTA_FIELDS: dict[str, str] = {
+    "cek_cache_hits": "driver.cek_cache_hits",
+    "cek_cache_misses": "driver.cek_cache_misses",
+    "describe_roundtrips": "driver.describe_roundtrips",
+}
+
+
+@dataclass
+class QueryStats:
+    """What one statement cost, in the units the paper argues in."""
+
+    query_text: str = ""
+    plan_info: str = ""
+    elapsed_s: float = 0.0
+    rows_returned: int = 0
+
+    # Server-side registry deltas.
+    ecalls: int = 0
+    enclave_evals: int = 0
+    enclave_comparisons: int = 0
+    boundary_transitions: int = 0
+    rows_scanned: int = 0
+    index_node_visits: int = 0
+    page_hits: int = 0
+    page_misses: int = 0
+    pages_evicted: int = 0
+    wal_records: int = 0
+    wal_bytes: int = 0
+    lock_waits: int = 0
+    plan_cache_hits: int = 0
+
+    # Driver-side registry deltas (filled by the client driver).
+    cek_cache_hits: int = 0
+    cek_cache_misses: int = 0
+    describe_roundtrips: int = 0
+
+    # The statement's span tree when tracing was enabled.
+    root_span: Span | None = None
+
+    @property
+    def pages_read(self) -> int:
+        """Pages touched through the buffer pool (hits + misses)."""
+        return self.page_hits + self.page_misses
+
+    @property
+    def ecall_spans(self) -> int:
+        """Boundary-crossing spans in the trace (0 when tracing is off)."""
+        if self.root_span is None:
+            return 0
+        return self.root_span.count(ECALL)
+
+    def as_dict(self) -> dict:
+        out = {
+            "query_text": self.query_text,
+            "plan_info": self.plan_info,
+            "elapsed_s": self.elapsed_s,
+            "rows_returned": self.rows_returned,
+            "pages_read": self.pages_read,
+        }
+        for attr in (*_SERVER_DELTA_FIELDS, *_DRIVER_DELTA_FIELDS):
+            out[attr] = getattr(self, attr)
+        return out
+
+
+class QueryStatsCollector:
+    """Snapshot-diff collector wrapped around one statement execution."""
+
+    def __init__(self, registry: MetricsRegistry | None = None, query_text: str = ""):
+        self.registry = registry or get_registry()
+        self.query_text = query_text
+        self._baseline = {
+            attr: self.registry.value(name)
+            for attr, name in _SERVER_DELTA_FIELDS.items()
+        }
+
+    def finish(
+        self,
+        elapsed_s: float | None = None,
+        rows_returned: int = 0,
+        plan_info: str = "",
+        root_span: Span | None = None,
+    ) -> QueryStats:
+        if root_span is not None and root_span.end_s is None:
+            # The disabled-tracer null span (never finished): drop it.
+            root_span = None
+        if elapsed_s is None:
+            elapsed_s = root_span.duration_s if root_span is not None else 0.0
+        stats = QueryStats(
+            query_text=self.query_text,
+            plan_info=plan_info,
+            elapsed_s=elapsed_s,
+            rows_returned=rows_returned,
+            root_span=root_span,
+        )
+        for attr, name in _SERVER_DELTA_FIELDS.items():
+            setattr(stats, attr, self.registry.value(name) - self._baseline[attr])
+        return stats
+
+
+class DriverStatsCollector:
+    """The driver-side half: cache and round-trip deltas around execute()."""
+
+    def __init__(self, registry: MetricsRegistry | None = None):
+        self.registry = registry or get_registry()
+        self._baseline = {
+            attr: self.registry.value(name)
+            for attr, name in _DRIVER_DELTA_FIELDS.items()
+        }
+
+    def apply(self, stats: QueryStats | None) -> None:
+        if stats is None:
+            return
+        for attr, name in _DRIVER_DELTA_FIELDS.items():
+            setattr(stats, attr, self.registry.value(name) - self._baseline[attr])
+
+
+def format_explain_stats(stats: QueryStats) -> str:
+    """The ``EXPLAIN STATS`` pretty-printer: one statement's cost profile."""
+    rows = [
+        ("query", stats.query_text or "<unknown>"),
+        ("plan", stats.plan_info or "<n/a>"),
+        ("elapsed_ms", f"{stats.elapsed_s * 1000:.3f}"),
+        ("rows_returned", stats.rows_returned),
+        ("rows_scanned", stats.rows_scanned),
+        ("pages_read", stats.pages_read),
+        ("  page_hits", stats.page_hits),
+        ("  page_misses", stats.page_misses),
+        ("pages_evicted", stats.pages_evicted),
+        ("index_node_visits", stats.index_node_visits),
+        ("wal_records", stats.wal_records),
+        ("wal_bytes", stats.wal_bytes),
+        ("ecalls", stats.ecalls),
+        ("  enclave_evals", stats.enclave_evals),
+        ("  enclave_comparisons", stats.enclave_comparisons),
+        ("boundary_transitions", stats.boundary_transitions),
+        ("lock_waits", stats.lock_waits),
+        ("plan_cache_hits", stats.plan_cache_hits),
+        ("cek_cache_hits", stats.cek_cache_hits),
+        ("cek_cache_misses", stats.cek_cache_misses),
+        ("describe_roundtrips", stats.describe_roundtrips),
+    ]
+    width = max(len(str(label)) for label, __ in rows)
+    lines = ["EXPLAIN STATS"]
+    lines += [f"  {str(label).ljust(width)}  {value}" for label, value in rows]
+    if stats.root_span is not None:
+        lines.append("  span tree:")
+        for line in stats.root_span.format_tree().splitlines():
+            lines.append("    " + line)
+    return "\n".join(lines)

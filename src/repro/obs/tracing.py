@@ -1,0 +1,185 @@
+"""Query-scoped span traces.
+
+A span is one timed region of work (a statement, an operator, an enclave
+crossing) with attributes and optional captured metric deltas. Spans nest
+through a thread-local stack, so instrumented code never threads a context
+object around:
+
+    with tracer.span("exec.index_seek", table="T") as span:
+        ...
+
+The dedicated :data:`ECALL` span kind makes enclave boundary transitions
+first-class in every query's trace — the quantity Section 4.6 of the
+paper optimizes and the one every perf PR here must report.
+
+Spans with no enclosing parent are returned to the caller but retained
+nowhere, so tracing a hot loop without an active statement trace cannot
+leak memory. Child lists are capped (:data:`MAX_CHILDREN_PER_SPAN`); the
+overflow is *counted*, never silently dropped.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from dataclasses import dataclass, field
+
+from repro.obs.metrics import Histogram, MetricsRegistry, get_registry
+
+# Span kinds. Plain strings so instrumentation can invent operator kinds
+# freely; ECALL is special-cased by QueryStats and the pretty-printer.
+INTERNAL = "internal"
+STATEMENT = "statement"
+OPERATOR = "operator"
+ECALL = "enclave.ecall"
+
+MAX_CHILDREN_PER_SPAN = 512
+
+
+@dataclass
+class Span:
+    """One timed region; ``metrics`` holds captured registry deltas."""
+
+    name: str
+    kind: str = INTERNAL
+    attrs: dict = field(default_factory=dict)
+    start_s: float = 0.0
+    end_s: float | None = None
+    children: list["Span"] = field(default_factory=list)
+    dropped_children: int = 0
+    metrics: dict[str, int | float] = field(default_factory=dict)
+
+    @property
+    def duration_s(self) -> float:
+        if self.end_s is None:
+            return 0.0
+        return self.end_s - self.start_s
+
+    def add_child(self, child: "Span") -> None:
+        if len(self.children) >= MAX_CHILDREN_PER_SPAN:
+            self.dropped_children += 1
+            return
+        self.children.append(child)
+
+    def count(self, kind: str | None = None) -> int:
+        """Spans in this subtree (excluding self), optionally by kind."""
+        total = 0
+        for child in self.children:
+            if kind is None or child.kind == kind:
+                total += 1
+            total += child.count(kind)
+        return total
+
+    def format_tree(self, indent: int = 0) -> str:
+        pad = "  " * indent
+        attrs = ""
+        if self.attrs:
+            attrs = " " + " ".join(f"{k}={v}" for k, v in self.attrs.items())
+        deltas = ""
+        if self.metrics:
+            deltas = " [" + " ".join(f"{k}={v}" for k, v in sorted(self.metrics.items())) + "]"
+        line = f"{pad}{self.name} ({self.kind}) {self.duration_s * 1000:.3f}ms{attrs}{deltas}"
+        lines = [line]
+        for child in self.children:
+            lines.append(child.format_tree(indent + 1))
+        if self.dropped_children:
+            lines.append(f"{pad}  ... {self.dropped_children} more spans (capped)")
+        return "\n".join(lines)
+
+
+class _SpanContext:
+    """Context manager handed out by :meth:`Tracer.span`."""
+
+    __slots__ = ("_tracer", "_span", "_capture", "_baseline", "_parent")
+
+    def __init__(self, tracer: "Tracer", span: Span, capture: tuple[str, ...]):
+        self._tracer = tracer
+        self._span = span
+        self._capture = capture
+        self._baseline: dict[str, int | float] = {}
+        self._parent: Span | None = None
+
+    def __enter__(self) -> Span:
+        registry = self._tracer.registry
+        for name in self._capture:
+            self._baseline[name] = registry.value(name)
+        self._span.start_s = time.perf_counter()
+        stack = self._tracer._stack()
+        self._parent = stack[-1] if stack else None
+        stack.append(self._span)
+        return self._span
+
+    def __exit__(self, *exc_info) -> None:
+        span = self._span
+        span.end_s = time.perf_counter()
+        registry = self._tracer.registry
+        for name, base in self._baseline.items():
+            span.metrics[name] = registry.value(name) - base
+        stack = self._tracer._stack()
+        if stack and stack[-1] is span:
+            stack.pop()
+        if self._parent is not None:
+            self._parent.add_child(span)
+
+
+class _NullSpanContext:
+    """Returned when tracing is disabled: one shared, do-nothing object."""
+
+    __slots__ = ()
+
+    def __enter__(self) -> Span:
+        return _NULL_SPAN
+
+    def __exit__(self, *exc_info) -> None:
+        return None
+
+
+_NULL_SPAN = Span(name="disabled", kind=INTERNAL)
+_NULL_CONTEXT = _NullSpanContext()
+
+
+class Tracer:
+    """Produces nested spans; one instance is process-global (:func:`get_tracer`)."""
+
+    def __init__(self, registry: MetricsRegistry | None = None, enabled: bool = True):
+        self.enabled = enabled
+        self.registry = registry or get_registry()
+        self._local = threading.local()
+        # Histogram of ecall span durations — boundary-crossing latency is
+        # a first-class observable, not just a count.
+        self._ecall_hist: Histogram | None = None
+
+    def _stack(self) -> list[Span]:
+        stack = getattr(self._local, "stack", None)
+        if stack is None:
+            stack = []
+            self._local.stack = stack
+        return stack
+
+    def current(self) -> Span | None:
+        stack = self._stack()
+        return stack[-1] if stack else None
+
+    def span(
+        self,
+        name: str,
+        kind: str = INTERNAL,
+        capture: tuple[str, ...] = (),
+        **attrs,
+    ) -> _SpanContext | _NullSpanContext:
+        """Open a span. ``capture`` names registry metrics whose deltas are
+        recorded on the span at exit."""
+        if not self.enabled:
+            return _NULL_CONTEXT
+        return _SpanContext(self, Span(name=name, kind=kind, attrs=attrs), capture)
+
+    def ecall_span(self, name: str, **attrs) -> _SpanContext | _NullSpanContext:
+        """A span for one enclave boundary crossing."""
+        return self.span(name, kind=ECALL, **attrs)
+
+
+_global_tracer = Tracer()
+
+
+def get_tracer() -> Tracer:
+    return _global_tracer

@@ -15,6 +15,9 @@ from typing import Iterator
 
 from repro.crypto.aead import EncryptionScheme
 from repro.errors import BindError, ExecutionError, SqlError, TypeDeductionError
+from repro.obs.metrics import get_registry
+from repro.obs.querystats import QueryStats
+from repro.obs.tracing import OPERATOR, get_tracer
 from repro.sqlengine.cells import Ciphertext
 from repro.sqlengine.catalog import IndexSchema, TableSchema
 from repro.sqlengine.engine import StorageEngine, TableObject
@@ -61,6 +64,9 @@ class QueryResult:
     rows: list[tuple] = field(default_factory=list)
     rowcount: int = 0
     plan_info: str = ""
+    # Per-statement telemetry, attached by the server session (None for
+    # DDL/transaction-control statements and when telemetry is disabled).
+    stats: "QueryStats | None" = None
 
 
 def _literal_type(value: object) -> ColumnType:
@@ -94,6 +100,13 @@ class Executor:
         # expression tree itself — identity-based keys are unsafe because
         # CPython recycles object addresses across statements.
         self._program_cache: dict[Expr, CompiledExpression] = {}
+        registry = get_registry()
+        self._tracer = get_tracer()
+        self._rows_scanned = registry.counter("executor.rows_scanned")
+        self._rows_returned = registry.counter("executor.rows_returned")
+        self._table_scans = registry.counter("executor.table_scans")
+        self._index_seeks = registry.counter("executor.index_seeks")
+        self._index_range_scans = registry.counter("executor.index_range_scans")
 
     # ------------------------------------------------------------- entry point
 
@@ -105,14 +118,18 @@ class Executor:
         deduction: DeductionResult | None = None,
     ) -> QueryResult:
         params = params or {}
-        if isinstance(stmt, ast.SelectStmt):
-            return self._select(stmt, params, deduction)
-        if isinstance(stmt, ast.InsertStmt):
-            return self._insert(stmt, params, txn, deduction)
-        if isinstance(stmt, ast.UpdateStmt):
-            return self._update(stmt, params, txn, deduction)
-        if isinstance(stmt, ast.DeleteStmt):
-            return self._delete(stmt, params, txn, deduction)
+        handlers = (
+            (ast.SelectStmt, "exec.select", lambda: self._select(stmt, params, deduction)),
+            (ast.InsertStmt, "exec.insert", lambda: self._insert(stmt, params, txn, deduction)),
+            (ast.UpdateStmt, "exec.update", lambda: self._update(stmt, params, txn, deduction)),
+            (ast.DeleteStmt, "exec.delete", lambda: self._delete(stmt, params, txn, deduction)),
+        )
+        for stmt_type, span_name, handler in handlers:
+            if isinstance(stmt, stmt_type):
+                with self._tracer.span(span_name, kind=OPERATOR):
+                    result = handler()
+                self._rows_returned.inc(result.rowcount)
+                return result
         raise ExecutionError(f"executor cannot run {type(stmt).__name__}")
 
     # ------------------------------------------------------------ scope/binding
@@ -359,8 +376,17 @@ class Executor:
         deduction: DeductionResult,
     ) -> Iterator[tuple]:
         if path.kind == "scan" or path.index is None:
-            for __, row in table.heap.scan():
-                yield row
+            self._table_scans.inc()
+            with self._tracer.span(
+                "exec.table_scan", kind=OPERATOR, table=table.schema.name
+            ):
+                scanned = 0
+                try:
+                    for __, row in table.heap.scan():
+                        scanned += 1
+                        yield row
+                finally:
+                    self._rows_scanned.inc(scanned)
             return
         for __, row in self._access_with_rids(table, path, param_slots, param_values, scope):
             yield row
@@ -754,7 +780,14 @@ class Executor:
         prefix = tuple(operand_value(op) for op in path.eq_operands)
         tree = path.index.tree
         if path.kind == "seek" and len(prefix) == len(path.index.key_slots):
-            rids = tree.search_eq(prefix)
+            self._index_seeks.inc()
+            with self._tracer.span(
+                "exec.index_seek",
+                kind=OPERATOR,
+                table=table.schema.name,
+                index=path.index.schema.name,
+            ):
+                rids = tree.search_eq(prefix)
         else:
             low: object = prefix
             high: object = prefix + (MAX_KEY,)
@@ -767,12 +800,20 @@ class Executor:
                 high = prefix + (operand_value(path.high[0]),)
                 if path.high[1]:
                     high = high + (MAX_KEY,)
-            rids = [rid for __, rid in tree.range_scan(low, high, low_inclusive, True)]
+            self._index_range_scans.inc()
+            with self._tracer.span(
+                "exec.index_range_scan",
+                kind=OPERATOR,
+                table=table.schema.name,
+                index=path.index.schema.name,
+            ):
+                rids = [rid for __, rid in tree.range_scan(low, high, low_inclusive, True)]
         out = []
         for rid in rids:
             row = table.heap.read_or_none(rid)
             if row is not None:
                 out.append((rid, row))
+        self._rows_scanned.inc(len(out))
         return out
 
     def _update(

@@ -14,10 +14,17 @@ from dataclasses import dataclass, field
 from typing import Iterator
 
 from repro.errors import ConstraintError, SqlError
+from repro.obs.metrics import get_registry
 from repro.sqlengine.index.comparators import KeyComparator
 from repro.sqlengine.storage.heap import RowId
 
 DEFAULT_ORDER = 32
+
+# Shared across all trees: root-to-leaf node touches. Batched one inc per
+# descent, so the hot search path pays a single counter update.
+_nodes_visited = get_registry().counter(
+    "index.nodes_visited", help="B+-tree nodes touched during descents"
+)
 
 
 @dataclass
@@ -57,9 +64,12 @@ class BPlusTree:
 
     def _find_leaf_for_insert(self, key: object) -> _Leaf:
         node = self._root
+        visited = 1
         while not node.is_leaf:
             idx = self._upper_bound(node.keys, key)
             node = node.children[idx]
+            visited += 1
+        _nodes_visited.inc(visited)
         return node  # type: ignore[return-value]
 
     def _find_leaf_for_search(self, key: object) -> _Leaf:
@@ -68,9 +78,12 @@ class BPlusTree:
         # leaves), so search starts at the leftmost candidate leaf and
         # walks right through the leaf chain.
         node = self._root
+        visited = 1
         while not node.is_leaf:
             idx = self._lower_bound(node.keys, key)
             node = node.children[idx]
+            visited += 1
+        _nodes_visited.inc(visited)
         return node  # type: ignore[return-value]
 
     def _lower_bound(self, keys: list[object], key: object) -> int:

@@ -30,6 +30,9 @@ from repro.enclave.runtime import Enclave
 from repro.enclave.worker import CallMode, EnclaveCallGateway
 from repro.errors import EnclaveError, SqlError, TransactionError
 from repro.keys.cek import CekEncryptedValue, ColumnEncryptionKey
+from repro.obs.metrics import StatsView
+from repro.obs.querystats import QueryStatsCollector
+from repro.obs.tracing import STATEMENT, get_tracer
 from repro.keys.cmk import ColumnMasterKey
 from repro.sqlengine.catalog import Catalog, ColumnSchema, IndexSchema, TableSchema
 from repro.sqlengine.cells import Ciphertext
@@ -79,6 +82,17 @@ class _CachedPlan:
     hits: int = 0
 
 
+class ServerStats(StatsView):
+    """Per-server view over the ``server.*`` registry counters."""
+
+    FIELDS = {
+        "plan_cache_hits": "server.plan_cache_hits",
+        "plan_cache_misses": "server.plan_cache_misses",
+        "describe_calls": "server.describe_calls",
+        "statements_executed": "server.statements_executed",
+    }
+
+
 class SqlServer:
     """One SQL Server instance (the shaded, untrusted box of Figure 3)."""
 
@@ -115,10 +129,23 @@ class SqlServer:
             allow_enclave_order_by=allow_enclave_order_by,
         )
         self._plan_cache: dict[str, _CachedPlan] = {}
-        self.plan_cache_hits = 0
-        self.plan_cache_misses = 0
-        self.describe_calls = 0
+        self.stats = ServerStats()
+        self._tracer = get_tracer()
         self._session_ids = itertools.count(1)
+
+    # Historical attribute API, now views over the registry.
+
+    @property
+    def plan_cache_hits(self) -> int:
+        return self.stats.plan_cache_hits
+
+    @property
+    def plan_cache_misses(self) -> int:
+        return self.stats.plan_cache_misses
+
+    @property
+    def describe_calls(self) -> int:
+        return self.stats.describe_calls
 
     # ------------------------------------------------------------- connections
 
@@ -131,9 +158,9 @@ class SqlServer:
         cached = self._plan_cache.get(query_text)
         if cached is not None:
             cached.hits += 1
-            self.plan_cache_hits += 1
+            self.stats.inc("plan_cache_hits")
             return cached
-        self.plan_cache_misses += 1
+        self.stats.inc("plan_cache_misses")
         stmt = parse(query_text)
         deduction = self._deduce(stmt)
         cached = _CachedPlan(stmt=stmt, deduction=deduction)
@@ -164,7 +191,7 @@ class SqlServer:
     ) -> DescribeResult:
         """The Section 4.1 API: per-parameter encryption types, CEK/CMK
         metadata, and attestation info when the enclave is involved."""
-        self.describe_calls += 1
+        self.stats.inc("describe_calls")
         plan = self._plan(query_text)
         parameters = [
             ParameterDescription(name=name, column_type=column_type)
@@ -279,21 +306,31 @@ class ServerSession:
             self._rollback()
             return QueryResult()
 
+        collector = QueryStatsCollector(query_text=query_text)
         plan = self.server._plan(query_text)
         autocommit = self._txn is None and not isinstance(plan.stmt, ast.SelectStmt)
         txn = self._txn
         if autocommit:
             txn = self.server.engine.begin()
         try:
-            result = self.server.executor.execute(
-                plan.stmt, params or {}, txn=txn, deduction=plan.deduction
-            )
+            with self.server._tracer.span(
+                "server.statement", kind=STATEMENT, session=self.session_id
+            ) as root_span:
+                result = self.server.executor.execute(
+                    plan.stmt, params or {}, txn=txn, deduction=plan.deduction
+                )
         except Exception:
             if autocommit and txn is not None:
                 self.server.engine.abort(txn)
             raise
         if autocommit and txn is not None:
             self.server.engine.commit(txn)
+        self.server.stats.inc("statements_executed")
+        result.stats = collector.finish(
+            rows_returned=result.rowcount,
+            plan_info=result.plan_info,
+            root_span=root_span,
+        )
         return result
 
     # -- DDL ---------------------------------------------------------------------------

@@ -11,20 +11,60 @@ from __future__ import annotations
 
 from collections import OrderedDict
 
+from repro.obs.metrics import StatsView, get_registry
 from repro.sqlengine.storage.disk import Disk
 from repro.sqlengine.storage.page import Page
 
 
+class BufferPoolStats(StatsView):
+    """Per-pool view over the global ``bufferpool.*`` counters."""
+
+    FIELDS = {
+        "hits": "bufferpool.page_hits",
+        "misses": "bufferpool.page_misses",
+        "evictions": "bufferpool.pages_evicted",
+        "flushes": "bufferpool.pages_flushed",
+    }
+
+
 class BufferPool:
-    """LRU cache of pages with write-back on eviction and explicit flush."""
+    """LRU cache of pages with write-back on eviction and explicit flush.
+
+    Hits, misses, evictions, and flushes all feed the metrics registry;
+    evictions used to be silent, which made cache-size tuning blind.
+    """
 
     def __init__(self, disk: Disk, capacity: int = 256):
         self._disk = disk
         self._capacity = max(1, capacity)
         self._pages: OrderedDict[int, Page] = OrderedDict()
-        self.hits = 0
-        self.misses = 0
+        self.stats = BufferPoolStats()
+        self._cached_gauge = get_registry().gauge(
+            "bufferpool.pages_cached", help="pages resident in this process's pools"
+        )
         self._next_page_id = 0
+
+    @property
+    def hits(self) -> int:
+        return self.stats.hits
+
+    @property
+    def misses(self) -> int:
+        return self.stats.misses
+
+    @property
+    def evictions(self) -> int:
+        return self.stats.evictions
+
+    @property
+    def flushes(self) -> int:
+        return self.stats.flushes
+
+    @property
+    def hit_ratio(self) -> float:
+        """Fraction of page requests served from memory (1.0 when idle)."""
+        total = self.stats.hits + self.stats.misses
+        return self.stats.hits / total if total else 1.0
 
     def allocate_page(self) -> Page:
         """Create a brand-new page (not yet on disk until flushed/evicted)."""
@@ -55,9 +95,9 @@ class BufferPool:
         page = self._pages.get(page_id)
         if page is not None:
             self._pages.move_to_end(page_id)
-            self.hits += 1
+            self.stats.inc("hits")
             return page
-        self.misses += 1
+        self.stats.inc("misses")
         page = Page.from_bytes(self._disk.read_page(page_id))
         self._put(page)
         return page
@@ -67,19 +107,23 @@ class BufferPool:
         self._pages.move_to_end(page.page_id)
         while len(self._pages) > self._capacity:
             __, evicted = self._pages.popitem(last=False)
+            self.stats.inc("evictions")
             if evicted.dirty:
                 self._disk.write_page(evicted.page_id, evicted.to_bytes())
                 evicted.dirty = False
+        self._cached_gauge.set(len(self._pages))
 
     def flush_all(self) -> None:
         for page in self._pages.values():
             if page.dirty:
                 self._disk.write_page(page.page_id, page.to_bytes())
                 page.dirty = False
+                self.stats.inc("flushes")
 
     def drop_all(self) -> None:
         """Discard every cached page without writing (crash simulation)."""
         self._pages.clear()
+        self._cached_gauge.set(0)
 
     def cached_page_ids(self) -> list[int]:
         return list(self._pages)

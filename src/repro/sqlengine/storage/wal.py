@@ -13,6 +13,7 @@ import enum
 import threading
 from dataclasses import dataclass, field
 
+from repro.obs.metrics import get_registry
 from repro.sqlengine.storage.heap import RowId
 
 
@@ -67,12 +68,18 @@ class WriteAheadLog:
             )
             self._next_lsn += 1
             self._records.append(record)
-            return record
+        registry = get_registry()
+        registry.counter("wal.records_appended").inc()
+        registry.counter("wal.bytes_written").inc(
+            len(before or b"") + len(after or b"")
+        )
+        return record
 
     def flush(self) -> None:
         """Force the log to "disk" (commit durability point)."""
         with self._lock:
             self.flushed_lsn = self._next_lsn - 1
+        get_registry().counter("wal.flushes").inc()
 
     def records(self, durable_only: bool = True) -> list[LogRecord]:
         """Log records visible after a crash (those flushed), or all."""

@@ -9,10 +9,12 @@ from __future__ import annotations
 
 import enum
 import threading
+import time
 from collections import defaultdict
 from dataclasses import dataclass, field
 
 from repro.errors import LockTimeoutError
+from repro.obs.metrics import get_registry
 
 Resource = tuple  # ("table", name) or ("row", table, rid)
 
@@ -36,6 +38,13 @@ class LockManager:
         self._held: dict[int, set[Resource]] = defaultdict(set)
         self._cond = threading.Condition()
         self.default_timeout_s = default_timeout_s
+        registry = get_registry()
+        self._acquired = registry.counter("locks.acquired")
+        self._waits = registry.counter("locks.waits")
+        self._timeouts = registry.counter("locks.timeouts")
+        self._wait_hist = registry.histogram(
+            "locks.wait_seconds", help="time blocked waiting for a lock grant"
+        )
 
     def acquire(
         self,
@@ -46,6 +55,7 @@ class LockManager:
     ) -> None:
         """Block until the lock is granted; raise on timeout."""
         deadline = None
+        wait_started = None
         timeout = self.default_timeout_s if timeout_s is None else timeout_s
         with self._cond:
             while True:
@@ -59,15 +69,18 @@ class LockManager:
                             else LockMode.SHARED
                         )
                     self._held[txn_id].add(resource)
+                    self._acquired.inc()
+                    if wait_started is not None:
+                        self._wait_hist.observe(time.monotonic() - wait_started)
                     return
                 if deadline is None:
-                    import time
-
-                    deadline = time.monotonic() + timeout
-                import time
-
+                    wait_started = time.monotonic()
+                    deadline = wait_started + timeout
+                    self._waits.inc()
                 remaining = deadline - time.monotonic()
                 if remaining <= 0:
+                    self._timeouts.inc()
+                    self._wait_hist.observe(time.monotonic() - wait_started)
                     raise LockTimeoutError(
                         f"txn {txn_id} timed out waiting for {mode.value} lock on {resource}"
                     )

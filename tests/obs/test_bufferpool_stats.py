@@ -1,0 +1,69 @@
+"""Buffer pool telemetry: eviction counts, hit ratio, gauge upkeep."""
+
+from __future__ import annotations
+
+from repro.obs.metrics import get_registry
+from repro.sqlengine.storage.bufferpool import BufferPool
+from repro.sqlengine.storage.disk import Disk
+
+
+def make_pool(capacity: int) -> BufferPool:
+    return BufferPool(Disk(), capacity=capacity)
+
+
+def test_hit_and_miss_accounting():
+    pool = make_pool(4)
+    page = pool.allocate_page()
+    page.dirty = True
+    assert pool.hit_ratio == 1.0  # idle pool reads as perfect
+    pool.get(page.page_id)        # hit
+    pool.flush_all()
+    pool.drop_all()
+    pool.get(page.page_id)        # miss (re-read from disk)
+    assert pool.hits == 1
+    assert pool.misses == 1
+    assert pool.hit_ratio == 0.5
+
+
+def test_evictions_are_counted_and_write_back():
+    pool = make_pool(2)
+    pages = []
+    for __ in range(5):
+        page = pool.allocate_page()
+        page.dirty = True
+        pages.append(page)
+    assert pool.evictions == 3  # capacity 2, five allocations
+    # Evicted dirty pages must have been written back and stay readable.
+    first = pool.get(pages[0].page_id)
+    assert first.page_id == pages[0].page_id
+
+
+def test_eviction_delta_feeds_registry():
+    registry = get_registry()
+    before = registry.value("bufferpool.pages_evicted")
+    pool = make_pool(1)
+    for __ in range(3):
+        pool.allocate_page()
+    assert registry.value("bufferpool.pages_evicted") - before == 2
+    assert pool.evictions == 2  # the per-pool view agrees
+
+
+def test_cached_pages_gauge_tracks_residency():
+    registry = get_registry()
+    pool = make_pool(8)
+    for __ in range(3):
+        pool.allocate_page()
+    assert registry.value("bufferpool.pages_cached") == 3
+    pool.drop_all()
+    assert registry.value("bufferpool.pages_cached") == 0
+
+
+def test_fresh_pool_is_isolated_from_global_counters():
+    busy = make_pool(1)
+    for __ in range(4):
+        busy.allocate_page()
+    fresh = make_pool(4)
+    assert fresh.hits == 0
+    assert fresh.misses == 0
+    assert fresh.evictions == 0
+    assert fresh.hit_ratio == 1.0

@@ -1,0 +1,128 @@
+"""QueryStats integration: every statement result carries per-query
+telemetry whose enclave counts agree exactly with the registry."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.obs.metrics import get_registry
+from repro.obs.querystats import QueryStats, format_explain_stats
+from tests.conftest import make_encrypted_table
+
+POINT_LOOKUP = "SELECT id, value FROM T WHERE value = @v"
+
+
+def test_point_lookup_reports_ecalls_and_pages(encrypted_table):
+    conn = encrypted_table
+    conn.execute(POINT_LOOKUP, {"v": 30})  # warm: describe, attest, CEKs
+
+    result = conn.execute(POINT_LOOKUP, {"v": 30})
+    stats = result.stats
+    assert stats is not None
+    assert result.rows == [(3, 30)]
+    assert stats.rows_returned == 1
+    assert stats.ecalls > 0            # RND predicate runs in the enclave
+    assert stats.pages_read > 0        # rows come through the buffer pool
+    assert stats.rows_scanned > 0
+    assert stats.elapsed_s > 0
+
+
+def test_ecall_count_matches_registry_delta_exactly(encrypted_table):
+    conn = encrypted_table
+    conn.execute(POINT_LOOKUP, {"v": 30})  # warm
+
+    registry = get_registry()
+    before = registry.value("enclave.ecalls")
+    result = conn.execute(POINT_LOOKUP, {"v": 30})
+    after = registry.value("enclave.ecalls")
+
+    assert result.stats.ecalls == after - before
+
+
+def test_driver_side_fields_merge_into_stats(encrypted_table):
+    conn = encrypted_table
+    conn.execute(POINT_LOOKUP, {"v": 10})  # warm
+
+    result = conn.execute(POINT_LOOKUP, {"v": 10})
+    stats = result.stats
+    # Warm connection: describe is cached, CEK material is cached.
+    assert stats.describe_roundtrips == 0
+    assert stats.cek_cache_hits > 0
+    assert stats.cek_cache_misses == 0
+
+
+def test_plan_cache_hit_shows_in_stats(encrypted_table):
+    conn = encrypted_table
+    conn.execute(POINT_LOOKUP, {"v": 10})  # warm (plan cached server-side)
+    result = conn.execute(POINT_LOOKUP, {"v": 10})
+    assert result.stats.plan_cache_hits >= 1
+
+
+def test_dml_reports_wal_activity(encrypted_table):
+    conn = encrypted_table
+    result = conn.execute(
+        "INSERT INTO T (id, value) VALUES (@id, @v)", {"id": 99, "v": 990}
+    )
+    stats = result.stats
+    assert stats is not None
+    assert stats.wal_records > 0
+    assert stats.wal_bytes > 0
+
+
+def test_span_tree_contains_ecall_spans(encrypted_table):
+    conn = encrypted_table
+    conn.execute(POINT_LOOKUP, {"v": 30})  # warm
+
+    result = conn.execute(POINT_LOOKUP, {"v": 30})
+    stats = result.stats
+    assert stats.root_span is not None
+    assert stats.root_span.name == "server.statement"
+    assert stats.ecall_spans > 0
+    # The trace agrees with the counters on boundary crossings.
+    assert stats.ecall_spans <= stats.ecalls
+
+
+def test_explain_stats_output(encrypted_table):
+    conn = encrypted_table
+    conn.execute(POINT_LOOKUP, {"v": 30})  # warm
+
+    text = conn.explain_stats(POINT_LOOKUP, {"v": 30})
+    assert text.startswith("EXPLAIN STATS")
+    assert "ecalls" in text
+    assert "pages_read" in text
+    assert "span tree:" in text
+    assert "server.statement" in text
+
+
+def test_format_explain_stats_handles_empty():
+    text = format_explain_stats(QueryStats())
+    assert text.startswith("EXPLAIN STATS")
+    assert "<unknown>" in text
+
+
+def test_plain_connection_still_gets_stats(plain_server, registry):
+    from repro.client.driver import connect
+
+    conn = connect(plain_server, registry, column_encryption=False)
+    conn.execute_ddl("CREATE TABLE P(id int PRIMARY KEY, v int)")
+    conn.execute("INSERT INTO P (id, v) VALUES (@id, @v)", {"id": 1, "v": 2})
+    result = conn.execute("SELECT v FROM P WHERE id = @id", {"id": 1})
+    stats = result.stats
+    assert stats is not None
+    assert stats.ecalls == 0  # no enclave on a plaintext path
+    assert stats.rows_scanned > 0
+
+
+def test_range_query_explain_stats(ae_connection):
+    """The README example: EXPLAIN STATS for an encrypted range query."""
+    conn = ae_connection
+    make_encrypted_table(conn)
+    for i in range(10):
+        conn.execute("INSERT INTO T (id, value) VALUES (@id, @v)", {"id": i, "v": i * 10})
+    query = "SELECT id, value FROM T WHERE value > @low AND value < @high"
+    conn.execute(query, {"low": 20, "high": 70})  # warm
+    result = conn.execute(query, {"low": 20, "high": 70})
+    stats = result.stats
+    assert [r[0] for r in result.rows] == [3, 4, 5, 6]
+    assert stats.ecalls > 0
+    assert stats.enclave_evals > 0  # host-issued TM_EVALs for the predicate
