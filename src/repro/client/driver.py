@@ -19,14 +19,19 @@ and receives *plaintext* results; everything cryptographic is transparent:
 from __future__ import annotations
 
 import hashlib
+import time
 from dataclasses import dataclass, field
+from typing import Callable, TypeVar
 
 from repro.attestation.hgs import AttestationPolicy
 from repro.attestation.protocol import verify_attestation_and_derive_secret
 from repro.crypto.aead import CellCipher
 from repro.crypto.dh import DiffieHellman
 from repro.enclave.channel import CekPackage, seal_package
-from repro.errors import DriverError, SecurityViolation
+from repro.errors import DriverError, ReplayError, SecurityViolation, TransientFault
+from repro.faults.actions import DropMessageDirective, DuplicateMessageDirective
+from repro.faults.classify import is_transient
+from repro.faults.registry import fault_point, register_fault_site
 from repro.keys.providers import KeyProviderRegistry
 from repro.client.caches import AttestationSession, CekCache
 from repro.obs.metrics import StatsView
@@ -36,6 +41,17 @@ from repro.sqlengine.exec.executor import QueryResult
 from repro.sqlengine.server import CekMetadata, DescribeResult, SqlServer
 from repro.sqlengine.types import EncryptionInfo
 from repro.sqlengine.values import deserialize_value, serialize_value
+
+register_fault_site(
+    "driver.describe_parameter_encryption",
+    "the sp_describe_parameter_encryption round-trip (Section 4.1)",
+)
+register_fault_site(
+    "enclave.channel.send",
+    "a sealed CEK package leaving the driver; drop/duplicate capable",
+)
+
+_T = TypeVar("_T")
 
 
 class DriverStats(StatsView):
@@ -52,6 +68,7 @@ class DriverStats(StatsView):
         "key_provider_calls": "driver.key_provider_calls",
         "params_encrypted": "driver.params_encrypted",
         "results_decrypted": "driver.results_decrypted",
+        "retries": "driver.retries",
     }
 
     @property
@@ -71,6 +88,12 @@ class ConnectionOptions:
     # Cache describe results to avoid the extra round-trip per execution.
     cache_describe_results: bool = True
     cek_cache_ttl_s: float = 7200.0
+    # Bounded exponential-backoff retry for transient failures of the
+    # idempotent control-plane round-trips (describe, attest, CEK package
+    # delivery). ``retry_max_attempts`` counts total tries, not re-tries.
+    retry_max_attempts: int = 4
+    retry_backoff_base_s: float = 0.001
+    retry_backoff_cap_s: float = 0.05
 
 
 class Connection:
@@ -191,10 +214,7 @@ class Connection:
                 ceks=tuple(ceks),
                 authorized_query_hashes=(digest,),
             )
-            self.server.forward_enclave_package(
-                session.enclave_session_id, seal_package(session.shared_secret, package)
-            )
-            self.stats.inc("package_roundtrips")
+            self._send_package(session, package)
             for name, __ in ceks:
                 session.installed_ceks.add(name)
         self.stats.inc("execute_roundtrips")
@@ -224,10 +244,7 @@ class Connection:
         if not missing:
             return
         package = CekPackage(nonce=session.nonces.next(), ceks=tuple(missing))
-        self.server.forward_enclave_package(
-            session.enclave_session_id, seal_package(session.shared_secret, package)
-        )
-        self.stats.inc("package_roundtrips")
+        self._send_package(session, package)
         for name, __ in missing:
             session.installed_ceks.add(name)
 
@@ -258,6 +275,54 @@ class Connection:
 
     # ----------------------------------------------------------------- internals
 
+    def _with_retries(self, op: str, fn: Callable[[], _T]) -> _T:
+        """Run ``fn``, retrying classified-transient failures with bounded
+        exponential backoff. Only idempotent control-plane operations go
+        through here — DML is never silently re-executed."""
+        attempts = 0
+        while True:
+            try:
+                return fn()
+            except Exception as exc:
+                attempts += 1
+                if not is_transient(exc) or attempts >= self.options.retry_max_attempts:
+                    raise
+                self.stats.inc("retries")
+                delay = min(
+                    self.options.retry_backoff_cap_s,
+                    self.options.retry_backoff_base_s * (2 ** (attempts - 1)),
+                )
+                time.sleep(delay)
+
+    def _send_package(self, session: AttestationSession, package: CekPackage) -> None:
+        """Ship one sealed CEK package, with transient-drop retry.
+
+        The fault point fires *before* delivery, so a retried send never
+        re-uses a nonce the enclave already consumed. A duplicated message
+        is delivered twice; the enclave's nonce range tracker rejects the
+        second copy (Section 4.2) and the driver treats that rejection as
+        the success it is.
+        """
+
+        def send_once() -> None:
+            directive = fault_point("enclave.channel.send", nonce=package.nonce)
+            if isinstance(directive, DropMessageDirective):
+                raise TransientFault(
+                    "enclave.channel.send", "sealed CEK package dropped in transit"
+                )
+            sealed = seal_package(session.shared_secret, package)
+            self.server.forward_enclave_package(session.enclave_session_id, sealed)
+            if isinstance(directive, DuplicateMessageDirective):
+                try:
+                    self.server.forward_enclave_package(
+                        session.enclave_session_id, sealed
+                    )
+                except ReplayError:
+                    pass  # the replayed nonce was rejected — the designed outcome
+
+        self._with_retries("package", send_once)
+        self.stats.inc("package_roundtrips")
+
     def _param_key(self, params: dict[str, object], name: str) -> str:
         for key in params:
             if key.lower() == name.lower():
@@ -268,20 +333,29 @@ class Connection:
         cached = self._describe_cache.get(query_text)
         if cached is not None:
             return cached
-        # Only offer a DH public key when this connection is configured for
-        # enclave attestation and no shared secret is cached yet.
-        needs_dh = self._attestation is None and self.attestation_policy is not None
-        client_dh = DiffieHellman() if needs_dh else None
-        describe = self.server.describe_parameter_encryption(
-            query_text,
-            client_dh_public=client_dh.public_key if client_dh is not None else None,
-        )
-        self.stats.inc("describe_roundtrips")
-        if describe.attestation is not None and self._attestation is None:
-            secret = self._verify_attestation(describe, client_dh)
-            self._attestation = AttestationSession(
-                enclave_session_id=describe.attestation.session_id, shared_secret=secret
+
+        def describe_once() -> DescribeResult:
+            # Only offer a DH public key when this connection is configured
+            # for enclave attestation and no shared secret is cached yet.
+            # The DH key pair is fresh per attempt: a retried attestation
+            # always negotiates a new session.
+            needs_dh = self._attestation is None and self.attestation_policy is not None
+            client_dh = DiffieHellman() if needs_dh else None
+            fault_point("driver.describe_parameter_encryption", query=query_text)
+            describe = self.server.describe_parameter_encryption(
+                query_text,
+                client_dh_public=client_dh.public_key if client_dh is not None else None,
             )
+            self.stats.inc("describe_roundtrips")
+            if describe.attestation is not None and self._attestation is None:
+                secret = self._verify_attestation(describe, client_dh)
+                self._attestation = AttestationSession(
+                    enclave_session_id=describe.attestation.session_id,
+                    shared_secret=secret,
+                )
+            return describe
+
+        describe = self._with_retries("describe", describe_once)
         if self.options.cache_describe_results:
             self._describe_cache[query_text] = describe
         return describe
@@ -306,17 +380,23 @@ class Connection:
             return self._attestation
         if self.attestation_policy is None:
             raise DriverError("no attestation policy configured")
-        client_dh = DiffieHellman()
-        info = self.server.attest(client_dh.public_key)
-        self.stats.inc("describe_roundtrips")
-        if self.server.hgs is None:
-            raise DriverError("server has no HGS to verify attestation against")
-        secret = verify_attestation_and_derive_secret(
-            info, client_dh, self.server.hgs.signing_public_key, self.attestation_policy
-        )
-        self._attestation = AttestationSession(
-            enclave_session_id=info.session_id, shared_secret=secret
-        )
+
+        def attest_once() -> AttestationSession:
+            # Fresh DH pair per attempt: a retried attestation negotiates a
+            # brand-new enclave session rather than resuming a half-built one.
+            client_dh = DiffieHellman()
+            info = self.server.attest(client_dh.public_key)
+            self.stats.inc("describe_roundtrips")
+            if self.server.hgs is None:
+                raise DriverError("server has no HGS to verify attestation against")
+            secret = verify_attestation_and_derive_secret(
+                info, client_dh, self.server.hgs.signing_public_key, self.attestation_policy
+            )
+            return AttestationSession(
+                enclave_session_id=info.session_id, shared_secret=secret
+            )
+
+        self._attestation = self._with_retries("attest", attest_once)
         return self._attestation
 
     def _check_forced(self, describe: DescribeResult, forced: frozenset[str] | set[str]) -> None:
@@ -389,10 +469,7 @@ class Connection:
         if not missing:
             return
         package = CekPackage(nonce=session.nonces.next(), ceks=tuple(missing))
-        self.server.forward_enclave_package(
-            session.enclave_session_id, seal_package(session.shared_secret, package)
-        )
-        self.stats.package_roundtrips += 1
+        self._send_package(session, package)
         for name, __ in missing:
             session.installed_ceks.add(name)
 

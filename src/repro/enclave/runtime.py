@@ -28,8 +28,14 @@ from repro.crypto.rsa import RsaKeyPair
 from repro.enclave.channel import SealedPackage, SessionSecrets, open_package
 from repro.enclave.sqlos import SqlOs
 from repro.enclave.validate import validate_program
-from repro.errors import CryptoError, EnclaveError, IntegrityError
+from repro.errors import CryptoError, EnclaveError, IntegrityError, ReplayError
+from repro.faults.registry import fault_point, register_fault_site
 from repro.obs.metrics import StatsView
+
+register_fault_site(
+    "enclave.channel.recv",
+    "a sealed CEK package arriving at the enclave's install ecall",
+)
 from repro.sqlengine.cells import Ciphertext
 from repro.sqlengine.expression.program import StackProgram
 from repro.sqlengine.expression.vm import StackMachine
@@ -98,6 +104,7 @@ class EnclaveCounters(StatsView):
         "cell_decrypts": "enclave.cell_decrypts",
         "cell_encrypts": "enclave.cell_encrypts",
         "cpu_seconds": "enclave.cpu_seconds",
+        "replays_rejected": "enclave.replays_rejected",
     }
 
 
@@ -200,6 +207,7 @@ class Enclave:
 
     def install_package(self, session_id: int, sealed: SealedPackage) -> None:
         """Install CEKs (and DDL authorizations) from a sealed package."""
+        fault_point("enclave.channel.recv", session_id=session_id)
         session = self._session(session_id)
         try:
             package = open_package(session.shared_secret, sealed)
@@ -213,7 +221,11 @@ class Enclave:
 
                 session_nonces = NonceRangeTracker()
                 session._nonces = session_nonces  # type: ignore[attr-defined]
-            session_nonces.check_and_add(package.nonce)
+            try:
+                session_nonces.check_and_add(package.nonce)
+            except ReplayError:
+                self.counters.inc("replays_rejected")
+                raise
             for name, material in package.ceks:
                 if not self.sqlos.has_key(name):
                     self.sqlos.install_key(name, material)

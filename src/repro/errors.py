@@ -48,6 +48,37 @@ class KeysUnavailableError(EnclaveError):
     """
 
 
+class FaultInjected(ReproError):
+    """Base class for errors raised by the deterministic fault injector.
+
+    Raised only at registered fault sites (:mod:`repro.faults`) when a test
+    has armed a fault there; production code paths never construct these.
+    """
+
+    def __init__(self, site: str, message: str | None = None):
+        self.site = site
+        super().__init__(message or f"injected fault at {site!r}")
+
+
+class TransientFault(FaultInjected):
+    """An injected failure the caller may safely retry (dropped channel
+    message, flaky describe round-trip). The driver's error classifier
+    maps this to bounded exponential-backoff retry."""
+
+
+class FatalFault(FaultInjected):
+    """An injected failure that must surface to the caller as an error —
+    retrying cannot help (corrupted state, configuration problem)."""
+
+
+class ForcedCrash(FaultInjected):
+    """An injected process crash: all volatile state is gone.
+
+    The crash-torture harness catches this, calls ``engine.crash()``, and
+    runs recovery; anything else treating it as an ordinary error is a bug.
+    """
+
+
 class SqlError(ReproError):
     """Base class for SQL engine errors."""
 
@@ -87,6 +118,14 @@ class LockTimeoutError(TransactionError):
 
 class RecoveryError(SqlError):
     """Raised when crash recovery cannot proceed."""
+
+
+class PageCorruptError(SqlError):
+    """Raised when a page image fails its checksum (torn/partial write).
+
+    Recovery treats a corrupt page as lost and recreates its contents by
+    physical redo from the WAL (Section 4.5: redo is physical and keyless).
+    """
 
 
 class DriverError(ReproError):

@@ -1,0 +1,50 @@
+"""The driver's error classifier: which failures are worth retrying.
+
+One place answers "is this transient?" so the retry loop in the client
+driver, the torture harness, and future connection-pool logic all agree.
+"""
+
+from __future__ import annotations
+
+import enum
+
+from repro.errors import (
+    FatalFault,
+    ForcedCrash,
+    LockTimeoutError,
+    TransientFault,
+)
+
+
+class ErrorClass(enum.Enum):
+    TRANSIENT = "transient"   # safe to retry with backoff
+    FATAL = "fatal"           # surface to the caller immediately
+
+
+# Exception types the classifier treats as retryable. Lock timeouts are
+# the classic production transient (the paper's deferred transactions
+# hold locks until keys arrive — a waiter retrying is expected behaviour).
+_TRANSIENT_TYPES: tuple[type[BaseException], ...] = (
+    TransientFault,
+    LockTimeoutError,
+    ConnectionError,
+    TimeoutError,
+)
+
+# Checked before the transient list: a forced crash is a FaultInjected
+# subclass but retrying into a crashed process cannot succeed.
+_FATAL_TYPES: tuple[type[BaseException], ...] = (ForcedCrash, FatalFault)
+
+
+def classify_error(exc: BaseException) -> ErrorClass:
+    """Classify an exception for retry purposes. Unknown errors are fatal:
+    retrying a failure you don't understand hides bugs."""
+    if isinstance(exc, _FATAL_TYPES):
+        return ErrorClass.FATAL
+    if isinstance(exc, _TRANSIENT_TYPES):
+        return ErrorClass.TRANSIENT
+    return ErrorClass.FATAL
+
+
+def is_transient(exc: BaseException) -> bool:
+    return classify_error(exc) is ErrorClass.TRANSIENT

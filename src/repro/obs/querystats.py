@@ -35,12 +35,14 @@ _SERVER_DELTA_FIELDS: dict[str, str] = {
     "wal_bytes": "wal.bytes_written",
     "lock_waits": "locks.waits",
     "plan_cache_hits": "server.plan_cache_hits",
+    "faults_injected": "faults.injected",
 }
 
 _DRIVER_DELTA_FIELDS: dict[str, str] = {
     "cek_cache_hits": "driver.cek_cache_hits",
     "cek_cache_misses": "driver.cek_cache_misses",
     "describe_roundtrips": "driver.describe_roundtrips",
+    "retries": "driver.retries",
 }
 
 
@@ -67,11 +69,13 @@ class QueryStats:
     wal_bytes: int = 0
     lock_waits: int = 0
     plan_cache_hits: int = 0
+    faults_injected: int = 0
 
     # Driver-side registry deltas (filled by the client driver).
     cek_cache_hits: int = 0
     cek_cache_misses: int = 0
     describe_roundtrips: int = 0
+    retries: int = 0
 
     # The statement's span tree when tracing was enabled.
     root_span: Span | None = None
@@ -174,9 +178,11 @@ def format_explain_stats(stats: QueryStats) -> str:
         ("boundary_transitions", stats.boundary_transitions),
         ("lock_waits", stats.lock_waits),
         ("plan_cache_hits", stats.plan_cache_hits),
+        ("faults_injected", stats.faults_injected),
         ("cek_cache_hits", stats.cek_cache_hits),
         ("cek_cache_misses", stats.cek_cache_misses),
         ("describe_roundtrips", stats.describe_roundtrips),
+        ("retries", stats.retries),
     ]
     width = max(len(str(label)) for label, __ in rows)
     lines = ["EXPLAIN STATS"]

@@ -116,8 +116,15 @@ class _SpanContext:
         for name, base in self._baseline.items():
             span.metrics[name] = registry.value(name) - base
         stack = self._tracer._stack()
-        if stack and stack[-1] is span:
-            stack.pop()
+        # Pop this span plus anything still stacked above it: a generator
+        # suspended at a yield inside a span never runs its __exit__ when
+        # an exception unwinds past it in the *consumer*, so an ancestor
+        # exiting must sweep those abandoned descendants or the
+        # thread-local stack leaks for the life of the thread.
+        for i in range(len(stack) - 1, -1, -1):
+            if stack[i] is span:
+                del stack[i:]
+                break
         if self._parent is not None:
             self._parent.add_child(span)
 

@@ -31,10 +31,14 @@ from repro.enclave.runtime import Enclave
 from repro.errors import (
     ConstraintError,
     KeysUnavailableError,
+    PageCorruptError,
     RecoveryError,
     SqlError,
     TransactionError,
 )
+from repro.faults.registry import fault_point, register_fault_site
+from repro.obs.metrics import get_registry
+from repro.sqlengine.storage.page import Page
 from repro.sqlengine.catalog import Catalog, IndexSchema, TableSchema
 from repro.sqlengine.index.btree import BPlusTree
 from repro.sqlengine.index.comparators import (
@@ -55,6 +59,14 @@ from repro.sqlengine.txn.transaction import (
     TransactionManager,
     TxnState,
     UndoEntry,
+)
+
+
+register_fault_site(
+    "engine.commit", "transaction commit entry (before the COMMIT record lands)"
+)
+register_fault_site(
+    "engine.index_insert", "index maintenance for one inserted/updated row"
 )
 
 
@@ -118,8 +130,8 @@ class StorageEngine:
         self.enclave = enclave
         self.ctr_enabled = ctr_enabled
         self.disk = Disk()
-        self.pool = BufferPool(self.disk, capacity=buffer_pool_pages)
         self.wal = WriteAheadLog()
+        self.pool = BufferPool(self.disk, capacity=buffer_pool_pages, wal=self.wal)
         self.locks = LockManager(default_timeout_s=lock_timeout_s)
         self.txns = TransactionManager()
         self.tables: dict[str, TableObject] = {}
@@ -229,6 +241,7 @@ class StorageEngine:
     def commit(self, txn: Transaction) -> None:
         if not txn.is_active:
             raise TransactionError(f"cannot commit txn in state {txn.state}")
+        fault_point("engine.commit", txn_id=txn.txn_id)
         self._ensure_begin_logged(txn)
         self.wal.append(txn.txn_id, LogOp.COMMIT)
         self.wal.flush()
@@ -252,15 +265,32 @@ class StorageEngine:
         self._validate_row(table, row)
         self._ensure_begin_logged(txn)
         rid = table.heap.insert(row)
-        self.locks.acquire(txn.txn_id, ("row", table_name.lower(), rid), LockMode.EXCLUSIVE)
         try:
-            self._index_insert(table, row, rid)
-        except ConstraintError:
+            # The heap can hand out a reused slot whose rid another
+            # transaction still locks (it deleted the old row and hasn't
+            # finished): a lock timeout must not leak the unlogged row.
+            self.locks.acquire(txn.txn_id, ("row", table_name.lower(), rid), LockMode.EXCLUSIVE)
+        except Exception:
             table.heap.delete(rid)
             raise
-        self.wal.append(
-            txn.txn_id, LogOp.INSERT, table=table_name.lower(), rid=rid, after=serialize_row(row)
-        )
+        try:
+            self._index_insert(table, row, rid)
+        except Exception:
+            # Constraint violation or injected fault: either way the heap
+            # row must not outlive its missing index entries.
+            table.heap.delete(rid)
+            raise
+        try:
+            self.wal.append(
+                txn.txn_id, LogOp.INSERT, table=table_name.lower(), rid=rid, after=serialize_row(row)
+            )
+        except Exception:
+            # Write-ahead rule: a change that could not be logged must not
+            # survive in memory either — eviction or checkpoint could push
+            # it to disk with recovery knowing nothing about it.
+            self._index_delete(table, row, rid)
+            table.heap.delete(rid)
+            raise
         txn.undo_log.append(UndoEntry("insert", table_name.lower(), rid, None, row))
         txn.touched_tables.add(table_name.lower())
         return rid
@@ -272,9 +302,14 @@ class StorageEngine:
         row = table.heap.read(rid)
         self._index_delete(table, row, rid)
         table.heap.delete(rid)
-        self.wal.append(
-            txn.txn_id, LogOp.DELETE, table=table_name.lower(), rid=rid, before=serialize_row(row)
-        )
+        try:
+            self.wal.append(
+                txn.txn_id, LogOp.DELETE, table=table_name.lower(), rid=rid, before=serialize_row(row)
+            )
+        except Exception:
+            table.heap.insert_at(rid, row)
+            self._index_reinsert_raw(table, row, rid)
+            raise
         txn.undo_log.append(UndoEntry("delete", table_name.lower(), rid, row, None))
         txn.touched_tables.add(table_name.lower())
 
@@ -287,7 +322,7 @@ class StorageEngine:
         self._index_delete(table, old_row, rid)
         try:
             self._index_insert(table, new_row, rid)
-        except ConstraintError:
+        except Exception:
             self._index_insert(table, old_row, rid)
             raise
         try:
@@ -298,14 +333,20 @@ class StorageEngine:
             # relocate it, repointing index entries at the new rid.
             self._relocate_row(txn, table, table_name.lower(), rid, old_row, new_row)
             return
-        self.wal.append(
-            txn.txn_id,
-            LogOp.UPDATE,
-            table=table_name.lower(),
-            rid=rid,
-            before=serialize_row(old_row),
-            after=serialize_row(new_row),
-        )
+        try:
+            self.wal.append(
+                txn.txn_id,
+                LogOp.UPDATE,
+                table=table_name.lower(),
+                rid=rid,
+                before=serialize_row(old_row),
+                after=serialize_row(new_row),
+            )
+        except Exception:
+            table.heap.update(rid, old_row)
+            self._index_delete(table, new_row, rid)
+            self._index_reinsert_raw(table, old_row, rid)
+            raise
         txn.undo_log.append(UndoEntry("update", table_name.lower(), rid, old_row, new_row))
         txn.touched_tables.add(table_name.lower())
 
@@ -381,6 +422,7 @@ class StorageEngine:
     # -------------------------------------------------------- index maintenance
 
     def _index_insert(self, table: TableObject, row: tuple, rid: RowId) -> None:
+        fault_point("engine.index_insert", table=table.schema.name, rid=rid)
         inserted: list[tuple[IndexObject, object]] = []
         try:
             for obj in table.indexes.values():
@@ -389,7 +431,7 @@ class StorageEngine:
                 key = obj.key_of(row)
                 obj.tree.insert(key, rid)
                 inserted.append((obj, key))
-        except ConstraintError:
+        except Exception:
             for obj, key in inserted:
                 obj.tree.delete(key, rid)
             raise
@@ -399,6 +441,15 @@ class StorageEngine:
             if obj.state is not IndexState.READY or not obj.schema.valid:
                 continue
             obj.tree.delete(obj.key_of(row), rid)
+
+    def _index_reinsert_raw(self, table: TableObject, row: tuple, rid: RowId) -> None:
+        """Restore just-removed index entries while rolling back a failed
+        WAL append. No fault point, no constraint surprises: the entries
+        were present moments ago."""
+        for obj in table.indexes.values():
+            if obj.state is not IndexState.READY or not obj.schema.valid:
+                continue
+            obj.tree.insert(obj.key_of(row), rid)
 
     def _rebuild_index(self, table: TableObject, obj: IndexObject) -> None:
         entries = []
@@ -484,13 +535,34 @@ class StorageEngine:
         """Run crash recovery: physical redo, then (deferrable) undo."""
         report = RecoveryReport()
 
+        # 0. Sweep every on-disk page image through its checksum. A torn
+        #    write (power loss mid-write) can hit any page the pool ever
+        #    wrote back — checkpointed or evicted — so the sweep covers the
+        #    whole disk, not just the durable heap metadata. A corrupt image
+        #    is dropped and replaced by a fresh (dirty, so it writes back)
+        #    empty page of the same id; physical redo recreates its rows
+        #    from the WAL.
+        torn_page_ids: set[int] = set()
+        for page_id in self.disk.page_ids():
+            try:
+                Page.from_bytes(self.disk.read_page(page_id))
+            except PageCorruptError:
+                self.disk.drop_page(page_id)
+                self.pool.get_or_create(page_id).dirty = True
+                get_registry().counter(
+                    "recovery.torn_pages_detected",
+                    help="page images failing their checksum at recovery",
+                ).inc()
+                report.torn_pages += 1
+                torn_page_ids.add(page_id)
+
         # 1. Reattach heaps from durable metadata and recreate index objects
         #    from the (durable) catalog — empty for now, rebuilt in step 5.
         for schema in self.catalog.tables():
             table = TableObject(schema=schema, heap=HeapFile(schema.name, self.pool))
             self.tables[schema.name.lower()] = table
             for page_id in self._durable_table_pages.get(schema.name.lower(), []):
-                if self.disk.has_page(page_id):
+                if self.disk.has_page(page_id) or page_id in torn_page_ids:
                     table.heap.adopt_page(page_id)
                     self.pool.note_existing_page_id(page_id)
             for index_schema in schema.indexes.values():
@@ -760,6 +832,7 @@ class RecoveryReport:
     """What recovery did — the observable Section 4.5 outcomes."""
 
     redone: int = 0
+    torn_pages: int = 0
     undone: list[int] = field(default_factory=list)
     deferred: list[int] = field(default_factory=list)
     ctr_reverted: list[int] = field(default_factory=list)

@@ -10,10 +10,19 @@ bytes.
 from __future__ import annotations
 
 from collections import OrderedDict
+from typing import TYPE_CHECKING
 
+from repro.faults.registry import fault_point, register_fault_site
 from repro.obs.metrics import StatsView, get_registry
 from repro.sqlengine.storage.disk import Disk
 from repro.sqlengine.storage.page import Page
+
+if TYPE_CHECKING:
+    from repro.sqlengine.storage.wal import WriteAheadLog
+
+register_fault_site(
+    "bufferpool.evict", "one page evicted (dirty pages write back to disk)"
+)
 
 
 class BufferPoolStats(StatsView):
@@ -34,8 +43,9 @@ class BufferPool:
     evictions used to be silent, which made cache-size tuning blind.
     """
 
-    def __init__(self, disk: Disk, capacity: int = 256):
+    def __init__(self, disk: Disk, capacity: int = 256, wal: "WriteAheadLog | None" = None):
         self._disk = disk
+        self._wal = wal
         self._capacity = max(1, capacity)
         self._pages: OrderedDict[int, Page] = OrderedDict()
         self.stats = BufferPoolStats()
@@ -106,18 +116,26 @@ class BufferPool:
         self._pages[page.page_id] = page
         self._pages.move_to_end(page.page_id)
         while len(self._pages) > self._capacity:
+            fault_point("bufferpool.evict")
             __, evicted = self._pages.popitem(last=False)
             self.stats.inc("evictions")
             if evicted.dirty:
-                self._disk.write_page(evicted.page_id, evicted.to_bytes())
-                evicted.dirty = False
+                self._write_back(evicted)
         self._cached_gauge.set(len(self._pages))
+
+    def _write_back(self, page: Page) -> None:
+        # Write-ahead rule: the log records covering this page's changes
+        # must be durable before the page image lands on disk, otherwise a
+        # crash leaves rows on disk that recovery knows nothing about.
+        if self._wal is not None:
+            self._wal.flush()
+        self._disk.write_page(page.page_id, page.to_bytes())
+        page.dirty = False
 
     def flush_all(self) -> None:
         for page in self._pages.values():
             if page.dirty:
-                self._disk.write_page(page.page_id, page.to_bytes())
-                page.dirty = False
+                self._write_back(page)
                 self.stats.inc("flushes")
 
     def drop_all(self) -> None:

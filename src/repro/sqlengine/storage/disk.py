@@ -5,13 +5,28 @@ while the disk (and the log file, kept beside it) survives — the scenario
 Section 4.5's recovery machinery exists for. The adversary can read every
 byte here; tests assert that no plaintext of encrypted columns ever lands
 on it.
+
+Both page I/O paths are fault-injection sites (`disk.write_page`,
+`disk.read_page`). A torn-write directive at the write site applies a
+partial image — the new bytes up to the tear point, the old bytes after —
+and then raises :class:`~repro.errors.ForcedCrash`, modelling power loss
+mid-write. The page checksum (see :mod:`page`) makes the tear detectable
+at recovery time.
 """
 
 from __future__ import annotations
 
 import threading
 
-from repro.errors import SqlError
+from repro.errors import ForcedCrash, SqlError
+from repro.faults.actions import TornWriteDirective
+from repro.faults.registry import fault_point, register_fault_site
+
+register_fault_site(
+    "disk.write_page",
+    "one page image written to durable storage; torn-write capable",
+)
+register_fault_site("disk.read_page", "one page image read from durable storage")
 
 
 class Disk:
@@ -24,17 +39,33 @@ class Disk:
         self.writes = 0
 
     def write_page(self, page_id: int, image: bytes) -> None:
+        directive = fault_point("disk.write_page", page_id=page_id, image=image)
+        if isinstance(directive, TornWriteDirective):
+            with self._lock:
+                torn = directive.tear(image, self._pages.get(page_id))
+                self._pages[page_id] = torn
+                self.writes += 1
+            if directive.then_crash:
+                raise ForcedCrash("disk.write_page", f"power lost tearing page {page_id}")
+            return
         with self._lock:
             self._pages[page_id] = image
             self.writes += 1
 
     def read_page(self, page_id: int) -> bytes:
+        fault_point("disk.read_page", page_id=page_id)
         with self._lock:
             self.reads += 1
             try:
                 return self._pages[page_id]
             except KeyError:
                 raise SqlError(f"page {page_id} does not exist on disk") from None
+
+    def drop_page(self, page_id: int) -> None:
+        """Discard a page image (recovery reformats a torn page; its
+        contents come back through physical redo from the WAL)."""
+        with self._lock:
+            self._pages.pop(page_id, None)
 
     def has_page(self, page_id: int) -> bool:
         with self._lock:

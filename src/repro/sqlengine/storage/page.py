@@ -5,17 +5,24 @@ tombstones so row ids (page id, slot id) stay stable, which both the heap
 and the B+-trees rely on. Pages serialize to a flat byte image — that
 image is what lives on the simulated disk and what the strong adversary
 reads.
+
+The image header carries a CRC32 of the payload, so a torn write (some
+bytes of the new image, some of the old) is *detectable*:
+:meth:`Page.from_bytes` raises :class:`~repro.errors.PageCorruptError`
+and recovery reformats the page and redoes its rows from the WAL — the
+physical, keyless redo of Section 4.5.
 """
 
 from __future__ import annotations
 
 import struct
+import zlib
 
-from repro.errors import SqlError
+from repro.errors import PageCorruptError, SqlError
 
 PAGE_SIZE = 8192
-_HEADER = struct.Struct(">IH")  # page_id, slot_count
-_SLOT = struct.Struct(">I")     # record length (0xFFFFFFFF = tombstone)
+_HEADER = struct.Struct(">IHI")  # page_id, slot_count, payload crc32
+_SLOT = struct.Struct(">I")      # record length (0xFFFFFFFF = tombstone)
 
 _TOMBSTONE = 0xFFFFFFFF
 
@@ -94,21 +101,29 @@ class Page:
     # -- serialization -------------------------------------------------------
 
     def to_bytes(self) -> bytes:
-        out = bytearray(_HEADER.pack(self.page_id, len(self._records)))
+        payload = bytearray()
         for record in self._records:
             if record is None:
-                out += _SLOT.pack(_TOMBSTONE)
+                payload += _SLOT.pack(_TOMBSTONE)
             else:
-                out += _SLOT.pack(len(record))
-                out += record
-        if len(out) > PAGE_SIZE:
+                payload += _SLOT.pack(len(record))
+                payload += record
+        if _HEADER.size + len(payload) > PAGE_SIZE:
             raise SqlError(f"page {self.page_id} overflows PAGE_SIZE on serialization")
-        out += b"\x00" * (PAGE_SIZE - len(out))
-        return bytes(out)
+        payload += b"\x00" * (PAGE_SIZE - _HEADER.size - len(payload))
+        crc = zlib.crc32(payload)
+        return _HEADER.pack(self.page_id, len(self._records), crc) + bytes(payload)
 
     @classmethod
     def from_bytes(cls, data: bytes) -> "Page":
-        page_id, slot_count = _HEADER.unpack_from(data, 0)
+        try:
+            page_id, slot_count, crc = _HEADER.unpack_from(data, 0)
+        except struct.error as exc:
+            raise PageCorruptError(f"page image too short to parse: {exc}") from exc
+        if zlib.crc32(data[_HEADER.size :]) != crc:
+            raise PageCorruptError(
+                f"page {page_id} fails its checksum (torn or partial write)"
+            )
         page = cls(page_id)
         offset = _HEADER.size
         for __ in range(slot_count):

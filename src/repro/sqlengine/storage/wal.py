@@ -13,8 +13,17 @@ import enum
 import threading
 from dataclasses import dataclass, field
 
+from repro.errors import ForcedCrash
+from repro.faults.actions import PartialFlushDirective
+from repro.faults.registry import fault_point, register_fault_site
 from repro.obs.metrics import get_registry
 from repro.sqlengine.storage.heap import RowId
+
+register_fault_site("wal.append", "one log record appended")
+register_fault_site(
+    "wal.flush",
+    "the log forced to disk (commit durability point); partial-flush capable",
+)
 
 
 class LogOp(enum.Enum):
@@ -56,6 +65,8 @@ class WriteAheadLog:
         before: bytes | None = None,
         after: bytes | None = None,
     ) -> LogRecord:
+        fault_point("wal.append", txn_id=txn_id, op=op)
+        registry = get_registry()
         with self._lock:
             record = LogRecord(
                 lsn=self._next_lsn,
@@ -68,15 +79,28 @@ class WriteAheadLog:
             )
             self._next_lsn += 1
             self._records.append(record)
-        registry = get_registry()
-        registry.counter("wal.records_appended").inc()
-        registry.counter("wal.bytes_written").inc(
-            len(before or b"") + len(after or b"")
-        )
+            # Counter updates stay inside the lock: a concurrent flush()
+            # holds the same lock, so flushed_lsn can never cover a record
+            # whose metrics have not landed yet (the totals and the
+            # durability horizon advance atomically together).
+            registry.counter("wal.records_appended").inc()
+            registry.counter("wal.bytes_written").inc(
+                len(before or b"") + len(after or b"")
+            )
         return record
 
     def flush(self) -> None:
         """Force the log to "disk" (commit durability point)."""
+        directive = fault_point("wal.flush")
+        if isinstance(directive, PartialFlushDirective):
+            with self._lock:
+                # The tail never regresses: a previously durable record
+                # stays durable; only the newest drop_last records miss.
+                partial = self._next_lsn - 1 - directive.drop_last
+                self.flushed_lsn = max(self.flushed_lsn, partial)
+            if directive.then_crash:
+                raise ForcedCrash("wal.flush", "power lost mid-flush (torn log tail)")
+            return
         with self._lock:
             self.flushed_lsn = self._next_lsn - 1
         get_registry().counter("wal.flushes").inc()
@@ -87,6 +111,21 @@ class WriteAheadLog:
             if durable_only:
                 return [r for r in self._records if r.lsn <= self.flushed_lsn]
             return list(self._records)
+
+    def tear_tail(self, lsn: int) -> int:
+        """Post-crash test hook: tear the durable stream down to ``lsn``.
+
+        Models a torn log tail discovered at recovery: records with
+        ``lsn`` above the tear point were never fully on disk. Returns
+        the number of durable records lost. Only meaningful between
+        ``crash()`` and ``recover()`` — tearing a live log is nonsense.
+        """
+        with self._lock:
+            lost = max(0, self.flushed_lsn - lsn)
+            if lsn < self.flushed_lsn:
+                self.flushed_lsn = lsn
+            self._records = [r for r in self._records if r.lsn <= lsn]
+            return lost
 
     def truncate_before(self, lsn: int) -> int:
         """Discard records below ``lsn`` (log truncation); returns count."""

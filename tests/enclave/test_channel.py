@@ -9,7 +9,10 @@ from repro.enclave.channel import (
     seal_package,
     sign_query_authorization,
 )
-from repro.errors import EnclaveError, IntegrityError
+from repro.errors import EnclaveError, IntegrityError, ReplayError
+from repro.faults import DuplicateMessage, OnNth, get_fault_registry
+from repro.obs.metrics import get_registry
+from tests.conftest import make_encrypted_table
 
 SECRET = bytes(range(32))
 
@@ -73,3 +76,52 @@ class TestQueryAuthorization:
         digest = bytes(32)
         assert sign_query_authorization(SECRET, digest) == sign_query_authorization(SECRET, digest)
         assert sign_query_authorization(SECRET, digest) != sign_query_authorization(bytes(32), digest)
+
+
+class TestChannelReplayInjection:
+    """Message duplication on the wire, injected at the driver's
+    ``enclave.channel.send`` fault site. The enclave's nonce range
+    tracker (Section 4.2) must reject the second delivery; the driver
+    treats the rejection as success, and the workload is unaffected."""
+
+    @pytest.fixture(autouse=True)
+    def _disarm(self):
+        get_fault_registry().disarm_all()
+        yield
+        get_fault_registry().disarm_all()
+
+    def test_duplicated_package_is_rejected_by_nonce_tracking(self, ae_connection):
+        baseline = get_registry().value("enclave.replays_rejected")
+        armed = get_fault_registry().arm(
+            "enclave.channel.send", OnNth(1), DuplicateMessage()
+        )
+        try:
+            make_encrypted_table(ae_connection)
+            ae_connection.execute(
+                "INSERT INTO T (id, value) VALUES (@id, @v)", {"id": 1, "v": 5}
+            )
+            result = ae_connection.execute(
+                "SELECT id, value FROM T WHERE value < @m", {"m": 10}
+            )
+        finally:
+            get_fault_registry().disarm(armed)
+        assert result.rows == [(1, 5)]
+        # Exactly one duplicated delivery, exactly one rejection.
+        assert get_registry().value("enclave.replays_rejected") - baseline == 1
+
+    def test_raw_replay_of_sealed_blob_is_rejected(self, ae_connection):
+        """An adversary replaying the captured sealed blob (no fault
+        machinery involved) is also stopped by the same nonce tracking."""
+        make_encrypted_table(ae_connection)
+        ae_connection.execute(
+            "INSERT INTO T (id, value) VALUES (@id, @v)", {"id": 1, "v": 5}
+        )
+        ae_connection.execute("SELECT id FROM T WHERE value < @m", {"m": 10})
+        session = ae_connection._attestation
+        assert session is not None
+        # Re-seal a package bearing an already-consumed nonce.
+        replayed = seal_package(session.shared_secret, CekPackage(nonce=0))
+        with pytest.raises(ReplayError):
+            ae_connection.server.forward_enclave_package(
+                session.enclave_session_id, replayed
+            )

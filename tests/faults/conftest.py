@@ -1,0 +1,21 @@
+"""Fault-injection test fixtures.
+
+Every test in this package runs against the process-global fault
+registry, so a leaked arming would poison every later test in the
+session. The autouse fixture guarantees a disarmed registry on both
+sides of each test.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.faults import get_fault_registry
+
+
+@pytest.fixture(autouse=True)
+def disarm_faults():
+    registry = get_fault_registry()
+    registry.disarm_all()
+    yield registry
+    registry.disarm_all()

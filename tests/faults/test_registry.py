@@ -1,0 +1,279 @@
+"""Units for the fault registry, schedules, actions, and error classifier."""
+
+import threading
+
+import pytest
+
+from repro.errors import (
+    FatalFault,
+    ForcedCrash,
+    LockTimeoutError,
+    TransientFault,
+)
+from repro.faults import (
+    Always,
+    DropMessage,
+    DropMessageDirective,
+    DuplicateMessage,
+    DuplicateMessageDirective,
+    ErrorClass,
+    EveryKth,
+    FaultRegistry,
+    ForceCrash,
+    Never,
+    OnNth,
+    PartialFlush,
+    PartialFlushDirective,
+    RaiseFatal,
+    RaiseTransient,
+    SeededProbability,
+    TornWrite,
+    TornWriteDirective,
+    classify_error,
+    fault_point,
+    get_fault_registry,
+    is_transient,
+)
+from repro.obs.metrics import get_registry
+
+
+def make_registry(*sites: str) -> FaultRegistry:
+    registry = FaultRegistry()
+    for site in sites:
+        registry.register_site(site)
+    return registry
+
+
+class TestSchedules:
+    def test_never_and_always(self):
+        assert not any(Never().should_fire(hit) for hit in range(1, 10))
+        assert all(Always().should_fire(hit) for hit in range(1, 10))
+
+    def test_on_nth_fires_exactly_once(self):
+        schedule = OnNth(3)
+        fired = [hit for hit in range(1, 10) if schedule.should_fire(hit)]
+        assert fired == [3]
+
+    def test_on_nth_rejects_zero(self):
+        with pytest.raises(ValueError):
+            OnNth(0)
+
+    def test_every_kth(self):
+        schedule = EveryKth(3)
+        fired = [hit for hit in range(1, 13) if schedule.should_fire(hit)]
+        assert fired == [3, 6, 9, 12]
+
+    def test_every_kth_limit(self):
+        schedule = EveryKth(2, limit=2)
+        fired = [hit for hit in range(1, 13) if schedule.should_fire(hit)]
+        assert fired == [2, 4]
+
+    def test_seeded_probability_deterministic(self):
+        a = SeededProbability(0.5, seed=42)
+        b = SeededProbability(0.5, seed=42)
+        decisions_a = [a.should_fire(hit) for hit in range(1, 200)]
+        decisions_b = [b.should_fire(hit) for hit in range(1, 200)]
+        assert decisions_a == decisions_b
+        assert any(decisions_a) and not all(decisions_a)
+
+    def test_seeded_probability_limit_keeps_stream_aligned(self):
+        # With a limit, suppressed fires must not shift later decisions:
+        # the unlimited and limited instances agree wherever the limited
+        # one is still allowed to fire.
+        unlimited = SeededProbability(0.5, seed=7)
+        limited = SeededProbability(0.5, seed=7, limit=3)
+        fired = 0
+        for hit in range(1, 100):
+            u = unlimited.should_fire(hit)
+            lim = limited.should_fire(hit)
+            if fired < 3:
+                assert u == lim
+                fired += 1 if lim else 0
+            else:
+                assert not lim
+
+    def test_seeded_probability_validates_p(self):
+        with pytest.raises(ValueError):
+            SeededProbability(1.5, seed=0)
+
+
+class TestActions:
+    def test_raising_actions(self):
+        with pytest.raises(TransientFault):
+            RaiseTransient().trigger("s", {})
+        with pytest.raises(FatalFault):
+            RaiseFatal().trigger("s", {})
+        with pytest.raises(ForcedCrash):
+            ForceCrash().trigger("s", {})
+
+    def test_transient_is_fault_and_names_site(self):
+        err = TransientFault("wal.flush")
+        assert err.site == "wal.flush"
+        assert "wal.flush" in str(err)
+
+    def test_torn_write_tears_against_old_image(self):
+        directive = TornWrite(keep_fraction=0.5).trigger("disk.write_page", {})
+        assert isinstance(directive, TornWriteDirective)
+        new = b"N" * 100
+        old = b"O" * 100
+        torn = directive.tear(new, old)
+        assert len(torn) == 100
+        assert torn[:50] == b"N" * 50 and torn[50:] == b"O" * 50
+
+    def test_torn_write_tears_against_zeros_when_no_old_image(self):
+        directive = TornWriteDirective(keep_fraction=0.25)
+        torn = directive.tear(b"N" * 8, None)
+        assert torn == b"NN" + b"\x00" * 6
+
+    def test_torn_write_validates_fraction(self):
+        with pytest.raises(ValueError):
+            TornWrite(keep_fraction=0.0)
+        with pytest.raises(ValueError):
+            TornWrite(keep_fraction=1.0)
+
+    def test_partial_flush_validates(self):
+        with pytest.raises(ValueError):
+            PartialFlush(drop_last=0)
+        directive = PartialFlush(drop_last=2).trigger("wal.flush", {})
+        assert isinstance(directive, PartialFlushDirective)
+        assert directive.drop_last == 2 and directive.then_crash
+
+    def test_message_directives(self):
+        assert isinstance(DropMessage().trigger("s", {}), DropMessageDirective)
+        assert isinstance(DuplicateMessage().trigger("s", {}), DuplicateMessageDirective)
+
+
+class TestClassifier:
+    def test_transient_types(self):
+        assert classify_error(TransientFault("s")) is ErrorClass.TRANSIENT
+        assert classify_error(LockTimeoutError("lock wait timed out")) is ErrorClass.TRANSIENT
+        assert classify_error(ConnectionError()) is ErrorClass.TRANSIENT
+        assert classify_error(TimeoutError()) is ErrorClass.TRANSIENT
+
+    def test_fatal_types(self):
+        assert classify_error(FatalFault("s")) is ErrorClass.FATAL
+        # ForcedCrash subclasses FaultInjected but is never retryable.
+        assert classify_error(ForcedCrash("s")) is ErrorClass.FATAL
+
+    def test_unknown_errors_are_fatal(self):
+        assert classify_error(ValueError("?")) is ErrorClass.FATAL
+        assert not is_transient(ValueError("?"))
+        assert is_transient(TransientFault("s"))
+
+
+class TestRegistry:
+    def test_arm_unknown_site_raises(self):
+        registry = make_registry("a.b")
+        with pytest.raises(KeyError, match="a.b"):
+            registry.arm("a.typo", Always(), RaiseTransient())
+
+    def test_register_is_idempotent_and_keeps_description(self):
+        registry = make_registry()
+        registry.register_site("x.y", "first")
+        registry.register_site("x.y")
+        assert registry.site("x.y").description == "first"
+        assert registry.sites() == ["x.y"]
+
+    def test_disarmed_site_returns_none(self):
+        registry = make_registry("a.b")
+        assert registry.fire("a.b") is None
+        assert registry.fire("never.registered") is None
+
+    def test_fire_raises_and_counts(self):
+        registry = make_registry("a.b")
+        registry.arm("a.b", OnNth(2), RaiseTransient())
+        baseline = get_registry().value("faults.injected")
+        assert registry.fire("a.b") is None          # hit 1: no fire
+        with pytest.raises(TransientFault):
+            registry.fire("a.b")                     # hit 2: fires
+        assert registry.fire("a.b") is None          # hit 3: OnNth is done
+        assert get_registry().value("faults.injected") - baseline == 1
+
+    def test_directive_returned_to_site(self):
+        registry = make_registry("a.b")
+        registry.arm("a.b", Always(), DropMessage())
+        assert isinstance(registry.fire("a.b"), DropMessageDirective)
+
+    def test_disarm_stops_firing(self):
+        registry = make_registry("a.b")
+        armed = registry.arm("a.b", Always(), RaiseTransient())
+        registry.disarm(armed)
+        assert registry.fire("a.b") is None
+        assert registry.armed_at("a.b") == []
+
+    def test_disarm_all(self):
+        registry = make_registry("a.b", "c.d")
+        registry.arm("a.b", Always(), RaiseTransient())
+        registry.arm("c.d", Always(), RaiseFatal())
+        registry.disarm_all()
+        assert registry.fire("a.b") is None and registry.fire("c.d") is None
+
+    def test_rearming_restarts_hit_count(self):
+        registry = make_registry("a.b")
+        first = registry.arm("a.b", OnNth(1), RaiseTransient())
+        with pytest.raises(TransientFault):
+            registry.fire("a.b")
+        registry.disarm(first)
+        registry.arm("a.b", OnNth(1), RaiseTransient())
+        with pytest.raises(TransientFault):
+            registry.fire("a.b")  # a fresh arming fires on its own first hit
+
+    def test_armed_fault_records_hits_and_fires(self):
+        registry = make_registry("a.b")
+        armed = registry.arm("a.b", EveryKth(2), DropMessage())
+        for __ in range(6):
+            registry.fire("a.b")
+        assert armed.hits == 6
+        assert armed.fired == 3
+
+    def test_hits_are_counted_atomically_across_threads(self):
+        registry = make_registry("a.b")
+        armed = registry.arm("a.b", Never(), RaiseTransient())
+        n_threads, per_thread = 8, 500
+
+        def hammer():
+            for __ in range(per_thread):
+                registry.fire("a.b")
+
+        threads = [threading.Thread(target=hammer) for __ in range(n_threads)]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join()
+        assert armed.hits == n_threads * per_thread
+
+    def test_global_registry_has_all_advertised_sites(self):
+        # Importing the instrumented modules registers every site the
+        # issue promises. Driver/engine/storage/enclave/attestation.
+        import repro.attestation.protocol  # noqa: F401
+        import repro.client.driver  # noqa: F401
+        import repro.enclave.runtime  # noqa: F401
+        import repro.sqlengine.engine  # noqa: F401
+
+        expected = {
+            "attestation.verify",
+            "bufferpool.evict",
+            "disk.read_page",
+            "disk.write_page",
+            "driver.describe_parameter_encryption",
+            "enclave.channel.recv",
+            "enclave.channel.send",
+            "engine.commit",
+            "engine.index_insert",
+            "wal.append",
+            "wal.flush",
+        }
+        assert expected <= set(get_fault_registry().sites())
+        assert len(expected) >= 10
+
+    def test_module_level_fault_point_uses_global_registry(self):
+        site = "test.module_level_site"
+        from repro.faults import register_fault_site
+
+        register_fault_site(site)
+        armed = get_fault_registry().arm(site, Always(), RaiseFatal())
+        try:
+            with pytest.raises(FatalFault):
+                fault_point(site)
+        finally:
+            get_fault_registry().disarm(armed)

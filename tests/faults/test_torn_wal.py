@@ -1,0 +1,174 @@
+"""Property test: recovery from a torn WAL tail (Section 4.5).
+
+A crash can tear the tail off the durable log: records the engine
+believed flushed never fully reached disk. ``WriteAheadLog.tear_tail``
+models the discovery at recovery time. Whatever the tear point, recovery
+must deliver exactly the transactions whose COMMIT record *survived* the
+tear — older commits stay durable (the durability horizon is a prefix),
+newer ones vanish atomically, indexes agree with the heap, and a second
+crash + recovery is a no-op.
+
+The workload keeps every page in memory (no checkpoints, big pool), so
+the log is the only durable state and *every* tear point is a legal
+power-loss outcome.
+"""
+
+from __future__ import annotations
+
+import random
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.sqlengine.catalog import TableSchema, plain_column
+from repro.sqlengine.engine import StorageEngine
+from repro.sqlengine.storage.wal import LogOp
+
+
+def build_engine() -> StorageEngine:
+    engine = StorageEngine(lock_timeout_s=0.2, ctr_enabled=False)
+    engine.create_table(
+        TableSchema(
+            name="t",
+            columns=[plain_column("k", "INT", nullable=False), plain_column("v", "INT")],
+            primary_key=("k",),
+        )
+    )
+    return engine
+
+
+OPS = st.lists(
+    st.tuples(
+        st.sampled_from(["insert", "update", "delete"]),
+        st.integers(0, 20),
+        st.booleans(),  # commit?
+    ),
+    min_size=1,
+    max_size=25,
+)
+
+
+def _rid_for(engine: StorageEngine, key: int):
+    rids = engine.table("t").indexes["pk_t"].tree.search_eq((key,))
+    return rids[0] if rids else None
+
+
+def visible_state(engine: StorageEngine) -> dict[int, int]:
+    return {row[0]: row[1] for __, row in engine.scan("t")}
+
+
+def apply_workload(engine: StorageEngine, steps):
+    """Run the steps; returns [(txn_id, kind, key, value)] for each
+    transaction that committed, in commit order."""
+    outcomes = []
+    rng = random.Random(0)
+    state: dict[int, int] = {}
+    for op, key, commit in steps:
+        txn = engine.begin()
+        value = rng.randint(0, 1000)
+        try:
+            if op == "insert":
+                if key in state:
+                    engine.abort(txn)
+                    continue
+                engine.insert(txn, "t", (key, value))
+            elif op == "update":
+                rid = _rid_for(engine, key)
+                if rid is None:
+                    engine.abort(txn)
+                    continue
+                engine.update(txn, "t", rid, (key, value))
+            else:
+                rid = _rid_for(engine, key)
+                if rid is None:
+                    engine.abort(txn)
+                    continue
+                engine.delete(txn, "t", rid)
+        except Exception:
+            if txn.is_active:
+                engine.abort(txn)
+            continue
+        if commit:
+            engine.commit(txn)
+            outcomes.append((txn.txn_id, op, key, value))
+            if op == "delete":
+                state.pop(key, None)
+            else:
+                state[key] = value
+        # else: left in flight — torn or not, it must never surface.
+    return outcomes
+
+
+def expected_after_tear(engine: StorageEngine, outcomes) -> dict[int, int]:
+    """The k→v mapping recovery must produce, given the surviving log."""
+    surviving_commits = {
+        r.txn_id for r in engine.wal.records(durable_only=True) if r.op is LogOp.COMMIT
+    }
+    expected: dict[int, int] = {}
+    for txn_id, op, key, value in outcomes:
+        if txn_id not in surviving_commits:
+            continue
+        if op == "delete":
+            expected.pop(key, None)
+        else:
+            expected[key] = value
+    return expected
+
+
+class TestTornWalTail:
+    @given(steps=OPS, data=st.data())
+    @settings(max_examples=40, deadline=None)
+    def test_all_invariants_hold_below_any_tear_point(self, steps, data):
+        engine = build_engine()
+        outcomes = apply_workload(engine, steps)
+        engine.crash()
+
+        flushed = engine.wal.flushed_lsn
+        depth = data.draw(st.integers(0, flushed + 1), label="tear_depth")
+        lost = engine.wal.tear_tail(flushed - depth)
+        assert lost == depth
+        assert engine.wal.flushed_lsn == flushed - depth
+
+        expected = expected_after_tear(engine, outcomes)
+        engine.recover()
+
+        # Durability + atomicity against the surviving commit set.
+        assert visible_state(engine) == expected
+
+        # Index/heap agreement.
+        heap_keys = sorted(row[0] for __, row in engine.scan("t"))
+        pk = engine.table("t").indexes["pk_t"]
+        index_keys = sorted(key[0] for key, __ in pk.tree.scan_all())
+        assert index_keys == heap_keys
+        for key, rid in pk.tree.scan_all():
+            row = engine.read("t", rid)
+            assert row is not None and row[0] == key[0]
+
+        # Idempotence: a second crash + recovery changes nothing.
+        state_once = visible_state(engine)
+        engine.crash()
+        engine.recover()
+        assert visible_state(engine) == state_once
+
+    def test_tear_everything_recovers_to_empty(self):
+        engine = build_engine()
+        txn = engine.begin()
+        engine.insert(txn, "t", (1, 10))
+        engine.commit(txn)
+        engine.crash()
+        engine.wal.tear_tail(-1)
+        engine.recover()
+        assert visible_state(engine) == {}
+
+    def test_tear_is_a_prefix_cut(self):
+        engine = build_engine()
+        for k in range(3):
+            txn = engine.begin()
+            engine.insert(txn, "t", (k, k))
+            engine.commit(txn)
+        engine.crash()
+        records = engine.wal.records(durable_only=True)
+        tear_lsn = records[len(records) // 2].lsn
+        engine.wal.tear_tail(tear_lsn)
+        survivors = engine.wal.records(durable_only=True)
+        assert [r.lsn for r in survivors] == [r.lsn for r in records if r.lsn <= tear_lsn]

@@ -1,0 +1,341 @@
+"""Seeded crash-torture: a fault armed at every registered site in turn.
+
+Each run replays a deterministic TPC-C-shaped workload (short single-op
+transactions over a keyed table, interleaved checkpoints, some left
+in-flight) against an engine with a deliberately tiny buffer pool — so
+evictions, page write-backs, and disk reads all happen under load — with
+one fault armed at one site on one deterministic schedule. Whatever the
+fault does (raise, tear a page, cut a flush short, force a crash), after
+``crash(); recover()`` the four recovery invariants of
+``tests/sqlengine/test_recovery_properties.py`` must hold:
+
+* **durability** — every transaction whose ``commit()`` returned is fully
+  visible;
+* **atomicity** — no transaction that never (acknowledged a) commit leaves
+  partial effects;
+* **consistency** — indexes agree exactly with the heap;
+* **idempotence** — a second crash + recovery changes nothing.
+
+A commit whose failure could not be rolled back deterministically (the
+rollback itself faulted) is *ambiguous* — the classic lost-commit-ack —
+and either its pre- or post-state is acceptable, but nothing else.
+
+The driver-level half arms faults at the control-plane sites (describe,
+attestation, channel send/recv) and asserts the retry layer absorbs
+transients without the application noticing.
+"""
+
+from __future__ import annotations
+
+import random
+import zlib
+
+import pytest
+
+from repro.client.driver import connect
+from repro.errors import ForcedCrash, TransientFault
+from repro.faults import (
+    DropMessage,
+    ForceCrash,
+    OnNth,
+    PartialFlush,
+    RaiseFatal,
+    RaiseTransient,
+    SeededProbability,
+    TornWrite,
+    get_fault_registry,
+)
+from repro.sqlengine.catalog import TableSchema, plain_column
+from repro.sqlengine.engine import StorageEngine
+from tests.conftest import make_encrypted_table
+
+# ----------------------------------------------------------- engine-level part
+
+ENGINE_SITE_ACTIONS = [
+    ("disk.write_page", lambda: TornWrite(keep_fraction=0.5)),
+    ("disk.write_page", lambda: ForceCrash()),
+    ("disk.read_page", lambda: RaiseTransient()),
+    ("disk.read_page", lambda: ForceCrash()),
+    ("wal.append", lambda: RaiseTransient()),
+    ("wal.append", lambda: ForceCrash()),
+    ("wal.flush", lambda: PartialFlush(drop_last=1)),
+    ("wal.flush", lambda: PartialFlush(drop_last=2)),
+    ("wal.flush", lambda: ForceCrash()),
+    ("bufferpool.evict", lambda: RaiseTransient()),
+    ("bufferpool.evict", lambda: ForceCrash()),
+    ("engine.commit", lambda: RaiseTransient()),
+    ("engine.commit", lambda: RaiseFatal()),
+    ("engine.commit", lambda: ForceCrash()),
+    ("engine.index_insert", lambda: RaiseTransient()),
+    ("engine.index_insert", lambda: ForceCrash()),
+]
+
+SCHEDULES = [
+    ("first-hit", lambda seed: OnNth(1)),
+    ("fifth-hit", lambda seed: OnNth(5)),
+    ("seeded-p25", lambda seed: SeededProbability(0.25, seed=seed)),
+]
+
+
+def build_engine() -> StorageEngine:
+    # A 4-page pool keeps eviction, write-back, and re-read on the hot
+    # path; the short lock timeout keeps runs with stuck transactions fast.
+    engine = StorageEngine(lock_timeout_s=0.05, ctr_enabled=False, buffer_pool_pages=4)
+    engine.create_table(
+        TableSchema(
+            name="t",
+            columns=[plain_column("k", "INT", nullable=False), plain_column("v", "INT")],
+            primary_key=("k",),
+        )
+    )
+    return engine
+
+
+def make_steps(seed: int, n_steps: int = 30):
+    """A deterministic workload: (op, key, commit?, checkpoint-after?)."""
+    rng = random.Random(seed)
+    steps = []
+    for __ in range(n_steps):
+        steps.append(
+            (
+                rng.choice(["insert", "insert", "update", "update", "delete"]),
+                rng.randrange(40),
+                rng.random() < 0.8,
+                rng.random() < 0.15,
+            )
+        )
+    return steps
+
+
+def _rid_for(engine: StorageEngine, key: int):
+    rids = engine.table("t").indexes["pk_t"].tree.search_eq((key,))
+    return rids[0] if rids else None
+
+
+def visible_state(engine: StorageEngine) -> dict[int, int]:
+    return {row[0]: row[1] for __, row in engine.scan("t")}
+
+
+def run_workload(engine: StorageEngine, steps, seed: int):
+    """Apply the workload under fire.
+
+    Returns ``(expected, ambiguous)``: the k→v mapping that must be
+    visible after recovery, and per-key sets of acceptable values (None
+    means absent) for commits whose outcome is genuinely unknowable.
+    """
+    expected: dict[int, int] = {}
+    ambiguous: dict[int, set] = {}
+    rng = random.Random(seed + 1)
+    for op, key, commit, checkpoint in steps:
+        pre = expected.get(key)
+        value = rng.randint(0, 10_000)
+        txn = engine.begin()
+        try:
+            if op == "insert":
+                if key in expected:
+                    engine.abort(txn)
+                    continue
+                engine.insert(txn, "t", (key, value))
+                post = value
+            elif op == "update":
+                rid = _rid_for(engine, key)
+                if rid is None:
+                    engine.abort(txn)
+                    continue
+                engine.update(txn, "t", rid, (key, value))
+                post = value
+            else:
+                rid = _rid_for(engine, key)
+                if rid is None:
+                    engine.abort(txn)
+                    continue
+                engine.delete(txn, "t", rid)
+                post = None
+        except ForcedCrash:
+            return expected, ambiguous
+        except Exception:
+            # DML faulted: roll back if the rollback itself survives. A
+            # failed op that logged nothing leaves no durable trace either
+            # way, so the expected state is unchanged.
+            try:
+                if txn.is_active:
+                    engine.abort(txn)
+            except ForcedCrash:
+                return expected, ambiguous
+            except Exception:
+                pass  # stuck in-flight: it dies (is undone) at the crash
+            continue
+        if commit:
+            try:
+                engine.commit(txn)
+            except ForcedCrash:
+                return expected, ambiguous
+            except Exception:
+                # Commit faulted after the COMMIT record may have been
+                # appended. A clean rollback resolves it to "not
+                # committed"; a faulted rollback is a lost ack — either
+                # outcome is acceptable, nothing in between.
+                try:
+                    engine.abort(txn)
+                except ForcedCrash:
+                    ambiguous[key] = {pre, post}
+                    return expected, ambiguous
+                except Exception:
+                    ambiguous[key] = {pre, post}
+                continue
+            ambiguous.pop(key, None)
+            if post is None:
+                expected.pop(key, None)
+            else:
+                expected[key] = post
+        # else: left in-flight — it must vanish in the crash.
+        if checkpoint:
+            try:
+                engine.checkpoint()
+            except ForcedCrash:
+                return expected, ambiguous
+            except Exception:
+                continue
+    return expected, ambiguous
+
+
+def assert_recovery_invariants(engine: StorageEngine, expected, ambiguous) -> None:
+    visible = visible_state(engine)
+
+    # Durability + atomicity: acknowledged commits present, everything
+    # else absent, ambiguous keys at one of their two acceptable states.
+    for key in set(visible) | set(expected) | set(ambiguous):
+        if key in ambiguous:
+            assert visible.get(key) in ambiguous[key], (
+                f"key {key}: visible {visible.get(key)!r} not in "
+                f"acceptable {ambiguous[key]!r}"
+            )
+        else:
+            assert visible.get(key) == expected.get(key), (
+                f"key {key}: visible {visible.get(key)!r} != "
+                f"expected {expected.get(key)!r}"
+            )
+
+    # Index/heap agreement, and every index rid dereferences to a live row.
+    heap_keys = sorted(row[0] for __, row in engine.scan("t"))
+    pk = engine.table("t").indexes["pk_t"]
+    index_keys = sorted(key[0] for key, __ in pk.tree.scan_all())
+    assert index_keys == heap_keys
+    for key, rid in pk.tree.scan_all():
+        row = engine.read("t", rid)
+        assert row is not None and row[0] == key[0]
+
+    # Idempotence: a second crash + recovery changes nothing.
+    state_once = visible_state(engine)
+    engine.crash()
+    engine.recover()
+    assert visible_state(engine) == state_once
+
+
+class TestEngineTorture:
+    @pytest.mark.parametrize("schedule_name,make_schedule", SCHEDULES)
+    @pytest.mark.parametrize(
+        "site,make_action",
+        ENGINE_SITE_ACTIONS,
+        ids=[f"{site}-{i}" for i, (site, __) in enumerate(ENGINE_SITE_ACTIONS)],
+    )
+    def test_invariants_hold_with_fault_armed(
+        self, site, make_action, schedule_name, make_schedule
+    ):
+        # str.hash is salted per process; crc32 keeps the seed stable.
+        seed = zlib.crc32(f"{site}|{schedule_name}".encode()) % (2**31)
+        faults = get_fault_registry()
+        engine = build_engine()
+        armed = faults.arm(site, make_schedule(seed), make_action())
+        try:
+            expected, ambiguous = run_workload(engine, make_steps(seed), seed)
+        finally:
+            faults.disarm(armed)
+        engine.crash()
+        engine.recover()
+        assert_recovery_invariants(engine, expected, ambiguous)
+
+    def test_matrix_is_at_least_twenty_runs_over_all_engine_sites(self):
+        assert len(ENGINE_SITE_ACTIONS) * len(SCHEDULES) >= 20
+        assert {site for site, __ in ENGINE_SITE_ACTIONS} == {
+            "disk.write_page",
+            "disk.read_page",
+            "wal.append",
+            "wal.flush",
+            "bufferpool.evict",
+            "engine.commit",
+            "engine.index_insert",
+        }
+
+    def test_unharmed_baseline_matches_reference_semantics(self):
+        # The harness itself must be sound: with no fault armed there is
+        # no ambiguity and recovery reproduces exactly the expected state.
+        engine = build_engine()
+        expected, ambiguous = run_workload(engine, make_steps(1234), 1234)
+        assert ambiguous == {}
+        engine.crash()
+        engine.recover()
+        assert_recovery_invariants(engine, expected, ambiguous)
+        assert visible_state(engine) == expected
+
+
+# ----------------------------------------------------------- driver-level part
+
+DRIVER_TRANSIENT_SITES = [
+    ("driver.describe_parameter_encryption", lambda: RaiseTransient()),
+    ("attestation.verify", lambda: RaiseTransient()),
+    ("enclave.channel.send", lambda: DropMessage()),
+    ("enclave.channel.recv", lambda: RaiseTransient()),
+]
+
+
+class TestDriverTorture:
+    @pytest.mark.parametrize(
+        "site,make_action",
+        DRIVER_TRANSIENT_SITES,
+        ids=[site for site, __ in DRIVER_TRANSIENT_SITES],
+    )
+    def test_transient_control_plane_fault_is_absorbed(
+        self, site, make_action, ae_connection
+    ):
+        """A single transient fault at each control-plane site is retried
+        transparently: the encrypted workload completes with correct
+        results and the retry counter shows the absorbed failure."""
+        faults = get_fault_registry()
+        armed = faults.arm(site, OnNth(1), make_action())
+        baseline_retries = ae_connection.stats.retries
+        try:
+            make_encrypted_table(ae_connection)
+            for i in range(3):
+                ae_connection.execute(
+                    "INSERT INTO T (id, value) VALUES (@id, @v)",
+                    {"id": i, "v": i * 7},
+                )
+            result = ae_connection.execute("SELECT id, value FROM T WHERE value < @m", {"m": 100})
+        finally:
+            faults.disarm(armed)
+        assert sorted(result.rows) == [(0, 0), (1, 7), (2, 14)]
+        assert ae_connection.stats.retries > baseline_retries
+
+    def test_repeated_transient_sends_absorbed_up_to_budget(self, ae_connection):
+        """Two consecutive drops of the sealed CEK package still succeed
+        within the default four-attempt budget."""
+        faults = get_fault_registry()
+        # Two armings, each firing on its own first observed hit: the
+        # first match wins per hit, so attempts 1 and 2 both drop and
+        # attempt 3 succeeds.
+        armed = faults.arm("enclave.channel.send", OnNth(1), DropMessage())
+        armed2 = faults.arm("enclave.channel.send", OnNth(1), DropMessage())
+        try:
+            make_encrypted_table(ae_connection)
+            ae_connection.execute(
+                "INSERT INTO T (id, value) VALUES (@id, @v)", {"id": 1, "v": 10}
+            )
+            # The range predicate on the RND column forces enclave
+            # computation, so the CEK package actually has to get through.
+            result = ae_connection.execute("SELECT value FROM T WHERE value < @m", {"m": 99})
+        finally:
+            faults.disarm(armed)
+            faults.disarm(armed2)
+        assert result.rows == [(10,)]
+        assert ae_connection.stats.retries >= 2

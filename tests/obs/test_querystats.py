@@ -113,6 +113,87 @@ def test_plain_connection_still_gets_stats(plain_server, registry):
     assert stats.rows_scanned > 0
 
 
+class TestStatsStayWellFormedUnderFaults:
+    """A statement that raises mid-execution must not poison telemetry:
+    no span left open on the tracer, and the next statement's registry
+    deltas all non-negative."""
+
+    @pytest.fixture(autouse=True)
+    def _disarm(self):
+        from repro.faults import get_fault_registry
+
+        get_fault_registry().disarm_all()
+        yield
+        get_fault_registry().disarm_all()
+
+    def _delta_fields(self, stats: QueryStats) -> dict[str, int]:
+        from repro.obs.querystats import _DRIVER_DELTA_FIELDS, _SERVER_DELTA_FIELDS
+
+        return {
+            attr: getattr(stats, attr)
+            for attr in (*_SERVER_DELTA_FIELDS, *_DRIVER_DELTA_FIELDS)
+        }
+
+    def test_failed_statement_leaves_no_open_span(self, encrypted_table):
+        from repro.errors import FatalFault
+        from repro.faults import Always, RaiseFatal, get_fault_registry
+        from repro.obs.tracing import get_tracer
+
+        conn = encrypted_table
+        armed = get_fault_registry().arm(
+            "engine.index_insert", Always(), RaiseFatal()
+        )
+        try:
+            with pytest.raises(FatalFault):
+                conn.execute(
+                    "INSERT INTO T (id, value) VALUES (@id, @v)",
+                    {"id": 50, "v": 500},
+                )
+        finally:
+            get_fault_registry().disarm(armed)
+        assert get_tracer().current() is None
+
+    def test_next_statement_deltas_are_non_negative(self, encrypted_table):
+        from repro.errors import FatalFault
+        from repro.faults import Always, RaiseFatal, get_fault_registry
+
+        conn = encrypted_table
+        armed = get_fault_registry().arm(
+            "engine.index_insert", Always(), RaiseFatal()
+        )
+        try:
+            with pytest.raises(FatalFault):
+                conn.execute(
+                    "INSERT INTO T (id, value) VALUES (@id, @v)",
+                    {"id": 51, "v": 510},
+                )
+        finally:
+            get_fault_registry().disarm(armed)
+        result = conn.execute(POINT_LOOKUP, {"v": 30})
+        assert result.rows == [(3, 30)]
+        for attr, value in self._delta_fields(result.stats).items():
+            assert value >= 0, f"{attr} went negative after a failed statement"
+
+    def test_faults_injected_delta_attributed_to_faulted_statement(self, encrypted_table):
+        from repro.errors import TransientFault
+        from repro.faults import OnNth, RaiseTransient, get_fault_registry
+
+        conn = encrypted_table
+        armed = get_fault_registry().arm("engine.commit", OnNth(1), RaiseTransient())
+        try:
+            with pytest.raises(TransientFault):
+                conn.execute(
+                    "INSERT INTO T (id, value) VALUES (@id, @v)",
+                    {"id": 52, "v": 520},
+                )
+        finally:
+            get_fault_registry().disarm(armed)
+        # The failed statement aborted cleanly; the next one reports its
+        # own (fault-free) delta.
+        result = conn.execute(POINT_LOOKUP, {"v": 30})
+        assert result.stats.faults_injected == 0
+
+
 def test_range_query_explain_stats(ae_connection):
     """The README example: EXPLAIN STATS for an encrypted range query."""
     conn = ae_connection

@@ -46,6 +46,29 @@ def test_current_tracks_innermost_span():
     assert tracer.current() is None
 
 
+def test_abandoned_generator_span_swept_by_ancestor_exit():
+    """A generator suspended at a yield inside a span never runs its
+    __exit__ when the *consumer* raises past it; the enclosing span's
+    exit must sweep the abandoned descendant off the thread-local stack
+    or it leaks for the life of the thread (regression: a tampered-cell
+    IntegrityError mid-scan left exec.table_scan open forever)."""
+    tracer, __ = make_tracer()
+
+    def producer():
+        with tracer.span("producer"):
+            yield 1
+            yield 2
+
+    try:
+        with tracer.span("consumer"):
+            for __ in producer():
+                raise RuntimeError("consumer fails mid-iteration")
+    except RuntimeError:
+        pass
+    assert tracer.current() is None
+    assert tracer._stack() == []
+
+
 def test_root_span_is_not_retained():
     """Spans without a parent must not accumulate anywhere (hot loops)."""
     tracer, __ = make_tracer()

@@ -178,3 +178,48 @@ class TestWal:
         wal = WriteAheadLog()
         wal.append(1, LogOp.INSERT, table="t", rid=RowId(0, 0), after=b"image")
         assert wal.adversary_view()[0].after == b"image"
+
+    def test_counters_never_lag_the_durability_horizon_under_threads(self):
+        """Regression: ``append`` used to bump ``wal.records_appended`` /
+        ``wal.bytes_written`` outside ``_lock``, so a concurrent ``flush``
+        could advance ``flushed_lsn`` over records the counters had not
+        seen yet. The counter updates now land inside the lock: whenever
+        ``flushed_lsn`` covers N records, the counter shows at least N."""
+        import threading
+
+        from repro.obs.metrics import get_registry
+
+        registry = get_registry()
+        wal = WriteAheadLog()
+        baseline = registry.value("wal.records_appended")
+        n_threads, per_thread = 4, 300
+        stop = threading.Event()
+        violations: list[tuple[int, int]] = []
+
+        def appender():
+            for __ in range(per_thread):
+                wal.append(1, LogOp.INSERT, table="t", rid=RowId(0, 0), after=b"x" * 8)
+
+        def sampler():
+            while not stop.is_set():
+                wal.flush()
+                # Read the horizon first: the counter can only grow
+                # afterwards, so counted >= covered must hold.
+                covered = wal.flushed_lsn + 1
+                counted = registry.value("wal.records_appended") - baseline
+                if counted < covered:
+                    violations.append((counted, covered))
+
+        threads = [threading.Thread(target=appender) for __ in range(n_threads)]
+        watcher = threading.Thread(target=sampler)
+        watcher.start()
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join()
+        stop.set()
+        watcher.join()
+        assert not violations, f"counter lagged flushed_lsn: {violations[:3]}"
+        wal.flush()
+        assert registry.value("wal.records_appended") - baseline == n_threads * per_thread
+        assert wal.flushed_lsn == n_threads * per_thread - 1
