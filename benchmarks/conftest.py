@@ -50,6 +50,23 @@ def _metrics_dir() -> pathlib.Path | None:
     return pathlib.Path(__file__).parent / ".metrics"
 
 
+@pytest.fixture(scope="session")
+def enclave_batch_results():
+    """Accumulates bench_eval_batch configurations; persisted at session end.
+
+    Each entry is one (mode, batch_size, transition_cost) measurement with
+    its boundary_transitions and wall time. The snapshot lands in
+    ``benchmarks/BENCH_enclave_batch.json`` so the batching win is
+    inspectable without rerunning the sweep.
+    """
+    results: list[dict] = []
+    yield results
+    if not results:
+        return
+    path = pathlib.Path(__file__).parent / "BENCH_enclave_batch.json"
+    path.write_text(json.dumps({"configurations": results}, indent=2, sort_keys=True))
+
+
 @pytest.fixture(autouse=True)
 def metrics_snapshot(request):
     """Reset the registry per benchmark; dump its snapshot as JSON after."""

@@ -24,6 +24,8 @@ from repro.obs.tracing import ECALL, Span
 _SERVER_DELTA_FIELDS: dict[str, str] = {
     "ecalls": "enclave.ecalls",
     "enclave_evals": "enclave.evals",
+    "enclave_eval_batches": "enclave.eval_batches",
+    "enclave_batched_rows": "enclave.batched_rows",
     "enclave_comparisons": "enclave.comparisons",
     "boundary_transitions": "worker.boundary_transitions",
     "rows_scanned": "executor.rows_scanned",
@@ -58,6 +60,8 @@ class QueryStats:
     # Server-side registry deltas.
     ecalls: int = 0
     enclave_evals: int = 0
+    enclave_eval_batches: int = 0
+    enclave_batched_rows: int = 0
     enclave_comparisons: int = 0
     boundary_transitions: int = 0
     rows_scanned: int = 0
@@ -174,6 +178,8 @@ def format_explain_stats(stats: QueryStats) -> str:
         ("wal_bytes", stats.wal_bytes),
         ("ecalls", stats.ecalls),
         ("  enclave_evals", stats.enclave_evals),
+        ("  enclave_eval_batches", stats.enclave_eval_batches),
+        ("  enclave_batched_rows", stats.enclave_batched_rows),
         ("  enclave_comparisons", stats.enclave_comparisons),
         ("boundary_transitions", stats.boundary_transitions),
         ("lock_waits", stats.lock_waits),

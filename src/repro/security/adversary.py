@@ -103,22 +103,37 @@ class StrongAdversary:
     # -- analysis helpers -------------------------------------------------------
 
     def observed_comparison_results(self) -> list[tuple]:
-        """(cek, left ct, right ct, result) from 'compare' ecalls —
-        the ordering information leaked by range processing."""
+        """(cek, left ct, right ct, result) from 'compare' and
+        'compare_batch' ecalls — the ordering information leaked by range
+        processing. A batch event carries (cek, probe, candidates) with a
+        tuple of per-pair results and expands to one entry per pair: the
+        batch shape amortizes cost, the per-pair verdicts are identical to
+        what single compares would have shown."""
         out = []
         for event in self.boundary_events:
             if event.ecall == "compare":
                 cek, left, right = event.visible_inputs
                 out.append((cek, left, right, event.visible_output))
+            elif event.ecall == "compare_batch":
+                cek, probe, candidates = event.visible_inputs
+                for candidate, result in zip(candidates, event.visible_output):
+                    out.append((cek, probe, candidate, result))
         return out
 
     def observed_eval_results(self) -> list[tuple]:
-        """(handle, inputs, outputs) from 'eval' ecalls — predicate bits."""
-        return [
-            (e.visible_inputs[0], e.visible_inputs[1], e.visible_output)
-            for e in self.boundary_events
-            if e.ecall == "eval"
-        ]
+        """(handle, inputs, outputs) from 'eval' and 'eval_batch' ecalls —
+        predicate bits. Batch events expand to one entry per row."""
+        out = []
+        for event in self.boundary_events:
+            if event.ecall == "eval":
+                out.append(
+                    (event.visible_inputs[0], event.visible_inputs[1], event.visible_output)
+                )
+            elif event.ecall == "eval_batch":
+                handle, rows = event.visible_inputs
+                for row_inputs, row_outputs in zip(rows, event.visible_output):
+                    out.append((handle, row_inputs, row_outputs))
+        return out
 
     def plaintext_exposures(self, secrets: list[bytes]) -> list[str]:
         """Check every adversary-visible surface for the given plaintext

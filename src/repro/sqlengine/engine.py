@@ -125,10 +125,12 @@ class StorageEngine:
         ctr_enabled: bool = True,
         lock_timeout_s: float = 2.0,
         buffer_pool_pages: int = 4096,
+        batch_index_probes: bool = True,
     ):
         self.catalog = catalog or Catalog()
         self.enclave = enclave
         self.ctr_enabled = ctr_enabled
+        self.batch_index_probes = batch_index_probes
         self.disk = Disk()
         self.wal = WriteAheadLog()
         self.pool = BufferPool(self.disk, capacity=buffer_pool_pages, wal=self.wal)
@@ -206,7 +208,15 @@ class StorageEngine:
             else:
                 if self.enclave is None:
                     raise SqlError("a range index on a RND column requires an enclave")
-                cells.append(CellComparator(EnclaveComparator(self.enclave, enc.cek_name)))
+                cells.append(
+                    CellComparator(
+                        EnclaveComparator(
+                            self.enclave,
+                            enc.cek_name,
+                            batch_probes=self.batch_index_probes,
+                        )
+                    )
+                )
                 cek_names.append(enc.cek_name)
         obj = IndexObject(
             schema=index,

@@ -89,12 +89,16 @@ class Executor:
         engine: StorageEngine,
         enclave_gateway: EnclaveConnector | None = None,
         allow_enclave_order_by: bool = False,
+        eval_batch_size: int = 64,
     ):
         self.engine = engine
         self.gateway = enclave_gateway
         # Future-work extension (paper conclusion): sort encrypted columns
         # through enclave comparisons. Off by default, as in AEv2.
         self.allow_enclave_order_by = allow_enclave_order_by
+        # Rows per enclave round-trip for enclave-requiring predicates; 1 (or
+        # less) disables batching and restores row-at-a-time evaluation.
+        self.eval_batch_size = eval_batch_size
         self._vm = StackMachine(enclave=enclave_gateway)
         # Expression-compilation cache. Keyed by the (frozen, hashable)
         # expression tree itself — identity-based keys are unsafe because
@@ -319,12 +323,18 @@ class Executor:
                 raise ExecutionError(
                     "query requires enclave computations but no enclave gateway is attached"
                 )
-            rows = (
-                row
-                for row in rows
-                if self._vm.eval_predicate(compiled.host_program, list(row) + param_values)
-                is True
-            )
+            if self._should_batch(compiled):
+                # Enclave-requiring predicate: chunk rows so every TM_EVAL
+                # ships eval_batch_size rows per boundary crossing.
+                rows = self._batched_filter(rows, compiled, param_values)
+                plan_parts.append(f"BatchedFilter(batch={self.eval_batch_size})")
+            else:
+                rows = (
+                    row
+                    for row in rows
+                    if self._vm.eval_predicate(compiled.host_program, list(row) + param_values)
+                    is True
+                )
 
         aggregated = stmt.group_by or any(
             isinstance(i.expr, ast.Aggregate) for i in stmt.items if i.expr is not None
@@ -363,6 +373,47 @@ class Executor:
         result.rowcount = len(result.rows)
         result.plan_info = " -> ".join(plan_parts)
         return result
+
+    # -- batched predicate evaluation ---------------------------------------------
+
+    def _should_batch(self, compiled: CompiledExpression) -> bool:
+        """Batch only programs that actually cross the enclave boundary.
+
+        Host-only programs gain nothing from chunking (no transition to
+        amortize) and keep their streaming row-at-a-time evaluation.
+        """
+        return (
+            compiled.uses_enclave
+            and self.gateway is not None
+            and self.eval_batch_size > 1
+        )
+
+    def _batched_filter(
+        self,
+        rows: Iterator[tuple],
+        compiled: CompiledExpression,
+        param_values: list[object],
+    ) -> Iterator[tuple]:
+        chunk: list[tuple] = []
+        for row in rows:
+            chunk.append(row)
+            if len(chunk) >= self.eval_batch_size:
+                yield from self._filter_chunk(chunk, compiled, param_values)
+                chunk = []
+        if chunk:
+            yield from self._filter_chunk(chunk, compiled, param_values)
+
+    def _filter_chunk(
+        self,
+        chunk: list[tuple],
+        compiled: CompiledExpression,
+        param_values: list[object],
+    ) -> Iterator[tuple]:
+        input_rows = [list(row) + param_values for row in chunk]
+        verdicts = self._vm.eval_predicate_batch(compiled.host_program, input_rows)
+        for row, verdict in zip(chunk, verdicts):
+            if verdict is True:
+                yield row
 
     # -- access paths ------------------------------------------------------------
 
@@ -431,6 +482,32 @@ class Executor:
         condition = self._to_expr(join.condition, scope, deduction, param_slots)
         compiled = self._compile(condition)
         inner_rows = [row for __, row in join_table.heap.scan()]
+
+        if self._should_batch(compiled):
+            chunk_size = self.eval_batch_size
+
+            def batched_nl_generator() -> Iterator[tuple]:
+                # One enclave round-trip per chunk of inner rows instead of
+                # one per (left, right) pair.
+                for left in left_rows:
+                    for start in range(0, len(inner_rows), chunk_size):
+                        combined_rows = [
+                            left + right for right in inner_rows[start : start + chunk_size]
+                        ]
+                        input_rows = [
+                            list(combined)
+                            + [None] * (scope.width - len(combined))
+                            + param_values
+                            for combined in combined_rows
+                        ]
+                        verdicts = self._vm.eval_predicate_batch(
+                            compiled.host_program, input_rows
+                        )
+                        for combined, verdict in zip(combined_rows, verdicts):
+                            if verdict is True:
+                                yield combined
+
+            return batched_nl_generator(), f"NestedLoopJoin(batch={chunk_size})"
 
         def nl_generator() -> Iterator[tuple]:
             for left in left_rows:
@@ -680,7 +757,22 @@ class Executor:
 
         enclave = self.engine.enclave
 
-        def cell_compare(av: object, bv: object, enc) -> int:
+        # Batched extension path: pre-rank every distinct ciphertext of each
+        # enclave sort column with decrypt-probe-once compare_batch ecalls —
+        # k probe ecalls for k distinct cells instead of O(n log n) compare
+        # ecalls inside the sort. The full pairwise outcome matrix this
+        # reveals is the transitive closure of the sort's comparison
+        # outcomes (a sort determines the total order), so the adversary
+        # learns the same order information either way (see docs/PERF.md).
+        rank_maps: dict[int, dict[object, int]] = {}
+        if self.eval_batch_size > 1 and hasattr(enclave, "compare_batch"):
+            for position, __, enc in keys:
+                if enc is not None and position not in rank_maps:
+                    rank_maps[position] = self._enclave_rank_map(
+                        result.rows, position, enc, enclave
+                    )
+
+        def cell_compare(av: object, bv: object, enc, position: int) -> int:
             if av is None and bv is None:
                 return 0
             if av is None:
@@ -688,6 +780,9 @@ class Executor:
             if bv is None:
                 return 1
             if enc is not None:
+                ranks = rank_maps.get(position)
+                if ranks is not None:
+                    return compare_values(ranks[_hash_key(av)], ranks[_hash_key(bv)])
                 # Extension path: the comparison — and hence the row
                 # ordering — crosses the enclave boundary in the clear,
                 # the same leakage as a range index build.
@@ -696,12 +791,43 @@ class Executor:
 
         def cmp(a: tuple, b: tuple) -> int:
             for position, ascending, enc in keys:
-                c = cell_compare(a[position], b[position], enc)
+                c = cell_compare(a[position], b[position], enc, position)
                 if c:
                     return c if ascending else -c
             return 0
 
         return sorted(result.rows, key=functools.cmp_to_key(cmp))
+
+    def _enclave_rank_map(
+        self, rows: list[tuple], position: int, enc, enclave
+    ) -> dict[object, int]:
+        """Rank each distinct ciphertext of a sort column via batch compares.
+
+        A cell's rank is the number of cells ordered strictly below it;
+        equal plaintexts (distinct RND ciphertexts) get equal ranks, so
+        comparing ranks is exactly comparing plaintexts.
+        """
+        cells: list[object] = []
+        seen: set = set()
+        for row in rows:
+            cell = row[position]
+            if cell is None:
+                continue
+            key = _hash_key(cell)
+            if key not in seen:
+                seen.add(key)
+                cells.append(cell)
+        ranks: dict[object, int] = {}
+        for cell in cells:
+            outcomes: list[int] = []
+            for start in range(0, len(cells), self.eval_batch_size):
+                outcomes.extend(
+                    enclave.compare_batch(
+                        enc.cek_name, cell, cells[start : start + self.eval_batch_size]
+                    )
+                )
+            ranks[_hash_key(cell)] = sum(1 for c in outcomes if c > 0)
+        return ranks
 
     # ---------------------------------------------------------------------- DML
 
@@ -755,6 +881,20 @@ class Executor:
             candidates = list(table.heap.scan())
         else:
             candidates = self._access_with_rids(table, path, param_slots, param_values, scope)
+        if predicate is not None and self._should_batch(predicate):
+            # DML qualification over an enclave predicate: chunked, one
+            # transition per chunk. The under-lock re-check in _update /
+            # _delete stays per-row — it re-reads single rows.
+            for start in range(0, len(candidates), self.eval_batch_size):
+                batch = candidates[start : start + self.eval_batch_size]
+                input_rows = [list(row) + param_values for __, row in batch]
+                verdicts = self._vm.eval_predicate_batch(
+                    predicate.host_program, input_rows
+                )
+                for (rid, row), verdict in zip(batch, verdicts):
+                    if verdict is True:
+                        matches.append((rid, row))
+            return matches
         for rid, row in candidates:
             if predicate is not None:
                 verdict = self._vm.eval_predicate(predicate.host_program, list(row) + param_values)

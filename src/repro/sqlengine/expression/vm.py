@@ -45,6 +45,8 @@ class EnclaveConnector(Protocol):
 
     def eval(self, handle: int, inputs: list[object]) -> list[object]: ...
 
+    def eval_batch(self, handle: int, rows: list[list[object]]) -> list[list[object]]: ...
+
 
 class StackMachine:
     """Evaluates :class:`StackProgram` objects against input slot arrays."""
@@ -62,13 +64,62 @@ class StackMachine:
         """Run ``program``; returns the outputs array (size ``n_outputs``)."""
         stack: list[object] = []
         outputs: list[object] = [None] * n_outputs
+        wrote_output = False
         for ins in program.instructions:
+            if ins.opcode is Opcode.SET_DATA:
+                wrote_output = True
             self._step(ins, stack, inputs, outputs)
-        if stack:
+        if stack and not wrote_output:
             # A predicate program with no SET_DATA leaves its result on the
-            # stack; surface it as output 0 for convenience.
+            # stack; surface it as output 0 for convenience. A program that
+            # DID write outputs via SET_DATA keeps them — stack residue must
+            # not clobber output 0.
             outputs[0] = stack[-1]
         return outputs
+
+    def eval_batch(
+        self,
+        program: StackProgram,
+        input_rows: list[list[object]],
+        n_outputs: int = 1,
+    ) -> list[list[object]]:
+        """Run ``program`` over many input rows, coalescing enclave calls.
+
+        Stack programs are straight-line (no branches), so every row reaches
+        each instruction at the same program counter. The batch interpreter
+        exploits that: it steps instruction-at-a-time across per-row stacks,
+        and when the shared instruction is ``TM_EVAL`` it ships the whole
+        chunk's sub-program inputs through one ``EnclaveConnector.eval_batch``
+        call instead of one ecall per row. Host-side instructions run
+        per-row, exactly as :meth:`eval` would.
+        """
+        if not input_rows:
+            return []
+        # (stack, outputs, wrote_output-flag) per row.
+        states: list[list[object]] = [
+            [[], [None] * n_outputs, False] for __ in input_rows
+        ]
+        batch_connector = (
+            self._enclave if hasattr(self._enclave, "eval_batch") else None
+        )
+        for ins in program.instructions:
+            if (
+                ins.opcode is Opcode.TM_EVAL
+                and batch_connector is not None
+                and len(input_rows) > 1
+            ):
+                self._step_tm_eval_batch(ins, states, batch_connector)
+                continue
+            for state, inputs in zip(states, input_rows):
+                if ins.opcode is Opcode.SET_DATA:
+                    state[2] = True
+                self._step(ins, state[0], inputs, state[1])
+        results: list[list[object]] = []
+        for stack, outputs, wrote_output in states:
+            if stack and not wrote_output:
+                outputs[0] = stack[-1]
+            results.append(outputs)
+        return results
 
     def eval_predicate(self, program: StackProgram, inputs: list[object]) -> bool | None:
         """Run a boolean-valued program; returns True/False/None (UNKNOWN)."""
@@ -76,6 +127,41 @@ class StackMachine:
         if result is not None and not isinstance(result, bool):
             raise ExecutionError(f"predicate produced non-boolean {result!r}")
         return result
+
+    def eval_predicate_batch(
+        self, program: StackProgram, input_rows: list[list[object]]
+    ) -> list[bool | None]:
+        """Batched :meth:`eval_predicate`: one verdict per input row."""
+        verdicts: list[bool | None] = []
+        for outputs in self.eval_batch(program, input_rows, n_outputs=1):
+            result = outputs[0]
+            if result is not None and not isinstance(result, bool):
+                raise ExecutionError(f"predicate produced non-boolean {result!r}")
+            verdicts.append(result)
+        return verdicts
+
+    def _step_tm_eval_batch(
+        self,
+        ins: Instruction,
+        states: list[list[object]],
+        connector: EnclaveConnector,
+    ) -> None:
+        """Execute one shared TM_EVAL across all rows with a single ecall."""
+        blob, n_inputs = ins.operand  # type: ignore[misc]
+        rows: list[list[object]] = []
+        for state in states:
+            stack = state[0]
+            if len(stack) < n_inputs:
+                raise ExecutionError("TM_EVAL underflow: not enough inputs on stack")
+            popped = [stack.pop() for __ in range(n_inputs)]
+            rows.append(list(reversed(popped)))
+        handle = self._handle_cache.get(blob)
+        if handle is None:
+            handle = connector.register_program(blob)
+            self._handle_cache[blob] = handle
+        results = connector.eval_batch(handle, rows)
+        for state, result in zip(states, results):
+            state[0].append(result[0])
 
     # -- dispatch ------------------------------------------------------------
 

@@ -54,6 +54,10 @@ class BPlusTree:
         self.comparator = comparator
         self.order = order
         self.unique = unique
+        # Batch-capable comparators (enclave-backed) pay a boundary crossing
+        # per comparison: probe a whole node's keys in one compare_batch
+        # ecall instead of O(log n) single-compare ecalls per node.
+        self._batch_probe = bool(getattr(comparator, "batch_capable", False))
         self._root: _Leaf | _Internal = _Leaf()
         self._size = 0
 
@@ -88,6 +92,17 @@ class BPlusTree:
 
     def _lower_bound(self, keys: list[object], key: object) -> int:
         """First index i with keys[i] >= key."""
+        if self._batch_probe and len(keys) > 1:
+            # One batched probe against the whole node. outcome[i] is
+            # compare(key, keys[i]); keys[i] >= key ⇔ outcome[i] <= 0.
+            # The extra outcomes this reveals are already determined by
+            # binary-search leakage plus the build-time total order
+            # (see docs/PERF.md), so the adversary learns nothing new.
+            outcomes = self.comparator.compare_one_to_many(key, keys)
+            for i, outcome in enumerate(outcomes):
+                if outcome <= 0:
+                    return i
+            return len(keys)
         lo, hi = 0, len(keys)
         while lo < hi:
             mid = (lo + hi) // 2
@@ -99,6 +114,13 @@ class BPlusTree:
 
     def _upper_bound(self, keys: list[object], key: object) -> int:
         """First index i with keys[i] > key."""
+        if self._batch_probe and len(keys) > 1:
+            # keys[i] > key ⇔ compare(key, keys[i]) < 0.
+            outcomes = self.comparator.compare_one_to_many(key, keys)
+            for i, outcome in enumerate(outcomes):
+                if outcome < 0:
+                    return i
+            return len(keys)
         lo, hi = 0, len(keys)
         while lo < hi:
             mid = (lo + hi) // 2

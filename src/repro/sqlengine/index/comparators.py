@@ -42,14 +42,29 @@ class KeyComparator(Protocol):
     def semantic_order(self) -> bool: ...
 
 
+#: Comparators may additionally expose
+#:   batch_capable: bool — probing one key against many through
+#:       ``compare_one_to_many`` amortizes real per-comparison cost
+#:       (an enclave boundary crossing), so B+-tree descents should
+#:       prefer a node-level batched probe over binary search;
+#:   compare_one_to_many(probe, keys) -> list[int] — the three-way
+#:       outcome of ``compare(probe, k)`` for every ``k`` in keys.
+#: Wrappers (CellComparator etc.) propagate batch capability from their
+#: inner comparator; plain comparators default to batch_capable=False.
+
+
 class PlaintextComparator:
     """Orders plaintext keys by value; supports ranges."""
 
     supports_range = True
     semantic_order = True
+    batch_capable = False  # comparisons are free; binary search wins
 
     def compare(self, left: object, right: object) -> int:
         return compare_values(left, right)  # type: ignore[arg-type]
+
+    def compare_one_to_many(self, probe: object, keys: list[object]) -> list[int]:
+        return [self.compare(probe, key) for key in keys]
 
 
 class CiphertextBinaryComparator:
@@ -63,11 +78,15 @@ class CiphertextBinaryComparator:
 
     supports_range = True
     semantic_order = False
+    batch_capable = False  # byte comparisons are free
 
     def compare(self, left: object, right: object) -> int:
         left_bytes = self._envelope(left)
         right_bytes = self._envelope(right)
         return (left_bytes > right_bytes) - (left_bytes < right_bytes)
+
+    def compare_one_to_many(self, probe: object, keys: list[object]) -> list[int]:
+        return [self.compare(probe, key) for key in keys]
 
     @staticmethod
     def _envelope(value: object) -> bytes:
@@ -89,18 +108,38 @@ class EnclaveComparator:
     supports_range = True
     semantic_order = True
 
-    def __init__(self, enclave: Enclave, cek_name: str):
+    def __init__(self, enclave: Enclave, cek_name: str, batch_probes: bool = True):
         self._enclave = enclave
         self._cek_name = cek_name
+        self._batch_probes = batch_probes
 
     @property
     def cek_name(self) -> str:
         return self._cek_name
 
+    @property
+    def batch_capable(self) -> bool:
+        # Every comparison is an ecall; probing a whole node in one
+        # compare_batch ecall amortizes the boundary crossing and decrypts
+        # the probe once instead of once per separator. batch_probes=False
+        # pins the paper's row-at-a-time behaviour (one compare per step).
+        return self._batch_probes and hasattr(self._enclave, "compare_batch")
+
     def compare(self, left: object, right: object) -> int:
         if not isinstance(left, Ciphertext) or not isinstance(right, Ciphertext):
             raise SqlError("enclave comparator expects ciphertext keys on both sides")
         return self._enclave.compare(self._cek_name, left, right)
+
+    def compare_one_to_many(self, probe: object, keys: list[object]) -> list[int]:
+        if not isinstance(probe, Ciphertext) or not all(
+            isinstance(key, Ciphertext) for key in keys
+        ):
+            raise SqlError("enclave comparator expects ciphertext keys on both sides")
+        if not keys:
+            return []
+        if not self.batch_capable:
+            return [self._enclave.compare(self._cek_name, probe, key) for key in keys]
+        return self._enclave.compare_batch(self._cek_name, probe, list(keys))
 
 
 class _Sentinel:
@@ -138,6 +177,10 @@ class CellComparator:
     def inner(self) -> KeyComparator:
         return self._inner
 
+    @property
+    def batch_capable(self) -> bool:
+        return bool(getattr(self._inner, "batch_capable", False))
+
     def compare(self, left: object, right: object) -> int:
         if isinstance(left, _Sentinel) or isinstance(right, _Sentinel):
             left_rank = left.sign if isinstance(left, _Sentinel) else 0
@@ -148,6 +191,37 @@ class CellComparator:
                 return 0
             return -1 if left is None else 1
         return self._inner.compare(left, right)
+
+    def compare_one_to_many(self, probe: object, keys: list[object]) -> list[int]:
+        """Batched probe with identical NULL/sentinel semantics.
+
+        Sentinel and NULL pairs are decided host-side (their order never
+        depends on plaintext); only real value pairs reach the inner
+        comparator, as one batched call when it supports that.
+        """
+        results: list[int] = [0] * len(keys)
+        pending_indexes: list[int] = []
+        pending_keys: list[object] = []
+        for i, key in enumerate(keys):
+            if (
+                isinstance(probe, _Sentinel)
+                or isinstance(key, _Sentinel)
+                or probe is None
+                or key is None
+            ):
+                results[i] = self.compare(probe, key)
+            else:
+                pending_indexes.append(i)
+                pending_keys.append(key)
+        if pending_keys:
+            inner_batch = getattr(self._inner, "compare_one_to_many", None)
+            if inner_batch is not None:
+                outcomes = inner_batch(probe, pending_keys)
+            else:
+                outcomes = [self._inner.compare(probe, key) for key in pending_keys]
+            for i, outcome in zip(pending_indexes, outcomes):
+                results[i] = outcome
+        return results
 
 
 class CompositeComparator:
@@ -175,6 +249,10 @@ class CompositeComparator:
     def cells(self) -> list[CellComparator]:
         return list(self._cells)
 
+    @property
+    def batch_capable(self) -> bool:
+        return any(getattr(cell, "batch_capable", False) for cell in self._cells)
+
     def compare(self, left: object, right: object) -> int:
         if not isinstance(left, tuple) or not isinstance(right, tuple):
             raise SqlError("composite comparator expects tuple keys")
@@ -184,6 +262,44 @@ class CompositeComparator:
             if c != 0:
                 return c
         return (len(left) > len(right)) - (len(left) < len(right))
+
+    def compare_one_to_many(self, probe: object, keys: list[object]) -> list[int]:
+        """Batched lexicographic probe, column depth by column depth.
+
+        At each depth, keys still tied (all earlier columns equal) batch
+        their column cell against the probe's in one call; a key whose
+        length (or the probe's) is exhausted gets the length comparison,
+        exactly like :meth:`compare`.
+        """
+        if not isinstance(probe, tuple) or not all(
+            isinstance(key, tuple) for key in keys
+        ):
+            raise SqlError("composite comparator expects tuple keys")
+        results: list[int] = [0] * len(keys)
+        active = list(range(len(keys)))
+        depth = 0
+        while active:
+            tied: list[int] = []
+            batch_indexes: list[int] = []
+            batch_cells: list[object] = []
+            for i in active:
+                key = keys[i]
+                if depth >= len(probe) or depth >= len(key):
+                    results[i] = (len(probe) > len(key)) - (len(probe) < len(key))
+                else:
+                    batch_indexes.append(i)
+                    batch_cells.append(key[depth])
+            if batch_indexes:
+                cell = self._cells[depth] if depth < len(self._cells) else self._cells[-1]
+                outcomes = cell.compare_one_to_many(probe[depth], batch_cells)
+                for i, outcome in zip(batch_indexes, outcomes):
+                    if outcome != 0:
+                        results[i] = outcome
+                    else:
+                        tied.append(i)
+            active = tied
+            depth += 1
+        return results
 
 
 class CountingComparator:
@@ -202,9 +318,24 @@ class CountingComparator:
     def semantic_order(self) -> bool:
         return getattr(self._inner, "semantic_order", True)
 
+    @property
+    def batch_capable(self) -> bool:
+        return bool(getattr(self._inner, "batch_capable", False))
+
     def compare(self, left: object, right: object) -> int:
         result = self._inner.compare(left, right)
         self.count += 1
         if self._on_compare is not None:
             self._on_compare(left, right, result)
         return result
+
+    def compare_one_to_many(self, probe: object, keys: list[object]) -> list[int]:
+        inner_batch = getattr(self._inner, "compare_one_to_many", None)
+        if inner_batch is None:
+            return [self.compare(probe, key) for key in keys]
+        outcomes = inner_batch(probe, keys)
+        self.count += len(keys)
+        if self._on_compare is not None:
+            for key, result in zip(keys, outcomes):
+                self._on_compare(probe, key, result)
+        return outcomes

@@ -106,6 +106,7 @@ class SqlServer:
         enclave_call_mode: CallMode = CallMode.QUEUED,
         lock_timeout_s: float = 2.0,
         allow_enclave_order_by: bool = False,
+        eval_batch_size: int = 64,
     ):
         self.catalog = Catalog()
         self.enclave = enclave
@@ -116,6 +117,7 @@ class SqlServer:
             enclave=enclave,
             ctr_enabled=ctr_enabled,
             lock_timeout_s=lock_timeout_s,
+            batch_index_probes=eval_batch_size > 1,
         )
         self.gateway: EnclaveCallGateway | None = None
         if enclave is not None:
@@ -123,10 +125,12 @@ class SqlServer:
                 enclave, mode=enclave_call_mode, n_threads=enclave_threads
             )
         self.allow_enclave_order_by = allow_enclave_order_by
+        self.eval_batch_size = eval_batch_size
         self.executor = Executor(
             self.engine,
             enclave_gateway=self.gateway,
             allow_enclave_order_by=allow_enclave_order_by,
+            eval_batch_size=eval_batch_size,
         )
         self._plan_cache: dict[str, _CachedPlan] = {}
         self.stats = ServerStats()

@@ -100,6 +100,7 @@ def build_system(
         enclave_threads=config.enclave_threads,
         enclave_call_mode=enclave_call_mode,
         lock_timeout_s=5.0,
+        eval_batch_size=config.eval_batch_size,
     )
     registry = default_registry()
     connection = connect(

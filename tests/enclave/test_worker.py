@@ -109,3 +109,70 @@ class TestQueued:
     def test_needs_at_least_one_thread(self, ready_enclave):
         with pytest.raises(EnclaveError):
             EnclaveCallGateway(ready_enclave, n_threads=0)
+
+
+class TestBatchedCalls:
+    def test_sync_batch_one_transition_per_chunk(self, ready_enclave, cek_material):
+        gateway = EnclaveCallGateway(ready_enclave, mode=CallMode.SYNCHRONOUS)
+        handle = gateway.register_program(comparison_blob())
+        rows = [
+            [cell(cek_material, i), cell(cek_material, 5)] for i in range(10)
+        ]
+        results = gateway.eval_batch(handle, rows)
+        assert [r[0] for r in results] == [i < 5 for i in range(10)]
+        # 10 rows, one call, one transition.
+        assert gateway.stats.calls == 1
+        assert gateway.stats.boundary_transitions == 1
+
+    def test_queued_batch_one_item_per_chunk(self, ready_enclave, cek_material):
+        with EnclaveCallGateway(
+            ready_enclave, mode=CallMode.QUEUED, n_threads=1, spin_duration_s=0.0
+        ) as gateway:
+            handle = gateway.register_program(comparison_blob())
+            rows = [
+                [cell(cek_material, i), cell(cek_material, 3)] for i in range(8)
+            ]
+            results = gateway.eval_batch(handle, rows)
+            assert [r[0] for r in results] == [i < 3 for i in range(8)]
+            # With spinning disabled every queue item is a wakeup + one
+            # transition — the whole chunk was one item.
+            assert gateway.stats.boundary_transitions == 1
+            assert gateway.stats.calls == 1
+
+    def test_batch_matches_row_at_a_time(self, ready_enclave, cek_material):
+        gateway = EnclaveCallGateway(ready_enclave, mode=CallMode.SYNCHRONOUS)
+        handle = gateway.register_program(comparison_blob())
+        rows = [
+            [cell(cek_material, i), cell(cek_material, 4)] for i in range(9)
+        ]
+        assert gateway.eval_batch(handle, rows) == [
+            gateway.eval(handle, row) for row in rows
+        ]
+
+    def test_empty_batch_is_free(self, ready_enclave):
+        gateway = EnclaveCallGateway(ready_enclave, mode=CallMode.SYNCHRONOUS)
+        before = gateway.stats.calls
+        assert gateway.eval_batch(1, []) == []
+        assert gateway.stats.calls == before
+
+    def test_batch_size_histogram_observed(self, ready_enclave, cek_material):
+        from repro.obs.metrics import get_registry
+
+        histogram = get_registry().get("worker.batch_size")
+        before = histogram.snapshot()
+        gateway = EnclaveCallGateway(ready_enclave, mode=CallMode.SYNCHRONOUS)
+        handle = gateway.register_program(comparison_blob())
+        gateway.eval_batch(
+            handle, [[cell(cek_material, 1), cell(cek_material, 2)]] * 6
+        )
+        gateway.eval(handle, [cell(cek_material, 1), cell(cek_material, 2)])
+        after = histogram.snapshot()
+        assert after["count"] - before["count"] == 2  # one batch, one single
+        assert after["sum"] - before["sum"] == 7      # 6 rows + 1 row
+
+    def test_queued_batch_errors_propagate(self, ready_enclave, cek_material):
+        with EnclaveCallGateway(ready_enclave, mode=CallMode.QUEUED, n_threads=1) as gateway:
+            with pytest.raises(EnclaveError):
+                gateway.eval_batch(
+                    987654, [[cell(cek_material, 1), cell(cek_material, 2)]]
+                )

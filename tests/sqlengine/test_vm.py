@@ -154,3 +154,95 @@ class TestMisc:
     def test_stack_underflow(self):
         with pytest.raises(ExecutionError):
             run([Instruction(Opcode.COMP, "=")])
+
+
+class TestSetDataOutputRegression:
+    def test_stack_residue_does_not_clobber_set_data(self):
+        # Regression: a program that wrote output 0 via SET_DATA and then
+        # left residue on the stack used to have output 0 overwritten by
+        # the stack top.
+        vm = StackMachine()
+        program = StackProgram([
+            const(1), const(2), Instruction(Opcode.COMP, "<"),
+            Instruction(Opcode.SET_DATA, (0, None)),
+            const(99),  # residue
+        ])
+        assert vm.eval(program, [], n_outputs=1) == [True]
+
+    def test_set_data_to_later_slot_keeps_slot_zero(self):
+        vm = StackMachine()
+        program = StackProgram([
+            const(7), Instruction(Opcode.SET_DATA, (1, None)),
+            const(5),  # residue with no SET_DATA targeting slot 0
+        ])
+        # Any SET_DATA means the program manages outputs itself; the
+        # residue must not be surfaced.
+        assert vm.eval(program, [], n_outputs=2) == [None, 7]
+
+    def test_pure_predicate_still_surfaces_stack_top(self):
+        assert run([const(1), const(2), Instruction(Opcode.COMP, "<")]) is True
+
+
+class _RecordingConnector:
+    """EnclaveConnector double that records batch vs single calls."""
+
+    def __init__(self):
+        self.single_calls = []
+        self.batch_calls = []
+
+    def register_program(self, program_bytes):
+        return 7
+
+    def eval(self, handle, inputs):
+        self.single_calls.append(list(inputs))
+        return [inputs[0] == inputs[1]]
+
+    def eval_batch(self, handle, rows):
+        self.batch_calls.append([list(r) for r in rows])
+        return [[r[0] == r[1]] for r in rows]
+
+
+class TestEvalBatch:
+    def test_matches_per_row_eval_for_host_programs(self):
+        vm = StackMachine()
+        program = StackProgram([get(0), get(1), Instruction(Opcode.COMP, "<")])
+        rows = [[1, 2], [3, 3], [5, 4], [None, 1]]
+        batched = vm.eval_batch(program, rows)
+        assert batched == [vm.eval(program, row) for row in rows]
+
+    def test_empty_batch(self):
+        vm = StackMachine()
+        assert vm.eval_batch(StackProgram([const(1)]), []) == []
+
+    def test_tm_eval_coalesced_into_one_connector_call(self):
+        connector = _RecordingConnector()
+        vm = StackMachine(enclave=connector)
+        program = StackProgram([
+            get(0), get(1), Instruction(Opcode.TM_EVAL, (b"sub", 2)),
+        ])
+        verdicts = vm.eval_predicate_batch(program, [[1, 1], [1, 2], [4, 4]])
+        assert verdicts == [True, False, True]
+        assert connector.batch_calls == [[[1, 1], [1, 2], [4, 4]]]
+        assert connector.single_calls == []
+
+    def test_single_row_batch_uses_plain_eval(self):
+        connector = _RecordingConnector()
+        vm = StackMachine(enclave=connector)
+        program = StackProgram([
+            get(0), get(1), Instruction(Opcode.TM_EVAL, (b"sub", 2)),
+        ])
+        assert vm.eval_predicate_batch(program, [[2, 2]]) == [True]
+        assert connector.batch_calls == []
+        assert connector.single_calls == [[2, 2]]
+
+    def test_predicate_batch_type_checked(self):
+        vm = StackMachine()
+        with pytest.raises(ExecutionError, match="non-boolean"):
+            vm.eval_predicate_batch(StackProgram([const(42)]), [[], []])
+
+    def test_set_data_fix_applies_to_batch_path(self):
+        vm = StackMachine()
+        program = StackProgram([
+            const(False), Instruction(Opcode.SET_DATA, (0, None)), const(True),
+        ])
+        assert vm.eval_batch(program, [[], []]) == [[False], [False]]
