@@ -1,0 +1,15 @@
+#!/usr/bin/env python
+"""Run the trust-boundary / taint / lock-order / site-metric analyzer.
+
+Equivalent to ``python -m repro.analysis``; exists so CI and humans have
+a discoverable entry point next to the other repo checks.
+
+Usage:  PYTHONPATH=src python scripts/check_invariants.py --strict [-v]
+"""
+
+import sys
+
+from repro.analysis.cli import main
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv[1:]))

@@ -1,0 +1,72 @@
+"""The committed baseline: grandfathered findings with justifications.
+
+Format — one entry per line::
+
+    <fingerprint>    # one-line justification
+
+Fingerprints are ``rule|path|symbol|key`` (no line numbers, so entries
+survive unrelated edits). Blank lines and lines starting with ``#`` are
+comments. The mechanism is a ratchet:
+
+* a finding whose fingerprint is baselined is *suppressed* (reported as
+  such, never fails the build);
+* a baseline entry matching **no** current finding is *stale* — the code
+  it excused is gone, so ``--strict`` fails until the entry is deleted.
+  Baselines only shrink; they never silently accumulate dead weight.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from pathlib import Path
+
+from repro.analysis.findings import Finding
+
+
+@dataclass(frozen=True)
+class BaselineEntry:
+    fingerprint: str
+    justification: str
+    lineno: int
+
+
+@dataclass
+class BaselineResult:
+    new: list
+    suppressed: list
+    stale: list  # BaselineEntry with no matching finding
+
+
+def load_baseline(path: Path | None) -> list:
+    """Parse entries; a missing file is an empty baseline."""
+    if path is None or not Path(path).is_file():
+        return []
+    entries = []
+    for lineno, raw in enumerate(Path(path).read_text(encoding="utf-8").splitlines(), 1):
+        line = raw.strip()
+        if not line or line.startswith("#"):
+            continue
+        fingerprint, _, justification = line.partition("#")
+        entries.append(BaselineEntry(
+            fingerprint=fingerprint.strip(),
+            justification=justification.strip(),
+            lineno=lineno,
+        ))
+    return entries
+
+
+def apply_baseline(findings: list, entries: list) -> BaselineResult:
+    """Split findings into new vs suppressed; surface stale entries."""
+    by_fingerprint: dict[str, BaselineEntry] = {e.fingerprint: e for e in entries}
+    matched: set[str] = set()
+    new: list[Finding] = []
+    suppressed: list[Finding] = []
+    for finding in findings:
+        entry = by_fingerprint.get(finding.fingerprint)
+        if entry is not None:
+            matched.add(entry.fingerprint)
+            suppressed.append(finding)
+        else:
+            new.append(finding)
+    stale = [e for e in entries if e.fingerprint not in matched]
+    return BaselineResult(new=new, suppressed=suppressed, stale=stale)

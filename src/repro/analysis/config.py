@@ -1,0 +1,184 @@
+"""Analysis configuration: which packages play which trust role, the
+declared lock order, taint sources/sinks, and where the baseline lives.
+
+``default_config()`` returns the configuration for *this* repository —
+host packages, the sanctioned ecall surface imported from
+:data:`repro.enclave.ECALL_SURFACE` (one declaration, consumed by runtime
+and analyzer alike), and the declared lock order. Tests build bespoke
+configs pointing at fixture trees.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field, replace
+from pathlib import Path
+
+
+@dataclass(frozen=True)
+class LockOrderConfig:
+    """The declared nested-acquisition order, outermost first.
+
+    Each entry is an ``fnmatch`` pattern over fully-qualified lock ids
+    (``module.Class.attr``). Acquiring a lock that matches an *earlier*
+    pattern while holding one that matches a *later* pattern is an
+    inversion. Locks matching the same pattern may nest freely (cycle
+    detection still applies).
+    """
+
+    order: tuple[str, ...] = ()
+    #: receiver-name → "module.Class" hints used to attribute a foreign
+    #: lock (``with self.sqlos.state_lock``) or a held call
+    #: (``self._wal.flush()``) to its owning class.
+    receiver_aliases: dict = field(default_factory=dict)
+    #: method names excluded from *name-based* callee resolution because
+    #: they collide with builtin container methods (``dict.get`` is not
+    #: ``TransactionManager.get``); alias-resolved calls are unaffected.
+    fallback_ignore: tuple[str, ...] = (
+        "acquire", "add", "append", "clear", "copy", "count", "discard",
+        "extend", "get", "index", "insert", "items", "join", "keys",
+        "notify", "notify_all", "pop", "popitem", "put", "release",
+        "remove", "set", "setdefault", "sort", "update", "values", "wait",
+        "write",
+    )
+
+
+@dataclass(frozen=True)
+class TaintConfig:
+    """Conservative plaintext-taint dataflow parameters."""
+
+    #: callee final-name producing plaintext from ciphertext
+    sources: tuple[str, ...] = (
+        "decrypt", "decrypt_cell", "decrypt_for_ddl", "open_package",
+    )
+    #: calls that pass taint from arguments to their result
+    propagators: tuple[str, ...] = (
+        "deserialize_value", "str", "repr", "format", "bytes",
+    )
+    #: callee final-names that leak whatever reaches their arguments
+    log_sinks: tuple[str, ...] = (
+        "print", "log", "debug", "info", "warning", "error", "exception",
+    )
+    metric_sinks: tuple[str, ...] = ("inc", "set", "observe")
+    trace_sinks: tuple[str, ...] = ("span", "ecall_span")
+
+
+@dataclass(frozen=True)
+class AnalysisConfig:
+    root: Path                       # directory containing the package(s)
+    packages: tuple[str, ...] = ("repro",)
+    #: untrusted host packages: may not reach enclave internals
+    host_packages: tuple[str, ...] = ()
+    #: packages subject to the plaintext-taint rule (host minus the
+    #: trusted client, which legitimately decrypts result sets)
+    taint_packages: tuple[str, ...] = ()
+    #: the enclave package (its submodules are enclave-internal)
+    enclave_package: str = "repro.enclave"
+    #: packages exempt from *all* rules (the enclave itself is exempt from
+    #: host-side rules by construction; no need to list it here)
+    exempt_packages: tuple[str, ...] = ()
+    #: receiver final-names treated as "this is the enclave object"
+    enclave_receivers: tuple[str, ...] = ("enclave", "_enclave")
+    #: receiver final-names treated as "this is the call gateway"
+    gateway_receivers: tuple[str, ...] = ("gateway", "_gateway", "enclave_gateway")
+    #: receiver final-names treated as "this is a StackMachine"
+    vm_receivers: tuple[str, ...] = ("vm", "_vm", "stack_machine", "machine")
+    #: the sanctioned surface (EcallSurface); None → import the real one
+    surface: object = None
+    lock_order: LockOrderConfig = field(default_factory=LockOrderConfig)
+    taint: TaintConfig = field(default_factory=TaintConfig)
+    #: where fault_point()/register_fault_site() literals are collected;
+    #: packages exempt from the literal-site requirement (the registry
+    #: implementation itself passes names through variables)
+    consistency_exempt: tuple[str, ...] = ()
+    #: directory scanned for fault-site test coverage (None disables)
+    tests_root: Path | None = None
+    baseline_path: Path | None = None
+
+
+#: Declared lock order for this repository, outermost → innermost. The
+#: txn lock manager sits above everything (it blocks); the enclave's own
+#: locks sit above storage because ecalls never call back into the host;
+#: metrics and fault-registry locks are innermost leaves every layer may
+#: take.
+DEFAULT_LOCK_ORDER = (
+    "repro.sqlengine.txn.locks.LockManager.*",
+    "repro.sqlengine.txn.transaction.*",
+    "repro.enclave.runtime.Enclave.*",
+    "repro.enclave.sqlos.SqlOs.*",
+    "repro.sqlengine.storage.bufferpool.*",
+    "repro.sqlengine.storage.wal.*",
+    "repro.sqlengine.storage.disk.*",
+    "repro.keys.providers.*",
+    "repro.faults.registry.*",
+    "repro.obs.metrics.*",
+)
+
+DEFAULT_RECEIVER_ALIASES = {
+    "sqlos": "repro.enclave.sqlos.SqlOs",
+    "wal": "repro.sqlengine.storage.wal.WriteAheadLog",
+    "_wal": "repro.sqlengine.storage.wal.WriteAheadLog",
+    "disk": "repro.sqlengine.storage.disk.Disk",
+    "_disk": "repro.sqlengine.storage.disk.Disk",
+    "locks": "repro.sqlengine.txn.locks.LockManager",
+    "enclave": "repro.enclave.runtime.Enclave",
+    "_enclave": "repro.enclave.runtime.Enclave",
+    "registry": "repro.obs.metrics.MetricsRegistry",
+}
+
+
+def repo_root() -> Path:
+    """The repository root, resolved from the installed package location."""
+    import repro
+
+    return Path(repro.__file__).resolve().parent.parent.parent
+
+
+def default_config(
+    root: Path | None = None,
+    baseline_path: Path | None = None,
+    tests_root: Path | None = None,
+) -> AnalysisConfig:
+    """The configuration for this repository's source tree."""
+    from repro.enclave import ECALL_SURFACE
+
+    top = repo_root()
+    if root is None:
+        root = top / "src"
+    root = Path(root)
+    if baseline_path is None:
+        candidate = top / "analysis-baseline.txt"
+        baseline_path = candidate
+    if tests_root is None:
+        candidate = top / "tests"
+        tests_root = candidate if candidate.is_dir() else None
+    return AnalysisConfig(
+        root=root,
+        packages=("repro",),
+        host_packages=(
+            "repro.sqlengine",
+            "repro.client",
+            "repro.workloads",
+            "repro.harness",
+            "repro.tools",
+            "repro.security",
+        ),
+        taint_packages=(
+            "repro.sqlengine",
+            "repro.workloads",
+            "repro.harness",
+            "repro.tools",
+        ),
+        enclave_package="repro.enclave",
+        surface=ECALL_SURFACE,
+        lock_order=LockOrderConfig(
+            order=DEFAULT_LOCK_ORDER,
+            receiver_aliases=dict(DEFAULT_RECEIVER_ALIASES),
+        ),
+        consistency_exempt=("repro.faults", "repro.obs"),
+        tests_root=tests_root,
+        baseline_path=baseline_path,
+    )
+
+
+def with_root(config: AnalysisConfig, root: Path) -> AnalysisConfig:
+    return replace(config, root=Path(root))

@@ -1,0 +1,58 @@
+"""The rule engine: build the model once, run each rule, apply baseline."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.analysis.baseline import BaselineResult, apply_baseline, load_baseline
+from repro.analysis.findings import Finding
+from repro.analysis.model import ProjectModel
+
+
+@dataclass
+class Report:
+    findings: list = field(default_factory=list)     # all, deduped + sorted
+    baseline: BaselineResult | None = None
+
+    @property
+    def new(self) -> list:
+        return self.baseline.new if self.baseline else list(self.findings)
+
+    @property
+    def suppressed(self) -> list:
+        return self.baseline.suppressed if self.baseline else []
+
+    @property
+    def stale_baseline(self) -> list:
+        return self.baseline.stale if self.baseline else []
+
+    def per_rule_counts(self) -> dict:
+        counts: dict[str, int] = {}
+        for finding in self.new:
+            counts[finding.rule] = counts.get(finding.rule, 0) + 1
+        return counts
+
+
+class AnalysisEngine:
+    def __init__(self, config, rules=None):
+        if rules is None:
+            from repro.analysis.rules import ALL_RULES
+
+            rules = ALL_RULES
+        self.config = config
+        self.rules = tuple(rules)
+
+    def run(self, model: ProjectModel | None = None) -> Report:
+        if model is None:
+            model = ProjectModel.build(self.config.root, self.config.packages)
+        findings: list[Finding] = []
+        seen: set = set()
+        for rule in self.rules:
+            for finding in rule.run(model, self.config):
+                marker = (finding.rule, finding.path, finding.line, finding.key)
+                if marker not in seen:
+                    seen.add(marker)
+                    findings.append(finding)
+        findings.sort(key=lambda f: (f.path, f.line, f.rule, f.key))
+        entries = load_baseline(self.config.baseline_path)
+        return Report(findings=findings, baseline=apply_baseline(findings, entries))

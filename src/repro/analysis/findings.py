@@ -1,0 +1,31 @@
+"""Findings: what a rule reports, and how reports are keyed for baselining.
+
+A finding's *fingerprint* deliberately excludes the line number: baselined
+findings must survive unrelated edits shifting code up or down, and must
+*expire* (become stale baseline entries) when the underlying code goes
+away — both behaviours hang off the (rule, path, symbol, key) quadruple.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+
+@dataclass(frozen=True)
+class Finding:
+    """One rule violation at a specific source location."""
+
+    rule: str      # rule family id, e.g. "trust-boundary"
+    path: str      # posix path relative to the analysis root
+    line: int
+    symbol: str    # enclosing qualname ("Class.method") or "<module>"
+    key: str       # stable slug identifying the violation kind + subject
+    message: str
+
+    @property
+    def fingerprint(self) -> str:
+        """Line-number-free identity used by the baseline mechanism."""
+        return f"{self.rule}|{self.path}|{self.symbol}|{self.key}"
+
+    def format(self) -> str:
+        return f"{self.path}:{self.line}: [{self.rule}] {self.message}"

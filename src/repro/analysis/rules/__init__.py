@@ -1,0 +1,23 @@
+"""The rule families. Each rule is a callable object with a ``name`` and
+``run(model, config) -> list[Finding]``; :data:`ALL_RULES` is the default
+battery the engine and CLI load."""
+
+from repro.analysis.rules.consistency import SiteMetricConsistencyRule
+from repro.analysis.rules.lock_order import LockOrderRule
+from repro.analysis.rules.plaintext_taint import PlaintextTaintRule
+from repro.analysis.rules.trust_boundary import TrustBoundaryRule
+
+ALL_RULES = (
+    TrustBoundaryRule(),
+    PlaintextTaintRule(),
+    LockOrderRule(),
+    SiteMetricConsistencyRule(),
+)
+
+__all__ = [
+    "ALL_RULES",
+    "LockOrderRule",
+    "PlaintextTaintRule",
+    "SiteMetricConsistencyRule",
+    "TrustBoundaryRule",
+]

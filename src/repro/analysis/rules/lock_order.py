@@ -1,0 +1,224 @@
+"""Rule family 3: lock-order invariants.
+
+Extracts the nested-acquisition graph — which locks are taken while which
+other locks are held — and fails on (a) acquisition edges inconsistent
+with the declared order and (b) cycles in the graph.
+
+Two edge extractors, both syntactic and deliberately conservative:
+
+* **direct nesting** — ``with a: with b:`` inside one function adds the
+  edge ``a → b``;
+* **one-level call propagation** — a call made while holding a lock adds
+  edges from the held lock to every lock *directly* acquired by the
+  callee. The callee is resolved first through the configured
+  receiver-alias table (``self._wal.flush()`` → ``WriteAheadLog.flush``);
+  failing that, by method name against every project method that itself
+  acquires a lock. Name-based fallback can collide with builtin method
+  names (``list.append`` vs ``WriteAheadLog.append``), so self-edges from
+  the fallback are suppressed; alias-resolved and directly nested
+  self-edges still report (a non-reentrant lock re-entered is a real
+  deadlock).
+
+Lock identity is ``module.Class.attr`` (e.g.
+``repro.sqlengine.storage.wal.WriteAheadLog._lock``); ranks come from the
+declared-order fnmatch patterns in the config.
+"""
+
+from __future__ import annotations
+
+from fnmatch import fnmatchcase
+
+from repro.analysis.findings import Finding
+from repro.analysis.model import CALL_MARK
+
+
+def _owning_class(scope: str, info) -> str | None:
+    """The class a scope like ``Enclave.install_package`` belongs to."""
+    for part in scope.split("."):
+        if part in info.classes:
+            return part
+    return None
+
+
+class LockOrderRule:
+    name = "lock-order"
+
+    def run(self, model, config) -> list:
+        cfg = config.lock_order
+        findings: list[Finding] = []
+
+        # -- pass 1: identify every acquisition and its lock id ------------
+        # lock id of an acquisition record, or None if unattributable
+        def lock_id(parts, modname: str, scope: str, info) -> str | None:
+            attr = parts[-1]
+            receiver = parts[:-1]
+            if receiver and receiver[-1] in cfg.receiver_aliases:
+                return f"{cfg.receiver_aliases[receiver[-1]]}.{attr}"
+            if receiver == ("self",) or not receiver:
+                cls = _owning_class(scope, info)
+                if cls is not None:
+                    return f"{modname}.{cls}.{attr}"
+                return f"{modname}.{attr}"
+            return f"{modname}.{'.'.join(receiver)}.{attr}"
+
+        # function qualname -> set of lock ids directly acquired in it
+        direct_locks: dict[tuple[str, str], set] = {}
+        # method name -> set of lock ids (for name-based call resolution)
+        by_method_name: dict[str, set] = {}
+        # alias class -> method name -> lock ids
+        by_class_method: dict[str, dict] = {}
+        # occurrences for reporting: lock id -> (path, line, scope)
+        where: dict[str, tuple] = {}
+
+        for modname, info in model.modules.items():
+            if not model.in_packages(modname, config.packages):
+                continue
+            path = model.relpath(info)
+            for acq in info.lock_acquisitions:
+                lid = lock_id(acq.parts, modname, acq.scope, info)
+                if lid is None:
+                    continue
+                where.setdefault(lid, (path, acq.lineno, acq.scope))
+                direct_locks.setdefault((modname, acq.scope), set()).add(lid)
+                method = acq.scope.split(".")[-1]
+                if method != "<module>":
+                    by_method_name.setdefault(method, set()).add(lid)
+                    cls = _owning_class(acq.scope, info)
+                    if cls is not None:
+                        by_class_method.setdefault(f"{modname}.{cls}", {}) \
+                            .setdefault(method, set()).add(lid)
+
+        # -- pass 2: build the nested-acquisition edge set ------------------
+        # edge (outer, inner) -> (path, line, scope, how)
+        edges: dict[tuple, tuple] = {}
+
+        def add_edge(outer: str, inner: str, site, how: str) -> None:
+            if (outer, inner) not in edges:
+                edges[(outer, inner)] = (*site, how)
+
+        for modname, info in model.modules.items():
+            if not model.in_packages(modname, config.packages):
+                continue
+            path = model.relpath(info)
+            for acq in info.lock_acquisitions:
+                if not acq.held:
+                    continue
+                inner = lock_id(acq.parts, modname, acq.scope, info)
+                if inner is None:
+                    continue
+                for held_parts in acq.held:
+                    outer = lock_id(held_parts, modname, acq.scope, info)
+                    if outer is not None:
+                        add_edge(outer, inner, (path, acq.lineno, acq.scope), "nested with")
+            for call in info.held_calls:
+                parts = tuple(p for p in call.parts if p != CALL_MARK)
+                if not parts:
+                    continue
+                method = parts[-1]
+                receiver = parts[:-1]
+                callee_locks: set = set()
+                alias_resolved = False
+                if receiver and receiver[-1] in cfg.receiver_aliases:
+                    cls = cfg.receiver_aliases[receiver[-1]]
+                    callee_locks = by_class_method.get(cls, {}).get(method, set())
+                    alias_resolved = True
+                elif method in by_method_name and method not in cfg.fallback_ignore:
+                    callee_locks = by_method_name[method]
+                if not callee_locks:
+                    continue
+                for held_parts in call.held:
+                    outer = lock_id(held_parts, modname, call.scope, info)
+                    if outer is None:
+                        continue
+                    for inner in callee_locks:
+                        if not alias_resolved and inner == outer:
+                            continue  # name collision guard (list.append etc.)
+                        add_edge(
+                            outer, inner,
+                            (path, call.lineno, call.scope),
+                            f"call to {method}()",
+                        )
+
+        # -- pass 3: check edges against the declared order ----------------
+        def rank(lid: str) -> int | None:
+            for index, pattern in enumerate(cfg.order):
+                if fnmatchcase(lid, pattern):
+                    return index
+            return None
+
+        for (outer, inner), (path, line, scope, how) in sorted(edges.items()):
+            outer_rank, inner_rank = rank(outer), rank(inner)
+            if outer_rank is None or inner_rank is None:
+                unranked = outer if outer_rank is None else inner
+                findings.append(Finding(
+                    rule=self.name, path=path, line=line, symbol=scope,
+                    key=f"undeclared:{unranked}",
+                    message=(
+                        f"lock {unranked} participates in nesting "
+                        f"({outer} -> {inner}, via {how}) but matches no "
+                        "pattern in the declared lock order"
+                    ),
+                ))
+                continue
+            if outer_rank > inner_rank:
+                findings.append(Finding(
+                    rule=self.name, path=path, line=line, symbol=scope,
+                    key=f"inversion:{outer}->{inner}",
+                    message=(
+                        f"lock-order inversion: {inner} (rank {inner_rank}) "
+                        f"acquired while holding {outer} (rank {outer_rank}), "
+                        f"via {how}; declared order says the opposite"
+                    ),
+                ))
+
+        # -- pass 4: cycle detection over the whole graph -------------------
+        graph: dict[str, set] = {}
+        for outer, inner in edges:
+            graph.setdefault(outer, set()).add(inner)
+        for cycle in self._find_cycles(graph):
+            head = cycle[0]
+            path, line, scope, _how = edges[(cycle[0], cycle[1 % len(cycle)])] \
+                if (cycle[0], cycle[1 % len(cycle)]) in edges else \
+                (where.get(head, ("<unknown>", 0, "<module>")) + ("",))
+            findings.append(Finding(
+                rule=self.name, path=path, line=line, symbol=scope,
+                key=f"cycle:{'->'.join(cycle)}",
+                message=(
+                    "cyclic lock acquisition: "
+                    + " -> ".join(cycle + [cycle[0]])
+                ),
+            ))
+        return findings
+
+    @staticmethod
+    def _find_cycles(graph: dict) -> list:
+        """Elementary cycles via DFS; each reported once, rotated to start
+        at the lexicographically smallest lock id."""
+        seen_cycles: set = set()
+        cycles: list = []
+        visiting: list = []
+        on_stack: set = set()
+        done: set = set()
+
+        def dfs(node: str) -> None:
+            visiting.append(node)
+            on_stack.add(node)
+            for nxt in sorted(graph.get(node, ())):
+                if nxt in on_stack:
+                    start = visiting.index(nxt)
+                    cycle = visiting[start:]
+                    smallest = min(range(len(cycle)), key=lambda i: cycle[i])
+                    rotated = tuple(cycle[smallest:] + cycle[:smallest])
+                    if rotated not in seen_cycles:
+                        seen_cycles.add(rotated)
+                        cycles.append(list(rotated))
+                elif nxt not in done:
+                    dfs(nxt)
+            on_stack.discard(node)
+            visiting.pop()
+            done.add(node)
+
+        for node in sorted(graph):
+            if node not in done:
+                dfs(node)
+        return cycles

@@ -1,0 +1,109 @@
+"""Rule family 1: the host↔enclave trust boundary.
+
+The paper's isolation claim holds only if the untrusted host interacts
+with the enclave exclusively through the sanctioned ecall surface. Three
+checks, all driven by :data:`repro.enclave.ECALL_SURFACE` (the same
+registry the runtime enforces, so the allowlist cannot fork):
+
+* **enclave-internal imports** — host packages may import only the
+  ``repro.enclave`` facade, and only names the surface declares
+  importable; reaching into ``repro.enclave.<submodule>`` is a finding;
+* **private-attribute reaches** — ``enclave._sessions``, ``vm._stack``
+  and friends from host code are findings regardless of spelling;
+* **off-surface attribute access** — any attribute on an enclave-typed
+  receiver that is neither a declared ecall nor declared observable
+  (e.g. ``enclave.sqlos``) is a finding, as is any off-surface use of
+  the call gateway.
+
+Receivers are recognized conservatively by name (``enclave``,
+``_enclave``, ``gateway``, ``vm`` …): syntactic, no type inference, which
+is exactly what a lint-time boundary check should be — cheap, total, and
+hard to fool by accident.
+"""
+
+from __future__ import annotations
+
+from repro.analysis.findings import Finding
+
+
+class TrustBoundaryRule:
+    name = "trust-boundary"
+
+    def run(self, model, config) -> list:
+        surface = config.surface
+        findings: list[Finding] = []
+        internal_prefix = config.enclave_package + "."
+        for modname, info in model.modules.items():
+            if not model.in_packages(modname, config.host_packages):
+                continue
+            if model.in_packages(modname, config.exempt_packages):
+                continue
+            path = model.relpath(info)
+
+            for imp in info.imports:
+                # import repro.enclave.<submodule> — internal reach
+                if imp.module.startswith(internal_prefix) or (
+                    imp.name is not None
+                    and imp.module == config.enclave_package
+                    and surface is not None
+                    and imp.name not in surface.importable
+                    and imp.name != "*"
+                ):
+                    what = imp.module if imp.name is None else f"{imp.module}.{imp.name}"
+                    findings.append(Finding(
+                        rule=self.name, path=path, line=imp.lineno,
+                        symbol="<module>",
+                        key=f"import:{what}",
+                        message=(
+                            f"host module imports enclave-internal {what!r}; "
+                            f"use the sanctioned names exported by "
+                            f"{config.enclave_package!r} (see ECALL_SURFACE.importable)"
+                        ),
+                    ))
+
+            for access in info.attr_accesses:
+                receiver_tail = access.receiver[-1] if access.receiver else ""
+                is_enclave = receiver_tail in config.enclave_receivers
+                is_gateway = receiver_tail in config.gateway_receivers
+                is_vm = receiver_tail in config.vm_receivers
+                if not (is_enclave or is_gateway or is_vm):
+                    continue
+                attr = access.attr
+                if attr.startswith("__") and attr.endswith("__"):
+                    continue  # dunder protocol (context managers etc.)
+                if attr.startswith("_"):
+                    findings.append(Finding(
+                        rule=self.name, path=path, line=access.lineno,
+                        symbol=access.scope,
+                        key=f"private:{receiver_tail}.{attr}",
+                        message=(
+                            f"host code reaches private enclave state "
+                            f"{'.'.join(access.receiver)}.{attr}"
+                        ),
+                    ))
+                    continue
+                if access.is_store:
+                    # Binding `self.enclave = ...` etc. is construction
+                    # plumbing, not a boundary crossing.
+                    continue
+                if surface is None:
+                    continue
+                if is_enclave:
+                    allowed = surface.ecalls | surface.observable
+                    kind = "ecall surface"
+                elif is_gateway:
+                    allowed = surface.gateway
+                    kind = "gateway surface"
+                else:
+                    continue  # vm receivers: only the private-attr check
+                if attr not in allowed:
+                    findings.append(Finding(
+                        rule=self.name, path=path, line=access.lineno,
+                        symbol=access.scope,
+                        key=f"off-surface:{receiver_tail}.{attr}",
+                        message=(
+                            f"{'.'.join(access.receiver)}.{attr} is outside the "
+                            f"sanctioned {kind} declared in ECALL_SURFACE"
+                        ),
+                    ))
+        return findings

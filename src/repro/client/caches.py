@@ -14,7 +14,7 @@ from __future__ import annotations
 import time
 from dataclasses import dataclass, field
 
-from repro.enclave.nonce import NonceCounter
+from repro.enclave import NonceCounter
 from repro.obs.metrics import StatsView
 
 

@@ -27,7 +27,7 @@ from repro.attestation.hgs import AttestationPolicy
 from repro.attestation.protocol import verify_attestation_and_derive_secret
 from repro.crypto.aead import CellCipher
 from repro.crypto.dh import DiffieHellman
-from repro.enclave.channel import CekPackage, seal_package
+from repro.enclave import CekPackage, seal_package
 from repro.errors import DriverError, ReplayError, SecurityViolation, TransientFault
 from repro.faults.actions import DropMessageDirective, DuplicateMessageDirective
 from repro.faults.classify import is_transient

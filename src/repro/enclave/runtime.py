@@ -157,6 +157,15 @@ class Enclave:
         self._vm = StackMachine(crypto=_EnclaveCryptoContext(self))
         self._observers: list[BoundaryObserver] = []
         self._lock = threading.RLock()
+        # Consume the sanctioned-surface registry: every declared entry
+        # must actually exist, so the allowlist cannot drift from the code.
+        from repro.enclave import ECALL_SURFACE
+
+        for entry in ECALL_SURFACE.ecalls | ECALL_SURFACE.observable:
+            if not hasattr(self, entry):
+                raise EnclaveError(
+                    f"ECALL_SURFACE declares {entry!r} but Enclave does not provide it"
+                )
 
     # -- adversary-visible surface -------------------------------------------
 
@@ -170,6 +179,13 @@ class Enclave:
         self._observers.append(observer)
 
     def _observe(self, name: str, visible_inputs: tuple, visible_output: object) -> None:
+        from repro.enclave import ECALL_SURFACE
+
+        if name not in ECALL_SURFACE.ecalls:
+            raise EnclaveError(
+                f"boundary crossing {name!r} is not a declared ecall; add it to "
+                "repro.enclave.ECALL_SURFACE if it is meant to be sanctioned"
+            )
         self.counters.inc("ecalls")
         for observer in self._observers:
             observer(name, visible_inputs, visible_output)

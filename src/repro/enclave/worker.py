@@ -115,6 +115,17 @@ class EnclaveCallGateway:
         self._queue: queue.Queue[_WorkItem | None] = queue.Queue()
         self._shutdown = False
         self._threads: list[threading.Thread] = []
+        # The gateway half of the sanctioned-surface registry: everything
+        # declared callable by hosts must exist here, or the declaration
+        # has drifted from the code.
+        from repro.enclave import ECALL_SURFACE
+
+        for entry in ECALL_SURFACE.gateway:
+            if not hasattr(self, entry):
+                raise EnclaveError(
+                    f"ECALL_SURFACE declares gateway entry {entry!r} but "
+                    "EnclaveCallGateway does not provide it"
+                )
         if mode is CallMode.QUEUED:
             for i in range(n_threads):
                 thread = threading.Thread(

@@ -27,7 +27,7 @@ from dataclasses import dataclass, field
 from typing import Iterator
 
 from repro.crypto.aead import EncryptionScheme
-from repro.enclave.runtime import Enclave
+from repro.enclave import Enclave
 from repro.errors import (
     ConstraintError,
     KeysUnavailableError,
@@ -737,7 +737,10 @@ class StorageEngine:
                 )
                 if needs_enclave and (
                     self.enclave is None
-                    or not all(self.enclave.sqlos.has_key(c) for c in obj.cek_names)
+                    # installed_ceks() is the sanctioned ecall for this
+                    # question; reaching into enclave.sqlos would cross
+                    # the trust boundary (and trips the analyzer).
+                    or not set(obj.cek_names) <= self.enclave.installed_ceks()
                 ):
                     gating.append((table_name, obj.schema.name))
         return gating

@@ -16,7 +16,7 @@ from __future__ import annotations
 
 from typing import Callable, Protocol
 
-from repro.enclave.runtime import Enclave
+from repro.enclave import Enclave
 from repro.errors import SqlError
 from repro.sqlengine.cells import Ciphertext
 from repro.sqlengine.values import compare_values

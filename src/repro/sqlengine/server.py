@@ -25,9 +25,7 @@ from repro.attestation.hgs import HostGuardianService
 from repro.attestation.protocol import AttestationInfo, server_attest
 from repro.attestation.tpm import HostMachine
 from repro.crypto.aead import ALGORITHM_NAME, EncryptionScheme
-from repro.enclave.channel import SealedPackage
-from repro.enclave.runtime import Enclave
-from repro.enclave.worker import CallMode, EnclaveCallGateway
+from repro.enclave import CallMode, Enclave, EnclaveCallGateway, SealedPackage
 from repro.errors import EnclaveError, SqlError, TransactionError
 from repro.keys.cek import CekEncryptedValue, ColumnEncryptionKey
 from repro.obs.metrics import StatsView

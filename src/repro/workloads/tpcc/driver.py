@@ -17,8 +17,7 @@ from repro.attestation.hgs import AttestationPolicy, HostGuardianService
 from repro.attestation.tpm import HostMachine
 from repro.client.driver import Connection, connect
 from repro.crypto.rsa import RsaKeyPair
-from repro.enclave.runtime import Enclave, EnclaveBinary
-from repro.enclave.worker import CallMode
+from repro.enclave import CallMode, Enclave, EnclaveBinary
 from repro.keys import KeyProviderRegistry, default_registry
 from repro.sqlengine.server import SqlServer
 from repro.tools.provisioning import provision_cek, provision_cmk

@@ -1,0 +1,37 @@
+"""Shared helpers for the analyzer's own test suite.
+
+Each rule family gets a pair of fixture packages under ``fixtures/``
+(one deliberately violating, one clean); tests build bespoke
+:class:`~repro.analysis.config.AnalysisConfig` objects pointing at those
+roots — the default (real-tree) configuration is exercised separately in
+``test_real_tree.py`` and ``test_injection.py``.
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+
+import pytest
+
+from repro.analysis.engine import AnalysisEngine
+
+FIXTURES = Path(__file__).parent / "fixtures"
+
+
+@pytest.fixture(scope="session")
+def fixtures_dir() -> Path:
+    return FIXTURES
+
+
+@pytest.fixture(scope="session")
+def run_rule():
+    """run_rule(rule, config) -> list of findings from that rule alone."""
+
+    def _run(rule, config):
+        return AnalysisEngine(config, rules=(rule,)).run().new
+
+    return _run
+
+
+def keys_of(findings) -> set:
+    return {f.key for f in findings}

@@ -1,0 +1,1 @@
+"""Analyzer fixture package: host code that violates the trust boundary."""

@@ -1,0 +1,12 @@
+"""Deliberate trust-boundary violations. Parsed by the analyzer's test
+suite, never imported — ``encl`` does not exist as a real package."""
+
+from encl.runtime import Enclave
+from encl import seal_secret
+
+
+def poke(enclave, gateway):
+    enclave._cek_store.clear()
+    channel = enclave.sqlos
+    gateway.drain()
+    return channel, Enclave, seal_secret

@@ -1,0 +1,1 @@
+"""Analyzer fixture package: host code that stays on the sanctioned surface."""

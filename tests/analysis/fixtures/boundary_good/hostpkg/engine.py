@@ -1,0 +1,17 @@
+"""Clean host module: facade imports of importable names, declared
+ecalls/observables only, construction-time binding. Must produce zero
+trust-boundary findings."""
+
+from encl import CallMode, Enclave
+
+
+class Host:
+    def __init__(self, enclave):
+        self.enclave = enclave
+        self.mode = CallMode
+
+    def route(self, gateway, row):
+        verdict = self.enclave.eval("prog", row)
+        report = self.enclave.measure()
+        gateway.eval_batch([row])
+        return verdict, report, Enclave

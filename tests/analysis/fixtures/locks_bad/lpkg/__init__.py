@@ -1,0 +1,1 @@
+"""Analyzer fixture package: lock-order inversions, a cycle, an undeclared lock."""

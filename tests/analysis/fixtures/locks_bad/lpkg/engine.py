@@ -1,0 +1,8 @@
+"""Inversion via one-level call propagation: commit holds the inner page
+lock while the alias-resolved ``Wal.flush`` takes the outer table lock."""
+
+
+class Engine:
+    def commit(self):
+        with self._page_lock:
+            self._wal.flush()

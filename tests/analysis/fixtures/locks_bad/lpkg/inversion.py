@@ -1,0 +1,9 @@
+"""Direct nested-with inversion: page (inner rank) held while taking
+table (outer rank)."""
+
+
+class Coordinator:
+    def backwards(self):
+        with self._page_lock:
+            with self._table_lock:
+                pass

@@ -1,0 +1,15 @@
+"""Equal-rank cycle: free→dirty in one method, dirty→free in another.
+Neither edge is an inversion (same declared pattern), but together they
+deadlock — only cycle detection catches this."""
+
+
+class Pool:
+    def promote(self):
+        with self._free_lock:
+            with self._dirty_lock:
+                pass
+
+    def demote(self):
+        with self._dirty_lock:
+            with self._free_lock:
+                pass

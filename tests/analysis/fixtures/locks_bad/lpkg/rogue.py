@@ -1,0 +1,8 @@
+"""A lock participating in nesting that matches no declared-order pattern."""
+
+
+class Rogue:
+    def wander(self):
+        with self._table_lock:
+            with self._mystery_lock:
+                pass

@@ -1,0 +1,8 @@
+"""Callee that takes the OUTER-rank table lock; inverted when called
+under the page lock (see engine.py)."""
+
+
+class Wal:
+    def flush(self):
+        with self._table_lock:
+            pass

@@ -1,0 +1,1 @@
+"""Analyzer fixture package: lock nesting consistent with the declared order."""

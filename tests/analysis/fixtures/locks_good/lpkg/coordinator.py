@@ -1,0 +1,8 @@
+"""Direct nesting in declared order (table above page). Zero findings."""
+
+
+class Coordinator:
+    def transfer(self):
+        with self._table_lock:
+            with self._page_lock:
+                pass

@@ -1,0 +1,9 @@
+"""Held call resolved through the receiver-alias table: commit holds the
+outer table lock while ``Wal.flush`` takes the inner page lock — declared
+order, so zero findings."""
+
+
+class Engine:
+    def commit(self):
+        with self._table_lock:
+            self._wal.flush()

@@ -1,0 +1,7 @@
+"""Callee acquiring an inner-rank lock; reached via alias propagation."""
+
+
+class Wal:
+    def flush(self):
+        with self._page_lock:
+            pass

@@ -1,0 +1,1 @@
+"""Analyzer fixture package: every site/metric consistency violation."""

@@ -1,0 +1,19 @@
+"""One deliberate violation per site-metric check: dynamic site name,
+unregistered fault_point, registered-but-untested site, bad metric name
+(call and FIELDS map), and a counter/gauge kind conflict."""
+
+
+def install(register_fault_site, dynamic_name):
+    register_fault_site("disk.never_tested", "registered but untested")
+    register_fault_site(dynamic_name, "dynamic")
+
+
+def hot_path(fault_point, registry):
+    fault_point("disk.unregistered")
+    registry.counter("BadMetricName")
+    registry.counter("disk.flips")
+    registry.gauge("disk.flips")
+
+
+class DiskStats:
+    FIELDS = {"writes": "Disk.PagesWritten"}

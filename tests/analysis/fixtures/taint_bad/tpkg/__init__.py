@@ -1,0 +1,1 @@
+"""Analyzer fixture package: host code leaking decrypted plaintext."""

@@ -1,0 +1,1 @@
+"""Analyzer fixture package: sanctioned handling of decrypted values."""

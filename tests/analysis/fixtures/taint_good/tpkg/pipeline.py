@@ -1,0 +1,18 @@
+"""Sanctioned egress patterns the taint rule must NOT flag: re-encryption
+launders, comparison verdicts are conceded leakage, and untainted log
+arguments are fine. Must produce zero plaintext-taint findings."""
+
+
+def reencrypt(crypto, cell):
+    plain = crypto.decrypt(cell)
+    return crypto.encrypt_cell(plain)
+
+
+def verdict(crypto, left, right):
+    return crypto.decrypt(left) == crypto.decrypt(right)
+
+
+def log_metadata(crypto, cell, logger):
+    plain = crypto.decrypt(cell)
+    logger.info("decrypted one cell of %d bytes", len(cell))
+    return crypto.encrypt_cell(plain)

@@ -1,0 +1,101 @@
+"""Acceptance check from the issue: injecting any single violation into
+a copy of ``src/repro`` makes ``--strict`` exit non-zero with a finding
+from the correct rule family, under the *default* configuration.
+
+The tree is copied once per module; each test drops in (or appends) one
+violation, runs the CLI against the copy, and restores the tree.
+"""
+
+from __future__ import annotations
+
+import shutil
+import textwrap
+
+import pytest
+
+from repro.analysis.cli import main
+from repro.analysis.config import repo_root
+
+
+@pytest.fixture(scope="module")
+def tree_copy(tmp_path_factory):
+    root = tmp_path_factory.mktemp("injected") / "src"
+    root.mkdir()
+    shutil.copytree(repo_root() / "src" / "repro", root / "repro")
+    return root
+
+
+def run_strict(root) -> int:
+    return main(["--root", str(root), "--strict"])
+
+
+def test_unmodified_copy_is_clean(tree_copy):
+    assert run_strict(tree_copy) == 0
+
+
+def assert_family_fires(capsys, tree_copy, family, marker):
+    assert run_strict(tree_copy) == 1
+    out = capsys.readouterr().out
+    hits = [line for line in out.splitlines() if f"[{family}]" in line]
+    assert hits, f"no {family} finding reported:\n{out}"
+    assert any(marker in line for line in hits)
+
+
+def test_boundary_violation_fires(tree_copy, capsys):
+    evil = tree_copy / "repro" / "sqlengine" / "evil_boundary.py"
+    evil.write_text(
+        "from repro.enclave.runtime import Enclave\n"
+        "\n"
+        "def peek(enclave):\n"
+        "    return enclave._sessions\n"
+    )
+    try:
+        assert_family_fires(capsys, tree_copy, "trust-boundary", "evil_boundary.py")
+    finally:
+        evil.unlink()
+
+
+def test_taint_violation_fires(tree_copy, capsys):
+    evil = tree_copy / "repro" / "sqlengine" / "evil_taint.py"
+    evil.write_text(
+        "def leak(crypto, cell):\n"
+        "    value = crypto.decrypt(cell)\n"
+        "    print('plaintext:', value)\n"
+        "    return value\n"
+    )
+    try:
+        assert_family_fires(capsys, tree_copy, "plaintext-taint", "evil_taint.py")
+    finally:
+        evil.unlink()
+
+
+def test_lock_order_violation_fires(tree_copy, capsys):
+    # Append to bufferpool.py so the lock id lands in a *declared* rank:
+    # bufferpool (inner) held while taking the lock manager's (outermost)
+    # lock through the "locks" receiver alias — an inversion.
+    bufferpool = tree_copy / "repro" / "sqlengine" / "storage" / "bufferpool.py"
+    original = bufferpool.read_text()
+    bufferpool.write_text(original + textwrap.dedent("""
+
+        class EvilPool:
+            def invert(self):
+                with self._page_lock:
+                    with self.locks._queue_lock:
+                        pass
+    """))
+    try:
+        assert_family_fires(capsys, tree_copy, "lock-order", "inversion")
+    finally:
+        bufferpool.write_text(original)
+
+
+def test_site_violation_fires(tree_copy, capsys):
+    evil = tree_copy / "repro" / "sqlengine" / "evil_sites.py"
+    evil.write_text(
+        "def hot(fault_point):\n"
+        "    fault_point('totally.bogus_site')\n"
+    )
+    try:
+        assert_family_fires(capsys, tree_copy, "site-metric", "totally.bogus_site")
+    finally:
+        evil.unlink()

@@ -1,0 +1,61 @@
+"""Lock-order rule: inversion (direct and via alias-resolved call),
+equal-rank cycle, undeclared lock — and zero findings on declared-order
+nesting including call propagation."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.analysis.config import AnalysisConfig, LockOrderConfig
+
+ORDER = (
+    "lpkg.*._table_lock",   # outermost
+    "lpkg.*.Pool.*",
+    "lpkg.*._page_lock",    # innermost
+)
+
+
+def config(root) -> AnalysisConfig:
+    return AnalysisConfig(
+        root=root,
+        packages=("lpkg",),
+        lock_order=LockOrderConfig(
+            order=ORDER,
+            receiver_aliases={"_wal": "lpkg.wal.Wal"},
+        ),
+    )
+
+
+@pytest.fixture(scope="module")
+def rule():
+    from repro.analysis.rules.lock_order import LockOrderRule
+
+    return LockOrderRule()
+
+
+def test_violating_fixture(rule, run_rule, fixtures_dir):
+    findings = run_rule(rule, config(fixtures_dir / "locks_bad"))
+    keys = {f.key for f in findings}
+    assert (
+        "inversion:lpkg.inversion.Coordinator._page_lock"
+        "->lpkg.inversion.Coordinator._table_lock"
+    ) in keys
+    # inversion reached only through the alias-resolved held call
+    assert (
+        "inversion:lpkg.engine.Engine._page_lock->lpkg.wal.Wal._table_lock"
+    ) in keys
+    assert "undeclared:lpkg.rogue.Rogue._mystery_lock" in keys
+    assert any(key.startswith("cycle:lpkg.pool.Pool.") for key in keys)
+    assert all(f.rule == "lock-order" for f in findings)
+
+
+def test_clean_fixture_has_no_findings(rule, run_rule, fixtures_dir):
+    assert run_rule(rule, config(fixtures_dir / "locks_good")) == []
+
+
+def test_cycle_is_not_an_inversion(rule, run_rule, fixtures_dir):
+    # The Pool cycle's two edges are equal-rank, so the only finding
+    # mentioning Pool must be the cycle, not an inversion.
+    findings = run_rule(rule, config(fixtures_dir / "locks_bad"))
+    pool_keys = {f.key for f in findings if "Pool" in f.key}
+    assert pool_keys and all(k.startswith("cycle:") for k in pool_keys)
