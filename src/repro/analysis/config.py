@@ -96,15 +96,28 @@ class AnalysisConfig:
 
 
 #: Declared lock order for this repository, outermost → innermost. The
-#: txn lock manager sits above everything (it blocks); the enclave's own
-#: locks sit above storage because ecalls never call back into the host;
-#: metrics and fault-registry locks are innermost leaves every layer may
-#: take.
+#: client connection's state lock is outermost (the driver holds it
+#: across whole server round-trips); the server session/plan locks and
+#: the statement scheduler come next; the txn lock manager sits above
+#: storage (it blocks); the catalog and index latches sit above the
+#: enclave because comparators call into the gateway while held; the
+#: enclave's own locks sit above storage because ecalls never call back
+#: into the host; heap latches nest into the buffer-pool latch, which
+#: nests into WAL/disk (the write-back path); metrics and fault-registry
+#: locks are innermost leaves every layer may take.
+#: ``docs/CONCURRENCY.md`` documents this hierarchy — keep them in sync.
 DEFAULT_LOCK_ORDER = (
+    "repro.client.driver.Connection.*",
+    "repro.client.caches.*",
+    "repro.sqlengine.server.SqlServer.*",
+    "repro.sqlengine.scheduler.StatementScheduler.*",
     "repro.sqlengine.txn.locks.LockManager.*",
     "repro.sqlengine.txn.transaction.*",
+    "repro.sqlengine.catalog.Catalog.*",
+    "repro.sqlengine.index.btree.BPlusTree.*",
     "repro.enclave.runtime.Enclave.*",
     "repro.enclave.sqlos.SqlOs.*",
+    "repro.sqlengine.storage.heap.HeapFile.*",
     "repro.sqlengine.storage.bufferpool.*",
     "repro.sqlengine.storage.wal.*",
     "repro.sqlengine.storage.disk.*",
@@ -123,6 +136,10 @@ DEFAULT_RECEIVER_ALIASES = {
     "enclave": "repro.enclave.runtime.Enclave",
     "_enclave": "repro.enclave.runtime.Enclave",
     "registry": "repro.obs.metrics.MetricsRegistry",
+    "pool": "repro.sqlengine.storage.bufferpool.BufferPool",
+    "_pool": "repro.sqlengine.storage.bufferpool.BufferPool",
+    "scheduler": "repro.sqlengine.scheduler.StatementScheduler",
+    "cek_cache": "repro.client.caches.CekCache",
 }
 
 

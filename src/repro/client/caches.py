@@ -11,6 +11,7 @@ The paper calls out two caches, both shared across the client process:
 
 from __future__ import annotations
 
+import threading
 import time
 from dataclasses import dataclass, field
 
@@ -39,6 +40,9 @@ class CekCache:
         self._clock = clock
         self._entries: dict[str, tuple[bytes, float]] = {}
         self._stats = _CekCacheStats()
+        # get() is check-then-act (lookup, then delete on expiry): without
+        # the lock, two threads expiring the same entry race on the del.
+        self._lock = threading.RLock()
 
     @property
     def hits(self) -> int:
@@ -49,26 +53,29 @@ class CekCache:
         return self._stats.misses
 
     def get(self, cek_name: str) -> bytes | None:
-        entry = self._entries.get(cek_name)
-        if entry is None:
-            self._stats.inc("misses")
-            return None
-        material, stored_at = entry
-        if self._clock() - stored_at > self.ttl_s:
-            del self._entries[cek_name]
-            self._stats.inc("misses")
-            return None
-        self._stats.inc("hits")
-        return material
+        with self._lock:
+            entry = self._entries.get(cek_name)
+            if entry is None:
+                self._stats.inc("misses")
+                return None
+            material, stored_at = entry
+            if self._clock() - stored_at > self.ttl_s:
+                del self._entries[cek_name]
+                self._stats.inc("misses")
+                return None
+            self._stats.inc("hits")
+            return material
 
     def put(self, cek_name: str, material: bytes) -> None:
-        self._entries[cek_name] = (material, self._clock())
+        with self._lock:
+            self._entries[cek_name] = (material, self._clock())
 
     def invalidate(self, cek_name: str | None = None) -> None:
-        if cek_name is None:
-            self._entries.clear()
-        else:
-            self._entries.pop(cek_name, None)
+        with self._lock:
+            if cek_name is None:
+                self._entries.clear()
+            else:
+                self._entries.pop(cek_name, None)
 
 
 @dataclass

@@ -19,6 +19,7 @@ and receives *plaintext* results; everything cryptographic is transparent:
 from __future__ import annotations
 
 import hashlib
+import threading
 import time
 from dataclasses import dataclass, field
 from typing import Callable, TypeVar
@@ -94,6 +95,12 @@ class ConnectionOptions:
     retry_max_attempts: int = 4
     retry_backoff_base_s: float = 0.001
     retry_backoff_cap_s: float = 0.05
+    # Simulated network round-trip time, slept once per driver↔server
+    # round-trip. In-process calls have no wire latency, which makes every
+    # configuration CPU-bound; a nonzero RTT restores the regime the paper
+    # measures (client latency dominated by round-trips), which is what
+    # the measured Figure 8 bench needs to show client scaling.
+    simulated_rtt_s: float = 0.0
 
 
 class Connection:
@@ -115,8 +122,27 @@ class Connection:
         self.cek_cache = CekCache(ttl_s=self.options.cek_cache_ttl_s)
         self._describe_cache: dict[str, DescribeResult] = {}
         self._attestation: AttestationSession | None = None
+        # Guards the check-then-act on the describe cache and the
+        # attestation session: two threads sharing a connection must not
+        # negotiate two enclave sessions (the second would orphan the
+        # first's installed CEKs).
+        self._state_lock = threading.RLock()
 
     # ------------------------------------------------------------------ public
+
+    def close(self) -> None:
+        """Close the server session and release its slot."""
+        self.session.close()
+
+    def __enter__(self) -> "Connection":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()
+
+    def _roundtrip_delay(self) -> None:
+        if self.options.simulated_rtt_s > 0:
+            time.sleep(self.options.simulated_rtt_s)
 
     def execute(
         self,
@@ -133,41 +159,47 @@ class Connection:
         params = params or {}
         self.stats.inc("executes")
         collector = DriverStatsCollector()
-        if not self.options.column_encryption:
-            # Plain connection: no describe round-trip, params pass through.
+        try:
+            if not self.options.column_encryption:
+                # Plain connection: no describe round-trip, params pass through.
+                self.stats.inc("execute_roundtrips")
+                self._roundtrip_delay()
+                result = self.session.execute(query_text, params)
+                collector.apply(result.stats)
+                return result
+
+            describe = self._describe(query_text)
+            self._check_forced(describe, force_encryption)
+
+            wire_params: dict[str, object] = dict(params)
+            for description in describe.parameters:
+                enc = description.column_type.encryption
+                if enc is None:
+                    continue
+                name = description.name
+                key = self._param_key(params, name)
+                plaintext = params[key]
+                if plaintext is None:
+                    wire_params[key] = None
+                    continue
+                description.column_type.sql_type.validate(plaintext)
+                material = self._cek_material(enc.cek_name, describe)
+                cipher = CellCipher(material)
+                wire_params[key] = Ciphertext(
+                    cipher.encrypt(serialize_value(plaintext), enc.scheme)
+                )
+                self.stats.inc("params_encrypted")
+
+            if describe.uses_enclave:
+                self._ensure_enclave_keys(describe)
+
             self.stats.inc("execute_roundtrips")
-            result = self.session.execute(query_text, params)
-            collector.apply(result.stats)
-            return result
-
-        describe = self._describe(query_text)
-        self._check_forced(describe, force_encryption)
-
-        wire_params: dict[str, object] = dict(params)
-        for description in describe.parameters:
-            enc = description.column_type.encryption
-            if enc is None:
-                continue
-            name = description.name
-            key = self._param_key(params, name)
-            plaintext = params[key]
-            if plaintext is None:
-                wire_params[key] = None
-                continue
-            description.column_type.sql_type.validate(plaintext)
-            material = self._cek_material(enc.cek_name, describe)
-            cipher = CellCipher(material)
-            wire_params[key] = Ciphertext(
-                cipher.encrypt(serialize_value(plaintext), enc.scheme)
-            )
-            self.stats.inc("params_encrypted")
-
-        if describe.uses_enclave:
-            self._ensure_enclave_keys(describe)
-
-        self.stats.inc("execute_roundtrips")
-        result = self.session.execute(query_text, wire_params)
-        result = self._decrypt_result(result)
+            self._roundtrip_delay()
+            result = self.session.execute(query_text, wire_params)
+            result = self._decrypt_result(result)
+        except BaseException:
+            collector.cancel()
+            raise
         collector.apply(result.stats)
         return result
 
@@ -218,6 +250,7 @@ class Connection:
             for name, __ in ceks:
                 session.installed_ceks.add(name)
         self.stats.inc("execute_roundtrips")
+        self._roundtrip_delay()
         result = self.session.execute(query_text)
         # DDL can change encryption metadata (rotation, initial encryption);
         # cached describe results and CEK material may now be stale.
@@ -226,7 +259,8 @@ class Connection:
 
     def invalidate_metadata_caches(self) -> None:
         """Drop cached describe results (e.g. after DDL or key rotation)."""
-        self._describe_cache.clear()
+        with self._state_lock:
+            self._describe_cache.clear()
 
     def install_enclave_ceks(self, cek_names: list[str]) -> None:
         """Ship the named CEKs to the enclave over the secure channel."""
@@ -322,6 +356,7 @@ class Connection:
 
         self._with_retries("package", send_once)
         self.stats.inc("package_roundtrips")
+        self._roundtrip_delay()
 
     def _param_key(self, params: dict[str, object], name: str) -> str:
         for key in params:
@@ -330,35 +365,41 @@ class Connection:
         raise DriverError(f"missing value for parameter @{name}")
 
     def _describe(self, query_text: str) -> DescribeResult:
-        cached = self._describe_cache.get(query_text)
-        if cached is not None:
-            return cached
+        # The whole lookup-or-describe runs under the state lock: a second
+        # thread racing the same text waits and takes the cache hit instead
+        # of issuing a duplicate describe (and, worse, a duplicate
+        # attestation session).
+        with self._state_lock:
+            cached = self._describe_cache.get(query_text)
+            if cached is not None:
+                return cached
 
-        def describe_once() -> DescribeResult:
-            # Only offer a DH public key when this connection is configured
-            # for enclave attestation and no shared secret is cached yet.
-            # The DH key pair is fresh per attempt: a retried attestation
-            # always negotiates a new session.
-            needs_dh = self._attestation is None and self.attestation_policy is not None
-            client_dh = DiffieHellman() if needs_dh else None
-            fault_point("driver.describe_parameter_encryption", query=query_text)
-            describe = self.server.describe_parameter_encryption(
-                query_text,
-                client_dh_public=client_dh.public_key if client_dh is not None else None,
-            )
-            self.stats.inc("describe_roundtrips")
-            if describe.attestation is not None and self._attestation is None:
-                secret = self._verify_attestation(describe, client_dh)
-                self._attestation = AttestationSession(
-                    enclave_session_id=describe.attestation.session_id,
-                    shared_secret=secret,
+            def describe_once() -> DescribeResult:
+                # Only offer a DH public key when this connection is configured
+                # for enclave attestation and no shared secret is cached yet.
+                # The DH key pair is fresh per attempt: a retried attestation
+                # always negotiates a new session.
+                needs_dh = self._attestation is None and self.attestation_policy is not None
+                client_dh = DiffieHellman() if needs_dh else None
+                fault_point("driver.describe_parameter_encryption", query=query_text)
+                describe = self.server.describe_parameter_encryption(
+                    query_text,
+                    client_dh_public=client_dh.public_key if client_dh is not None else None,
                 )
-            return describe
+                self.stats.inc("describe_roundtrips")
+                self._roundtrip_delay()
+                if describe.attestation is not None and self._attestation is None:
+                    secret = self._verify_attestation(describe, client_dh)
+                    self._attestation = AttestationSession(
+                        enclave_session_id=describe.attestation.session_id,
+                        shared_secret=secret,
+                    )
+                return describe
 
-        describe = self._with_retries("describe", describe_once)
-        if self.options.cache_describe_results:
-            self._describe_cache[query_text] = describe
-        return describe
+            describe = self._with_retries("describe", describe_once)
+            if self.options.cache_describe_results:
+                self._describe_cache[query_text] = describe
+            return describe
 
     def _verify_attestation(self, describe: DescribeResult, client_dh: DiffieHellman) -> bytes:
         if self.attestation_policy is None:
@@ -376,28 +417,30 @@ class Connection:
         )
 
     def _attest(self) -> AttestationSession:
-        if self._attestation is not None:
+        with self._state_lock:
+            if self._attestation is not None:
+                return self._attestation
+            if self.attestation_policy is None:
+                raise DriverError("no attestation policy configured")
+
+            def attest_once() -> AttestationSession:
+                # Fresh DH pair per attempt: a retried attestation negotiates a
+                # brand-new enclave session rather than resuming a half-built one.
+                client_dh = DiffieHellman()
+                info = self.server.attest(client_dh.public_key)
+                self.stats.inc("describe_roundtrips")
+                self._roundtrip_delay()
+                if self.server.hgs is None:
+                    raise DriverError("server has no HGS to verify attestation against")
+                secret = verify_attestation_and_derive_secret(
+                    info, client_dh, self.server.hgs.signing_public_key, self.attestation_policy
+                )
+                return AttestationSession(
+                    enclave_session_id=info.session_id, shared_secret=secret
+                )
+
+            self._attestation = self._with_retries("attest", attest_once)
             return self._attestation
-        if self.attestation_policy is None:
-            raise DriverError("no attestation policy configured")
-
-        def attest_once() -> AttestationSession:
-            # Fresh DH pair per attempt: a retried attestation negotiates a
-            # brand-new enclave session rather than resuming a half-built one.
-            client_dh = DiffieHellman()
-            info = self.server.attest(client_dh.public_key)
-            self.stats.inc("describe_roundtrips")
-            if self.server.hgs is None:
-                raise DriverError("server has no HGS to verify attestation against")
-            secret = verify_attestation_and_derive_secret(
-                info, client_dh, self.server.hgs.signing_public_key, self.attestation_policy
-            )
-            return AttestationSession(
-                enclave_session_id=info.session_id, shared_secret=secret
-            )
-
-        self._attestation = self._with_retries("attest", attest_once)
-        return self._attestation
 
     def _check_forced(self, describe: DescribeResult, forced: frozenset[str] | set[str]) -> None:
         described = {p.name.lower(): p for p in describe.parameters}
@@ -526,14 +569,17 @@ class Connection:
 
     def begin(self) -> None:
         self.stats.inc("execute_roundtrips")
+        self._roundtrip_delay()
         self.session.execute("BEGIN TRANSACTION")
 
     def commit(self) -> None:
         self.stats.inc("execute_roundtrips")
+        self._roundtrip_delay()
         self.session.execute("COMMIT")
 
     def rollback(self) -> None:
         self.stats.inc("execute_roundtrips")
+        self._roundtrip_delay()
         self.session.execute("ROLLBACK")
 
 

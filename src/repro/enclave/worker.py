@@ -73,6 +73,9 @@ class _WorkItem:
     #: When True, ``inputs`` is a list of rows and the item routes through
     #: ``Enclave.eval_batch`` — one queue slot, one transition per chunk.
     batch: bool = False
+    #: The submitting thread's metric attribution contexts; the worker
+    #: adopts them so enclave counters land in the right statement's stats.
+    contexts: tuple = ()
 
 
 class EnclaveCallGateway:
@@ -147,7 +150,10 @@ class EnclaveCallGateway:
             with self._tracer.ecall_span("enclave.eval", mode="sync"):
                 _busy_wait(self.transition_cost_s)
                 return self.enclave.eval(handle, inputs)
-        item = _WorkItem(handle=handle, inputs=inputs)
+        item = _WorkItem(
+            handle=handle, inputs=inputs,
+            contexts=get_registry().current_contexts(),
+        )
         # The span covers submit→completion as seen by the host thread: the
         # full cost of routing one evaluation through the enclave boundary.
         with self._tracer.ecall_span("enclave.eval", mode="queued"):
@@ -177,7 +183,10 @@ class EnclaveCallGateway:
             ):
                 _busy_wait(self.transition_cost_s)
                 return self.enclave.eval_batch(handle, rows)
-        item = _WorkItem(handle=handle, inputs=rows, batch=True)
+        item = _WorkItem(
+            handle=handle, inputs=rows, batch=True,
+            contexts=get_registry().current_contexts(),
+        )
         with self._tracer.ecall_span(
             "enclave.eval_batch", mode="queued", rows=len(rows)
         ):
@@ -201,10 +210,11 @@ class EnclaveCallGateway:
                 continue
             if item is None:
                 return
-            self.stats.inc("worker_wakeups")
-            self.stats.inc("boundary_transitions")
-            _busy_wait(self.transition_cost_s)
-            self._process(item)
+            with get_registry().adopt_contexts(item.contexts):
+                self.stats.inc("worker_wakeups")
+                self.stats.inc("boundary_transitions")
+                _busy_wait(self.transition_cost_s)
+                self._process(item)
             # Hot state: spin polling for more work before exiting. The
             # sleep(0) is the PAUSE of this spin loop — it yields the GIL
             # so submitters can actually enqueue while we poll.
@@ -217,8 +227,9 @@ class EnclaveCallGateway:
                     continue
                 if item is None:
                     return
-                self.stats.inc("spin_hits")
-                self._process(item)
+                with get_registry().adopt_contexts(item.contexts):
+                    self.stats.inc("spin_hits")
+                    self._process(item)
                 deadline = time.perf_counter() + self.spin_duration_s
 
     def _process(self, item: _WorkItem) -> None:

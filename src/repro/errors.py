@@ -108,6 +108,10 @@ class ConstraintError(SqlError):
     """Raised on primary-key / uniqueness violations."""
 
 
+class ServerBusyError(SqlError):
+    """Raised when the server's ``max_sessions`` limit is reached."""
+
+
 class TransactionError(SqlError):
     """Raised for transaction lifecycle misuse (commit twice, etc.)."""
 

@@ -30,6 +30,7 @@ share one process-global metric while keeping per-instance semantics.
 
 from __future__ import annotations
 
+import contextlib
 import enum
 import json
 import re
@@ -65,6 +66,37 @@ def validate_metric_name(name: str) -> None:
         )
 
 
+class AttributionContext:
+    """A per-statement bucket of counter increments.
+
+    While a context is active on a thread (``registry.push_context``),
+    every ``Counter.inc`` on that thread *also* adds into the context —
+    so a statement reads back exactly the counts its own execution caused,
+    even when other sessions increment the same global counters
+    concurrently. Contexts can be adopted by worker threads
+    (``registry.adopt_contexts``) so enclave-gateway work done on behalf
+    of a statement still attributes to it.
+    """
+
+    __slots__ = ("_values", "_lock")
+
+    def __init__(self):
+        self._values: dict[str, int | float] = {}
+        self._lock = threading.Lock()
+
+    def add(self, name: str, amount: int | float) -> None:
+        with self._lock:
+            self._values[name] = self._values.get(name, 0) + amount
+
+    def value(self, name: str) -> int | float:
+        with self._lock:
+            return self._values.get(name, 0)
+
+    def snapshot(self) -> dict[str, int | float]:
+        with self._lock:
+            return dict(self._values)
+
+
 class Counter:
     """A monotonically increasing value (ints stay ints, floats allowed)."""
 
@@ -84,6 +116,8 @@ class Counter:
             raise MetricError(f"counter {self.name!r} cannot decrease")
         with self._lock:
             self._value += amount
+        for ctx in self._registry.current_contexts():
+            ctx.add(self.name, amount)
 
     @property
     def value(self) -> int | float:
@@ -204,6 +238,46 @@ class MetricsRegistry:
         self._metrics: dict[str, Metric] = {}
         self._kinds: dict[str, MetricKind] = {}
         self._lock = threading.Lock()
+        self._tls = threading.local()
+
+    # -- attribution contexts ----------------------------------------------
+
+    def _context_stack(self) -> list[AttributionContext]:
+        stack = getattr(self._tls, "contexts", None)
+        if stack is None:
+            stack = []
+            self._tls.contexts = stack
+        return stack
+
+    def current_contexts(self) -> tuple[AttributionContext, ...]:
+        """The contexts active on the calling thread (innermost last)."""
+        stack = getattr(self._tls, "contexts", None)
+        if not stack:
+            return ()
+        return tuple(stack)
+
+    def push_context(self, ctx: AttributionContext) -> AttributionContext:
+        self._context_stack().append(ctx)
+        return ctx
+
+    def pop_context(self, ctx: AttributionContext) -> None:
+        stack = self._context_stack()
+        if ctx in stack:
+            stack.remove(ctx)
+
+    @contextlib.contextmanager
+    def adopt_contexts(self, contexts: tuple[AttributionContext, ...]):
+        """Attribute this thread's increments to ``contexts`` for the
+        duration — used by worker threads doing a statement's work."""
+        stack = self._context_stack()
+        for ctx in contexts:
+            stack.append(ctx)
+        try:
+            yield
+        finally:
+            for ctx in contexts:
+                if ctx in stack:
+                    stack.remove(ctx)
 
     # -- registration -------------------------------------------------------
 

@@ -7,17 +7,21 @@ equivalent — and the measurement substrate the paper's claims are checked
 against: ecalls per query (Section 4.6), pages touched per index seek over
 ciphertext (Section 3.1.2), and driver cache effectiveness (Section 4.1).
 
-The collector works by snapshotting a fixed set of counters before the
-statement and diffing after. That is exact for a single statement at a
-time per process; concurrent statements fold into each other's deltas,
-which is the usual caveat of process-global counters.
+The collector works by pushing a thread-local :class:`AttributionContext`
+onto the registry for the duration of the statement: every counter
+increment made by the executing thread (and by enclave-gateway worker
+threads acting on its behalf, which adopt the context) is also added into
+the context. Concurrent statements therefore read back exactly their own
+counts instead of folding into each other's deltas — the fix the
+threaded regression test in ``tests/obs/test_querystats_concurrent.py``
+pins down.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass, field
 
-from repro.obs.metrics import MetricsRegistry, get_registry
+from repro.obs.metrics import AttributionContext, MetricsRegistry, get_registry
 from repro.obs.tracing import ECALL, Span
 
 # Counter names diffed into QueryStats. Keys are QueryStats field names.
@@ -110,15 +114,22 @@ class QueryStats:
 
 
 class QueryStatsCollector:
-    """Snapshot-diff collector wrapped around one statement execution."""
+    """Context-based collector wrapped around one statement execution.
+
+    Construction pushes an attribution context onto the calling thread;
+    :meth:`finish` (success path) or :meth:`cancel` (exception path) pops
+    it. The collector must be created on the same thread that executes
+    the statement.
+    """
 
     def __init__(self, registry: MetricsRegistry | None = None, query_text: str = ""):
         self.registry = registry or get_registry()
         self.query_text = query_text
-        self._baseline = {
-            attr: self.registry.value(name)
-            for attr, name in _SERVER_DELTA_FIELDS.items()
-        }
+        self._ctx = self.registry.push_context(AttributionContext())
+
+    def cancel(self) -> None:
+        """Pop the context without building stats (statement failed)."""
+        self.registry.pop_context(self._ctx)
 
     def finish(
         self,
@@ -127,6 +138,7 @@ class QueryStatsCollector:
         plan_info: str = "",
         root_span: Span | None = None,
     ) -> QueryStats:
+        self.registry.pop_context(self._ctx)
         if root_span is not None and root_span.end_s is None:
             # The disabled-tracer null span (never finished): drop it.
             root_span = None
@@ -140,25 +152,26 @@ class QueryStatsCollector:
             root_span=root_span,
         )
         for attr, name in _SERVER_DELTA_FIELDS.items():
-            setattr(stats, attr, self.registry.value(name) - self._baseline[attr])
+            setattr(stats, attr, self._ctx.value(name))
         return stats
 
 
 class DriverStatsCollector:
-    """The driver-side half: cache and round-trip deltas around execute()."""
+    """The driver-side half: cache and round-trip counts around execute()."""
 
     def __init__(self, registry: MetricsRegistry | None = None):
         self.registry = registry or get_registry()
-        self._baseline = {
-            attr: self.registry.value(name)
-            for attr, name in _DRIVER_DELTA_FIELDS.items()
-        }
+        self._ctx = self.registry.push_context(AttributionContext())
+
+    def cancel(self) -> None:
+        self.registry.pop_context(self._ctx)
 
     def apply(self, stats: QueryStats | None) -> None:
+        self.registry.pop_context(self._ctx)
         if stats is None:
             return
         for attr, name in _DRIVER_DELTA_FIELDS.items():
-            setattr(stats, attr, self.registry.value(name) - self._baseline[attr])
+            setattr(stats, attr, self._ctx.value(name))
 
 
 def format_explain_stats(stats: QueryStats) -> str:

@@ -9,6 +9,7 @@ from its CEK's CMK, exactly the chain the DDL in Figure 1 establishes.
 
 from __future__ import annotations
 
+import threading
 from dataclasses import dataclass, field
 
 from repro.crypto.aead import ALGORITHM_NAME, EncryptionScheme
@@ -84,27 +85,35 @@ class Catalog:
         self._tables: dict[str, TableSchema] = {}
         self._cmks: dict[str, ColumnMasterKey] = {}
         self._ceks: dict[str, ColumnEncryptionKey] = {}
+        # Concurrent sessions read the catalog on every bind; DDL mutates
+        # it. One reentrant latch keeps lookups consistent with drops.
+        self._latch = threading.RLock()
 
     # -- tables ----------------------------------------------------------------
 
     def create_table(self, schema: TableSchema) -> None:
-        key = schema.name.lower()
-        if key in self._tables:
-            raise SqlError(f"table {schema.name!r} already exists")
-        self._tables[key] = schema
+        with self._latch:
+            key = schema.name.lower()
+            if key in self._tables:
+                raise SqlError(f"table {schema.name!r} already exists")
+            self._tables[key] = schema
 
     def drop_table(self, name: str) -> None:
-        self._require_table(name)
-        del self._tables[name.lower()]
+        with self._latch:
+            self._require_table(name)
+            del self._tables[name.lower()]
 
     def table(self, name: str) -> TableSchema:
-        return self._require_table(name)
+        with self._latch:
+            return self._require_table(name)
 
     def has_table(self, name: str) -> bool:
-        return name.lower() in self._tables
+        with self._latch:
+            return name.lower() in self._tables
 
     def tables(self) -> list[TableSchema]:
-        return list(self._tables.values())
+        with self._latch:
+            return list(self._tables.values())
 
     def _require_table(self, name: str) -> TableSchema:
         try:
@@ -115,35 +124,41 @@ class Catalog:
     # -- key metadata (the new system tables of Section 4.3) --------------------
 
     def create_cmk(self, cmk: ColumnMasterKey) -> None:
-        if cmk.name in self._cmks:
-            raise SqlError(f"column master key {cmk.name!r} already exists")
-        self._cmks[cmk.name] = cmk
+        with self._latch:
+            if cmk.name in self._cmks:
+                raise SqlError(f"column master key {cmk.name!r} already exists")
+            self._cmks[cmk.name] = cmk
 
     def create_cek(self, cek: ColumnEncryptionKey) -> None:
-        if cek.name in self._ceks:
-            raise SqlError(f"column encryption key {cek.name!r} already exists")
-        for cmk_name in cek.cmk_names():
-            if cmk_name not in self._cmks:
-                raise BindError(f"CEK {cek.name!r} references unknown CMK {cmk_name!r}")
-        self._ceks[cek.name] = cek
+        with self._latch:
+            if cek.name in self._ceks:
+                raise SqlError(f"column encryption key {cek.name!r} already exists")
+            for cmk_name in cek.cmk_names():
+                if cmk_name not in self._cmks:
+                    raise BindError(f"CEK {cek.name!r} references unknown CMK {cmk_name!r}")
+            self._ceks[cek.name] = cek
 
     def cmk(self, name: str) -> ColumnMasterKey:
-        try:
-            return self._cmks[name]
-        except KeyError:
-            raise BindError(f"unknown column master key {name!r}") from None
+        with self._latch:
+            try:
+                return self._cmks[name]
+            except KeyError:
+                raise BindError(f"unknown column master key {name!r}") from None
 
     def cek(self, name: str) -> ColumnEncryptionKey:
-        try:
-            return self._ceks[name]
-        except KeyError:
-            raise BindError(f"unknown column encryption key {name!r}") from None
+        with self._latch:
+            try:
+                return self._ceks[name]
+            except KeyError:
+                raise BindError(f"unknown column encryption key {name!r}") from None
 
     def cmks(self) -> list[ColumnMasterKey]:
-        return list(self._cmks.values())
+        with self._latch:
+            return list(self._cmks.values())
 
     def ceks(self) -> list[ColumnEncryptionKey]:
-        return list(self._ceks.values())
+        with self._latch:
+            return list(self._ceks.values())
 
     def cek_enclave_enabled(self, cek_name: str) -> bool:
         """A CEK is enclave-enabled iff (some of) its CMK(s) allow it.

@@ -141,7 +141,6 @@ class StorageEngine:
         self.pending_cleanups: list[PendingCleanup] = []
         # Durable metadata (simulating system pages): table → heap page ids.
         self._durable_table_pages: dict[str, list[int]] = {}
-        self._began: set[int] = set()
 
     # ------------------------------------------------------------------ DDL
 
@@ -244,9 +243,9 @@ class StorageEngine:
         return self.txns.begin()
 
     def _ensure_begin_logged(self, txn: Transaction) -> None:
-        if txn.txn_id not in self._began:
+        if not txn.begin_logged:
             self.wal.append(txn.txn_id, LogOp.BEGIN)
-            self._began.add(txn.txn_id)
+            txn.begin_logged = True
 
     def commit(self, txn: Transaction) -> None:
         if not txn.is_active:
@@ -372,7 +371,7 @@ class StorageEngine:
         table.heap.delete(rid)
         new_rid = table.heap.insert(new_row)
         self.locks.acquire(txn.txn_id, ("row", table_name, new_rid), LockMode.EXCLUSIVE)
-        for obj in table.indexes.values():
+        for obj in list(table.indexes.values()):
             if obj.state is not IndexState.READY or not obj.schema.valid:
                 continue
             key = obj.key_of(new_row)
@@ -435,7 +434,9 @@ class StorageEngine:
         fault_point("engine.index_insert", table=table.schema.name, rid=rid)
         inserted: list[tuple[IndexObject, object]] = []
         try:
-            for obj in table.indexes.values():
+            # list(): concurrent DDL on another session must not mutate the
+            # dict under this iteration.
+            for obj in list(table.indexes.values()):
                 if obj.state is not IndexState.READY or not obj.schema.valid:
                     continue
                 key = obj.key_of(row)
@@ -447,7 +448,7 @@ class StorageEngine:
             raise
 
     def _index_delete(self, table: TableObject, row: tuple, rid: RowId) -> None:
-        for obj in table.indexes.values():
+        for obj in list(table.indexes.values()):
             if obj.state is not IndexState.READY or not obj.schema.valid:
                 continue
             obj.tree.delete(obj.key_of(row), rid)
@@ -456,7 +457,7 @@ class StorageEngine:
         """Restore just-removed index entries while rolling back a failed
         WAL append. No fault point, no constraint surprises: the entries
         were present moments ago."""
-        for obj in table.indexes.values():
+        for obj in list(table.indexes.values()):
             if obj.state is not IndexState.READY or not obj.schema.valid:
                 continue
             obj.tree.insert(obj.key_of(row), rid)
@@ -539,7 +540,6 @@ class StorageEngine:
         self.tables = {}
         self.deferred = {}
         self.pending_cleanups = []
-        self._began = set()
 
     def recover(self) -> "RecoveryReport":
         """Run crash recovery: physical redo, then (deferrable) undo."""
@@ -838,6 +838,49 @@ class StorageEngine:
                 "(client keys or index invalidation required)"
             )
         return self.wal.truncate_before(self.wal.flushed_lsn + 1)
+
+    # ---------------------------------------------------- consistency checks
+
+    def verify_index_consistency(self) -> list[str]:
+        """Compare every usable index against its heap, at quiesce.
+
+        For each READY+valid index, the multiset of (key, rid) entries in
+        the tree must equal the multiset derived from scanning the heap.
+        Ciphertext keys compare by envelope bytes. Returns human-readable
+        violation strings (empty = consistent). Only meaningful when no
+        transactions are in flight.
+        """
+        from collections import Counter as _Counter
+
+        from repro.sqlengine.cells import Ciphertext
+
+        def _norm(key: tuple) -> tuple:
+            return tuple(
+                cell.envelope if isinstance(cell, Ciphertext) else cell
+                for cell in key
+            )
+
+        violations: list[str] = []
+        for table in list(self.tables.values()):
+            heap_rows = list(table.heap.scan())
+            for obj in list(table.indexes.values()):
+                if not obj.usable:
+                    continue
+                expected = _Counter(
+                    (_norm(obj.key_of(row)), rid) for rid, row in heap_rows
+                )
+                actual = _Counter(
+                    (_norm(key), rid) for key, rid in obj.tree.scan_all()
+                )
+                if expected != actual:
+                    missing = expected - actual
+                    extra = actual - expected
+                    violations.append(
+                        f"index {obj.schema.name!r} on {table.schema.name!r}: "
+                        f"{sum(missing.values())} heap rows missing from index, "
+                        f"{sum(extra.values())} stale index entries"
+                    )
+        return violations
 
 
 @dataclass

@@ -10,6 +10,7 @@ keys are allowed (non-unique indexes) unless ``unique`` is set.
 
 from __future__ import annotations
 
+import threading
 from dataclasses import dataclass, field
 from typing import Iterator
 
@@ -60,6 +61,11 @@ class BPlusTree:
         self._batch_probe = bool(getattr(comparator, "batch_capable", False))
         self._root: _Leaf | _Internal = _Leaf()
         self._size = 0
+        # Whole-tree latch: structure modifications (splits) invalidate
+        # concurrent descents, so readers and writers both take it. The
+        # comparator may call into the enclave gateway while held, which
+        # is why the declared latch order puts btree above Enclave.
+        self._latch = threading.RLock()
 
     def __len__(self) -> int:
         return self._size
@@ -132,23 +138,24 @@ class BPlusTree:
 
     def search_eq(self, key: object) -> list[RowId]:
         """All rids whose key equals ``key``."""
-        leaf = self._find_leaf_for_search(key)
-        results: list[RowId] = []
-        idx = self._lower_bound(leaf.keys, key)
-        while True:
-            while idx < len(leaf.keys):
-                c = self.comparator.compare(leaf.keys[idx], key)
-                if c == 0:
-                    results.append(leaf.rids[idx])
-                    idx += 1
-                elif c > 0:
+        with self._latch:
+            leaf = self._find_leaf_for_search(key)
+            results: list[RowId] = []
+            idx = self._lower_bound(leaf.keys, key)
+            while True:
+                while idx < len(leaf.keys):
+                    c = self.comparator.compare(leaf.keys[idx], key)
+                    if c == 0:
+                        results.append(leaf.rids[idx])
+                        idx += 1
+                    elif c > 0:
+                        return results
+                    else:  # pragma: no cover - lower_bound guarantees >= key
+                        idx += 1
+                if leaf.next is None:
                     return results
-                else:  # pragma: no cover - lower_bound guarantees >= key
-                    idx += 1
-            if leaf.next is None:
-                return results
-            leaf = leaf.next
-            idx = 0
+                leaf = leaf.next
+                idx = 0
 
     def range_scan(
         self,
@@ -163,34 +170,44 @@ class BPlusTree:
                 "range scans are not supported on this index "
                 "(ciphertext order is not plaintext order)"
             )
-        if low is None:
-            leaf = self._leftmost_leaf()
-            idx = 0
-        else:
-            leaf = self._find_leaf_for_search(low)
-            idx = (
-                self._lower_bound(leaf.keys, low)
-                if low_inclusive
-                else self._upper_bound(leaf.keys, low)
-            )
-        while leaf is not None:
-            while idx < len(leaf.keys):
-                key = leaf.keys[idx]
-                if high is not None:
-                    c = self.comparator.compare(key, high)
-                    if c > 0 or (c == 0 and not high_inclusive):
-                        return
-                yield key, leaf.rids[idx]
-                idx += 1
-            leaf = leaf.next
-            idx = 0
+        # Materialize under the latch, yield outside: leaf-chain walks must
+        # not interleave with splits, but consumers may be slow.
+        results: list[tuple[object, RowId]] = []
+        with self._latch:
+            if low is None:
+                leaf = self._leftmost_leaf()
+                idx = 0
+            else:
+                leaf = self._find_leaf_for_search(low)
+                idx = (
+                    self._lower_bound(leaf.keys, low)
+                    if low_inclusive
+                    else self._upper_bound(leaf.keys, low)
+                )
+            while leaf is not None:
+                while idx < len(leaf.keys):
+                    key = leaf.keys[idx]
+                    if high is not None:
+                        c = self.comparator.compare(key, high)
+                        if c > 0 or (c == 0 and not high_inclusive):
+                            leaf = None
+                            break
+                    results.append((key, leaf.rids[idx]))
+                    idx += 1
+                else:
+                    leaf = leaf.next
+                    idx = 0
+        yield from results
 
     def scan_all(self) -> Iterator[tuple[object, RowId]]:
         """Every (key, rid) in comparator order (works for any comparator)."""
-        leaf = self._leftmost_leaf()
-        while leaf is not None:
-            yield from zip(leaf.keys, leaf.rids)
-            leaf = leaf.next
+        results: list[tuple[object, RowId]] = []
+        with self._latch:
+            leaf = self._leftmost_leaf()
+            while leaf is not None:
+                results.extend(zip(leaf.keys, leaf.rids))
+                leaf = leaf.next
+        yield from results
 
     def _leftmost_leaf(self) -> _Leaf:
         node = self._root
@@ -202,14 +219,15 @@ class BPlusTree:
 
     def insert(self, key: object, rid: RowId) -> None:
         """Insert one entry; enforces uniqueness if configured."""
-        if self.unique and self.search_eq(key):
-            raise ConstraintError("duplicate key in unique index")
-        split = self._insert_into(self._root, key, rid)
-        if split is not None:
-            sep_key, right = split
-            new_root = _Internal(keys=[sep_key], children=[self._root, right])
-            self._root = new_root
-        self._size += 1
+        with self._latch:
+            if self.unique and self.search_eq(key):
+                raise ConstraintError("duplicate key in unique index")
+            split = self._insert_into(self._root, key, rid)
+            if split is not None:
+                sep_key, right = split
+                new_root = _Internal(keys=[sep_key], children=[self._root, right])
+                self._root = new_root
+            self._size += 1
 
     def _insert_into(self, node, key: object, rid: RowId):
         if node.is_leaf:
@@ -254,62 +272,66 @@ class BPlusTree:
         correctness is unaffected, and the simulation does not model page
         occupancy.
         """
-        leaf = self._find_leaf_for_search(key)
-        idx = self._lower_bound(leaf.keys, key)
-        while True:
-            while idx < len(leaf.keys):
-                c = self.comparator.compare(leaf.keys[idx], key)
-                if c > 0:
+        with self._latch:
+            leaf = self._find_leaf_for_search(key)
+            idx = self._lower_bound(leaf.keys, key)
+            while True:
+                while idx < len(leaf.keys):
+                    c = self.comparator.compare(leaf.keys[idx], key)
+                    if c > 0:
+                        return False
+                    if c == 0 and leaf.rids[idx] == rid:
+                        del leaf.keys[idx]
+                        del leaf.rids[idx]
+                        self._size -= 1
+                        return True
+                    idx += 1
+                if leaf.next is None:
                     return False
-                if c == 0 and leaf.rids[idx] == rid:
-                    del leaf.keys[idx]
-                    del leaf.rids[idx]
-                    self._size -= 1
-                    return True
-                idx += 1
-            if leaf.next is None:
-                return False
-            leaf = leaf.next
-            idx = 0
+                leaf = leaf.next
+                idx = 0
 
     # -- bulk build ------------------------------------------------------------
 
     def bulk_build(self, entries: list[tuple[object, RowId]]) -> None:
         """Build from scratch by sorted insertion (index build = sort;
         the data-ordering leakage the paper notes for index builds)."""
-        if self._size:
-            raise SqlError("bulk_build requires an empty tree")
         import functools
 
-        ordered = sorted(
-            entries, key=functools.cmp_to_key(lambda a, b: self.comparator.compare(a[0], b[0]))
-        )
-        for key, rid in ordered:
-            # Entries are pre-sorted; plain inserts keep costs low and the
-            # comparator count realistic for a build-by-sort.
-            if self.unique and self.search_eq(key):
-                raise ConstraintError("duplicate key in unique index")
-            split = self._insert_into(self._root, key, rid)
-            if split is not None:
-                sep_key, right = split
-                self._root = _Internal(keys=[sep_key], children=[self._root, right])
-            self._size += 1
+        with self._latch:
+            if self._size:
+                raise SqlError("bulk_build requires an empty tree")
+            ordered = sorted(
+                entries, key=functools.cmp_to_key(lambda a, b: self.comparator.compare(a[0], b[0]))
+            )
+            for key, rid in ordered:
+                # Entries are pre-sorted; plain inserts keep costs low and the
+                # comparator count realistic for a build-by-sort.
+                if self.unique and self.search_eq(key):
+                    raise ConstraintError("duplicate key in unique index")
+                split = self._insert_into(self._root, key, rid)
+                if split is not None:
+                    sep_key, right = split
+                    self._root = _Internal(keys=[sep_key], children=[self._root, right])
+                self._size += 1
 
     # -- structural introspection (Figure 4 style walkthroughs) -----------------
 
     def leaf_keys(self) -> list[list[object]]:
         """Keys per leaf, left to right."""
-        out: list[list[object]] = []
-        leaf = self._leftmost_leaf()
-        while leaf is not None:
-            out.append(list(leaf.keys))
-            leaf = leaf.next
-        return out
+        with self._latch:
+            out: list[list[object]] = []
+            leaf = self._leftmost_leaf()
+            while leaf is not None:
+                out.append(list(leaf.keys))
+                leaf = leaf.next
+            return out
 
     def height(self) -> int:
-        height = 1
-        node = self._root
-        while not node.is_leaf:
-            height += 1
-            node = node.children[0]
-        return height
+        with self._latch:
+            height = 1
+            node = self._root
+            while not node.is_leaf:
+                height += 1
+                node = node.children[0]
+            return height

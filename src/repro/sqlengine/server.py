@@ -19,6 +19,7 @@ Implements the server-side surface the paper describes:
 from __future__ import annotations
 
 import itertools
+import threading
 from dataclasses import dataclass, field
 
 from repro.attestation.hgs import HostGuardianService
@@ -26,9 +27,9 @@ from repro.attestation.protocol import AttestationInfo, server_attest
 from repro.attestation.tpm import HostMachine
 from repro.crypto.aead import ALGORITHM_NAME, EncryptionScheme
 from repro.enclave import CallMode, Enclave, EnclaveCallGateway, SealedPackage
-from repro.errors import EnclaveError, SqlError, TransactionError
+from repro.errors import EnclaveError, ServerBusyError, SqlError, TransactionError
 from repro.keys.cek import CekEncryptedValue, ColumnEncryptionKey
-from repro.obs.metrics import StatsView
+from repro.obs.metrics import StatsView, get_registry
 from repro.obs.querystats import QueryStatsCollector
 from repro.obs.tracing import STATEMENT, get_tracer
 from repro.keys.cmk import ColumnMasterKey
@@ -36,6 +37,7 @@ from repro.sqlengine.catalog import Catalog, ColumnSchema, IndexSchema, TableSch
 from repro.sqlengine.cells import Ciphertext
 from repro.sqlengine.engine import StorageEngine
 from repro.sqlengine.exec.executor import Executor, QueryResult
+from repro.sqlengine.scheduler import StatementScheduler
 from repro.sqlengine.scope import Scope
 from repro.sqlengine.sqlparser import ast, parse
 from repro.sqlengine.typededuce import DeductionResult, deduce
@@ -105,6 +107,8 @@ class SqlServer:
         lock_timeout_s: float = 2.0,
         allow_enclave_order_by: bool = False,
         eval_batch_size: int = 64,
+        worker_threads: int = 4,
+        max_sessions: int | None = None,
     ):
         self.catalog = Catalog()
         self.enclave = enclave
@@ -131,9 +135,17 @@ class SqlServer:
             eval_batch_size=eval_batch_size,
         )
         self._plan_cache: dict[str, _CachedPlan] = {}
+        self._plan_lock = threading.Lock()
         self.stats = ServerStats()
         self._tracer = get_tracer()
         self._session_ids = itertools.count(1)
+        self.scheduler = StatementScheduler(worker_threads=worker_threads)
+        self.max_sessions = max_sessions
+        self._sessions_lock = threading.Lock()
+        self._open_sessions: set[int] = set()
+        self._sessions_gauge = get_registry().gauge(
+            "server.sessions_open", help="client sessions currently connected"
+        )
 
     # Historical attribute API, now views over the registry.
 
@@ -152,22 +164,47 @@ class SqlServer:
     # ------------------------------------------------------------- connections
 
     def connect(self) -> "ServerSession":
-        return ServerSession(self, next(self._session_ids))
+        session_id = next(self._session_ids)
+        with self._sessions_lock:
+            if (
+                self.max_sessions is not None
+                and len(self._open_sessions) >= self.max_sessions
+            ):
+                raise ServerBusyError(
+                    f"server at max_sessions={self.max_sessions}; "
+                    "close a session before connecting"
+                )
+            self._open_sessions.add(session_id)
+            self._sessions_gauge.set(len(self._open_sessions))
+        return ServerSession(self, session_id)
+
+    def _release_session(self, session_id: int) -> None:
+        with self._sessions_lock:
+            self._open_sessions.discard(session_id)
+            self._sessions_gauge.set(len(self._open_sessions))
 
     # ------------------------------------------------------------- plan cache
 
     def _plan(self, query_text: str) -> _CachedPlan:
-        cached = self._plan_cache.get(query_text)
+        with self._plan_lock:
+            cached = self._plan_cache.get(query_text)
         if cached is not None:
             cached.hits += 1
             self.stats.inc("plan_cache_hits")
             return cached
         self.stats.inc("plan_cache_misses")
+        # Parse + deduce outside the lock: they only read the catalog, and
+        # concurrent first-executions of the same text just race to insert
+        # equivalent plans.
         stmt = parse(query_text)
         deduction = self._deduce(stmt)
         cached = _CachedPlan(stmt=stmt, deduction=deduction)
         if isinstance(stmt, (ast.SelectStmt, ast.InsertStmt, ast.UpdateStmt, ast.DeleteStmt)):
-            self._plan_cache[query_text] = cached
+            with self._plan_lock:
+                existing = self._plan_cache.get(query_text)
+                if existing is not None:
+                    return existing
+                self._plan_cache[query_text] = cached
         return cached
 
     def _deduce(self, stmt: ast.Statement) -> DeductionResult:
@@ -184,7 +221,8 @@ class SqlServer:
         return deduce(stmt, scope, allow_enclave_order_by=self.allow_enclave_order_by)
 
     def _invalidate_plan_cache(self) -> None:
-        self._plan_cache.clear()
+        with self._plan_lock:
+            self._plan_cache.clear()
 
     # ------------------------------------------- sp_describe_parameter_encryption
 
@@ -257,12 +295,36 @@ class SqlServer:
 
 
 class ServerSession:
-    """One client connection: transaction state + execution entry point."""
+    """One client connection: transaction state + execution entry point.
+
+    A session is used by one client thread at a time (the usual connection
+    contract); *different* sessions execute concurrently, dispatched onto
+    the server's statement scheduler.
+    """
 
     def __init__(self, server: SqlServer, session_id: int):
         self.server = server
         self.session_id = session_id
         self._txn = None
+        self._closed = False
+
+    # -- lifecycle ----------------------------------------------------------------
+
+    def close(self) -> None:
+        """Release the session slot; rolls back any open transaction."""
+        if self._closed:
+            return
+        self._closed = True
+        if self._txn is not None:
+            self.server.engine.abort(self._txn)
+            self._txn = None
+        self.server._release_session(self.session_id)
+
+    def __enter__(self) -> "ServerSession":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()
 
     # -- transactions -------------------------------------------------------------
 
@@ -293,6 +355,8 @@ class ServerSession:
         """Execute a statement. Parameters arrive already encrypted when the
         column requires it (the driver did that); SQL never sees plaintext
         for encrypted columns."""
+        if self._closed:
+            raise SqlError("session is closed")
         stmt_probe = query_text.lstrip().upper()
         if stmt_probe.startswith(("CREATE", "DROP", "ALTER")):
             result = self._execute_ddl(query_text)
@@ -307,26 +371,37 @@ class ServerSession:
         if stmt_probe.startswith("ROLLBACK"):
             self._rollback()
             return QueryResult()
+        # DML runs start-to-finish on one scheduler worker, so the
+        # thread-local tracer and stats attribution context both live on
+        # the thread actually doing the work.
+        return self.server.scheduler.submit(
+            lambda: self._run_statement(query_text, params or {})
+        )
 
+    def _run_statement(self, query_text: str, params: dict[str, object]) -> QueryResult:
         collector = QueryStatsCollector(query_text=query_text)
-        plan = self.server._plan(query_text)
-        autocommit = self._txn is None and not isinstance(plan.stmt, ast.SelectStmt)
-        txn = self._txn
-        if autocommit:
-            txn = self.server.engine.begin()
         try:
-            with self.server._tracer.span(
-                "server.statement", kind=STATEMENT, session=self.session_id
-            ) as root_span:
-                result = self.server.executor.execute(
-                    plan.stmt, params or {}, txn=txn, deduction=plan.deduction
-                )
-        except Exception:
+            plan = self.server._plan(query_text)
+            autocommit = self._txn is None and not isinstance(plan.stmt, ast.SelectStmt)
+            txn = self._txn
+            if autocommit:
+                txn = self.server.engine.begin()
+            try:
+                with self.server._tracer.span(
+                    "server.statement", kind=STATEMENT, session=self.session_id
+                ) as root_span:
+                    result = self.server.executor.execute(
+                        plan.stmt, params, txn=txn, deduction=plan.deduction
+                    )
+            except Exception:
+                if autocommit and txn is not None:
+                    self.server.engine.abort(txn)
+                raise
             if autocommit and txn is not None:
-                self.server.engine.abort(txn)
+                self.server.engine.commit(txn)
+        except BaseException:
+            collector.cancel()
             raise
-        if autocommit and txn is not None:
-            self.server.engine.commit(txn)
         self.server.stats.inc("statements_executed")
         result.stats = collector.finish(
             rows_returned=result.rowcount,

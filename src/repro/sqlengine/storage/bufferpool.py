@@ -9,6 +9,7 @@ bytes.
 
 from __future__ import annotations
 
+import threading
 from collections import OrderedDict
 from typing import TYPE_CHECKING
 
@@ -53,6 +54,15 @@ class BufferPool:
             "bufferpool.pages_cached", help="pages resident in this process's pools"
         )
         self._next_page_id = 0
+        # Reentrant so heap files can hold the pool latch across a page
+        # mutation (serializing it against eviction's page serialization)
+        # while the nested get()/allocate_page() re-acquires it.
+        self._latch = threading.RLock()
+
+    @property
+    def latch(self) -> threading.RLock:
+        """The pool latch; heap files hold it while mutating page contents."""
+        return self._latch
 
     @property
     def hits(self) -> int:
@@ -78,14 +88,16 @@ class BufferPool:
 
     def allocate_page(self) -> Page:
         """Create a brand-new page (not yet on disk until flushed/evicted)."""
-        page = Page(self._next_page_id)
-        self._next_page_id += 1
-        self._put(page)
-        return page
+        with self._latch:
+            page = Page(self._next_page_id)
+            self._next_page_id += 1
+            self._put(page)
+            return page
 
     def note_existing_page_id(self, page_id: int) -> None:
         """Advance the allocator past ids found on disk (recovery path)."""
-        self._next_page_id = max(self._next_page_id, page_id + 1)
+        with self._latch:
+            self._next_page_id = max(self._next_page_id, page_id + 1)
 
     def get_or_create(self, page_id: int) -> Page:
         """Fetch a page, materializing an empty one if it exists nowhere.
@@ -94,34 +106,37 @@ class BufferPool:
         crash but never flushed; physically redoing into a fresh page of
         the same id is exactly what page-oriented redo does.
         """
-        if page_id in self._pages or self._disk.has_page(page_id):
-            return self.get(page_id)
-        page = Page(page_id)
-        self.note_existing_page_id(page_id)
-        self._put(page)
-        return page
+        with self._latch:
+            if page_id in self._pages or self._disk.has_page(page_id):
+                return self.get(page_id)
+            page = Page(page_id)
+            self.note_existing_page_id(page_id)
+            self._put(page)
+            return page
 
     def get(self, page_id: int) -> Page:
-        page = self._pages.get(page_id)
-        if page is not None:
-            self._pages.move_to_end(page_id)
-            self.stats.inc("hits")
+        with self._latch:
+            page = self._pages.get(page_id)
+            if page is not None:
+                self._pages.move_to_end(page_id)
+                self.stats.inc("hits")
+                return page
+            self.stats.inc("misses")
+            page = Page.from_bytes(self._disk.read_page(page_id))
+            self._put(page)
             return page
-        self.stats.inc("misses")
-        page = Page.from_bytes(self._disk.read_page(page_id))
-        self._put(page)
-        return page
 
     def _put(self, page: Page) -> None:
-        self._pages[page.page_id] = page
-        self._pages.move_to_end(page.page_id)
-        while len(self._pages) > self._capacity:
-            fault_point("bufferpool.evict")
-            __, evicted = self._pages.popitem(last=False)
-            self.stats.inc("evictions")
-            if evicted.dirty:
-                self._write_back(evicted)
-        self._cached_gauge.set(len(self._pages))
+        with self._latch:
+            self._pages[page.page_id] = page
+            self._pages.move_to_end(page.page_id)
+            while len(self._pages) > self._capacity:
+                fault_point("bufferpool.evict")
+                __, evicted = self._pages.popitem(last=False)
+                self.stats.inc("evictions")
+                if evicted.dirty:
+                    self._write_back(evicted)
+            self._cached_gauge.set(len(self._pages))
 
     def _write_back(self, page: Page) -> None:
         # Write-ahead rule: the log records covering this page's changes
@@ -133,15 +148,18 @@ class BufferPool:
         page.dirty = False
 
     def flush_all(self) -> None:
-        for page in self._pages.values():
-            if page.dirty:
-                self._write_back(page)
-                self.stats.inc("flushes")
+        with self._latch:
+            for page in self._pages.values():
+                if page.dirty:
+                    self._write_back(page)
+                    self.stats.inc("flushes")
 
     def drop_all(self) -> None:
         """Discard every cached page without writing (crash simulation)."""
-        self._pages.clear()
-        self._cached_gauge.set(0)
+        with self._latch:
+            self._pages.clear()
+            self._cached_gauge.set(0)
 
     def cached_page_ids(self) -> list[int]:
-        return list(self._pages)
+        with self._latch:
+            return list(self._pages)

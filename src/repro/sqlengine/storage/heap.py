@@ -2,6 +2,7 @@
 
 from __future__ import annotations
 
+import threading
 from dataclasses import dataclass
 from typing import Iterator
 
@@ -28,60 +29,83 @@ class HeapFile:
         self.table_name = table_name
         self._pool = pool
         self._page_ids: list[int] = []
+        # Serializes page-id bookkeeping; page *content* mutation happens
+        # under the pool latch so eviction's page serialization never
+        # observes a half-mutated slot directory.
+        self._latch = threading.RLock()
 
     @property
     def page_ids(self) -> list[int]:
-        return list(self._page_ids)
+        with self._latch:
+            return list(self._page_ids)
 
     def adopt_page(self, page_id: int) -> None:
         """Attach an existing page (recovery rebuild path)."""
-        if page_id not in self._page_ids:
-            self._page_ids.append(page_id)
+        with self._latch:
+            if page_id not in self._page_ids:
+                self._page_ids.append(page_id)
 
     # -- row operations -------------------------------------------------------
 
     def insert(self, row: tuple) -> RowId:
         record = serialize_row(row)
-        for page_id in reversed(self._page_ids):
-            page = self._pool.get(page_id)
-            if page.can_fit(record):
-                return RowId(page_id, page.insert(record))
-        page = self._pool.allocate_page()
-        self._page_ids.append(page.page_id)
-        if not page.can_fit(record):
-            raise SqlError(f"row of {len(record)} bytes exceeds page capacity")
-        return RowId(page.page_id, page.insert(record))
+        with self._latch, self._pool.latch:
+            for page_id in reversed(self._page_ids):
+                page = self._pool.get(page_id)
+                if page.can_fit(record):
+                    return RowId(page_id, page.insert(record))
+            page = self._pool.allocate_page()
+            self._page_ids.append(page.page_id)
+            if not page.can_fit(record):
+                raise SqlError(f"row of {len(record)} bytes exceeds page capacity")
+            return RowId(page.page_id, page.insert(record))
 
     def insert_at(self, rid: RowId, row: tuple) -> None:
         """Physical placement at a known rid (redo recovery)."""
-        if rid.page_id not in self._page_ids:
-            self.adopt_page(rid.page_id)
-        self._pool.get_or_create(rid.page_id).insert_at(rid.slot, serialize_row(row))
+        with self._latch, self._pool.latch:
+            if rid.page_id not in self._page_ids:
+                self.adopt_page(rid.page_id)
+            self._pool.get_or_create(rid.page_id).insert_at(rid.slot, serialize_row(row))
 
     def read(self, rid: RowId) -> tuple:
-        if rid.page_id not in self._page_ids:
-            raise SqlError(f"{rid} does not belong to table {self.table_name!r}")
-        return deserialize_row(self._pool.get(rid.page_id).read(rid.slot))
+        with self._latch, self._pool.latch:
+            if rid.page_id not in self._page_ids:
+                raise SqlError(f"{rid} does not belong to table {self.table_name!r}")
+            return deserialize_row(self._pool.get(rid.page_id).read(rid.slot))
 
     def read_or_none(self, rid: RowId) -> tuple | None:
-        if rid.page_id not in self._page_ids:
-            return None
-        # get_or_create: recovery may probe pages that never hit the disk.
-        record = self._pool.get_or_create(rid.page_id).read_or_none(rid.slot)
-        return deserialize_row(record) if record is not None else None
+        with self._latch, self._pool.latch:
+            if rid.page_id not in self._page_ids:
+                return None
+            # get_or_create: recovery may probe pages that never hit the disk.
+            record = self._pool.get_or_create(rid.page_id).read_or_none(rid.slot)
+            return deserialize_row(record) if record is not None else None
 
     def update(self, rid: RowId, row: tuple) -> None:
-        self._pool.get(rid.page_id).update(rid.slot, serialize_row(row))
+        with self._latch, self._pool.latch:
+            self._pool.get(rid.page_id).update(rid.slot, serialize_row(row))
 
     def delete(self, rid: RowId) -> None:
-        self._pool.get(rid.page_id).delete(rid.slot)
+        with self._latch, self._pool.latch:
+            self._pool.get(rid.page_id).delete(rid.slot)
 
     def scan(self) -> Iterator[tuple[RowId, tuple]]:
-        """Yield every live row with its rid."""
-        for page_id in self._page_ids:
-            page = self._pool.get(page_id)
-            for slot, record in page.slots():
-                yield RowId(page_id, slot), deserialize_row(record)
+        """Yield every live row with its rid.
+
+        Each page's slots are materialized under the latches, then yielded
+        outside them, so a long scan doesn't hold the pool latch while the
+        consumer processes rows.
+        """
+        with self._latch:
+            page_ids = list(self._page_ids)
+        for page_id in page_ids:
+            with self._latch, self._pool.latch:
+                page = self._pool.get(page_id)
+                rows = [
+                    (RowId(page_id, slot), deserialize_row(record))
+                    for slot, record in page.slots()
+                ]
+            yield from rows
 
     def row_count(self) -> int:
         return sum(1 for __ in self.scan())

@@ -36,6 +36,10 @@ class Transaction:
     state: TxnState = TxnState.ACTIVE
     undo_log: list[UndoEntry] = field(default_factory=list)
     touched_tables: set[str] = field(default_factory=set)
+    # Whether the BEGIN record has been written to the WAL. Kept per-txn
+    # (instead of an engine-global set) so concurrent sessions don't share
+    # mutable bookkeeping state.
+    begin_logged: bool = False
 
     @property
     def is_active(self) -> bool:

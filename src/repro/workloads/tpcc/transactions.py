@@ -140,10 +140,15 @@ class TpccTransactions:
                     s_quantity - quantity if s_quantity - quantity >= 10
                     else s_quantity - quantity + 91
                 )
+                # Increments, not absolute writes: under concurrency the
+                # assignment expression is evaluated against the locked
+                # row, so parallel NewOrders never lose an S_YTD update
+                # (the invariant checker sums S_YTD against order lines).
                 conn.execute(
-                    "UPDATE STOCK SET S_QUANTITY = @q, S_YTD = @ytd, S_ORDER_CNT = @cnt "
+                    "UPDATE STOCK SET S_QUANTITY = @q, S_YTD = S_YTD + @add, "
+                    "S_ORDER_CNT = S_ORDER_CNT + 1 "
                     "WHERE S_W_ID = @w AND S_I_ID = @i",
-                    {"q": new_quantity, "ytd": 0, "cnt": 0, "w": w_id, "i": i_id},
+                    {"q": new_quantity, "add": quantity, "w": w_id, "i": i_id},
                 )
                 conn.execute(
                     "INSERT INTO ORDER_LINE (OL_O_ID, OL_D_ID, OL_W_ID, OL_NUMBER, "
@@ -173,13 +178,19 @@ class TpccTransactions:
 
         conn.begin()
         try:
+            # Read-modify-write increments, evaluated under the row lock:
+            # concurrent Payments against the same warehouse/district
+            # serialize on the lock and never lose an update, which is
+            # what makes the money-conservation invariant
+            # (W_YTD deltas == D_YTD deltas == Σ H_AMOUNT) hold.
             conn.execute(
-                "UPDATE WAREHOUSE SET W_YTD = @ytd WHERE W_ID = @w",
-                {"ytd": 300000.0 + amount, "w": w_id},
+                "UPDATE WAREHOUSE SET W_YTD = W_YTD + @amt WHERE W_ID = @w",
+                {"amt": amount, "w": w_id},
             )
             conn.execute(
-                "UPDATE DISTRICT SET D_YTD = @ytd WHERE D_W_ID = @w AND D_ID = @d",
-                {"ytd": 30000.0 + amount, "w": w_id, "d": d_id},
+                "UPDATE DISTRICT SET D_YTD = D_YTD + @amt "
+                "WHERE D_W_ID = @w AND D_ID = @d",
+                {"amt": amount, "w": w_id, "d": d_id},
             )
             # 60% by last name (the encrypted predicate), 40% by id.
             if self.rng.random() < 0.6:
@@ -190,20 +201,28 @@ class TpccTransactions:
                 customer = self._customer_by_id(
                     conn, w_id, d_id, self._random_customer_id()
                 )
-            if customer is not None:
-                c_id, __, balance, __, __ = customer
-                conn.execute(
-                    "UPDATE CUSTOMER SET C_BALANCE = @bal, C_YTD_PAYMENT = @ytd "
-                    "WHERE C_W_ID = @w AND C_D_ID = @d AND C_ID = @c",
-                    {"bal": (balance or 0.0) - amount, "ytd": amount,
-                     "w": w_id, "d": d_id, "c": c_id},
-                )
-                conn.execute(
-                    "INSERT INTO HISTORY (H_C_ID, H_C_D_ID, H_C_W_ID, H_D_ID, H_W_ID, "
-                    "H_DATE, H_AMOUNT, H_DATA) VALUES (@c, @d, @w, @d, @w, @dt, @amt, @data)",
-                    {"c": c_id, "d": d_id, "w": w_id,
-                     "dt": "2026-07-06 00:00:00", "amt": amount, "data": "payment"},
-                )
+            if customer is None:
+                # No matching customer (a miss in the NURand last-name
+                # space): roll the YTD increments back so they stay equal
+                # to the HISTORY total, and count the abort.
+                conn.rollback()
+                self.counts.rollbacks += 1
+                self.counts.payment += 1
+                return
+            c_id = customer[0]
+            conn.execute(
+                "UPDATE CUSTOMER SET C_BALANCE = C_BALANCE - @amt, "
+                "C_YTD_PAYMENT = C_YTD_PAYMENT + @amt, "
+                "C_PAYMENT_CNT = C_PAYMENT_CNT + 1 "
+                "WHERE C_W_ID = @w AND C_D_ID = @d AND C_ID = @c",
+                {"amt": amount, "w": w_id, "d": d_id, "c": c_id},
+            )
+            conn.execute(
+                "INSERT INTO HISTORY (H_C_ID, H_C_D_ID, H_C_W_ID, H_D_ID, H_W_ID, "
+                "H_DATE, H_AMOUNT, H_DATA) VALUES (@c, @d, @w, @d, @w, @dt, @amt, @data)",
+                {"c": c_id, "d": d_id, "w": w_id,
+                 "dt": "2026-07-06 00:00:00", "amt": amount, "data": "payment"},
+            )
             conn.commit()
             self.counts.payment += 1
         except Exception:
@@ -281,9 +300,10 @@ class TpccTransactions:
                 if order.rows:
                     c_id = order.rows[0][0]
                     conn.execute(
-                        "UPDATE CUSTOMER SET C_BALANCE = @bal, C_DELIVERY_CNT = @cnt "
+                        "UPDATE CUSTOMER SET C_BALANCE = C_BALANCE + @amt, "
+                        "C_DELIVERY_CNT = C_DELIVERY_CNT + 1 "
                         "WHERE C_W_ID = @w AND C_D_ID = @d AND C_ID = @c",
-                        {"bal": amount, "cnt": 1, "w": w_id, "d": d_id, "c": c_id},
+                        {"amt": amount, "w": w_id, "d": d_id, "c": c_id},
                     )
             conn.commit()
             self.counts.delivery += 1

@@ -1,4 +1,13 @@
-"""Driver-side caches in isolation."""
+"""Driver-side caches in isolation, including their thread-safety.
+
+The check-then-act races fixed in ``client/caches.py`` and the driver's
+state lock are pinned here: ``CekCache.get`` looks an entry up and then
+deletes it on expiry (two threads expiring the same entry raced on the
+``del``), and ``Connection._attest`` checked ``self._attestation is None``
+before negotiating (two threads could each run a full handshake and leak
+an enclave session)."""
+
+import threading
 
 from repro.client.caches import AttestationSession, CekCache
 
@@ -44,6 +53,62 @@ class TestCekCache:
         assert cache.get("K") == b"m2"
 
 
+class TestCekCacheRaces:
+    def test_two_threads_expiring_same_entry_do_not_crash(self):
+        """Regression: get() is check-then-act — lookup, then ``del`` on
+        expiry. Unlocked, two threads could both pass the lookup and the
+        second ``del`` raised KeyError. A ticking fake clock keeps every
+        entry expired so each get() takes the deletion path."""
+        clock = [0.0]
+        cache = CekCache(ttl_s=0.5, clock=lambda: clock[0])
+        errors: list[BaseException] = []
+        barrier = threading.Barrier(2)
+
+        def hammer() -> None:
+            barrier.wait()
+            try:
+                for __ in range(300):
+                    clock[0] += 1.0           # every stored entry is expired
+                    cache.put("K", b"m")
+                    clock[0] += 1.0
+                    cache.get("K")
+            except BaseException as exc:
+                errors.append(exc)
+
+        threads = [threading.Thread(target=hammer) for __ in range(2)]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join()
+        assert errors == []
+        # Accounting stayed coherent: every get was a hit or a miss.
+        assert cache.hits + cache.misses >= 600
+
+    def test_concurrent_put_get_invalidate(self):
+        cache = CekCache(ttl_s=100)
+        errors: list[BaseException] = []
+        barrier = threading.Barrier(3)
+
+        def run(action) -> None:
+            barrier.wait()
+            try:
+                for i in range(300):
+                    action(i)
+            except BaseException as exc:
+                errors.append(exc)
+
+        threads = [
+            threading.Thread(target=run, args=(lambda i: cache.put(f"K{i % 5}", b"m"),)),
+            threading.Thread(target=run, args=(lambda i: cache.get(f"K{i % 5}"),)),
+            threading.Thread(target=run, args=(lambda i: cache.invalidate(f"K{i % 5}"),)),
+        ]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join()
+        assert errors == []
+
+
 class TestAttestationSession:
     def test_nonce_counter_monotone(self):
         session = AttestationSession(enclave_session_id=1, shared_secret=bytes(32))
@@ -54,3 +119,39 @@ class TestAttestationSession:
         session = AttestationSession(enclave_session_id=1, shared_secret=bytes(32))
         session.installed_ceks.add("K")
         assert "K" in session.installed_ceks
+
+
+class TestConnectionAttestationRace:
+    def test_two_threads_attest_once(
+        self, server, registry, attestation_policy, enclave_cmk, enclave_cek
+    ):
+        """Two threads racing into ``_attest`` on a fresh connection must
+        negotiate exactly one enclave session — the connection's state
+        lock serializes the check-then-act on ``self._attestation``."""
+        from repro.client.driver import connect
+
+        server.catalog.create_cmk(enclave_cmk)
+        server.catalog.create_cek(enclave_cek)
+        conn = connect(server, registry, attestation_policy=attestation_policy)
+
+        started_before = server.enclave.counters.sessions_started
+        barrier = threading.Barrier(2)
+        sessions: list[object] = []
+        errors: list[BaseException] = []
+
+        def attest() -> None:
+            barrier.wait()
+            try:
+                sessions.append(conn._attest())
+            except BaseException as exc:
+                errors.append(exc)
+
+        threads = [threading.Thread(target=attest) for __ in range(2)]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join()
+
+        assert errors == []
+        assert sessions[0] is sessions[1]
+        assert server.enclave.counters.sessions_started == started_before + 1

@@ -1,0 +1,156 @@
+"""StatementScheduler and SqlServer session-limit behaviour."""
+
+from __future__ import annotations
+
+import threading
+import time
+
+import pytest
+
+from repro.client.driver import connect
+from repro.errors import ServerBusyError, SqlError
+from repro.sqlengine.scheduler import StatementScheduler
+from repro.sqlengine.server import SqlServer
+
+
+class TestStatementScheduler:
+    def test_submit_returns_result(self):
+        scheduler = StatementScheduler(worker_threads=2)
+        assert scheduler.submit(lambda: 41 + 1) == 42
+
+    def test_passthrough_mode_runs_on_calling_thread(self):
+        scheduler = StatementScheduler(worker_threads=0)
+        caller = threading.current_thread()
+        ran_on: list[threading.Thread] = []
+        scheduler.submit(lambda: ran_on.append(threading.current_thread()))
+        assert ran_on == [caller]
+        assert scheduler.live_workers == 0
+
+    def test_worker_mode_runs_off_calling_thread(self):
+        scheduler = StatementScheduler(worker_threads=2)
+        ran_on: list[threading.Thread] = []
+        scheduler.submit(lambda: ran_on.append(threading.current_thread()))
+        assert ran_on[0] is not threading.current_thread()
+        assert ran_on[0].name.startswith("stmt-worker-")
+
+    def test_errors_propagate_to_submitter(self):
+        scheduler = StatementScheduler(worker_threads=2)
+
+        def boom():
+            raise ValueError("expected")
+
+        with pytest.raises(ValueError, match="expected"):
+            scheduler.submit(boom)
+
+    def test_concurrency_bounded_by_worker_threads(self):
+        """With 2 workers, 4 concurrent submits never run more than 2
+        closures simultaneously."""
+        scheduler = StatementScheduler(worker_threads=2)
+        lock = threading.Lock()
+        running = [0]
+        peak = [0]
+
+        def task():
+            with lock:
+                running[0] += 1
+                peak[0] = max(peak[0], running[0])
+            time.sleep(0.02)
+            with lock:
+                running[0] -= 1
+
+        threads = [
+            threading.Thread(target=scheduler.submit, args=(task,))
+            for __ in range(4)
+        ]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join()
+        assert peak[0] <= 2
+        assert scheduler.live_workers <= 2
+
+    def test_reentrant_submit_runs_inline(self):
+        """A task submitting from a worker thread must not wait for a
+        second worker the pool may never grant (self-deadlock): it runs
+        inline on the same worker."""
+        scheduler = StatementScheduler(worker_threads=1)
+        inner_thread: list[threading.Thread] = []
+
+        def outer():
+            scheduler.submit(
+                lambda: inner_thread.append(threading.current_thread())
+            )
+            return threading.current_thread()
+
+        outer_thread = scheduler.submit(outer)
+        assert inner_thread == [outer_thread]
+
+    def test_idle_workers_retire(self):
+        scheduler = StatementScheduler(worker_threads=2, idle_timeout_s=0.05)
+        scheduler.submit(lambda: None)
+        assert scheduler.live_workers >= 1
+        deadline = time.monotonic() + 2.0
+        while scheduler.live_workers > 0 and time.monotonic() < deadline:
+            time.sleep(0.02)
+        assert scheduler.live_workers == 0
+
+    def test_shutdown_rejects_new_work(self):
+        scheduler = StatementScheduler(worker_threads=2)
+        scheduler.shutdown()
+        with pytest.raises(RuntimeError):
+            scheduler.submit(lambda: None)
+
+    def test_negative_worker_threads_rejected(self):
+        with pytest.raises(ValueError):
+            StatementScheduler(worker_threads=-1)
+
+
+class TestSessionLimits:
+    def test_max_sessions_enforced(self, registry):
+        server = SqlServer(max_sessions=2)
+        connect(server, registry, column_encryption=False)
+        connect(server, registry, column_encryption=False)
+        with pytest.raises(ServerBusyError):
+            connect(server, registry, column_encryption=False)
+
+    def test_close_frees_a_session_slot(self, registry):
+        server = SqlServer(max_sessions=1)
+        conn = connect(server, registry, column_encryption=False)
+        conn.close()
+        connect(server, registry, column_encryption=False)  # slot reusable
+
+    def test_closed_session_rejects_statements(self, registry):
+        server = SqlServer()
+        conn = connect(server, registry, column_encryption=False)
+        conn.execute_ddl("CREATE TABLE C(id int PRIMARY KEY)")
+        conn.close()
+        with pytest.raises(SqlError):
+            conn.execute("SELECT id FROM C", {})
+
+    def test_close_aborts_open_transaction(self, registry):
+        server = SqlServer()
+        conn_a = connect(server, registry, column_encryption=False)
+        conn_a.execute_ddl("CREATE TABLE D(id int PRIMARY KEY)")
+        conn_a.begin()
+        conn_a.execute("INSERT INTO D (id) VALUES (@i)", {"i": 1})
+        conn_a.close()                        # implicit rollback
+        conn_b = connect(server, registry, column_encryption=False)
+        assert conn_b.execute("SELECT id FROM D", {}).rows == []
+
+    def test_connection_context_manager_closes(self, registry):
+        server = SqlServer(max_sessions=1)
+        with connect(server, registry, column_encryption=False) as conn:
+            conn.execute_ddl("CREATE TABLE E(id int PRIMARY KEY)")
+        connect(server, registry, column_encryption=False)
+
+    def test_sessions_gauge_tracks_open_sessions(self, registry):
+        from repro.obs.metrics import get_registry
+
+        # The gauge holds the absolute open-session count of the server
+        # that last touched it; with this fresh server acting alone it
+        # reads 1 while the connection is open and 0 after close.
+        server = SqlServer()
+        conn = connect(server, registry, column_encryption=False)
+        assert get_registry().value("server.sessions_open") == 1
+        conn.close()
+        assert get_registry().value("server.sessions_open") == 0
