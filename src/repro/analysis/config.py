@@ -90,6 +90,9 @@ class AnalysisConfig:
     #: packages exempt from the literal-site requirement (the registry
     #: implementation itself passes names through variables)
     consistency_exempt: tuple[str, ...] = ()
+    #: registered flight-recorder event kinds; ``record_event("…")``
+    #: literals must name one of these (empty tuple disables the check)
+    event_kinds: tuple[str, ...] = ()
     #: directory scanned for fault-site test coverage (None disables)
     tests_root: Path | None = None
     baseline_path: Path | None = None
@@ -103,8 +106,9 @@ class AnalysisConfig:
 #: enclave because comparators call into the gateway while held; the
 #: enclave's own locks sit above storage because ecalls never call back
 #: into the host; heap latches nest into the buffer-pool latch, which
-#: nests into WAL/disk (the write-back path); metrics and fault-registry
-#: locks are innermost leaves every layer may take.
+#: nests into WAL/disk (the write-back path); the fault-registry and
+#: observability locks (latch profiler, flight recorder, tracer, metrics)
+#: are innermost leaves every layer may take while instrumented.
 #: ``docs/CONCURRENCY.md`` documents this hierarchy — keep them in sync.
 DEFAULT_LOCK_ORDER = (
     "repro.client.driver.Connection.*",
@@ -123,6 +127,11 @@ DEFAULT_LOCK_ORDER = (
     "repro.sqlengine.storage.disk.*",
     "repro.keys.providers.*",
     "repro.faults.registry.*",
+    "repro.obs.latchprof.*",
+    "repro.obs.leakage.*",
+    "repro.obs.transition_cost.*",
+    "repro.obs.flightrec.*",
+    "repro.obs.tracing.*",
     "repro.obs.metrics.*",
 )
 
@@ -157,6 +166,7 @@ def default_config(
 ) -> AnalysisConfig:
     """The configuration for this repository's source tree."""
     from repro.enclave import ECALL_SURFACE
+    from repro.obs.flightrec import EVENT_KINDS
 
     top = repo_root()
     if root is None:
@@ -192,6 +202,7 @@ def default_config(
             receiver_aliases=dict(DEFAULT_RECEIVER_ALIASES),
         ),
         consistency_exempt=("repro.faults", "repro.obs"),
+        event_kinds=tuple(EVENT_KINDS),
         tests_root=tests_root,
         baseline_path=baseline_path,
     )

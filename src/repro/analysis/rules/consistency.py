@@ -16,7 +16,11 @@ never fires, a counter nobody aggregates). Checks:
   and ``FIELDS``-style StatsView maps — follows the ``component.noun_verb``
   convention (the static half of ``scripts/check_metrics.py``, absorbed
   here);
-* no metric name is registered under two different kinds.
+* no metric name is registered under two different kinds;
+* every ``record_event("…")`` literal names a flight-recorder event kind
+  registered in :data:`repro.obs.flightrec.EVENT_KINDS` and follows the
+  same naming convention — an unregistered kind would raise at runtime,
+  but only on the instrumented path actually executing.
 """
 
 from __future__ import annotations
@@ -33,6 +37,7 @@ METRIC_NAME_RE = re.compile(r"^[a-z][a-z0-9_]*(\.[a-z][a-z0-9_]*)+$")
 _SITE_REGISTER_FNS = ("register_fault_site", "register_site")
 _SITE_USE_FNS = ("fault_point",)
 _METRIC_FNS = ("counter", "gauge", "histogram")
+_EVENT_FNS = ("record_event",)
 
 
 class SiteMetricConsistencyRule:
@@ -73,6 +78,43 @@ class SiteMetricConsistencyRule:
                         registered.setdefault(literal, (path, call.lineno))
                     else:
                         used.append((literal, path, call.lineno, call.scope))
+                elif fn in _EVENT_FNS:
+                    literal = call.str_args[0] if call.str_args else None
+                    if literal is None:
+                        if not exempt:
+                            findings.append(Finding(
+                                rule=self.name, path=path, line=call.lineno,
+                                symbol=call.scope,
+                                key=f"dynamic-event:{fn}",
+                                message=(
+                                    f"{fn}() called with a non-literal event "
+                                    "kind; flight-recorder events must be "
+                                    "auditable string literals"
+                                ),
+                            ))
+                        continue
+                    if not METRIC_NAME_RE.match(literal):
+                        findings.append(Finding(
+                            rule=self.name, path=path, line=call.lineno,
+                            symbol=call.scope,
+                            key=f"event-name:{literal}",
+                            message=(
+                                f"event kind {literal!r} violates the "
+                                "component.noun_verb convention (lowercase "
+                                "dot-separated segments, >= 2)"
+                            ),
+                        ))
+                    elif config.event_kinds and literal not in config.event_kinds:
+                        findings.append(Finding(
+                            rule=self.name, path=path, line=call.lineno,
+                            symbol=call.scope,
+                            key=f"unregistered-event:{literal}",
+                            message=(
+                                f"record_event({literal!r}) names an event "
+                                "kind not registered in "
+                                "repro.obs.flightrec.EVENT_KINDS"
+                            ),
+                        ))
                 elif fn in _METRIC_FNS and len(parts) >= 2:
                     literal = call.str_args[0] if call.str_args else None
                     if literal is None:

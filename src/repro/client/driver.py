@@ -36,7 +36,11 @@ from repro.faults.registry import fault_point, register_fault_site
 from repro.keys.providers import KeyProviderRegistry
 from repro.client.caches import AttestationSession, CekCache
 from repro.obs.metrics import StatsView
-from repro.obs.querystats import DriverStatsCollector, format_explain_stats
+from repro.obs.querystats import (
+    DriverStatsCollector,
+    format_explain_analyze,
+    format_explain_stats,
+)
 from repro.sqlengine.cells import Ciphertext
 from repro.sqlengine.exec.executor import QueryResult
 from repro.sqlengine.server import CekMetadata, DescribeResult, SqlServer
@@ -211,6 +215,15 @@ class Connection:
         if result.stats is None:
             return "EXPLAIN STATS\n  <no stats collected>"
         return format_explain_stats(result.stats)
+
+    def explain_analyze(
+        self, query_text: str, params: dict[str, object] | None = None
+    ) -> str:
+        """Run a statement and render its timeline + contention profile."""
+        result = self.execute(query_text, params)
+        if result.stats is None:
+            return "EXPLAIN ANALYZE\n  <no stats collected>"
+        return format_explain_analyze(result.stats)
 
     def execute_ddl(self, query_text: str, authorize_enclave: bool = False) -> QueryResult:
         """Run DDL; with ``authorize_enclave`` the driver signs the query

@@ -30,6 +30,7 @@ from repro.enclave.sqlos import SqlOs
 from repro.enclave.validate import validate_program
 from repro.errors import CryptoError, EnclaveError, IntegrityError, ReplayError
 from repro.faults.registry import fault_point, register_fault_site
+from repro.obs.flightrec import record_event
 from repro.obs.metrics import StatsView
 
 register_fault_site(
@@ -187,6 +188,9 @@ class Enclave:
                 "repro.enclave.ECALL_SURFACE if it is meant to be sanctioned"
             )
         self.counters.inc("ecalls")
+        # The flight recorder sees only the ecall *name* — the same signal
+        # the adversary gets from watching the boundary, never plaintext.
+        record_event("enclave.ecall", name=name)
         for observer in self._observers:
             observer(name, visible_inputs, visible_output)
 

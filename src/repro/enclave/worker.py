@@ -25,8 +25,10 @@ from dataclasses import dataclass, field
 
 from repro.enclave.runtime import Enclave
 from repro.errors import EnclaveError
+from repro.obs.flightrec import record_event
 from repro.obs.metrics import StatsView, get_registry
-from repro.obs.tracing import get_tracer
+from repro.obs.tracing import EMPTY_CAPTURE, CapturedTrace, get_tracer
+from repro.obs.transition_cost import get_transition_cost_model
 
 
 class CallMode(enum.Enum):
@@ -76,6 +78,10 @@ class _WorkItem:
     #: The submitting thread's metric attribution contexts; the worker
     #: adopts them so enclave counters land in the right statement's stats.
     contexts: tuple = ()
+    #: The submitting thread's trace state; the worker adopts it so
+    #: flight-recorder events emitted inside the enclave (ecall
+    #: observations, measured transitions) carry the statement identity.
+    trace: CapturedTrace = EMPTY_CAPTURE
 
 
 class EnclaveCallGateway:
@@ -148,11 +154,15 @@ class EnclaveCallGateway:
         if self.mode is CallMode.SYNCHRONOUS:
             self.stats.inc("boundary_transitions")
             with self._tracer.ecall_span("enclave.eval", mode="sync"):
+                started = time.perf_counter()
                 _busy_wait(self.transition_cost_s)
-                return self.enclave.eval(handle, inputs)
+                result = self.enclave.eval(handle, inputs)
+                self._observe_transition(1, time.perf_counter() - started)
+                return result
         item = _WorkItem(
             handle=handle, inputs=inputs,
             contexts=get_registry().current_contexts(),
+            trace=self._tracer.capture(),
         )
         # The span covers submit→completion as seen by the host thread: the
         # full cost of routing one evaluation through the enclave boundary.
@@ -181,11 +191,15 @@ class EnclaveCallGateway:
             with self._tracer.ecall_span(
                 "enclave.eval_batch", mode="sync", rows=len(rows)
             ):
+                started = time.perf_counter()
                 _busy_wait(self.transition_cost_s)
-                return self.enclave.eval_batch(handle, rows)
+                result = self.enclave.eval_batch(handle, rows)
+                self._observe_transition(len(rows), time.perf_counter() - started)
+                return result
         item = _WorkItem(
             handle=handle, inputs=rows, batch=True,
             contexts=get_registry().current_contexts(),
+            trace=self._tracer.capture(),
         )
         with self._tracer.ecall_span(
             "enclave.eval_batch", mode="queued", rows=len(rows)
@@ -210,7 +224,8 @@ class EnclaveCallGateway:
                 continue
             if item is None:
                 return
-            with get_registry().adopt_contexts(item.contexts):
+            with get_registry().adopt_contexts(item.contexts), \
+                    self._tracer.adopt(item.trace):
                 self.stats.inc("worker_wakeups")
                 self.stats.inc("boundary_transitions")
                 _busy_wait(self.transition_cost_s)
@@ -227,18 +242,30 @@ class EnclaveCallGateway:
                     continue
                 if item is None:
                     return
-                with get_registry().adopt_contexts(item.contexts):
+                with get_registry().adopt_contexts(item.contexts), \
+                        self._tracer.adopt(item.trace):
                     self.stats.inc("spin_hits")
                     self._process(item)
                 deadline = time.perf_counter() + self.spin_duration_s
 
+    def _observe_transition(self, rows: int, wall_s: float) -> None:
+        """Feed the measured ecall wall time to the cost model and the
+        flight recorder — the batch executor's future cost-model input."""
+        get_transition_cost_model().observe(rows, wall_s)
+        record_event("enclave.transition", rows=rows, duration_s=wall_s)
+
     def _process(self, item: _WorkItem) -> None:
         self._queue_depth.set(self._queue.qsize())
+        started = time.perf_counter()
         try:
             if item.batch:
                 item.result = self.enclave.eval_batch(item.handle, item.inputs)
             else:
                 item.result = self.enclave.eval(item.handle, item.inputs)
+            self._observe_transition(
+                len(item.inputs) if item.batch else 1,
+                time.perf_counter() - started,
+            )
         except Exception as exc:  # propagate to the submitting host thread
             item.error = exc
         finally:

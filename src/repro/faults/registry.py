@@ -28,6 +28,7 @@ from dataclasses import dataclass, field
 
 from repro.faults.actions import FaultAction, FaultDirective
 from repro.faults.schedules import Schedule
+from repro.obs.flightrec import record_event
 from repro.obs.metrics import get_registry
 
 
@@ -150,6 +151,7 @@ class FaultRegistry:
                 get_registry().counter(
                     "faults.injected", help="faults fired by the injection registry"
                 ).inc()
+                record_event("fault.injected", site=site)
                 return armed.action.trigger(site, ctx)
         return None
 

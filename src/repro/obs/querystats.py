@@ -40,9 +40,16 @@ _SERVER_DELTA_FIELDS: dict[str, str] = {
     "wal_records": "wal.records_appended",
     "wal_bytes": "wal.bytes_written",
     "lock_waits": "locks.waits",
+    "latch_waits": "latch.waits",
+    "latch_wait_seconds": "latch.wait_seconds",
     "plan_cache_hits": "server.plan_cache_hits",
     "faults_injected": "faults.injected",
 }
+
+#: Per-level latch counters (``latch.l07_wait_seconds``) are dynamic —
+#: one pair per contended hierarchy level — so they are harvested from
+#: the context snapshot by prefix instead of a fixed field map.
+_LATCH_LEVEL_PREFIX = "latch.l"
 
 _DRIVER_DELTA_FIELDS: dict[str, str] = {
     "cek_cache_hits": "driver.cek_cache_hits",
@@ -61,6 +68,10 @@ class QueryStats:
     elapsed_s: float = 0.0
     rows_returned: int = 0
 
+    # Trace identity (filled by the server; 0 = not assigned).
+    statement_id: int = 0
+    session_id: int = 0
+
     # Server-side registry deltas.
     ecalls: int = 0
     enclave_evals: int = 0
@@ -76,8 +87,14 @@ class QueryStats:
     wal_records: int = 0
     wal_bytes: int = 0
     lock_waits: int = 0
+    latch_waits: int = 0
+    latch_wait_seconds: float = 0.0
     plan_cache_hits: int = 0
     faults_injected: int = 0
+
+    #: Per-hierarchy-level latch waits this statement caused:
+    #: ``{"latch.l07_waits": 2, "latch.l07_wait_seconds": 0.003, ...}``.
+    latch_level_waits: dict[str, int | float] = field(default_factory=dict)
 
     # Driver-side registry deltas (filled by the client driver).
     cek_cache_hits: int = 0
@@ -153,6 +170,11 @@ class QueryStatsCollector:
         )
         for attr, name in _SERVER_DELTA_FIELDS.items():
             setattr(stats, attr, self._ctx.value(name))
+        stats.latch_level_waits = {
+            name: value
+            for name, value in self._ctx.snapshot().items()
+            if name.startswith(_LATCH_LEVEL_PREFIX)
+        }
         return stats
 
 
@@ -196,6 +218,8 @@ def format_explain_stats(stats: QueryStats) -> str:
         ("  enclave_comparisons", stats.enclave_comparisons),
         ("boundary_transitions", stats.boundary_transitions),
         ("lock_waits", stats.lock_waits),
+        ("latch_waits", stats.latch_waits),
+        ("latch_wait_ms", f"{stats.latch_wait_seconds * 1000:.3f}"),
         ("plan_cache_hits", stats.plan_cache_hits),
         ("faults_injected", stats.faults_injected),
         ("cek_cache_hits", stats.cek_cache_hits),
@@ -203,6 +227,15 @@ def format_explain_stats(stats: QueryStats) -> str:
         ("describe_roundtrips", stats.describe_roundtrips),
         ("retries", stats.retries),
     ]
+    for name in sorted(stats.latch_level_waits):
+        if name.endswith("_waits") and stats.latch_level_waits[name]:
+            seconds = stats.latch_level_waits.get(
+                name.replace("_waits", "_wait_seconds"), 0.0
+            )
+            rows.append(
+                (f"  {name}", f"{stats.latch_level_waits[name]} "
+                              f"({seconds * 1000:.3f}ms)")
+            )
     width = max(len(str(label)) for label, __ in rows)
     lines = ["EXPLAIN STATS"]
     lines += [f"  {str(label).ljust(width)}  {value}" for label, value in rows]
@@ -210,4 +243,61 @@ def format_explain_stats(stats: QueryStats) -> str:
         lines.append("  span tree:")
         for line in stats.root_span.format_tree().splitlines():
             lines.append("    " + line)
+    return "\n".join(lines)
+
+
+def format_explain_analyze(stats: QueryStats) -> str:
+    """The ``EXPLAIN ANALYZE`` timeline view: the statement's span tree as
+    a waterfall (offset from statement start, duration, self-evident
+    nesting) plus its contention profile — where this statement waited.
+    """
+    lines = [
+        "EXPLAIN ANALYZE",
+        f"  statement #{stats.statement_id} (session {stats.session_id})  "
+        f"{stats.elapsed_s * 1000:.3f}ms  rows={stats.rows_returned}",
+        f"  query: {stats.query_text or '<unknown>'}",
+    ]
+    root = stats.root_span
+    if root is not None:
+        lines.append("  timeline:")
+
+        def walk(span, depth: int) -> None:
+            offset_ms = (span.start_s - root.start_s) * 1000
+            attrs = ""
+            if span.attrs:
+                attrs = "  " + " ".join(f"{k}={v}" for k, v in span.attrs.items())
+            lines.append(
+                f"    +{offset_ms:9.3f}ms {'  ' * depth}{span.name} "
+                f"({span.kind}) {span.duration_s * 1000:.3f}ms{attrs}"
+            )
+            for child in span.children:
+                walk(child, depth + 1)
+            if span.dropped_children:
+                lines.append(
+                    f"    {'  ' * (depth + 1)}... {span.dropped_children} "
+                    "more spans (capped)"
+                )
+
+        walk(root, 0)
+    else:
+        lines.append("  timeline: <tracing disabled>")
+    lines.append("  waits:")
+    lines.append(
+        f"    lock_waits={stats.lock_waits}  latch_waits={stats.latch_waits}  "
+        f"latch_wait_ms={stats.latch_wait_seconds * 1000:.3f}"
+    )
+    for name in sorted(stats.latch_level_waits):
+        if name.endswith("_waits") and stats.latch_level_waits[name]:
+            seconds = stats.latch_level_waits.get(
+                name.replace("_waits", "_wait_seconds"), 0.0
+            )
+            lines.append(
+                f"    {name}={stats.latch_level_waits[name]} "
+                f"({seconds * 1000:.3f}ms)"
+            )
+    lines.append(
+        f"  enclave: ecalls={stats.ecalls} "
+        f"transitions={stats.boundary_transitions} "
+        f"batched_rows={stats.enclave_batched_rows}"
+    )
     return "\n".join(lines)

@@ -16,10 +16,21 @@ Spans with no enclosing parent are returned to the caller but retained
 nowhere, so tracing a hot loop without an active statement trace cannot
 leak memory. Child lists are capped (:data:`MAX_CHILDREN_PER_SPAN`); the
 overflow is *counted*, never silently dropped.
+
+Cross-thread propagation: a statement executing on a scheduler worker (or
+shipping work to the QUEUED enclave gateway) establishes a
+:class:`TraceContext`; submitting code calls :meth:`Tracer.capture` and
+the receiving thread wraps the work in :meth:`Tracer.adopt`, so spans and
+flight-recorder events emitted on the worker parent under the submitting
+statement's trace instead of silently rooting a fresh one. With
+``tracer.strict`` set (tests), an adopted thread opening a span with no
+inherited context raises :class:`TraceOrphanError` — the loud failure
+mode for broken propagation.
 """
 
 from __future__ import annotations
 
+import contextlib
 import threading
 import time
 from dataclasses import dataclass, field
@@ -34,6 +45,44 @@ OPERATOR = "operator"
 ECALL = "enclave.ecall"
 
 MAX_CHILDREN_PER_SPAN = 512
+
+# Guards cross-thread child attachment: gateway/scheduler workers append
+# children onto a span owned by the (blocked) submitting thread.
+_CHILD_LOCK = threading.Lock()
+
+
+class TraceOrphanError(RuntimeError):
+    """A worker-thread span had no adopted trace context (strict mode)."""
+
+
+@dataclass(frozen=True)
+class TraceContext:
+    """Identity of the statement a trace belongs to.
+
+    ``trace_id`` currently equals ``statement_id`` (one trace per
+    statement); they are separate fields so multi-statement traces can
+    exist later without a schema change.
+    """
+
+    trace_id: int
+    statement_id: int
+    session_id: int = 0
+
+
+@dataclass(frozen=True)
+class CapturedTrace:
+    """What :meth:`Tracer.capture` snapshots for hand-off to a worker."""
+
+    context: TraceContext | None = None
+    parent: "Span | None" = None
+
+    @property
+    def empty(self) -> bool:
+        return self.context is None and self.parent is None
+
+
+#: Shared empty capture so hot submit paths allocate nothing.
+EMPTY_CAPTURE = CapturedTrace()
 
 
 @dataclass
@@ -56,10 +105,15 @@ class Span:
         return self.end_s - self.start_s
 
     def add_child(self, child: "Span") -> None:
-        if len(self.children) >= MAX_CHILDREN_PER_SPAN:
-            self.dropped_children += 1
-            return
-        self.children.append(child)
+        # Adopted parents receive children from whichever worker thread is
+        # doing the statement's work; the submitter is blocked meanwhile,
+        # but gateway and scheduler workers can interleave, so attachment
+        # is serialized.
+        with _CHILD_LOCK:
+            if len(self.children) >= MAX_CHILDREN_PER_SPAN:
+                self.dropped_children += 1
+                return
+            self.children.append(child)
 
     def count(self, kind: str | None = None) -> int:
         """Spans in this subtree (excluding self), optionally by kind."""
@@ -127,6 +181,11 @@ class _SpanContext:
                 break
         if self._parent is not None:
             self._parent.add_child(span)
+        tracer = self._tracer
+        if tracer._sinks:
+            context = tracer.current_trace()
+            for sink in tuple(tracer._sinks):
+                sink(span, context)
 
 
 class _NullSpanContext:
@@ -150,8 +209,15 @@ class Tracer:
 
     def __init__(self, registry: MetricsRegistry | None = None, enabled: bool = True):
         self.enabled = enabled
+        #: Fail loudly when an adopted worker thread opens a span with no
+        #: inherited trace context or parent (tests flip this on).
+        self.strict = False
         self.registry = registry or get_registry()
         self._local = threading.local()
+        #: Span sinks: callables ``(span, trace_context)`` invoked when a
+        #: span closes — how the flight recorder sees spans without the
+        #: tracer importing it (that would be a cycle).
+        self._sinks: list = []
         # Histogram of ecall span durations — boundary-crossing latency is
         # a first-class observable, not just a count.
         self._ecall_hist: Histogram | None = None
@@ -167,6 +233,73 @@ class Tracer:
         stack = self._stack()
         return stack[-1] if stack else None
 
+    # -- trace-context propagation ----------------------------------------
+
+    def current_trace(self) -> TraceContext | None:
+        """The trace context active on the calling thread, if any."""
+        return getattr(self._local, "trace", None)
+
+    @contextlib.contextmanager
+    def trace(self, context: TraceContext):
+        """Establish ``context`` as the thread's trace for the duration."""
+        previous = getattr(self._local, "trace", None)
+        self._local.trace = context
+        try:
+            yield context
+        finally:
+            self._local.trace = previous
+
+    def capture(self) -> CapturedTrace:
+        """Snapshot the calling thread's trace state for worker hand-off."""
+        context = self.current_trace()
+        parent = self.current()
+        if context is None and parent is None:
+            return EMPTY_CAPTURE
+        return CapturedTrace(context=context, parent=parent)
+
+    @contextlib.contextmanager
+    def adopt(self, captured: CapturedTrace):
+        """Run the body under a captured trace on a *different* thread.
+
+        The captured parent span (if any) is pushed onto this thread's
+        stack so spans opened here nest under it; it is popped — without
+        re-attaching, it belongs to the submitter's stack — at exit. Safe
+        because the submitting thread blocks on the work's completion
+        while its span is open.
+        """
+        local = self._local
+        previous_trace = getattr(local, "trace", None)
+        previously_adopted = getattr(local, "adopted", False)
+        local.trace = captured.context
+        local.adopted = True
+        stack = self._stack()
+        pushed = captured.parent is not None
+        if pushed:
+            stack.append(captured.parent)
+        try:
+            yield
+        finally:
+            if pushed:
+                # Pop the foreign parent plus any spans abandoned above it
+                # (same sweep rationale as _SpanContext.__exit__).
+                for i in range(len(stack) - 1, -1, -1):
+                    if stack[i] is captured.parent:
+                        del stack[i:]
+                        break
+            local.trace = previous_trace
+            local.adopted = previously_adopted
+
+    # -- span sinks --------------------------------------------------------
+
+    def add_span_sink(self, sink) -> None:
+        """``sink(span, trace_context)`` is called at every span close."""
+        if sink not in self._sinks:
+            self._sinks.append(sink)
+
+    def remove_span_sink(self, sink) -> None:
+        if sink in self._sinks:
+            self._sinks.remove(sink)
+
     def span(
         self,
         name: str,
@@ -178,6 +311,17 @@ class Tracer:
         recorded on the span at exit."""
         if not self.enabled:
             return _NULL_CONTEXT
+        if (
+            self.strict
+            and getattr(self._local, "adopted", False)
+            and self.current() is None
+            and self.current_trace() is None
+        ):
+            raise TraceOrphanError(
+                f"span {name!r} opened on an adopted worker thread with no "
+                "trace context or parent span — the submitting side failed "
+                "to capture/propagate its trace"
+            )
         return _SpanContext(self, Span(name=name, kind=kind, attrs=attrs), capture)
 
     def ecall_span(self, name: str, **attrs) -> _SpanContext | _NullSpanContext:

@@ -1,0 +1,139 @@
+"""The measured transition-cost model (ROADMAP item 4's input).
+
+The batch executor currently picks its chunk size from a fixed default;
+the paper's argument for batching (Section 4.6) is *quantitative* — the
+boundary-crossing cost per row falls as the batch grows. This module
+records what each ecall actually cost, bucketed by batch size, and
+persists the distribution so a cost model can choose batch sizes from
+measurement instead of folklore.
+
+Fed by the enclave call gateway (every eval/eval_batch measures its wall
+time); persisted as JSON by the ``flightrec record`` CLI; consumed via
+:meth:`TransitionCostModel.cost_per_row_s` and
+:meth:`TransitionCostModel.recommended_batch_size`.
+"""
+
+from __future__ import annotations
+
+import json
+import threading
+from pathlib import Path
+
+#: Power-of-two batch-size buckets, matching the ``worker.batch_size``
+#: histogram edges; an observation lands in the first bucket >= rows.
+BATCH_BUCKETS = (1, 2, 4, 8, 16, 32, 64, 128, 256, 512)
+
+_SCHEMA = "repro-transition-costs"
+_VERSION = 1
+
+
+class TransitionCostModel:
+    """Per-batch-size wall-time statistics for enclave calls."""
+
+    def __init__(self):
+        self._lock = threading.Lock()
+        #: bucket -> {"calls", "total_s", "min_s", "max_s"}
+        self._buckets: dict[int, dict] = {}
+
+    @staticmethod
+    def bucket_of(rows: int) -> int:
+        for bucket in BATCH_BUCKETS:
+            if rows <= bucket:
+                return bucket
+        return BATCH_BUCKETS[-1]
+
+    def observe(self, rows: int, wall_s: float) -> None:
+        bucket = self.bucket_of(max(1, rows))
+        with self._lock:
+            entry = self._buckets.get(bucket)
+            if entry is None:
+                entry = {"calls": 0, "total_s": 0.0, "min_s": wall_s, "max_s": wall_s}
+                self._buckets[bucket] = entry
+            entry["calls"] += 1
+            entry["total_s"] += wall_s
+            entry["min_s"] = min(entry["min_s"], wall_s)
+            entry["max_s"] = max(entry["max_s"], wall_s)
+
+    # -- queries -----------------------------------------------------------
+
+    @property
+    def observations(self) -> int:
+        with self._lock:
+            return sum(entry["calls"] for entry in self._buckets.values())
+
+    def mean_cost_s(self, rows: int) -> float | None:
+        """Mean measured wall time for a call of ``rows`` (its bucket)."""
+        bucket = self.bucket_of(max(1, rows))
+        with self._lock:
+            entry = self._buckets.get(bucket)
+            if entry is None or entry["calls"] == 0:
+                return None
+            return entry["total_s"] / entry["calls"]
+
+    def cost_per_row_s(self, rows: int) -> float | None:
+        mean = self.mean_cost_s(rows)
+        if mean is None:
+            return None
+        return mean / self.bucket_of(max(1, rows))
+
+    def recommended_batch_size(self, default: int = 64) -> int:
+        """The observed bucket with the lowest per-row cost.
+
+        Falls back to ``default`` when nothing has been measured — the
+        executor's behaviour is unchanged until there is evidence.
+        """
+        best = None
+        best_cost = None
+        with self._lock:
+            for bucket, entry in self._buckets.items():
+                if entry["calls"] == 0:
+                    continue
+                per_row = entry["total_s"] / entry["calls"] / bucket
+                if best_cost is None or per_row < best_cost:
+                    best, best_cost = bucket, per_row
+        return best if best is not None else default
+
+    # -- persistence -------------------------------------------------------
+
+    def to_dict(self) -> dict:
+        with self._lock:
+            return {
+                "schema": _SCHEMA,
+                "version": _VERSION,
+                "buckets": {str(k): dict(v) for k, v in sorted(self._buckets.items())},
+            }
+
+    @classmethod
+    def from_dict(cls, payload: dict) -> "TransitionCostModel":
+        if payload.get("schema") != _SCHEMA or payload.get("version") != _VERSION:
+            raise ValueError("not a transition-cost model payload")
+        model = cls()
+        for bucket, entry in payload.get("buckets", {}).items():
+            model._buckets[int(bucket)] = {
+                "calls": int(entry["calls"]),
+                "total_s": float(entry["total_s"]),
+                "min_s": float(entry["min_s"]),
+                "max_s": float(entry["max_s"]),
+            }
+        return model
+
+    def save(self, path: str | Path) -> None:
+        Path(path).write_text(
+            json.dumps(self.to_dict(), indent=2, sort_keys=True), encoding="utf-8"
+        )
+
+    @classmethod
+    def load(cls, path: str | Path) -> "TransitionCostModel":
+        return cls.from_dict(json.loads(Path(path).read_text(encoding="utf-8")))
+
+    def reset(self) -> None:
+        with self._lock:
+            self._buckets.clear()
+
+
+_global_model = TransitionCostModel()
+
+
+def get_transition_cost_model() -> TransitionCostModel:
+    """The process-global model the enclave gateway reports into."""
+    return _global_model

@@ -135,6 +135,20 @@ class StrongAdversary:
                     out.append((handle, row_inputs, row_outputs))
         return out
 
+    def leakage_summary(self) -> dict[str, dict[str, int]]:
+        """The leakage ledger's per-column view of what this adversary can
+        observe: DET equality verdicts, RND comparison verdicts, and index
+        access patterns, keyed ``{column: {kind: count}}``.
+
+        The ledger is fed by the instrumented comparators and B+-trees —
+        the same call sites whose boundary events land in
+        :attr:`boundary_events` — so this is the *accounted* leakage to
+        cross-check against the raw observation streams above.
+        """
+        from repro.obs.leakage import get_leakage_accountant
+
+        return get_leakage_accountant().snapshot()
+
     def plaintext_exposures(self, secrets: list[bytes]) -> list[str]:
         """Check every adversary-visible surface for the given plaintext
         byte strings; returns the names of surfaces where any appears.

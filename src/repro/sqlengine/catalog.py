@@ -9,13 +9,13 @@ from its CEK's CMK, exactly the chain the DDL in Figure 1 establishes.
 
 from __future__ import annotations
 
-import threading
 from dataclasses import dataclass, field
 
 from repro.crypto.aead import ALGORITHM_NAME, EncryptionScheme
 from repro.errors import BindError, SqlError
 from repro.keys.cek import ColumnEncryptionKey
 from repro.keys.cmk import ColumnMasterKey
+from repro.obs.latchprof import TimedLatch
 from repro.sqlengine.types import ColumnType, EncryptionInfo, SqlType
 
 
@@ -87,7 +87,7 @@ class Catalog:
         self._ceks: dict[str, ColumnEncryptionKey] = {}
         # Concurrent sessions read the catalog on every bind; DDL mutates
         # it. One reentrant latch keeps lookups consistent with drops.
-        self._latch = threading.RLock()
+        self._latch = TimedLatch("repro.sqlengine.catalog.Catalog._latch")
 
     # -- tables ----------------------------------------------------------------
 

@@ -195,15 +195,23 @@ class StorageEngine:
         key_slots: list[int] = []
         cells: list[CellComparator] = []
         cek_names: list[str] = []
+        leak_column: str | None = None
         for column_name in index.column_names:
             column = table.schema.column(column_name)
             key_slots.append(table.schema.column_index(column_name))
             enc = column.column_type.encryption
+            # The leakage ledger attributes observations to qualified
+            # column names; the first encrypted key column labels the
+            # tree's access pattern.
+            column_label = f"{table.schema.name}.{column_name}"
             if enc is None:
                 cells.append(CellComparator(PlaintextComparator()))
             elif enc.scheme is EncryptionScheme.DETERMINISTIC:
-                cells.append(CellComparator(CiphertextBinaryComparator()))
+                cells.append(
+                    CellComparator(CiphertextBinaryComparator(column=column_label))
+                )
                 cek_names.append(enc.cek_name)
+                leak_column = leak_column or column_label
             else:
                 if self.enclave is None:
                     raise SqlError("a range index on a RND column requires an enclave")
@@ -213,13 +221,19 @@ class StorageEngine:
                             self.enclave,
                             enc.cek_name,
                             batch_probes=self.batch_index_probes,
+                            column=column_label,
                         )
                     )
                 )
                 cek_names.append(enc.cek_name)
+                leak_column = leak_column or column_label
         obj = IndexObject(
             schema=index,
-            tree=BPlusTree(CompositeComparator(cells), unique=index.unique),
+            tree=BPlusTree(
+                CompositeComparator(cells),
+                unique=index.unique,
+                leak_column=leak_column,
+            ),
             key_slots=key_slots,
             cek_names=tuple(cek_names),
         )

@@ -10,11 +10,12 @@ keys are allowed (non-unique indexes) unless ``unique`` is set.
 
 from __future__ import annotations
 
-import threading
 from dataclasses import dataclass, field
 from typing import Iterator
 
 from repro.errors import ConstraintError, SqlError
+from repro.obs.latchprof import TimedLatch
+from repro.obs.leakage import record_leak
 from repro.obs.metrics import get_registry
 from repro.sqlengine.index.comparators import KeyComparator
 from repro.sqlengine.storage.heap import RowId
@@ -49,12 +50,21 @@ class _Internal:
 class BPlusTree:
     """B+-tree keyed through an injected comparator."""
 
-    def __init__(self, comparator: KeyComparator, order: int = DEFAULT_ORDER, unique: bool = False):
+    def __init__(
+        self,
+        comparator: KeyComparator,
+        order: int = DEFAULT_ORDER,
+        unique: bool = False,
+        leak_column: str | None = None,
+    ):
         if order < 4:
             raise SqlError("B+-tree order must be at least 4")
         self.comparator = comparator
         self.order = order
         self.unique = unique
+        # For indexes over encrypted columns: each descent's node touches
+        # are an adversary-observable access pattern, charged per column.
+        self._leak_column = leak_column
         # Batch-capable comparators (enclave-backed) pay a boundary crossing
         # per comparison: probe a whole node's keys in one compare_batch
         # ecall instead of O(log n) single-compare ecalls per node.
@@ -65,7 +75,7 @@ class BPlusTree:
         # concurrent descents, so readers and writers both take it. The
         # comparator may call into the enclave gateway while held, which
         # is why the declared latch order puts btree above Enclave.
-        self._latch = threading.RLock()
+        self._latch = TimedLatch("repro.sqlengine.index.btree.BPlusTree._latch")
 
     def __len__(self) -> int:
         return self._size
@@ -80,6 +90,8 @@ class BPlusTree:
             node = node.children[idx]
             visited += 1
         _nodes_visited.inc(visited)
+        if self._leak_column is not None:
+            record_leak(self._leak_column, "index_touch", count=visited)
         return node  # type: ignore[return-value]
 
     def _find_leaf_for_search(self, key: object) -> _Leaf:
@@ -94,6 +106,8 @@ class BPlusTree:
             node = node.children[idx]
             visited += 1
         _nodes_visited.inc(visited)
+        if self._leak_column is not None:
+            record_leak(self._leak_column, "index_touch", count=visited)
         return node  # type: ignore[return-value]
 
     def _lower_bound(self, keys: list[object], key: object) -> int:

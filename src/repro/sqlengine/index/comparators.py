@@ -18,6 +18,7 @@ from typing import Callable, Protocol
 
 from repro.enclave import Enclave
 from repro.errors import SqlError
+from repro.obs.leakage import record_leak
 from repro.sqlengine.cells import Ciphertext
 from repro.sqlengine.values import compare_values
 
@@ -80,13 +81,26 @@ class CiphertextBinaryComparator:
     semantic_order = False
     batch_capable = False  # byte comparisons are free
 
+    def __init__(self, column: str | None = None):
+        # When labelled with a column, every comparison is charged to the
+        # leakage ledger: DET byte comparison reveals an equality verdict.
+        self._column = column
+
     def compare(self, left: object, right: object) -> int:
         left_bytes = self._envelope(left)
         right_bytes = self._envelope(right)
+        if self._column is not None:
+            record_leak(self._column, "det_equality")
         return (left_bytes > right_bytes) - (left_bytes < right_bytes)
 
     def compare_one_to_many(self, probe: object, keys: list[object]) -> list[int]:
-        return [self.compare(probe, key) for key in keys]
+        probe_bytes = self._envelope(probe)
+        if self._column is not None and keys:
+            record_leak(self._column, "det_equality", count=len(keys))
+        return [
+            (probe_bytes > kb) - (probe_bytes < kb)
+            for kb in (self._envelope(key) for key in keys)
+        ]
 
     @staticmethod
     def _envelope(value: object) -> bytes:
@@ -108,10 +122,19 @@ class EnclaveComparator:
     supports_range = True
     semantic_order = True
 
-    def __init__(self, enclave: Enclave, cek_name: str, batch_probes: bool = True):
+    def __init__(
+        self,
+        enclave: Enclave,
+        cek_name: str,
+        batch_probes: bool = True,
+        column: str | None = None,
+    ):
         self._enclave = enclave
         self._cek_name = cek_name
         self._batch_probes = batch_probes
+        # When labelled, each comparison verdict (an ordering bit the host
+        # observes in the clear) is charged to the leakage ledger.
+        self._column = column
 
     @property
     def cek_name(self) -> str:
@@ -128,6 +151,8 @@ class EnclaveComparator:
     def compare(self, left: object, right: object) -> int:
         if not isinstance(left, Ciphertext) or not isinstance(right, Ciphertext):
             raise SqlError("enclave comparator expects ciphertext keys on both sides")
+        if self._column is not None:
+            record_leak(self._column, "rnd_comparison")
         return self._enclave.compare(self._cek_name, left, right)
 
     def compare_one_to_many(self, probe: object, keys: list[object]) -> list[int]:
@@ -137,6 +162,8 @@ class EnclaveComparator:
             raise SqlError("enclave comparator expects ciphertext keys on both sides")
         if not keys:
             return []
+        if self._column is not None:
+            record_leak(self._column, "rnd_comparison", count=len(keys))
         if not self.batch_capable:
             return [self._enclave.compare(self._cek_name, probe, key) for key in keys]
         return self._enclave.compare_batch(self._cek_name, probe, list(keys))

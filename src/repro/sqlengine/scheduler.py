@@ -32,7 +32,9 @@ from collections import deque
 from dataclasses import dataclass, field
 from typing import Callable
 
+from repro.obs.flightrec import record_event
 from repro.obs.metrics import get_registry
+from repro.obs.tracing import EMPTY_CAPTURE, CapturedTrace, get_tracer
 
 
 @dataclass
@@ -42,6 +44,11 @@ class _Task:
     result: object = None
     error: BaseException | None = None
     enqueued_at: float = field(default_factory=time.perf_counter)
+    #: The submitting thread's trace state and metric attribution
+    #: contexts; the worker adopts both so spans, flight-recorder events,
+    #: and counter increments all land under the submitting statement.
+    trace: CapturedTrace = EMPTY_CAPTURE
+    contexts: tuple = ()
 
 
 class StatementScheduler:
@@ -91,7 +98,13 @@ class StatementScheduler:
         if self.worker_threads == 0 or getattr(self._tls, "is_worker", False):
             self._inline.inc()
             return fn()
-        task = _Task(fn)
+        registry = get_registry()
+        task = _Task(
+            fn,
+            trace=get_tracer().capture(),
+            contexts=registry.current_contexts(),
+        )
+        record_event("sched.enqueue", queue_depth=len(self._tasks))
         with self._lock:
             if self._shutdown:
                 raise RuntimeError("statement scheduler is shut down")
@@ -132,10 +145,18 @@ class StatementScheduler:
                     return
                 task = self._tasks.popleft()
                 self._queue_depth.set(len(self._tasks))
-            self._dispatch_wait.observe(time.perf_counter() - task.enqueued_at)
+            wait_s = time.perf_counter() - task.enqueued_at
+            self._dispatch_wait.observe(wait_s)
             self._dispatched.inc()
+            # Adopt the submitter's trace and attribution contexts so the
+            # statement's spans/events/counters carry its identity even
+            # though they happen on this worker thread.
             try:
-                task.result = task.fn()
+                with get_tracer().adopt(task.trace), get_registry().adopt_contexts(
+                    task.contexts
+                ):
+                    record_event("sched.dispatch", duration_s=wait_s)
+                    task.result = task.fn()
             except BaseException as exc:  # propagate to the submitting thread
                 task.error = exc
             finally:

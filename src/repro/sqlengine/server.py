@@ -29,9 +29,10 @@ from repro.crypto.aead import ALGORITHM_NAME, EncryptionScheme
 from repro.enclave import CallMode, Enclave, EnclaveCallGateway, SealedPackage
 from repro.errors import EnclaveError, ServerBusyError, SqlError, TransactionError
 from repro.keys.cek import CekEncryptedValue, ColumnEncryptionKey
+from repro.obs.flightrec import record_event
 from repro.obs.metrics import StatsView, get_registry
 from repro.obs.querystats import QueryStatsCollector
-from repro.obs.tracing import STATEMENT, get_tracer
+from repro.obs.tracing import STATEMENT, TraceContext, get_tracer
 from repro.keys.cmk import ColumnMasterKey
 from repro.sqlengine.catalog import Catalog, ColumnSchema, IndexSchema, TableSchema
 from repro.sqlengine.cells import Ciphertext
@@ -139,6 +140,9 @@ class SqlServer:
         self.stats = ServerStats()
         self._tracer = get_tracer()
         self._session_ids = itertools.count(1)
+        # Process-wide statement ids: unique across sessions, so traces
+        # and flight-recorder events never collide between clients.
+        self._statement_ids = itertools.count(1)
         self.scheduler = StatementScheduler(worker_threads=worker_threads)
         self.max_sessions = max_sessions
         self._sessions_lock = threading.Lock()
@@ -379,26 +383,41 @@ class ServerSession:
         )
 
     def _run_statement(self, query_text: str, params: dict[str, object]) -> QueryResult:
+        statement_id = next(self.server._statement_ids)
+        trace_context = TraceContext(
+            trace_id=statement_id,
+            statement_id=statement_id,
+            session_id=self.session_id,
+        )
         collector = QueryStatsCollector(query_text=query_text)
+        tracer = self.server._tracer
         try:
-            plan = self.server._plan(query_text)
-            autocommit = self._txn is None and not isinstance(plan.stmt, ast.SelectStmt)
-            txn = self._txn
-            if autocommit:
-                txn = self.server.engine.begin()
-            try:
-                with self.server._tracer.span(
-                    "server.statement", kind=STATEMENT, session=self.session_id
-                ) as root_span:
-                    result = self.server.executor.execute(
-                        plan.stmt, params, txn=txn, deduction=plan.deduction
-                    )
-            except Exception:
+            with tracer.trace(trace_context):
+                record_event("stmt.begin", query=query_text[:120])
+                plan = self.server._plan(query_text)
+                autocommit = self._txn is None and not isinstance(
+                    plan.stmt, ast.SelectStmt
+                )
+                txn = self._txn
+                if autocommit:
+                    txn = self.server.engine.begin()
+                try:
+                    with tracer.span(
+                        "server.statement",
+                        kind=STATEMENT,
+                        session=self.session_id,
+                        statement=statement_id,
+                    ) as root_span:
+                        result = self.server.executor.execute(
+                            plan.stmt, params, txn=txn, deduction=plan.deduction
+                        )
+                except Exception:
+                    if autocommit and txn is not None:
+                        self.server.engine.abort(txn)
+                    record_event("stmt.end", ok=False, query=query_text[:120])
+                    raise
                 if autocommit and txn is not None:
-                    self.server.engine.abort(txn)
-                raise
-            if autocommit and txn is not None:
-                self.server.engine.commit(txn)
+                    self.server.engine.commit(txn)
         except BaseException:
             collector.cancel()
             raise
@@ -408,6 +427,16 @@ class ServerSession:
             plan_info=result.plan_info,
             root_span=root_span,
         )
+        result.stats.statement_id = statement_id
+        result.stats.session_id = self.session_id
+        with tracer.trace(trace_context):
+            record_event(
+                "stmt.end",
+                ok=True,
+                elapsed_s=result.stats.elapsed_s,
+                rows=result.rowcount,
+                query=query_text[:120],
+            )
         return result
 
     # -- DDL ---------------------------------------------------------------------------

@@ -9,11 +9,11 @@ bytes.
 
 from __future__ import annotations
 
-import threading
 from collections import OrderedDict
 from typing import TYPE_CHECKING
 
 from repro.faults.registry import fault_point, register_fault_site
+from repro.obs.latchprof import TimedLatch
 from repro.obs.metrics import StatsView, get_registry
 from repro.sqlengine.storage.disk import Disk
 from repro.sqlengine.storage.page import Page
@@ -57,10 +57,12 @@ class BufferPool:
         # Reentrant so heap files can hold the pool latch across a page
         # mutation (serializing it against eviction's page serialization)
         # while the nested get()/allocate_page() re-acquires it.
-        self._latch = threading.RLock()
+        self._latch = TimedLatch(
+            "repro.sqlengine.storage.bufferpool.BufferPool._latch"
+        )
 
     @property
-    def latch(self) -> threading.RLock:
+    def latch(self) -> TimedLatch:
         """The pool latch; heap files hold it while mutating page contents."""
         return self._latch
 

@@ -2,11 +2,11 @@
 
 from __future__ import annotations
 
-import threading
 from dataclasses import dataclass
 from typing import Iterator
 
 from repro.errors import SqlError
+from repro.obs.latchprof import TimedLatch
 from repro.sqlengine.storage.bufferpool import BufferPool
 from repro.sqlengine.storage.record import deserialize_row, serialize_row
 
@@ -32,7 +32,7 @@ class HeapFile:
         # Serializes page-id bookkeeping; page *content* mutation happens
         # under the pool latch so eviction's page serialization never
         # observes a half-mutated slot directory.
-        self._latch = threading.RLock()
+        self._latch = TimedLatch("repro.sqlengine.storage.heap.HeapFile._latch")
 
     @property
     def page_ids(self) -> list[int]:

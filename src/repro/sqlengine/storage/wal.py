@@ -10,12 +10,13 @@ before/after images of encrypted cells are ciphertext envelopes.
 from __future__ import annotations
 
 import enum
-import threading
 from dataclasses import dataclass, field
 
 from repro.errors import ForcedCrash
 from repro.faults.actions import PartialFlushDirective
 from repro.faults.registry import fault_point, register_fault_site
+from repro.obs.flightrec import record_event
+from repro.obs.latchprof import TimedLatch
 from repro.obs.metrics import get_registry
 from repro.sqlengine.storage.heap import RowId
 
@@ -52,7 +53,11 @@ class WriteAheadLog:
     """An append-only log that survives crashes (unlike the buffer pool)."""
 
     _records: list[LogRecord] = field(default_factory=list)
-    _lock: threading.Lock = field(default_factory=threading.Lock)
+    _lock: TimedLatch = field(
+        default_factory=lambda: TimedLatch(
+            "repro.sqlengine.storage.wal.WriteAheadLog._lock"
+        )
+    )
     _next_lsn: int = 0
     flushed_lsn: int = -1
 
@@ -103,7 +108,9 @@ class WriteAheadLog:
             return
         with self._lock:
             self.flushed_lsn = self._next_lsn - 1
+            flushed = self.flushed_lsn
         get_registry().counter("wal.flushes").inc()
+        record_event("wal.flush", flushed_lsn=flushed)
 
     def records(self, durable_only: bool = True) -> list[LogRecord]:
         """Log records visible after a crash (those flushed), or all."""

@@ -14,7 +14,14 @@ from collections import defaultdict
 from dataclasses import dataclass, field
 
 from repro.errors import LockTimeoutError
+from repro.obs.flightrec import record_event
+from repro.obs.latchprof import get_latch_profiler
 from repro.obs.metrics import get_registry
+
+#: The lock-order identity of the manager's condition variable — the same
+#: name the static analyzer derives, so the runtime contention profile and
+#: the declared hierarchy line up.
+_LOCK_ID = "repro.sqlengine.txn.locks.LockManager._cond"
 
 Resource = tuple  # ("table", name) or ("row", table, rid)
 
@@ -71,7 +78,15 @@ class LockManager:
                     self._held[txn_id].add(resource)
                     self._acquired.inc()
                     if wait_started is not None:
-                        self._wait_hist.observe(time.monotonic() - wait_started)
+                        waited = time.monotonic() - wait_started
+                        self._wait_hist.observe(waited)
+                        get_latch_profiler().record_wait(_LOCK_ID, waited)
+                        record_event(
+                            "lock.wait",
+                            resource=repr(resource),
+                            mode=mode.value,
+                            duration_s=waited,
+                        )
                     return
                 if deadline is None:
                     wait_started = time.monotonic()
@@ -80,7 +95,15 @@ class LockManager:
                 remaining = deadline - time.monotonic()
                 if remaining <= 0:
                     self._timeouts.inc()
-                    self._wait_hist.observe(time.monotonic() - wait_started)
+                    waited = time.monotonic() - wait_started
+                    self._wait_hist.observe(waited)
+                    get_latch_profiler().record_wait(_LOCK_ID, waited)
+                    record_event(
+                        "lock.timeout",
+                        resource=repr(resource),
+                        mode=mode.value,
+                        duration_s=waited,
+                    )
                     raise LockTimeoutError(
                         f"txn {txn_id} timed out waiting for {mode.value} lock on {resource}"
                     )

@@ -15,5 +15,11 @@ def hot_path(fault_point, registry):
     registry.gauge("disk.flips")
 
 
+def instrumented(record_event, computed_kind):
+    record_event(computed_kind)             # dynamic event kind
+    record_event("BadEventName")            # violates naming convention
+    record_event("made.up_kind")            # not in the registered kinds
+
+
 class DiskStats:
     FIELDS = {"writes": "Disk.PagesWritten"}

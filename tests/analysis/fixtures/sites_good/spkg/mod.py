@@ -12,5 +12,9 @@ def hot_path(fault_point, registry):
     writes.inc()
 
 
+def instrumented(record_event):
+    record_event("wal.flush", flushed_lsn=1)
+
+
 class DiskStats:
     FIELDS = {"writes": "disk.pages_written"}

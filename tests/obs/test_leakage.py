@@ -1,0 +1,93 @@
+"""Leakage accountant tests: per-(column, kind) accounting, the
+unlabelled fallback, the registry kill switch, and the flight-recorder
+events each observation emits."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.obs.flightrec import get_recorder
+from repro.obs.leakage import (
+    LEAK_KINDS,
+    UNLABELLED,
+    LeakageAccountant,
+    get_leakage_accountant,
+    record_leak,
+)
+from repro.obs.metrics import MetricsRegistry
+
+
+def make_accountant() -> tuple[LeakageAccountant, MetricsRegistry]:
+    registry = MetricsRegistry()
+    return LeakageAccountant(registry=registry), registry
+
+
+def test_counts_accumulate_per_column_and_kind():
+    accountant, registry = make_accountant()
+    accountant.record("T.C_LAST", "rnd_comparison", count=3)
+    accountant.record("T.C_LAST", "rnd_comparison")
+    accountant.record("T.C_LAST", "index_touch", count=2)
+    accountant.record("T.SSN", "det_equality")
+    assert accountant.snapshot() == {
+        "T.C_LAST": {"rnd_comparison": 4, "index_touch": 2},
+        "T.SSN": {"det_equality": 1},
+    }
+    assert accountant.total() == 7
+    assert accountant.total("T.C_LAST") == 6
+    assert registry.counter("leakage.events_observed").value == 7
+
+
+def test_unknown_kind_raises():
+    accountant, __ = make_accountant()
+    with pytest.raises(ValueError, match="unknown leakage kind"):
+        accountant.record("T.X", "plaintext_dump")
+
+
+def test_every_leak_kind_maps_to_a_declared_event():
+    from repro.obs.flightrec import EVENT_KINDS
+
+    for event_kind in LEAK_KINDS.values():
+        assert event_kind in EVENT_KINDS, event_kind
+
+
+def test_nonpositive_counts_are_ignored():
+    accountant, __ = make_accountant()
+    accountant.record("T.X", "det_equality", count=0)
+    accountant.record("T.X", "det_equality", count=-5)
+    assert accountant.snapshot() == {}
+
+
+def test_unlabelled_observations_pool_under_the_sentinel():
+    accountant, __ = make_accountant()
+    accountant.record(None, "det_equality")
+    assert accountant.snapshot() == {UNLABELLED: {"det_equality": 1}}
+
+
+def test_registry_kill_switch_silences_accounting():
+    accountant, registry = make_accountant()
+    registry.enabled = False
+    accountant.record("T.X", "det_equality")
+    assert accountant.snapshot() == {}
+
+
+def test_reset_clears_counts():
+    accountant, __ = make_accountant()
+    accountant.record("T.X", "index_touch", count=9)
+    accountant.reset()
+    assert accountant.snapshot() == {}
+    assert accountant.total() == 0
+
+
+def test_record_leak_emits_a_flight_recorder_event():
+    recorder = get_recorder()
+    accountant = get_leakage_accountant()
+    recorder.clear()
+    try:
+        record_leak("T.C_LAST", "rnd_comparison", count=5)
+        events = [e for e in recorder.events()
+                  if e.kind == "leak.rnd_comparison"]
+        assert len(events) == 1
+        assert events[0].attrs == {"column": "T.C_LAST", "count": 5}
+    finally:
+        recorder.clear()
+        accountant.reset()

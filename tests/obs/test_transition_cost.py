@@ -1,0 +1,79 @@
+"""Transition-cost model tests: power-of-two bucketing, per-row cost
+queries, the batch-size recommendation the batch executor consumes, and
+JSON persistence."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.obs.transition_cost import BATCH_BUCKETS, TransitionCostModel
+
+
+def test_bucket_of_rounds_up_to_the_next_power_of_two():
+    assert TransitionCostModel.bucket_of(1) == 1
+    assert TransitionCostModel.bucket_of(2) == 2
+    assert TransitionCostModel.bucket_of(3) == 4
+    assert TransitionCostModel.bucket_of(9) == 16
+    assert TransitionCostModel.bucket_of(10**9) == BATCH_BUCKETS[-1]
+
+
+def test_observe_accumulates_bucket_statistics():
+    model = TransitionCostModel()
+    model.observe(rows=8, wall_s=0.004)
+    model.observe(rows=7, wall_s=0.002)   # same bucket (8)
+    assert model.observations == 2
+    assert model.mean_cost_s(8) == pytest.approx(0.003)
+    assert model.cost_per_row_s(8) == pytest.approx(0.003 / 8)
+
+
+def test_unmeasured_bucket_returns_none():
+    model = TransitionCostModel()
+    assert model.mean_cost_s(4) is None
+    assert model.cost_per_row_s(4) is None
+
+
+def test_zero_rows_counts_as_a_one_row_call():
+    model = TransitionCostModel()
+    model.observe(rows=0, wall_s=0.001)
+    assert model.mean_cost_s(1) == pytest.approx(0.001)
+
+
+def test_recommended_batch_size_picks_lowest_per_row_cost():
+    model = TransitionCostModel()
+    # One transition per row: 100us per call of 1 row.
+    for __ in range(10):
+        model.observe(rows=1, wall_s=100e-6)
+    # Batched: 8 rows amortize the fixed cost — 200us per call of 8.
+    for __ in range(10):
+        model.observe(rows=8, wall_s=200e-6)
+    assert model.recommended_batch_size() == 8
+
+
+def test_recommended_batch_size_falls_back_to_default_when_unmeasured():
+    model = TransitionCostModel()
+    assert model.recommended_batch_size(default=64) == 64
+    assert model.recommended_batch_size(default=16) == 16
+
+
+def test_save_load_round_trip(tmp_path):
+    model = TransitionCostModel()
+    model.observe(rows=1, wall_s=0.001)
+    model.observe(rows=16, wall_s=0.004)
+    path = tmp_path / "costs.json"
+    model.save(path)
+    loaded = TransitionCostModel.load(path)
+    assert loaded.to_dict() == model.to_dict()
+    assert loaded.recommended_batch_size() == model.recommended_batch_size()
+
+
+def test_load_rejects_foreign_payloads():
+    with pytest.raises(ValueError, match="transition-cost"):
+        TransitionCostModel.from_dict({"schema": "something-else", "version": 1})
+
+
+def test_reset_clears_observations():
+    model = TransitionCostModel()
+    model.observe(rows=4, wall_s=0.001)
+    model.reset()
+    assert model.observations == 0
+    assert model.mean_cost_s(4) is None
