@@ -125,6 +125,10 @@ DEFAULT_LOCK_ORDER = (
     "repro.sqlengine.storage.bufferpool.*",
     "repro.sqlengine.storage.wal.*",
     "repro.sqlengine.storage.disk.*",
+    # The freshness anchor's latch is deliberately *below* all storage
+    # latches: advances run under the pool latch (write-back) and inside
+    # the WAL flush path, and the anchor never calls back into storage.
+    "repro.enclave.anchor.*",
     "repro.keys.providers.*",
     "repro.faults.registry.*",
     "repro.obs.latchprof.*",

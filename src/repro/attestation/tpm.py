@@ -83,3 +83,61 @@ class HostMachine:
                 TcgLogEntry.measure("kernel", self.kernel_image),
             )
         )
+
+
+class TpmNvAnchor:
+    """A freshness anchor rooted in a TPM NV monotonic slot.
+
+    Enclave-less deployments (DET-only columns need no enclave) still
+    face the rollback adversary: the disk and WAL can be restored from a
+    stale backup without breaking a single AEAD tag. This backend holds
+    the same :class:`~repro.enclave.anchor.AnchorState` a VBS enclave
+    would, but models it as TPM non-volatile storage — writable only
+    through the (monotonic) anchor protocol, surviving host restarts,
+    and outside the adversary's disk-restore reach. It exposes the
+    ``anchor_*`` protocol names that
+    :class:`~repro.sqlengine.storage.freshness.FreshnessAnchor` expects,
+    so the two trust roots are interchangeable.
+
+    The attestation package sits *inside* the trust boundary (it is not
+    a host package for the trust-boundary analyzer), so importing the
+    enclave-side anchor machinery here is sanctioned.
+    """
+
+    def __init__(self) -> None:
+        from repro.enclave.anchor import AnchorState
+
+        self._nv = AnchorState()
+
+    @property
+    def epoch(self) -> int:
+        return self._nv.epoch
+
+    def anchor_attach(self, pages, chain_lsn, chain_digest, base_lsn, base_digest):
+        return self._nv.attach(pages, chain_lsn, chain_digest, base_lsn, base_digest)
+
+    def anchor_advance(
+        self,
+        chain_lsn=None,
+        chain_digest=None,
+        page_id=None,
+        page_digest=None,
+    ):
+        if page_id is not None:
+            self._nv.advance_page(page_id, page_digest)
+        if chain_lsn is not None:
+            self._nv.advance_wal(chain_lsn, chain_digest)
+
+    def anchor_confirm(self, page_id):
+        self._nv.confirm_page(page_id)
+
+    def anchor_verify(self, base_lsn, base_digest, record_blobs, page_digests, torn_page_ids):
+        return self._nv.verify(
+            base_lsn, base_digest, record_blobs, page_digests, torn_page_ids
+        )
+
+    def anchor_truncate(self, base_lsn, base_digest):
+        return self._nv.seal_base(base_lsn, base_digest)
+
+    def anchor_status(self):
+        return self._nv.status()

@@ -59,6 +59,12 @@ ECALL_SURFACE = EcallSurface(
         "encrypt_for_ddl",
         "recrypt_for_ddl",
         "decrypt_for_ddl",
+        "anchor_attach",
+        "anchor_advance",
+        "anchor_confirm",
+        "anchor_verify",
+        "anchor_truncate",
+        "anchor_status",
     }),
     observable=frozenset({
         "measure",

@@ -1,0 +1,371 @@
+"""The enclave-held freshness anchor (rollback defense).
+
+Authenticated encryption gives the AE engine confidentiality and
+integrity but **not freshness**: an operator who restores yesterday's
+disk presents the engine with ciphertext that all still verifies. The
+anchor closes that gap with state the host cannot rewrite:
+
+* a **monotonic epoch counter** — bumped on every advance and every
+  successful verification, never decremented;
+* a **rolling hash chain over WAL records** — the host folds each
+  durable record's encoded bytes into a SHA-256 chain at flush time and
+  reports the ``(lsn, digest)`` head; the anchor accepts only
+  monotonically advancing heads. At recovery the anchor re-folds the
+  chain *itself* from the record bytes the host presents and requires
+  the fold to pass through its held head: a strict prefix (restored old
+  log), a fork (same length, different history), or a segment swap all
+  fail the fold;
+* a **per-page version map** — the digest of every page image the pool
+  has written back, advanced immediately before each disk write. At
+  recovery every CRC-valid disk page must match its held digest, so
+  replayed old-but-valid page images are caught even when the WAL is
+  current. A Merkle root over the map is exposed for cheap whole-disk
+  comparison and reporting.
+
+Two trust roots host this state: the VBS enclave
+(:meth:`repro.enclave.runtime.Enclave.anchor_advance` &c.) for RND
+deployments, and a simulated TPM NV slot
+(:class:`repro.attestation.tpm.TpmNvAnchor`) for enclave-less DET
+deployments. Both wrap the same :class:`AnchorState`.
+
+Crash-window tolerance (the zero-false-positive rules):
+
+* **WAL**: flush completes *before* the advance ecall, so a crash in
+  between leaves durable records beyond the anchored head. Such an
+  unanchored suffix is accepted (and re-anchored by the successful
+  verify); a tail *shorter* than the head is a rollback.
+* **Pages**: each page advance lands *before* its disk write and is
+  *confirmed* after the write returns. Pages with unconfirmed advances
+  (a crash in the window, or a failed write the engine survived) may
+  show the version from before the advance; any other stale page is a
+  rollback.
+* **Torn pages** (CRC-invalid) are exempt: recovery drops them and
+  redoes their rows from the already-verified WAL.
+"""
+
+from __future__ import annotations
+
+import hashlib
+from dataclasses import dataclass
+
+from repro.obs.flightrec import record_event
+from repro.obs.latchprof import TimedLatch
+from repro.obs.metrics import get_registry
+
+#: The chain/base digest before any record is folded. Mirrored by the
+#: host-side chain cache in :mod:`repro.sqlengine.storage.wal` (the host
+#: cannot import this module across the trust boundary).
+GENESIS = b"\x00" * 32
+
+
+def fold(digest: bytes, blob: bytes) -> bytes:
+    """Extend the rolling WAL chain by one encoded record."""
+    return hashlib.sha256(digest + blob).digest()
+
+
+def merkle_root(leaves: list[bytes]) -> bytes:
+    """Merkle root over a list of leaf digests (odd leaves promote)."""
+    if not leaves:
+        return GENESIS
+    level = list(leaves)
+    while len(level) > 1:
+        paired = []
+        for i in range(0, len(level) - 1, 2):
+            paired.append(hashlib.sha256(level[i] + level[i + 1]).digest())
+        if len(level) % 2:
+            paired.append(level[-1])
+        level = paired
+    return level[0]
+
+
+@dataclass(frozen=True)
+class AnchorVerdict:
+    """The outcome of one recovery-time freshness verification."""
+
+    ok: bool
+    epoch: int
+    anchored_lsn: int
+    #: machine-readable reasons: ``wal.base``, ``wal.prefix``,
+    #: ``wal.fork``, ``page.missing:<id>``, ``page.stale:<id>``,
+    #: ``page.unanchored:<id>``
+    violations: tuple[str, ...] = ()
+    #: durable records beyond the anchored head (the one-flush window)
+    unanchored_suffix: int = 0
+
+    def describe(self) -> str:
+        if self.ok:
+            return (
+                f"anchor verified at epoch {self.epoch} "
+                f"(lsn {self.anchored_lsn}, suffix {self.unanchored_suffix})"
+            )
+        return (
+            f"stale restore detected at epoch {self.epoch}: "
+            + ", ".join(self.violations)
+        )
+
+
+class AnchorState:
+    """Sealed freshness state: epoch, WAL chain head, page version map.
+
+    Lives inside a trust root (enclave or TPM NV); the host interacts
+    only through the advance/verify/truncate/status methods. All
+    mutators are serialized by the anchor latch, an innermost leaf in
+    the declared lock order (``repro.enclave.anchor.*``) so advances may
+    run under the buffer-pool latch on the write-back path.
+    """
+
+    def __init__(self) -> None:
+        self._latch = TimedLatch("repro.enclave.anchor.AnchorState._latch")
+        self.attached = False
+        self.epoch = 0
+        self.chain_lsn = -1
+        self.chain_digest = GENESIS
+        self.base_lsn = 0
+        self.base_digest = GENESIS
+        self._pages: dict[int, bytes] = {}
+        # page_id → previous digest (None = page didn't exist) for every
+        # advance whose disk write has not been confirmed yet. A crash —
+        # or a failed write the engine survived — leaves the disk at the
+        # *previous* version of exactly these pages; anything else stale
+        # is a rollback.
+        self._inflight: dict[int, bytes | None] = {}
+
+    # -- lifecycle ---------------------------------------------------------
+
+    def attach(
+        self,
+        pages: dict[int, bytes],
+        chain_lsn: int,
+        chain_digest: bytes,
+        base_lsn: int = 0,
+        base_digest: bytes = GENESIS,
+    ) -> int:
+        """Seed the anchor from the current durable state.
+
+        Called once when freshness protection is enabled (and again only
+        through an explicit operator ``rebaseline`` after an accepted
+        restore). Everything on disk *now* becomes the trusted present.
+        """
+        with self._latch:
+            self.attached = True
+            self.epoch += 1
+            self.chain_lsn = chain_lsn
+            self.chain_digest = chain_digest
+            self.base_lsn = base_lsn
+            self.base_digest = base_digest
+            self._pages = dict(pages)
+            self._inflight = {}
+            epoch = self.epoch
+        self._record_advance(epoch, chain_lsn, kind="attach")
+        return epoch
+
+    # -- advance -----------------------------------------------------------
+
+    def advance_wal(self, chain_lsn: int, chain_digest: bytes) -> int:
+        """Accept a new WAL chain head; monotonic in ``chain_lsn``.
+
+        A head older than the held one is ignored (two racing flushes
+        may deliver out of order); an *equal* lsn with a different
+        digest is a host bug or attack and is rejected.
+        """
+        with self._latch:
+            if chain_lsn < self.chain_lsn:
+                return self.epoch
+            if chain_lsn == self.chain_lsn:
+                if chain_digest != self.chain_digest:
+                    raise AnchorMismatch(
+                        f"conflicting chain digest at lsn {chain_lsn}"
+                    )
+                return self.epoch
+            self.chain_lsn = chain_lsn
+            self.chain_digest = chain_digest
+            self.epoch += 1
+            epoch = self.epoch
+        self._record_advance(epoch, chain_lsn, kind="wal")
+        return epoch
+
+    def advance_page(self, page_id: int, page_digest: bytes) -> int:
+        """Record a page version about to be written to disk."""
+        with self._latch:
+            # setdefault: if an earlier advance of this page is still
+            # unconfirmed (its write failed and the engine carried on),
+            # the disk holds the version from *before* that first
+            # advance — keep it as the tolerated fallback.
+            self._inflight.setdefault(page_id, self._pages.get(page_id))
+            self._pages[page_id] = page_digest
+            self.epoch += 1
+            epoch = self.epoch
+        self._record_advance(epoch, page_id, kind="page")
+        return epoch
+
+    def confirm_page(self, page_id: int) -> None:
+        """The write behind the page's latest advance reached the disk."""
+        with self._latch:
+            self._inflight.pop(page_id, None)
+
+    def seal_base(self, base_lsn: int, base_digest: bytes) -> int:
+        """Seal a new truncation base (log records below it are gone).
+
+        Only the current chain head may become the base: truncation
+        happens at the flushed horizon, so ``base_lsn`` must be one past
+        the anchored head and carry its digest. A restore from before
+        the truncation then fails the base check at verify.
+        """
+        with self._latch:
+            if base_lsn != self.chain_lsn + 1 or base_digest != self.chain_digest:
+                raise AnchorMismatch(
+                    f"truncation base (lsn {base_lsn}) does not match the "
+                    f"anchored chain head (lsn {self.chain_lsn})"
+                )
+            self.base_lsn = base_lsn
+            self.base_digest = base_digest
+            self.epoch += 1
+            epoch = self.epoch
+        self._record_advance(epoch, base_lsn, kind="truncate")
+        return epoch
+
+    # -- verify ------------------------------------------------------------
+
+    def verify(
+        self,
+        base_lsn: int,
+        base_digest: bytes,
+        record_blobs: list[bytes],
+        page_digests: dict[int, bytes],
+        torn_page_ids: set[int],
+    ) -> AnchorVerdict:
+        """Check the presented durable state against the held anchor.
+
+        The anchor folds the WAL chain itself — the host supplies raw
+        record bytes, not a digest — and requires the fold to pass
+        through the held head. Pages compare digest-for-digest with the
+        single-write tolerance described in the module docstring. On
+        success the head re-anchors to the full durable tail (closing
+        the one-flush window) and the epoch advances.
+        """
+        with self._latch:
+            violations: list[str] = []
+            if (base_lsn, base_digest) != (self.base_lsn, self.base_digest):
+                violations.append("wal.base")
+            digest = base_digest
+            lsn = base_lsn - 1
+            passed_head = self.chain_lsn <= base_lsn - 1
+            for blob in record_blobs:
+                digest = fold(digest, blob)
+                lsn += 1
+                if lsn == self.chain_lsn:
+                    passed_head = digest == self.chain_digest
+            if lsn < self.chain_lsn:
+                violations.append("wal.prefix")
+            elif not passed_head:
+                violations.append("wal.fork")
+            unanchored = max(0, lsn - self.chain_lsn)
+
+            # reconcile: map entries to rewrite on success so the held map
+            # equals the verified disk reality (tolerated in-flight pages
+            # re-anchor to the version actually on disk).
+            reconcile: dict[int, bytes | None] = {}
+            for page_id in sorted(self._pages):
+                if page_id in torn_page_ids:
+                    continue  # dropped + redone from the verified WAL
+                held = self._pages[page_id]
+                on_disk = page_digests.get(page_id)
+                if on_disk == held:
+                    continue
+                # In-flight tolerance: a page whose latest write(s) were
+                # never confirmed may still show the version from before
+                # its first unconfirmed advance (or be absent entirely,
+                # if that was the page's first write). Anything else
+                # stale is a rollback.
+                if page_id in self._inflight and self._inflight[page_id] == on_disk:
+                    reconcile[page_id] = on_disk
+                    continue
+                if on_disk is None:
+                    violations.append(f"page.missing:{page_id}")
+                else:
+                    violations.append(f"page.stale:{page_id}")
+            for page_id in sorted(page_digests):
+                if page_id not in self._pages and page_id not in torn_page_ids:
+                    violations.append(f"page.unanchored:{page_id}")
+
+            ok = not violations
+            if ok:
+                self.chain_lsn = lsn
+                self.chain_digest = digest
+                self._inflight = {}
+                for page_id, on_disk in reconcile.items():
+                    if on_disk is None:
+                        self._pages.pop(page_id, None)
+                    else:
+                        self._pages[page_id] = on_disk
+                # Forget torn pages: recovery dropped them and will write
+                # fresh images (re-advancing the map) later. Keeping the
+                # pre-tear digest would flag page.missing at the *next*
+                # recovery if a crash lands before that write-back.
+                for page_id in torn_page_ids:
+                    self._pages.pop(page_id, None)
+                self.epoch += 1
+            verdict = AnchorVerdict(
+                ok=ok,
+                epoch=self.epoch,
+                anchored_lsn=self.chain_lsn,
+                violations=tuple(violations),
+                unanchored_suffix=unanchored,
+            )
+        registry = get_registry()
+        registry.counter(
+            "anchor.verifications", help="recovery-time freshness checks run"
+        ).inc()
+        if ok:
+            record_event(
+                "anchor.verify",
+                epoch=verdict.epoch,
+                anchored_lsn=verdict.anchored_lsn,
+                unanchored_suffix=verdict.unanchored_suffix,
+            )
+        else:
+            registry.counter(
+                "anchor.mismatches", help="stale restores detected at recovery"
+            ).inc()
+            record_event(
+                "anchor.mismatch",
+                epoch=verdict.epoch,
+                violations=list(verdict.violations),
+            )
+        return verdict
+
+    # -- host-visible status ----------------------------------------------
+
+    def status(self) -> dict:
+        """Epoch, head, and pages root — adversary-visible metadata (all
+        digests are over adversary-visible ciphertext bytes)."""
+        with self._latch:
+            leaves = [
+                hashlib.sha256(page_id.to_bytes(8, "big") + digest).digest()
+                for page_id, digest in sorted(self._pages.items())
+            ]
+            return {
+                "attached": self.attached,
+                "epoch": self.epoch,
+                "chain_lsn": self.chain_lsn,
+                "chain_digest": self.chain_digest,
+                "base_lsn": self.base_lsn,
+                "pages": len(self._pages),
+                "pages_root": merkle_root(leaves),
+            }
+
+    # -- internals ---------------------------------------------------------
+
+    def _record_advance(self, epoch: int, position: int, kind: str) -> None:
+        registry = get_registry()
+        registry.counter(
+            "anchor.advances", help="freshness anchor advances (all kinds)"
+        ).inc()
+        registry.gauge(
+            "anchor.epoch", help="current enclave-held freshness epoch"
+        ).set(epoch)
+        record_event("anchor.advance", epoch=epoch, position=position, what=kind)
+
+
+class AnchorMismatch(ValueError):
+    """A host-supplied advance conflicts with held anchor state."""

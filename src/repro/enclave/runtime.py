@@ -156,6 +156,11 @@ class Enclave:
         self._program_handles: dict[bytes, int] = {}
         self._next_handle = itertools.count(1)
         self._vm = StackMachine(crypto=_EnclaveCryptoContext(self))
+        # Enclave-held freshness state (rollback defense): survives host
+        # crashes and disk restores because it lives in this trust domain.
+        from repro.enclave.anchor import AnchorState
+
+        self._anchor = AnchorState()
         self._observers: list[BoundaryObserver] = []
         self._lock = threading.RLock()
         # Consume the sanctioned-surface registry: every declared entry
@@ -434,6 +439,80 @@ class Enclave:
         self.counters.inc("cell_decrypts")
         self._observe("decrypt_for_ddl", (query_text, cek_name), None)
         return plaintext
+
+    # -- ecall: the freshness anchor (rollback defense) -------------------------
+
+    def anchor_attach(
+        self,
+        pages: dict[int, bytes],
+        chain_lsn: int,
+        chain_digest: bytes,
+        base_lsn: int = 0,
+        base_digest: bytes = b"\x00" * 32,
+    ) -> int:
+        """Seed the enclave-held freshness anchor from current durable state.
+
+        None of these ecalls take the enclave session lock: the anchor has
+        its own innermost latch (see :mod:`repro.enclave.anchor`) because
+        advances run under the buffer pool's write-back latch.
+        """
+        epoch = self._anchor.attach(
+            pages, chain_lsn, chain_digest, base_lsn, base_digest
+        )
+        self._observe("anchor_attach", (chain_lsn, chain_digest), epoch)
+        return epoch
+
+    def anchor_advance(
+        self,
+        chain_lsn: int | None = None,
+        chain_digest: bytes | None = None,
+        page_id: int | None = None,
+        page_digest: bytes | None = None,
+    ) -> int:
+        """Advance the anchor: a new WAL chain head and/or a page version."""
+        epoch = self._anchor.epoch
+        if page_id is not None and page_digest is not None:
+            epoch = self._anchor.advance_page(page_id, page_digest)
+        if chain_lsn is not None and chain_digest is not None:
+            epoch = self._anchor.advance_wal(chain_lsn, chain_digest)
+        self._observe(
+            "anchor_advance", (chain_lsn, chain_digest, page_id, page_digest), epoch
+        )
+        return epoch
+
+    def anchor_confirm(self, page_id: int) -> None:
+        """Confirm the disk write behind the page's latest advance landed."""
+        self._anchor.confirm_page(page_id)
+        self._observe("anchor_confirm", (page_id,), None)
+
+    def anchor_verify(
+        self,
+        base_lsn: int,
+        base_digest: bytes,
+        record_blobs: list[bytes],
+        page_digests: dict[int, bytes],
+        torn_page_ids: set[int],
+    ):
+        """Recovery-time freshness check; returns an ``AnchorVerdict``."""
+        verdict = self._anchor.verify(
+            base_lsn, base_digest, record_blobs, page_digests, torn_page_ids
+        )
+        self._observe(
+            "anchor_verify", (base_lsn, len(record_blobs), len(page_digests)), verdict
+        )
+        return verdict
+
+    def anchor_truncate(self, base_lsn: int, base_digest: bytes) -> int:
+        """Seal the current chain head as the new truncation base."""
+        epoch = self._anchor.seal_base(base_lsn, base_digest)
+        self._observe("anchor_truncate", (base_lsn, base_digest), epoch)
+        return epoch
+
+    def anchor_status(self) -> dict:
+        """Epoch / head / pages-root metadata (adversary-visible)."""
+        status = self._anchor.status()
+        self._observe("anchor_status", (), status)
+        return status
 
     def _require_authorized(self, query_text: str, operation: str) -> None:
         digest = hashlib.sha256(query_text.encode("utf-8")).digest()

@@ -124,6 +124,19 @@ class RecoveryError(SqlError):
     """Raised when crash recovery cannot proceed."""
 
 
+class StaleRestoreError(RecoveryError):
+    """Raised when recovery detects a rolled-back (stale but internally
+    consistent) database — the freshness violation authenticated encryption
+    alone cannot catch.
+
+    Every ciphertext in a restored old snapshot still verifies; only the
+    enclave-held monotonic anchor (epoch counter + WAL hash chain + page
+    version digests, :mod:`repro.enclave.anchor`) knows the disk is from
+    the past. The server quarantines itself after raising this: queries
+    are refused until the operator explicitly accepts the restored state.
+    """
+
+
 class PageCorruptError(SqlError):
     """Raised when a page image fails its checksum (torn/partial write).
 

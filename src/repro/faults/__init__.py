@@ -28,6 +28,14 @@ from repro.faults.actions import (
     TornWriteDirective,
 )
 from repro.faults.classify import ErrorClass, classify_error, is_transient
+from repro.faults.rollback import (
+    ROLLBACK_ACTIONS,
+    ReplayPages,
+    RestoreSnapshot,
+    RevertBtreeNodes,
+    RollbackAction,
+    StaleCekVersion,
+)
 from repro.faults.registry import (
     ArmedFault,
     FaultRegistry,
@@ -65,7 +73,13 @@ __all__ = [
     "PartialFlushDirective",
     "RaiseFatal",
     "RaiseTransient",
+    "ReplayPages",
+    "RestoreSnapshot",
+    "RevertBtreeNodes",
+    "RollbackAction",
+    "ROLLBACK_ACTIONS",
     "Schedule",
+    "StaleCekVersion",
     "SeededProbability",
     "TornWrite",
     "TornWriteDirective",

@@ -1,0 +1,178 @@
+"""Rollback fault actions: the snapshot-restoring adversary.
+
+Authenticated encryption makes *forging* ciphertext infeasible, but an
+operator with disk access does not need to forge anything: every byte of
+yesterday's database is genuine ciphertext with valid tags. These
+actions weaponize that observation inside the fault-injection framework.
+Each one first **captures** a point-in-time snapshot through the
+sanctioned adversary hooks (:meth:`Disk.snapshot_pages`,
+:meth:`WriteAheadLog.snapshot_state`, :meth:`Catalog.snapshot_ceks`) and
+later — when its schedule fires at an armed site — **swaps the old state
+back in** and raises :class:`~repro.errors.ForcedCrash`, modelling a
+host that powers the server off, restores a backup, and boots it again.
+
+The restored state is internally consistent: checksums pass, AEAD tags
+verify, the WAL replays cleanly. Without a freshness anchor, recovery
+accepts it silently (the baseline the rollback test suite pins); with
+one, :meth:`~repro.sqlengine.engine.StorageEngine.recover` raises
+:class:`~repro.errors.StaleRestoreError`.
+
+Four attack shapes, in increasing subtlety:
+
+* :class:`RestoreSnapshot` — the whole disk *and* WAL go back in time
+  (classic backup restore). Detected by ``wal.prefix``.
+* :class:`ReplayPages` — only data pages are replayed; the WAL is left
+  current, so redo alone cannot explain the stale images. Detected by
+  ``page.stale``.
+* :class:`RevertBtreeNodes` — only the heap pages backing one indexed
+  table are reverted (B+-trees rebuild from the heap at recovery, so
+  reverting the heap is the durable equivalent of reverting the tree's
+  nodes). Detected by ``page.stale`` on exactly those pages.
+* :class:`StaleCekVersion` — disk, WAL, *and* the CEK system table go
+  back to before a key rotation: the pre-rotation backup attack.
+  Detected by ``wal.prefix`` (the rotation's DDL trail is missing).
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING
+
+from repro.errors import ForcedCrash
+from repro.faults.actions import FaultDirective
+
+if TYPE_CHECKING:
+    from repro.sqlengine.engine import StorageEngine
+
+
+class RollbackAction:
+    """Base: capture now, restore-and-crash when the schedule fires.
+
+    ``capture(engine)`` is called by the test (or
+    :class:`~repro.security.adversary.StrongAdversary`) at the moment
+    being "backed up"; ``trigger`` is the
+    :class:`~repro.faults.actions.FaultAction` protocol entry the
+    registry invokes. An un-captured action is a no-op — the schedule
+    fired before the adversary had a backup to restore.
+    """
+
+    description = "restore an old-but-valid snapshot, then crash"
+
+    def __init__(self) -> None:
+        self._engine: "StorageEngine | None" = None
+        self.restored = False
+
+    def capture(self, engine: "StorageEngine") -> None:
+        """Take the backup. Flushes the pool first so the disk snapshot
+        is a complete, checksum-clean image of the present."""
+        engine.pool.flush_all()
+        engine.wal.flush()
+        self._engine = engine
+        self._capture(engine)
+
+    def restore(self) -> None:
+        """Swap the captured state back in (without the crash)."""
+        assert self._engine is not None, "capture() first"
+        self._restore(self._engine)
+        self.restored = True
+
+    def trigger(self, site: str, ctx: dict) -> FaultDirective | None:
+        if self._engine is None:
+            return None
+        self.restore()
+        raise ForcedCrash(site, f"host restored a stale snapshot ({type(self).__name__})")
+
+    # subclass hooks
+    def _capture(self, engine: "StorageEngine") -> None:
+        raise NotImplementedError
+
+    def _restore(self, engine: "StorageEngine") -> None:
+        raise NotImplementedError
+
+
+class RestoreSnapshot(RollbackAction):
+    """Restore the whole disk + WAL from the captured backup."""
+
+    description = "whole-database backup restore (disk + WAL)"
+
+    def _capture(self, engine: "StorageEngine") -> None:
+        self._pages = engine.disk.snapshot_pages()
+        self._wal = engine.wal.snapshot_state()
+
+    def _restore(self, engine: "StorageEngine") -> None:
+        engine.disk.restore_pages(self._pages, replace=True)
+        engine.wal.restore_state(self._wal)
+
+
+class ReplayPages(RollbackAction):
+    """Replay old page images while leaving the WAL current.
+
+    ``page_ids=None`` replays every captured page. The WAL says the
+    present; the pages say the past — a splice no amount of redo
+    explains, which is exactly what the per-page version map catches.
+    """
+
+    description = "replay stale data pages under a current WAL"
+
+    def __init__(self, page_ids: list[int] | None = None) -> None:
+        super().__init__()
+        self._page_ids = page_ids
+
+    def _capture(self, engine: "StorageEngine") -> None:
+        pages = engine.disk.snapshot_pages()
+        if self._page_ids is not None:
+            pages = {pid: pages[pid] for pid in self._page_ids if pid in pages}
+        self._pages = pages
+
+    def _restore(self, engine: "StorageEngine") -> None:
+        engine.disk.restore_pages(self._pages, replace=False)
+
+
+class RevertBtreeNodes(RollbackAction):
+    """Revert the heap pages backing one indexed table.
+
+    Recovery rebuilds every B+-tree from its heap (trees are volatile in
+    this engine), so restoring the heap pages *is* the durable form of
+    reverting the tree's nodes: after recovery the index faithfully
+    reflects yesterday's rows.
+    """
+
+    description = "revert the heap pages behind an indexed table"
+
+    def __init__(self, table_name: str) -> None:
+        super().__init__()
+        self._table_name = table_name.lower()
+
+    def _capture(self, engine: "StorageEngine") -> None:
+        table = engine.table(self._table_name)
+        images = engine.disk.snapshot_pages()
+        self._pages = {
+            pid: images[pid] for pid in table.heap.page_ids if pid in images
+        }
+
+    def _restore(self, engine: "StorageEngine") -> None:
+        engine.disk.restore_pages(self._pages, replace=False)
+
+
+class StaleCekVersion(RollbackAction):
+    """Restore a pre-key-rotation backup: disk, WAL, and CEK metadata.
+
+    The stale CEK values are genuine ciphertext under the CMK, and every
+    cell on the restored disk decrypts cleanly under them — the rotation
+    never happened, as far as the restored state can tell. Only the
+    anchor remembers the rotation's WAL trail.
+    """
+
+    description = "pre-rotation backup restore (disk + WAL + CEK table)"
+
+    def _capture(self, engine: "StorageEngine") -> None:
+        self._pages = engine.disk.snapshot_pages()
+        self._wal = engine.wal.snapshot_state()
+        self._ceks = engine.catalog.snapshot_ceks()
+
+    def _restore(self, engine: "StorageEngine") -> None:
+        engine.disk.restore_pages(self._pages, replace=True)
+        engine.wal.restore_state(self._wal)
+        engine.catalog.restore_ceks(self._ceks)
+
+
+ROLLBACK_ACTIONS = (RestoreSnapshot, ReplayPages, RevertBtreeNodes, StaleCekVersion)

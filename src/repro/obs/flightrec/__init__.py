@@ -60,6 +60,9 @@ EVENT_KINDS: dict[str, str] = {
     "leak.det_equality": "adversary-observable DET equality reveal (attrs: column)",
     "leak.rnd_comparison": "adversary-observable RND comparison verdict (attrs: column)",
     "leak.index_touch": "adversary-observable index traversal touch (attrs: column)",
+    "anchor.advance": "freshness anchor advanced (attrs: epoch, position, kind)",
+    "anchor.verify": "recovery-time freshness check passed (attrs: epoch, anchored_lsn)",
+    "anchor.mismatch": "stale restore detected at recovery (attrs: epoch, violations)",
 }
 
 DEFAULT_CAPACITY = 65536

@@ -80,6 +80,42 @@ class StrongAdversary:
             BoundaryEvent(ecall=name, visible_inputs=visible_inputs, visible_output=visible_output)
         )
 
+    # -- rollback attacks (the adversary owns disk, log, and backups) ---------
+
+    def take_snapshot(self, action: "object | None" = None):
+        """Back up the attached server through a rollback action.
+
+        ``action`` is any :class:`~repro.faults.rollback.RollbackAction`
+        (default :class:`~repro.faults.rollback.RestoreSnapshot` — the
+        whole-database backup); it is captured against the server's
+        engine and returned, ready to :meth:`mount_attack` or
+        :meth:`restore_snapshot` directly.
+        """
+        from repro.faults.rollback import RestoreSnapshot
+
+        assert self._server is not None
+        if action is None:
+            action = RestoreSnapshot()
+        action.capture(self._server.engine)
+        return action
+
+    def mount_attack(self, action, site: str, schedule) -> "object":
+        """Arm a captured rollback action at a fault site.
+
+        When ``schedule`` fires at ``site``, the action swaps its stale
+        snapshot back in and force-crashes the server — the in-framework
+        form of "power off, restore backup, power on". Returns the
+        :class:`~repro.faults.registry.ArmedFault` for disarming.
+        """
+        from repro.faults.registry import get_fault_registry
+
+        return get_fault_registry().arm(site, schedule, action)
+
+    def restore_snapshot(self, action) -> None:
+        """Swap a captured snapshot back in immediately (no crash); the
+        caller chooses when to crash and reboot the server."""
+        action.restore()
+
     # -- what the adversary can read directly ---------------------------------
 
     def disk_bytes(self) -> bytes:

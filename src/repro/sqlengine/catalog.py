@@ -160,6 +160,22 @@ class Catalog:
         with self._latch:
             return list(self._ceks.values())
 
+    # -- adversary hooks (the system tables live on the host's disk) -------
+
+    def snapshot_ceks(self) -> dict[str, ColumnEncryptionKey]:
+        """Copy the CEK system table — the adversary taking a backup."""
+        with self._latch:
+            return dict(self._ceks)
+
+    def restore_ceks(self, ceks: dict[str, ColumnEncryptionKey]) -> None:
+        """Swap old CEK metadata back in — a pre-rotation backup restore.
+
+        The encrypted key values are ciphertext under CMKs, so the stale
+        versions still verify; only a freshness anchor over the durable
+        state that *references* them can tell they are old."""
+        with self._latch:
+            self._ceks = dict(ceks)
+
     def cek_enclave_enabled(self, cek_name: str) -> bool:
         """A CEK is enclave-enabled iff (some of) its CMK(s) allow it.
 

@@ -36,6 +36,7 @@ from repro.errors import (
     SqlError,
     TransactionError,
 )
+from repro.sqlengine.storage.freshness import FreshnessAnchor, page_digest
 from repro.faults.registry import fault_point, register_fault_site
 from repro.obs.metrics import get_registry
 from repro.sqlengine.storage.page import Page
@@ -126,6 +127,7 @@ class StorageEngine:
         lock_timeout_s: float = 2.0,
         buffer_pool_pages: int = 4096,
         batch_index_probes: bool = True,
+        freshness: FreshnessAnchor | None = None,
     ):
         self.catalog = catalog or Catalog()
         self.enclave = enclave
@@ -134,6 +136,12 @@ class StorageEngine:
         self.disk = Disk()
         self.wal = WriteAheadLog()
         self.pool = BufferPool(self.disk, capacity=buffer_pool_pages, wal=self.wal)
+        # Paper mode (no anchor) stays the default: recovery behaviour and
+        # the Figure 8/9 calibration are unchanged unless an anchor is
+        # explicitly configured.
+        self.freshness = freshness
+        if freshness is not None:
+            freshness.attach_engine(self)
         self.locks = LockManager(default_timeout_s=lock_timeout_s)
         self.txns = TransactionManager()
         self.tables: dict[str, TableObject] = {}
@@ -549,6 +557,7 @@ class StorageEngine:
         (system-page) catalog and table-page metadata survive.
         """
         self.pool.drop_all()
+        self.wal.drop_unflushed()
         self.locks = LockManager(default_timeout_s=self.locks.default_timeout_s)
         self.txns = TransactionManager()
         self.tables = {}
@@ -567,9 +576,11 @@ class StorageEngine:
         #    empty page of the same id; physical redo recreates its rows
         #    from the WAL.
         torn_page_ids: set[int] = set()
+        page_digests: dict[int, bytes] = {}
         for page_id in self.disk.page_ids():
+            image = self.disk.read_page(page_id)
             try:
-                Page.from_bytes(self.disk.read_page(page_id))
+                Page.from_bytes(image)
             except PageCorruptError:
                 self.disk.drop_page(page_id)
                 self.pool.get_or_create(page_id).dirty = True
@@ -579,6 +590,21 @@ class StorageEngine:
                 ).inc()
                 report.torn_pages += 1
                 torn_page_ids.add(page_id)
+            else:
+                page_digests[page_id] = page_digest(image)
+
+        # 0b. Freshness gate: before trusting a byte of the durable state,
+        #     check it against the anchor. An internally consistent but
+        #     *old* WAL/disk (a restored snapshot, replayed pages, a
+        #     pre-rotation backup) raises StaleRestoreError here instead
+        #     of silently recovering; torn pages are exempt because their
+        #     contents come back from the WAL this very check verified.
+        if self.freshness is not None:
+            verdict = self.freshness.verify_recovery(
+                self.wal, page_digests, torn_page_ids
+            )
+            report.freshness_verified = True
+            report.anchor_epoch = verdict.epoch
 
         # 1. Reattach heaps from durable metadata and recreate index objects
         #    from the (durable) catalog — empty for now, rebuilt in step 5.
@@ -851,6 +877,12 @@ class StorageEngine:
                 "log truncation is blocked by deferred transactions "
                 "(client keys or index invalidation required)"
             )
+        if self.freshness is not None:
+            # Seal the durable horizon as the anchor's new chain base
+            # before the records below it disappear — verification of any
+            # later restore folds from this sealed base.
+            self.wal.flush()
+            self.freshness.seal_truncation(self.wal)
         return self.wal.truncate_before(self.wal.flushed_lsn + 1)
 
     # ---------------------------------------------------- consistency checks
@@ -908,3 +940,8 @@ class RecoveryReport:
     ctr_reverted: list[int] = field(default_factory=list)
     pending_indexes: list[str] = field(default_factory=list)
     invalidated_indexes: list[str] = field(default_factory=list)
+    #: True when a freshness anchor verified the durable state (and, on
+    #: success, re-anchored to it); always False in paper mode.
+    freshness_verified: bool = False
+    #: The anchor epoch after verification (each verify advances it).
+    anchor_epoch: int | None = None

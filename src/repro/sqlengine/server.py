@@ -27,7 +27,13 @@ from repro.attestation.protocol import AttestationInfo, server_attest
 from repro.attestation.tpm import HostMachine
 from repro.crypto.aead import ALGORITHM_NAME, EncryptionScheme
 from repro.enclave import CallMode, Enclave, EnclaveCallGateway, SealedPackage
-from repro.errors import EnclaveError, ServerBusyError, SqlError, TransactionError
+from repro.errors import (
+    EnclaveError,
+    ServerBusyError,
+    SqlError,
+    StaleRestoreError,
+    TransactionError,
+)
 from repro.keys.cek import CekEncryptedValue, ColumnEncryptionKey
 from repro.obs.flightrec import record_event
 from repro.obs.metrics import StatsView, get_registry
@@ -37,6 +43,7 @@ from repro.keys.cmk import ColumnMasterKey
 from repro.sqlengine.catalog import Catalog, ColumnSchema, IndexSchema, TableSchema
 from repro.sqlengine.cells import Ciphertext
 from repro.sqlengine.engine import StorageEngine
+from repro.sqlengine.storage.freshness import FreshnessAnchor
 from repro.sqlengine.exec.executor import Executor, QueryResult
 from repro.sqlengine.scheduler import StatementScheduler
 from repro.sqlengine.scope import Scope
@@ -44,6 +51,15 @@ from repro.sqlengine.sqlparser import ast, parse
 from repro.sqlengine.typededuce import DeductionResult, deduce
 from repro.sqlengine.types import ColumnType, SqlType
 from repro.sqlengine.values import deserialize_value, serialize_value
+
+
+#: The one message a quarantined server ever gives a query. Fixed text on
+#: purpose: DET and RND deployments must refuse *identically*, so the
+#: refusal channel itself leaks nothing about configuration or data.
+QUARANTINE_MESSAGE = (
+    "server quarantined: recovery detected a stale restore (freshness anchor "
+    "mismatch); an operator must call accept_restored_state() to proceed"
+)
 
 
 @dataclass(frozen=True)
@@ -110,6 +126,7 @@ class SqlServer:
         eval_batch_size: int = 64,
         worker_threads: int = 4,
         max_sessions: int | None = None,
+        freshness: FreshnessAnchor | None = None,
     ):
         self.catalog = Catalog()
         self.enclave = enclave
@@ -121,7 +138,12 @@ class SqlServer:
             ctr_enabled=ctr_enabled,
             lock_timeout_s=lock_timeout_s,
             batch_index_probes=eval_batch_size > 1,
+            freshness=freshness,
         )
+        # Set when recovery detects a stale restore; every session refuses
+        # queries with the fixed QUARANTINE_MESSAGE until an operator
+        # explicitly accepts the restored state.
+        self._quarantined = False
         self.gateway: EnclaveCallGateway | None = None
         if enclave is not None:
             self.gateway = EnclaveCallGateway(
@@ -295,7 +317,27 @@ class SqlServer:
         self._invalidate_plan_cache()
 
     def recover(self):
-        return self.engine.recover()
+        try:
+            return self.engine.recover()
+        except StaleRestoreError:
+            self._quarantined = True
+            raise
+
+    @property
+    def quarantined(self) -> bool:
+        return self._quarantined
+
+    def accept_restored_state(self):
+        """Operator override: make the restored state the trusted present.
+
+        The one sanctioned way out of quarantine — re-seeds the anchor
+        from the current durable state (so the restored snapshot becomes
+        the new baseline), then re-runs recovery. Without an anchor this
+        is just a recover()."""
+        self._quarantined = False
+        if self.engine.freshness is not None:
+            self.engine.freshness.rebaseline()
+        return self.recover()
 
 
 class ServerSession:
@@ -361,6 +403,11 @@ class ServerSession:
         for encrypted columns."""
         if self._closed:
             raise SqlError("session is closed")
+        if self.server._quarantined:
+            # Checked before any parsing or routing: a quarantined server
+            # gives every statement the same fixed refusal, independent of
+            # statement kind, encryption scheme, or schema.
+            raise StaleRestoreError(QUARANTINE_MESSAGE)
         stmt_probe = query_text.lstrip().upper()
         if stmt_probe.startswith(("CREATE", "DROP", "ALTER")):
             result = self._execute_ddl(query_text)

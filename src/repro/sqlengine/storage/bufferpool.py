@@ -54,6 +54,13 @@ class BufferPool:
             "bufferpool.pages_cached", help="pages resident in this process's pools"
         )
         self._next_page_id = 0
+        # Freshness hooks: page_write_hook is called with (page_id, image)
+        # immediately before every disk write-back (the anchor's page map
+        # leads the disk); page_wrote_hook is called with (page_id,) after
+        # the write lands, confirming the advance so the anchor can stop
+        # tolerating the previous version for that page.
+        self.page_write_hook = None
+        self.page_wrote_hook = None
         # Reentrant so heap files can hold the pool latch across a page
         # mutation (serializing it against eviction's page serialization)
         # while the nested get()/allocate_page() re-acquires it.
@@ -146,7 +153,16 @@ class BufferPool:
         # crash leaves rows on disk that recovery knows nothing about.
         if self._wal is not None:
             self._wal.flush()
-        self._disk.write_page(page.page_id, page.to_bytes())
+        image = page.to_bytes()
+        # Anchor-before-data: the freshness anchor learns the new page
+        # version before the disk does, so a crash in this window leaves
+        # the disk exactly one (tolerated) version behind — never a page
+        # the anchor knows nothing about.
+        if self.page_write_hook is not None:
+            self.page_write_hook(page.page_id, image)
+        self._disk.write_page(page.page_id, image)
+        if self.page_wrote_hook is not None:
+            self.page_wrote_hook(page.page_id)
         page.dirty = False
 
     def flush_all(self) -> None:

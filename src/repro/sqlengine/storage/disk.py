@@ -79,3 +79,24 @@ class Disk:
         """Everything on disk, concatenated — the adversary's view."""
         with self._lock:
             return b"".join(self._pages[pid] for pid in sorted(self._pages))
+
+    # -- adversary hooks (Section 2.6: the host owns the disk) -------------
+
+    def snapshot_pages(self) -> dict[int, bytes]:
+        """Copy every page image — the adversary taking a backup."""
+        with self._lock:
+            return dict(self._pages)
+
+    def restore_pages(self, pages: dict[int, bytes], replace: bool = False) -> None:
+        """Swap old-but-valid page images back in — the rollback attack.
+
+        ``replace=True`` models restoring a whole-disk backup (pages
+        created since the snapshot vanish); ``replace=False`` replays
+        only the given pages, leaving the rest of the disk current.
+        """
+        with self._lock:
+            if replace:
+                self._pages = dict(pages)
+            else:
+                self._pages.update(pages)
+            self.writes += 1

@@ -80,6 +80,7 @@ def build_system(
     cache_describe_results: bool = False,
     worker_threads: int = 4,
     lock_timeout_s: float = 5.0,
+    freshness_anchor: bool = False,
 ) -> TpccSystem:
     """Assemble server, enclave, attestation, driver, schema, and data.
 
@@ -87,6 +88,10 @@ def build_system(
     the paper's driver pays the sp_describe_parameter_encryption round-trip
     per execution (client-side caching is the improvement Section 5.4.1
     suggests but does not ship).
+
+    ``freshness_anchor=True`` arms rollback detection: RND systems anchor
+    in the enclave, enclave-less ones in the simulated TPM NV slot. Off
+    by default so paper-mode calibration (Figures 8/9) is untouched.
     """
     enclave = None
     host = None
@@ -102,6 +107,17 @@ def build_system(
         hgs.register_host(host.boot_and_measure())
         policy = AttestationPolicy(trusted_author_ids=frozenset({binary.author_id}))
 
+    freshness = None
+    if freshness_anchor:
+        from repro.attestation.tpm import TpmNvAnchor
+        from repro.sqlengine.storage.freshness import (
+            EnclaveAnchorBackend,
+            FreshnessAnchor,
+        )
+
+        backend = EnclaveAnchorBackend(enclave) if enclave is not None else TpmNvAnchor()
+        freshness = FreshnessAnchor(backend)
+
     server = SqlServer(
         enclave=enclave,
         host_machine=host,
@@ -111,6 +127,7 @@ def build_system(
         lock_timeout_s=lock_timeout_s,
         eval_batch_size=config.eval_batch_size,
         worker_threads=worker_threads,
+        freshness=freshness,
     )
     registry = default_registry()
     connection = connect(

@@ -1,0 +1,215 @@
+"""Differential freshness: DET and RND must refuse a stale restore alike.
+
+The rollback adversary does not care which encryption mode a column
+uses — a restored backup is valid ciphertext under both. The defense
+must therefore be mode-transparent, exactly like encryption itself:
+
+* after a detected stale restore, a DET stack (TPM-NV anchor, no
+  enclave) and an RND stack (enclave anchor) refuse queries with the
+  **identical** fixed :data:`~repro.sqlengine.server.QUARANTINE_MESSAGE`
+  — the refusal text leaks nothing about mode, schema, or how far the
+  restore rolled back;
+* a **legitimate** crash + recovery on an anchored stack stays fully
+  transparent: the anchor verifies, nothing is quarantined, and a query
+  battery against a plaintext oracle shows zero divergences before and
+  after the crash.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.attestation.hgs import AttestationPolicy, HostGuardianService
+from repro.attestation.tpm import TpmNvAnchor
+from repro.client.driver import connect
+from repro.enclave.runtime import Enclave
+from repro.errors import StaleRestoreError
+from repro.security.adversary import StrongAdversary
+from repro.sqlengine.server import QUARANTINE_MESSAGE, SqlServer
+from repro.sqlengine.storage.freshness import EnclaveAnchorBackend, FreshnessAnchor
+
+ALGO = "AEAD_AES_256_CBC_HMAC_SHA_256"
+
+ROWS = [("aa", 1, 0), ("ab", 3, 1), ("aa", 4, 0), ("b", 2, 2), ("ab", 1, 1)]
+EXTRA_ROWS = [("ba", 5, 3), ("bb", 0, 4)]
+
+COMMON_QUERIES = [
+    ("SELECT id, n, pub FROM T WHERE s = @v", {"v": "aa"}),
+    ("SELECT id, s, pub FROM T WHERE n = @v", {"v": 1}),
+    ("SELECT id, s FROM T WHERE n IN (@a, @b)", {"a": 1, "b": 4}),
+    ("SELECT pub, COUNT(*) FROM T GROUP BY pub", {}),
+    ("SELECT id, s FROM T WHERE pub > @lo", {"lo": 0}),
+]
+DET_QUERIES = COMMON_QUERIES + [
+    ("SELECT s, COUNT(*) FROM T GROUP BY s", {}),
+]
+RND_QUERIES = COMMON_QUERIES + [
+    ("SELECT id, s FROM T WHERE n > @lo", {"lo": 1}),
+    ("SELECT id, s FROM T WHERE n BETWEEN @lo AND @hi", {"lo": 1, "hi": 4}),
+    ("SELECT id, n FROM T WHERE s LIKE @pat", {"pat": "a%"}),
+]
+
+
+def _det_stack(registry, plain_cmk, plain_cek):
+    """Anchored DET stack: TPM-NV trust root, no enclave."""
+    server = SqlServer(
+        lock_timeout_s=1.0, freshness=FreshnessAnchor(TpmNvAnchor())
+    )
+    server.catalog.create_cmk(plain_cmk)
+    server.catalog.create_cek(plain_cek)
+    conn = connect(server, registry)
+    return server, conn, plain_cek.name, "Deterministic", DET_QUERIES
+
+
+def _rnd_stack(registry, enclave_binary, host_machine, enclave_cmk, enclave_cek):
+    """Anchored RND stack: the enclave itself is the trust root."""
+    hgs = HostGuardianService()
+    hgs.register_host(host_machine.boot_and_measure())
+    enclave = Enclave(enclave_binary)
+    server = SqlServer(
+        enclave=enclave,
+        host_machine=host_machine,
+        hgs=hgs,
+        lock_timeout_s=1.0,
+        freshness=FreshnessAnchor(EnclaveAnchorBackend(enclave)),
+    )
+    server.catalog.create_cmk(enclave_cmk)
+    server.catalog.create_cek(enclave_cek)
+    policy = AttestationPolicy(
+        trusted_author_ids=frozenset({enclave_binary.author_id})
+    )
+    conn = connect(server, registry, attestation_policy=policy)
+    return server, conn, enclave_cek.name, "Randomized", RND_QUERIES
+
+
+@pytest.fixture
+def det_stack(registry, plain_cmk, plain_cek):
+    return _det_stack(registry, plain_cmk, plain_cek)
+
+
+@pytest.fixture
+def rnd_stack(registry, enclave_binary, host_machine, enclave_cmk, enclave_cek):
+    return _rnd_stack(
+        registry, enclave_binary, host_machine, enclave_cmk, enclave_cek
+    )
+
+
+@pytest.fixture
+def oracle(registry):
+    server = SqlServer(lock_timeout_s=1.0)
+    return connect(server, registry, column_encryption=False)
+
+
+def _provision(conn, cek_name: str | None, scheme: str | None, rows) -> None:
+    if cek_name is None:
+        ddl = "CREATE TABLE T(id int PRIMARY KEY, s varchar(10), n int, pub int)"
+    else:
+        enc = (
+            f"ENCRYPTED WITH (COLUMN_ENCRYPTION_KEY = {cek_name}, "
+            f"ENCRYPTION_TYPE = {scheme}, ALGORITHM = '{ALGO}')"
+        )
+        ddl = (
+            f"CREATE TABLE T(id int PRIMARY KEY, "
+            f"s varchar(10) {enc}, n int {enc}, pub int)"
+        )
+    conn.execute_ddl(ddl)
+    _insert(conn, rows, start_id=0)
+
+
+def _insert(conn, rows, start_id: int) -> None:
+    for i, (s, n, pub) in enumerate(rows, start=start_id):
+        conn.execute(
+            "INSERT INTO T (id, s, n, pub) VALUES (@i, @s, @n, @p)",
+            {"i": i, "s": s, "n": n, "p": pub},
+        )
+
+
+def _multiset(result) -> list:
+    return sorted(result.rows, key=repr)
+
+
+def _mount_stale_restore(server, conn) -> str:
+    """Run the rollback playbook against an anchored stack.
+
+    Backup → more committed (checkpointed) work → restore the backup →
+    crash → recover. Returns the message the quarantined server gives a
+    query afterwards.
+    """
+    adversary = StrongAdversary()
+    adversary.attach(server)
+    backup = adversary.take_snapshot()
+    _insert(conn, EXTRA_ROWS, start_id=len(ROWS))
+    server.engine.checkpoint()  # the anchored present moves well past the backup
+    adversary.restore_snapshot(backup)
+    server.crash()
+    with pytest.raises(StaleRestoreError):
+        server.recover()
+    assert server.quarantined
+    session = server.connect()
+    with pytest.raises(StaleRestoreError) as refusal:
+        session.execute("SELECT id FROM T", {})
+    return str(refusal.value)
+
+
+class TestStaleRestoreRefusedIdentically:
+    def test_det_and_rnd_refuse_with_the_same_fixed_message(
+        self, det_stack, rnd_stack
+    ):
+        messages = []
+        for server, conn, cek_name, scheme, __ in (det_stack, rnd_stack):
+            _provision(conn, cek_name, scheme, ROWS)
+            messages.append(_mount_stale_restore(server, conn))
+        det_message, rnd_message = messages
+        assert det_message == rnd_message == QUARANTINE_MESSAGE
+
+    def test_acceptance_lifts_quarantine_in_both_modes(
+        self, det_stack, rnd_stack
+    ):
+        for server, conn, cek_name, scheme, __ in (det_stack, rnd_stack):
+            _provision(conn, cek_name, scheme, ROWS)
+            _mount_stale_restore(server, conn)
+            report = server.accept_restored_state()
+            assert report.freshness_verified
+            assert not server.quarantined
+            result = server.connect().execute("SELECT id FROM T", {})
+            assert len(result.rows) == len(ROWS)
+
+
+class TestLegitimateRecoveryStaysTransparent:
+    @pytest.mark.parametrize("mode", ["det", "rnd"])
+    def test_zero_divergences_before_and_after_crash_recovery(
+        self, mode, det_stack, rnd_stack, oracle
+    ):
+        server, conn, cek_name, scheme, queries = (
+            det_stack if mode == "det" else rnd_stack
+        )
+        _provision(conn, cek_name, scheme, ROWS)
+        _provision(oracle, None, None, ROWS)
+
+        def battery_divergences() -> list[str]:
+            diverged = []
+            for sql, params in queries:
+                ae = _multiset(conn.execute(sql, params))
+                plain = _multiset(oracle.execute(sql, params))
+                if ae != plain:
+                    diverged.append(f"{sql!r} {params!r}: {ae!r} != {plain!r}")
+            return diverged
+
+        assert battery_divergences() == []
+
+        # Leave redo work behind: committed rows past the last checkpoint.
+        server.engine.checkpoint()
+        _insert(conn, EXTRA_ROWS, start_id=len(ROWS))
+        _insert(oracle, EXTRA_ROWS, start_id=len(ROWS))
+
+        server.crash()
+        report = server.recover()
+        assert report.freshness_verified
+        assert report.anchor_epoch is not None
+        assert not server.quarantined
+
+        assert battery_divergences() == []
+        audit = "SELECT id, s, n, pub FROM T"
+        assert _multiset(conn.execute(audit, {})) == _multiset(
+            oracle.execute(audit, {})
+        )

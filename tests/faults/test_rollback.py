@@ -1,0 +1,394 @@
+"""The snapshot-restoring adversary vs. the freshness anchor.
+
+Three claims, each pinned across every rollback action and seeded
+schedule:
+
+1. **Detection** (anchor on): a restored old-but-internally-consistent
+   database — whole backup, replayed pages, reverted index heap pages,
+   pre-rotation CEK state — raises :class:`StaleRestoreError` at
+   recovery. Every ciphertext in the restored state still verifies;
+   only the anchor knows it is yesterday's.
+2. **Silent acceptance** (anchor off, the paper's actual system):
+   the identical attack recovers without a murmur — the baseline that
+   motivates the anchor.
+3. **Zero false positives** (anchor on): the *entire* pre-existing
+   crash-torture matrix — torn writes, partial flushes, forced crashes
+   at every engine site, plus the new "freshness.advance" and
+   "freshness.verify" sites — recovers cleanly with the anchor armed,
+   and the four classic recovery invariants still hold, joined by the
+   fifth: **freshness** — recovery either verifies the anchor or raises
+   a typed StaleRestoreError; a verified recovery re-anchors, so an
+   immediate second crash + recovery verifies again.
+"""
+
+from __future__ import annotations
+
+import random
+import zlib
+
+import pytest
+
+from repro.attestation.tpm import TpmNvAnchor
+from repro.errors import ForcedCrash, StaleRestoreError
+from repro.faults import (
+    ForceCrash,
+    OnNth,
+    RaiseTransient,
+    ReplayPages,
+    RestoreSnapshot,
+    RevertBtreeNodes,
+    SeededProbability,
+    StaleCekVersion,
+    get_fault_registry,
+)
+from repro.keys.cek import CekEncryptedValue, ColumnEncryptionKey
+from repro.keys.cmk import ColumnMasterKey
+from repro.sqlengine.catalog import TableSchema, plain_column
+from repro.sqlengine.engine import StorageEngine
+from repro.sqlengine.storage.freshness import FreshnessAnchor
+from tests.faults.test_torture import (
+    ENGINE_SITE_ACTIONS,
+    SCHEDULES,
+    assert_recovery_invariants,
+    make_steps,
+    run_workload,
+)
+
+# --------------------------------------------------------------- harness
+
+
+def build_engine(anchored: bool) -> StorageEngine:
+    freshness = FreshnessAnchor(TpmNvAnchor()) if anchored else None
+    engine = StorageEngine(
+        lock_timeout_s=0.05,
+        ctr_enabled=False,
+        buffer_pool_pages=4,
+        freshness=freshness,
+    )
+    engine.create_table(
+        TableSchema(
+            name="t",
+            columns=[plain_column("k", "INT", nullable=False), plain_column("v", "INT")],
+            primary_key=("k",),
+        )
+    )
+    return engine
+
+
+def _rid_for(engine: StorageEngine, key: int):
+    rids = engine.table("t").indexes["pk_t"].tree.search_eq((key,))
+    return rids[0] if rids else None
+
+
+def visible_state(engine: StorageEngine) -> dict[int, int]:
+    return {row[0]: row[1] for __, row in engine.scan("t")}
+
+
+def apply_committed_steps(
+    engine: StorageEngine, rng: random.Random, expected: dict[int, int], n: int
+) -> None:
+    """Run n committed insert-or-update transactions, tracking state.
+
+    Raises ForcedCrash through to the caller — that is the armed
+    rollback firing.
+    """
+    for __ in range(n):
+        key = rng.randrange(40)
+        value = rng.randint(0, 10_000)
+        txn = engine.begin()
+        if key in expected:
+            rid = _rid_for(engine, key)
+            engine.update(txn, "t", rid, (key, value))
+        else:
+            engine.insert(txn, "t", (key, value))
+        engine.commit(txn)
+        expected[key] = value
+
+
+def _make_cek(name: str) -> ColumnEncryptionKey:
+    return ColumnEncryptionKey(
+        name=name,
+        encrypted_values=[
+            CekEncryptedValue(
+                column_master_key_name="CMK_ROT",
+                algorithm="RSA_OAEP",
+                encrypted_value=name.encode() + b"-sealed",
+                signature=b"sig",
+            )
+        ],
+    )
+
+
+ROLLBACK_ACTIONS = [
+    ("restore-snapshot", lambda: RestoreSnapshot()),
+    ("replay-pages", lambda: ReplayPages()),
+    ("revert-btree-nodes", lambda: RevertBtreeNodes("t")),
+    ("stale-cek-version", lambda: StaleCekVersion()),
+]
+
+ROLLBACK_SCHEDULES = [
+    ("second-commit", lambda seed: OnNth(2)),
+    ("fifth-commit", lambda seed: OnNth(5)),
+    ("seeded-p25", lambda seed: SeededProbability(0.25, seed=seed)),
+]
+
+
+def run_rollback_scenario(action, schedule, anchored: bool):
+    """The attack script shared by the detection and baseline tests.
+
+    Phase A establishes history; the adversary captures its backup; two
+    checkpointed mutation rounds then guarantee the captured state is
+    genuinely stale (WAL chain advanced, every hot page rewritten at
+    least twice, so no crash-window tolerance can excuse the restore);
+    phase C runs with the rollback armed at ``engine.commit`` until it
+    fires, swapping the stale state in and force-crashing the host.
+
+    Returns ``(engine, expected_at_capture, expected_at_crash)``.
+    """
+    engine = build_engine(anchored)
+    # A pre-"rotation" CEK generation the stale-CEK attack will resurrect.
+    engine.catalog.create_cmk(
+        ColumnMasterKey(
+            name="CMK_ROT",
+            key_store_provider_name="TEST",
+            key_path="test/rot",
+            allow_enclave_computations=False,
+            signature=b"",
+        )
+    )
+    engine.catalog.create_cek(_make_cek("CEK_V1"))
+
+    seed = zlib.crc32(f"{type(action).__name__}".encode()) % (2**31)
+    rng = random.Random(seed)
+    expected: dict[int, int] = {}
+
+    apply_committed_steps(engine, rng, expected, 10)
+    engine.checkpoint()
+    expected_at_capture = dict(expected)
+    action.capture(engine)
+
+    # The "rotation" happens after the backup: a second CEK generation
+    # plus two checkpointed rounds of data churn.
+    engine.catalog.create_cek(_make_cek("CEK_V2"))
+    apply_committed_steps(engine, rng, expected, 8)
+    engine.checkpoint()
+    apply_committed_steps(engine, rng, expected, 5)
+    engine.checkpoint()
+
+    faults = get_fault_registry()
+    armed = faults.arm("engine.commit", schedule, action)
+    try:
+        apply_committed_steps(engine, rng, expected, 10)
+    except ForcedCrash:
+        pass
+    finally:
+        faults.disarm(armed)
+    if not action.restored:
+        # A probabilistic schedule that never fired: the host does not
+        # need an armed fault to pull the plug and restore its backup.
+        action.restore()
+    engine.crash()
+    return engine, expected_at_capture, dict(expected)
+
+
+# ----------------------------------------------------- rollback detection
+
+
+class TestRollbackDetection:
+    @pytest.mark.parametrize("schedule_name,make_schedule", ROLLBACK_SCHEDULES)
+    @pytest.mark.parametrize(
+        "action_name,make_action", ROLLBACK_ACTIONS, ids=[n for n, __ in ROLLBACK_ACTIONS]
+    )
+    def test_every_rollback_detected_with_anchor_on(
+        self, action_name, make_action, schedule_name, make_schedule
+    ):
+        seed = zlib.crc32(f"{action_name}|{schedule_name}".encode()) % (2**31)
+        engine, expected_at_capture, __ = run_rollback_scenario(
+            make_action(), make_schedule(seed), anchored=True
+        )
+        with pytest.raises(StaleRestoreError):
+            engine.recover()
+
+        # The operator's way out: accept the restored state, re-anchoring
+        # it as the new present; recovery then proceeds.
+        engine.freshness.rebaseline()
+        engine.crash()
+        report = engine.recover()
+        assert report.freshness_verified
+        assert engine.verify_index_consistency() == []
+
+    def test_whole_backup_restore_recovers_to_capture_state_after_accept(self):
+        engine, expected_at_capture, __ = run_rollback_scenario(
+            RestoreSnapshot(), OnNth(2), anchored=True
+        )
+        with pytest.raises(StaleRestoreError):
+            engine.recover()
+        engine.freshness.rebaseline()
+        engine.crash()
+        engine.recover()
+        # The accepted restore IS the backup: recovery lands exactly on
+        # the captured state. (The CEK system table is outside this
+        # action's blast radius — StaleCekVersion covers that.)
+        assert visible_state(engine) == expected_at_capture
+
+    def test_detection_names_the_violation_kind(self):
+        engine, *__ = run_rollback_scenario(RestoreSnapshot(), OnNth(2), anchored=True)
+        with pytest.raises(StaleRestoreError, match="wal.prefix"):
+            engine.recover()
+        engine2, *__ = run_rollback_scenario(ReplayPages(), OnNth(2), anchored=True)
+        with pytest.raises(StaleRestoreError, match="page.stale"):
+            engine2.recover()
+
+
+# ------------------------------------------- anchor-off silent acceptance
+
+
+class TestSilentAcceptanceBaseline:
+    @pytest.mark.parametrize(
+        "action_name,make_action", ROLLBACK_ACTIONS, ids=[n for n, __ in ROLLBACK_ACTIONS]
+    )
+    def test_anchor_off_accepts_every_rollback_silently(self, action_name, make_action):
+        """The paper-mode system: integrity without freshness. The same
+        attack that trips the anchor recovers without any error."""
+        engine, expected_at_capture, expected_at_crash = run_rollback_scenario(
+            make_action(), OnNth(2), anchored=False
+        )
+        report = engine.recover()  # no exception: the rollback is invisible
+        assert not report.freshness_verified
+        assert engine.verify_index_consistency() == []
+        if isinstance(engine, StorageEngine) and action_name == "restore-snapshot":
+            # Committed transactions silently vanished — the durability
+            # violation the anchor exists to surface.
+            assert visible_state(engine) == expected_at_capture
+            assert expected_at_capture != expected_at_crash
+
+    def test_stale_cek_restore_resurrects_pre_rotation_keys(self):
+        engine, *__ = run_rollback_scenario(StaleCekVersion(), OnNth(2), anchored=False)
+        engine.recover()
+        assert [c.name for c in engine.catalog.ceks()] == ["CEK_V1"]
+
+
+# --------------------------------------- zero false positives under fire
+
+
+def anchored_torture_engine() -> StorageEngine:
+    engine = StorageEngine(
+        lock_timeout_s=0.05,
+        ctr_enabled=False,
+        buffer_pool_pages=4,
+        freshness=FreshnessAnchor(TpmNvAnchor()),
+    )
+    engine.create_table(
+        TableSchema(
+            name="t",
+            columns=[plain_column("k", "INT", nullable=False), plain_column("v", "INT")],
+            primary_key=("k",),
+        )
+    )
+    return engine
+
+
+ANCHORED_EXTRA_SITE_ACTIONS = [
+    # A crash in the flush→advance / advance→write windows is exactly
+    # what the tolerance rules exist for.
+    ("freshness.advance", lambda: ForceCrash()),
+    ("freshness.advance", lambda: RaiseTransient()),
+]
+
+
+class TestAnchoredTortureNoFalsePositives:
+    """The fifth recovery invariant: freshness, with zero false alarms.
+
+    The full pre-existing torture matrix runs again with the anchor ON.
+    Every run must recover WITHOUT StaleRestoreError (no fault in this
+    matrix is a rollback — nothing old is ever restored), the four
+    classic invariants must hold, and the recovery report must show the
+    anchor actually verified.
+    """
+
+    @pytest.mark.parametrize("schedule_name,make_schedule", SCHEDULES)
+    @pytest.mark.parametrize(
+        "site,make_action",
+        ENGINE_SITE_ACTIONS + ANCHORED_EXTRA_SITE_ACTIONS,
+        ids=[
+            f"{site}-{i}"
+            for i, (site, __) in enumerate(ENGINE_SITE_ACTIONS + ANCHORED_EXTRA_SITE_ACTIONS)
+        ],
+    )
+    def test_no_stale_restore_raised_for_genuine_crashes(
+        self, site, make_action, schedule_name, make_schedule
+    ):
+        seed = zlib.crc32(f"anchored|{site}|{schedule_name}".encode()) % (2**31)
+        faults = get_fault_registry()
+        engine = anchored_torture_engine()
+        armed = faults.arm(site, make_schedule(seed), make_action())
+        try:
+            expected, ambiguous = run_workload(engine, make_steps(seed), seed)
+        finally:
+            faults.disarm(armed)
+        engine.crash()
+        try:
+            report = engine.recover()
+        except StaleRestoreError as exc:  # pragma: no cover - the failure mode
+            pytest.fail(f"false positive at {site}/{schedule_name}: {exc}")
+        # Fifth invariant, part 1: the anchor verified this recovery.
+        assert report.freshness_verified
+        assert report.anchor_epoch is not None
+        # Classic four invariants — including the embedded second
+        # crash+recover, which with the anchor on also exercises
+        # re-verification against the re-anchored head (part 2).
+        assert_recovery_invariants(engine, expected, ambiguous)
+
+    def test_crash_during_recovery_verification_is_retryable(self):
+        """A crash at the freshness.verify fault site aborts recovery
+        before the anchor is consulted; the retry verifies cleanly."""
+        faults = get_fault_registry()
+        engine = anchored_torture_engine()
+        rng = random.Random(7)
+        expected: dict[int, int] = {}
+        apply_committed_steps(engine, rng, expected, 12)
+        engine.checkpoint()
+        engine.crash()
+        armed = faults.arm("freshness.verify", OnNth(1), ForceCrash())
+        try:
+            with pytest.raises(ForcedCrash):
+                engine.recover()
+        finally:
+            faults.disarm(armed)
+        engine.crash()
+        report = engine.recover()
+        assert report.freshness_verified
+        assert visible_state(engine) == expected
+
+    def test_unharmed_anchored_baseline_is_clean(self):
+        engine = anchored_torture_engine()
+        expected, ambiguous = run_workload(engine, make_steps(4321), 4321)
+        assert ambiguous == {}
+        engine.crash()
+        report = engine.recover()
+        assert report.freshness_verified
+        assert_recovery_invariants(engine, expected, ambiguous)
+
+    def test_log_truncation_seals_the_anchor_base(self):
+        """Truncation moves the anchor's chain base; recovery after it
+        verifies from the sealed base, and a restore from *before* the
+        truncation fails the base check."""
+        engine = anchored_torture_engine()
+        rng = random.Random(11)
+        expected: dict[int, int] = {}
+        apply_committed_steps(engine, rng, expected, 6)
+        engine.checkpoint()
+        pre_truncation = RestoreSnapshot()
+        pre_truncation.capture(engine)
+        apply_committed_steps(engine, rng, expected, 4)
+        engine.checkpoint()
+        assert engine.truncate_log() > 0
+        engine.crash()
+        report = engine.recover()
+        assert report.freshness_verified
+        assert visible_state(engine) == expected
+        # Now the attack: restore the pre-truncation backup.
+        pre_truncation.restore()
+        engine.crash()
+        with pytest.raises(StaleRestoreError, match="wal.base"):
+            engine.recover()

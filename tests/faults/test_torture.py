@@ -169,6 +169,11 @@ def run_workload(engine: StorageEngine, steps, seed: int):
             try:
                 engine.commit(txn)
             except ForcedCrash:
+                # The crash may have fired after the COMMIT record became
+                # durable (a fault between the log flush and the ack, e.g.
+                # in the post-flush freshness hook): a lost ack. Either
+                # outcome is acceptable after recovery.
+                ambiguous[key] = {pre, post}
                 return expected, ambiguous
             except Exception:
                 # Commit faulted after the COMMIT record may have been
