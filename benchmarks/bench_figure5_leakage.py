@@ -39,7 +39,10 @@ NAMES = ["apple", "apricot", "avocado", "banana", "blueberry", "cherry",
          "citrus", "date", "elderberry", "fig"]
 
 
-def build_leakage_experiment():
+def build_leakage_experiment(over_wire: bool = False):
+    """The Figure 5 experiment; ``over_wire=True`` runs the identical
+    workload through a socket :class:`WireServer` with the adversary's
+    byte-level frame tap attached (the sharded deployment's wire)."""
     author = RsaKeyPair.generate(1024)
     binary = EnclaveBinary.build(author)
     enclave = Enclave(binary)
@@ -52,7 +55,15 @@ def build_leakage_experiment():
     registry = default_registry()
     vault = registry.get("AZURE_KEY_VAULT_PROVIDER")
     policy = AttestationPolicy(trusted_author_ids=frozenset({binary.author_id}))
-    conn = connect(server, registry, attestation_policy=policy)
+    if over_wire:
+        from repro.net.remote import RemoteServer
+        from repro.net.wireserver import WireServer
+
+        wire = WireServer(server, name="leak-wire", tap=adversary.wire_tap()).start()
+        endpoint = RemoteServer(wire.host, wire.port)
+    else:
+        endpoint = server
+    conn = connect(endpoint, registry, attestation_policy=policy)
     cmk = provision_cmk(conn, vault, "CMK", "https://vault.azure.net/keys/leak")
     provision_cek(conn, vault, cmk, "CEK")
     conn.execute_ddl(
@@ -69,6 +80,46 @@ def build_leakage_experiment():
     conn.execute("SELECT k FROM F WHERE name LIKE @p", {"p": "ap%"})   # scan LIKE
     conn.execute_ddl("CREATE NONCLUSTERED INDEX F_NAME ON F(name)")    # index build
     return server, adversary, conn, enclave
+
+
+def test_leakage_accounting_unchanged_by_serialization():
+    """Satellite invariant of the sharded wire: moving the client to the
+    other side of a real socket changes *how* the adversary watches (raw
+    frames instead of call interposition) but not *what* leaks. The
+    accounted per-column leakage must be byte-for-byte identical, and the
+    plaintext of encrypted columns must not appear in any serialized
+    frame."""
+    from repro.obs.leakage import get_leakage_accountant
+    from repro.sqlengine.values import serialize_value
+
+    accountant = get_leakage_accountant()
+    accountant.reset()
+    __, inproc_adversary, *_ = build_leakage_experiment(over_wire=False)
+    inproc_leakage = inproc_adversary.leakage_summary()
+
+    accountant.reset()
+    __, wire_adversary, *_ = build_leakage_experiment(over_wire=True)
+    wire_leakage = wire_adversary.leakage_summary()
+
+    assert wire_leakage == inproc_leakage, (
+        "serialization changed the leakage accounting:\n"
+        f"in-process: {inproc_leakage}\nover wire : {wire_leakage}"
+    )
+
+    # The frame tap actually saw the conversation ...
+    assert len(wire_adversary.frame_events) > 0
+    assert inproc_adversary.frame_events == []
+    # ... and no encrypted-column plaintext ever crossed it. (The raw
+    # utf-8 of the city/name values is what a sniffer would grep for.)
+    secrets = [v.encode() for v in set(CITIES) | set(NAMES)]
+    for event in wire_adversary.frame_events:
+        assert not any(secret in event.frame for secret in secrets), (
+            f"plaintext leaked in a serialized {event.direction} frame "
+            f"(opcode {event.opcode:#x})"
+        )
+    assert wire_adversary.plaintext_exposures(
+        [serialize_value(v) for v in set(CITIES) | set(NAMES)]
+    ) == []
 
 
 def test_figure5_leakage_table(benchmark):

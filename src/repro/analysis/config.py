@@ -93,6 +93,11 @@ class AnalysisConfig:
     #: registered flight-recorder event kinds; ``record_event("…")``
     #: literals must name one of these (empty tuple disables the check)
     event_kinds: tuple[str, ...] = ()
+    #: packages whose wire-opcode literals (``OP = "…"`` class attributes
+    #: and ``opcode_byte("…")`` calls) must appear in the opcode registry
+    opcode_packages: tuple[str, ...] = ()
+    #: the registered opcode names (empty tuple disables the check)
+    opcode_names: tuple[str, ...] = ()
     #: directory scanned for fault-site test coverage (None disables)
     tests_root: Path | None = None
     baseline_path: Path | None = None
@@ -113,6 +118,14 @@ class AnalysisConfig:
 DEFAULT_LOCK_ORDER = (
     "repro.client.driver.Connection.*",
     "repro.client.caches.*",
+    # The wire stub's control-channel lock is held across a whole remote
+    # round trip (like the driver's state lock above it); the router and
+    # wire-server locks guard connection bookkeeping and the 2PC decision
+    # log and never nest into engine latches — the serving thread releases
+    # them before dispatching into the shard's SqlServer.
+    "repro.net.remote.RemoteServer.*",
+    "repro.net.router.*",
+    "repro.net.wireserver.WireServer.*",
     "repro.sqlengine.server.SqlServer.*",
     "repro.sqlengine.scheduler.StatementScheduler.*",
     "repro.sqlengine.txn.locks.LockManager.*",
@@ -170,6 +183,7 @@ def default_config(
 ) -> AnalysisConfig:
     """The configuration for this repository's source tree."""
     from repro.enclave import ECALL_SURFACE
+    from repro.net.opcodes import OPCODES
     from repro.obs.flightrec import EVENT_KINDS
 
     top = repo_root()
@@ -192,12 +206,17 @@ def default_config(
             "repro.harness",
             "repro.tools",
             "repro.security",
+            # The wire layer runs host-side (router, wire server, client
+            # stub): it marshals ciphertext and sealed packages but must
+            # never reach enclave internals.
+            "repro.net",
         ),
         taint_packages=(
             "repro.sqlengine",
             "repro.workloads",
             "repro.harness",
             "repro.tools",
+            "repro.net",
         ),
         enclave_package="repro.enclave",
         surface=ECALL_SURFACE,
@@ -207,6 +226,8 @@ def default_config(
         ),
         consistency_exempt=("repro.faults", "repro.obs"),
         event_kinds=tuple(EVENT_KINDS),
+        opcode_packages=("repro.net",),
+        opcode_names=tuple(OPCODES),
         tests_root=tests_root,
         baseline_path=baseline_path,
     )

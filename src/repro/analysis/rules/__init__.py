@@ -6,12 +6,14 @@ from repro.analysis.rules.consistency import SiteMetricConsistencyRule
 from repro.analysis.rules.lock_order import LockOrderRule
 from repro.analysis.rules.plaintext_taint import PlaintextTaintRule
 from repro.analysis.rules.trust_boundary import TrustBoundaryRule
+from repro.analysis.rules.wire_opcodes import WireOpcodeRule
 
 ALL_RULES = (
     TrustBoundaryRule(),
     PlaintextTaintRule(),
     LockOrderRule(),
     SiteMetricConsistencyRule(),
+    WireOpcodeRule(),
 )
 
 __all__ = [
@@ -20,4 +22,5 @@ __all__ = [
     "PlaintextTaintRule",
     "SiteMetricConsistencyRule",
     "TrustBoundaryRule",
+    "WireOpcodeRule",
 ]

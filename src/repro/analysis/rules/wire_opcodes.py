@@ -1,0 +1,103 @@
+"""Rule family 5: wire-opcode registry consistency.
+
+Opcodes are the wire protocol's stringly-typed contract: a message class
+declares ``OP = "execute"`` and the codec resolves it through the opcode
+registry (:data:`repro.net.opcodes.OPCODES`). A typo'd or unregistered
+opcode literal fails only at runtime — on the first encode of that
+message type — and a *dynamic* opcode name cannot be audited against the
+append-only registry at all. Checks, over the configured wire packages:
+
+* every ``OP = "…"`` class attribute names a registered opcode;
+* every ``opcode_byte("…")`` literal names a registered opcode;
+* ``OP`` assignments and ``opcode_byte`` calls with non-literal names
+  are findings (the registry is append-only and auditable; the names
+  referencing it must be too).
+
+The registry module itself is exempt — it *defines* the names.
+"""
+
+from __future__ import annotations
+
+import ast
+
+from repro.analysis.findings import Finding
+from repro.analysis.model import CALL_MARK
+
+_OPCODE_FNS = ("opcode_byte",)
+
+
+class WireOpcodeRule:
+    name = "wire-opcode"
+
+    def run(self, model, config) -> list:
+        findings: list[Finding] = []
+        if not config.opcode_names or not config.opcode_packages:
+            return findings
+        registry = set(config.opcode_names)
+        for modname, info in model.modules.items():
+            if not model.in_packages(modname, config.opcode_packages):
+                continue
+            if modname.rsplit(".", 1)[-1] == "opcodes":
+                continue  # the registry itself
+            path = model.relpath(info)
+
+            for call in info.calls:
+                parts = tuple(p for p in call.parts if p != CALL_MARK)
+                if not parts or parts[-1] not in _OPCODE_FNS:
+                    continue
+                literal = call.str_args[0] if call.str_args else None
+                if literal is None:
+                    # Dynamic names are fine when forwarding a class's own
+                    # OP attribute (``opcode_byte(cls.OP)``): the OP
+                    # literals themselves are checked below.
+                    continue
+                if literal not in registry:
+                    findings.append(Finding(
+                        rule=self.name, path=path, line=call.lineno,
+                        symbol=call.scope,
+                        key=f"unregistered-opcode:{literal}",
+                        message=(
+                            f"opcode_byte({literal!r}) names an opcode "
+                            "missing from the registry in repro.net.opcodes"
+                        ),
+                    ))
+
+            for node in ast.walk(info.tree):
+                if not isinstance(node, ast.ClassDef):
+                    continue
+                for stmt in node.body:
+                    if not (
+                        isinstance(stmt, ast.Assign)
+                        and len(stmt.targets) == 1
+                        and isinstance(stmt.targets[0], ast.Name)
+                        and stmt.targets[0].id == "OP"
+                    ):
+                        continue
+                    value = stmt.value
+                    if not (
+                        isinstance(value, ast.Constant)
+                        and isinstance(value.value, str)
+                    ):
+                        findings.append(Finding(
+                            rule=self.name, path=path, line=stmt.lineno,
+                            symbol=node.name,
+                            key=f"dynamic-opcode:{node.name}",
+                            message=(
+                                f"{node.name}.OP is not a string literal; "
+                                "wire opcodes must be auditable against "
+                                "the registry"
+                            ),
+                        ))
+                        continue
+                    if value.value not in registry:
+                        findings.append(Finding(
+                            rule=self.name, path=path, line=stmt.lineno,
+                            symbol=node.name,
+                            key=f"unregistered-opcode:{value.value}",
+                            message=(
+                                f"{node.name}.OP = {value.value!r} names an "
+                                "opcode missing from the registry in "
+                                "repro.net.opcodes"
+                            ),
+                        ))
+        return findings

@@ -145,6 +145,35 @@ class PageCorruptError(SqlError):
     """
 
 
+class WireError(ReproError):
+    """Base class for byte-level wire protocol failures (:mod:`repro.net`)."""
+
+
+class TruncatedFrameError(WireError):
+    """Raised when a frame ends before its declared length (torn stream)."""
+
+
+class CorruptFrameError(WireError):
+    """Raised when a frame fails its magic or CRC check (bit rot, tamper)."""
+
+
+class UnknownOpcodeError(WireError):
+    """Raised when a frame carries an opcode byte the registry does not know."""
+
+
+class VersionMismatchError(WireError):
+    """Raised when a frame's protocol version differs from this endpoint's."""
+
+
+class RemoteError(ReproError):
+    """A server-side error whose concrete type could not be reconstructed
+    client-side; carries the original type name for diagnostics."""
+
+    def __init__(self, error_type: str, message: str):
+        self.error_type = error_type
+        super().__init__(f"{error_type}: {message}")
+
+
 class DriverError(ReproError):
     """Raised by the client driver for protocol or configuration problems."""
 

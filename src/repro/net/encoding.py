@@ -1,0 +1,236 @@
+"""Tagged recursive binary codec for wire payloads.
+
+Every value is one tag byte followed by a type-specific body; containers
+recurse. The codec is deliberately closed: only registered enum and
+dataclass ("struct") types serialize, so a payload can never smuggle an
+arbitrary pickled object across the trust seam — decoding untrusted bytes
+constructs only primitives, containers, and the registered message /
+metadata shapes.
+
+Integers are length-prefixed signed big-endian so RSA-sized public-key
+moduli ride the same tag as row counts. Structs encode as
+``(type_name, {field: value})`` and decode via ``cls(**fields)``; the
+field list is fixed at registration time, which is what keeps volatile
+server-side attachments (e.g. ``QueryResult.stats``) off the wire.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import enum
+import struct
+from typing import Any, Callable
+
+from repro.errors import CorruptFrameError
+
+__all__ = [
+    "decode_value",
+    "encode_value",
+    "register_enum",
+    "register_struct",
+    "registered_struct_names",
+]
+
+_T_NONE = 0x00
+_T_TRUE = 0x01
+_T_FALSE = 0x02
+_T_INT = 0x03
+_T_FLOAT = 0x04
+_T_STR = 0x05
+_T_BYTES = 0x06
+_T_LIST = 0x07
+_T_TUPLE = 0x08
+_T_DICT = 0x09
+_T_FROZENSET = 0x0A
+_T_ENUM = 0x0B
+_T_STRUCT = 0x0C
+
+_U32 = struct.Struct(">I")
+_F64 = struct.Struct(">d")
+
+#: Containers deeper than this are rejected rather than recursed into.
+_MAX_DEPTH = 32
+
+_ENUMS: dict[str, type[enum.Enum]] = {}
+_STRUCTS: dict[str, tuple[type, tuple[str, ...]]] = {}
+_STRUCT_NAMES: dict[type, str] = {}
+
+
+def register_enum(cls: type[enum.Enum]) -> type[enum.Enum]:
+    """Allow ``cls`` members on the wire, addressed by class and member name."""
+    _ENUMS[cls.__name__] = cls
+    return cls
+
+
+def register_struct(cls: type, fields: tuple[str, ...] | None = None) -> type:
+    """Allow dataclass ``cls`` on the wire.
+
+    ``fields`` defaults to every dataclass field; pass an explicit subset
+    to keep server-only attachments out of the encoding. Decoding calls
+    ``cls(**fields)``, so every omitted field must have a default.
+    """
+    if fields is None:
+        fields = tuple(f.name for f in dataclasses.fields(cls))
+    _STRUCTS[cls.__name__] = (cls, fields)
+    _STRUCT_NAMES[cls] = cls.__name__
+    return cls
+
+
+def registered_struct_names() -> tuple[str, ...]:
+    return tuple(_STRUCTS)
+
+
+def _u32(n: int) -> bytes:
+    return _U32.pack(n)
+
+
+def _encode_into(out: list[bytes], value: Any, depth: int) -> None:
+    if depth > _MAX_DEPTH:
+        raise ValueError("value nesting exceeds wire codec depth limit")
+    if value is None:
+        out.append(bytes([_T_NONE]))
+    elif value is True:
+        out.append(bytes([_T_TRUE]))
+    elif value is False:
+        out.append(bytes([_T_FALSE]))
+    elif type(value) is int:
+        body = value.to_bytes((value.bit_length() + 8) // 8 or 1, "big", signed=True)
+        out.append(bytes([_T_INT]) + _u32(len(body)) + body)
+    elif type(value) is float:
+        out.append(bytes([_T_FLOAT]) + _F64.pack(value))
+    elif type(value) is str:
+        body = value.encode("utf-8")
+        out.append(bytes([_T_STR]) + _u32(len(body)) + body)
+    elif type(value) in (bytes, bytearray):
+        out.append(bytes([_T_BYTES]) + _u32(len(value)) + bytes(value))
+    elif type(value) is list:
+        out.append(bytes([_T_LIST]) + _u32(len(value)))
+        for item in value:
+            _encode_into(out, item, depth + 1)
+    elif type(value) is tuple:
+        out.append(bytes([_T_TUPLE]) + _u32(len(value)))
+        for item in value:
+            _encode_into(out, item, depth + 1)
+    elif type(value) is dict:
+        out.append(bytes([_T_DICT]) + _u32(len(value)))
+        for key, item in value.items():
+            _encode_into(out, key, depth + 1)
+            _encode_into(out, item, depth + 1)
+    elif type(value) is frozenset:
+        # Deterministic order so identical sets encode identically.
+        items = sorted(value, key=repr)
+        out.append(bytes([_T_FROZENSET]) + _u32(len(items)))
+        for item in items:
+            _encode_into(out, item, depth + 1)
+    elif isinstance(value, enum.Enum) and type(value).__name__ in _ENUMS:
+        _append_name_pair(out, _T_ENUM, type(value).__name__, value.name)
+    elif type(value) in _STRUCT_NAMES:
+        name = _STRUCT_NAMES[type(value)]
+        _, fields = _STRUCTS[name]
+        body = {field: getattr(value, field) for field in fields}
+        name_bytes = name.encode("utf-8")
+        out.append(bytes([_T_STRUCT]) + _u32(len(name_bytes)) + name_bytes)
+        _encode_into(out, body, depth + 1)
+    else:
+        raise TypeError(f"type {type(value).__name__!r} is not wire-encodable")
+
+
+def _append_name_pair(out: list[bytes], tag: int, first: str, second: str) -> None:
+    a = first.encode("utf-8")
+    b = second.encode("utf-8")
+    out.append(bytes([tag]) + _u32(len(a)) + a + _u32(len(b)) + b)
+
+
+def encode_value(value: Any) -> bytes:
+    """Serialize ``value`` to tagged bytes; raises ``TypeError`` on
+    unregistered types and ``ValueError`` on excessive nesting."""
+    out: list[bytes] = []
+    _encode_into(out, value, 0)
+    return b"".join(out)
+
+
+class _Reader:
+    __slots__ = ("data", "pos")
+
+    def __init__(self, data: bytes):
+        self.data = data
+        self.pos = 0
+
+    def take(self, n: int) -> bytes:
+        if self.pos + n > len(self.data):
+            raise CorruptFrameError("payload value truncated")
+        chunk = self.data[self.pos : self.pos + n]
+        self.pos += n
+        return chunk
+
+    def take_u32(self) -> int:
+        return _U32.unpack(self.take(4))[0]
+
+    def take_str(self) -> str:
+        return self.take(self.take_u32()).decode("utf-8")
+
+
+def _decode_one(reader: _Reader, depth: int) -> Any:
+    if depth > _MAX_DEPTH:
+        raise CorruptFrameError("payload nesting exceeds wire codec depth limit")
+    tag = reader.take(1)[0]
+    if tag == _T_NONE:
+        return None
+    if tag == _T_TRUE:
+        return True
+    if tag == _T_FALSE:
+        return False
+    if tag == _T_INT:
+        return int.from_bytes(reader.take(reader.take_u32()), "big", signed=True)
+    if tag == _T_FLOAT:
+        return _F64.unpack(reader.take(8))[0]
+    if tag == _T_STR:
+        return reader.take_str()
+    if tag == _T_BYTES:
+        return bytes(reader.take(reader.take_u32()))
+    if tag == _T_LIST:
+        return [_decode_one(reader, depth + 1) for _ in range(reader.take_u32())]
+    if tag == _T_TUPLE:
+        return tuple(_decode_one(reader, depth + 1) for _ in range(reader.take_u32()))
+    if tag == _T_DICT:
+        n = reader.take_u32()
+        result = {}
+        for _ in range(n):
+            key = _decode_one(reader, depth + 1)
+            result[key] = _decode_one(reader, depth + 1)
+        return result
+    if tag == _T_FROZENSET:
+        return frozenset(_decode_one(reader, depth + 1) for _ in range(reader.take_u32()))
+    if tag == _T_ENUM:
+        cls_name = reader.take_str()
+        member = reader.take_str()
+        cls = _ENUMS.get(cls_name)
+        if cls is None:
+            raise CorruptFrameError(f"unregistered enum type on wire: {cls_name!r}")
+        try:
+            return cls[member]
+        except KeyError:
+            raise CorruptFrameError(f"unknown member {member!r} of enum {cls_name!r}") from None
+    if tag == _T_STRUCT:
+        cls_name = reader.take_str()
+        entry = _STRUCTS.get(cls_name)
+        if entry is None:
+            raise CorruptFrameError(f"unregistered struct type on wire: {cls_name!r}")
+        cls, fields = entry
+        body = _decode_one(reader, depth + 1)
+        if not isinstance(body, dict) or not set(body) <= set(fields):
+            raise CorruptFrameError(f"malformed struct body for {cls_name!r}")
+        try:
+            return cls(**body)
+        except TypeError as exc:
+            raise CorruptFrameError(f"struct {cls_name!r} rejected wire fields: {exc}") from None
+    raise CorruptFrameError(f"unknown value tag 0x{tag:02X}")
+
+
+def decode_value(data: bytes) -> Any:
+    """Deserialize one tagged value occupying all of ``data``."""
+    reader = _Reader(data)
+    value = _decode_one(reader, 0)
+    if reader.pos != len(data):
+        raise CorruptFrameError(f"{len(data) - reader.pos} trailing bytes after payload value")
+    return value

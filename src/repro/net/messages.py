@@ -1,0 +1,442 @@
+"""Typed wire messages and the registry of shapes that may ride them.
+
+Each message is a small dataclass whose ``OP`` class attribute names its
+opcode in :data:`repro.net.opcodes.OPCODES`. A message serializes as a
+frame whose payload is the tagged encoding of the message itself
+(messages are registered structs), so the full round trip is::
+
+    frame_bytes = encode_message(Hello(affinity=3))
+    msg = decode_message(*decode_frame(frame_bytes))   # -> Hello(affinity=3)
+
+This module also registers every *metadata* dataclass the protocol
+carries — ciphertext envelopes, column types, CEK/CMK metadata, the
+attestation bundle, query results — pinning exactly which shapes can
+cross the wire. ``QueryResult`` is registered without its ``stats``
+field: per-statement telemetry is a server-side attachment and never
+serializes.
+
+Error marshalling: any server-side :class:`~repro.errors.ReproError`
+becomes an :class:`ErrorReply` carrying the concrete type name and
+message; :func:`reconstruct_error` maps the name back to the class on the
+client so typed handling (``except StaleRestoreError``, quarantine
+refusals, transient classification) works identically over the wire.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any
+
+import repro.errors as _errors
+from repro.attestation.hgs import HealthCertificate
+from repro.attestation.protocol import AttestationInfo
+from repro.attestation.report import EnclaveReport, SignedReport
+from repro.crypto.rsa import RsaPublicKey
+from repro.enclave import SealedPackage
+from repro.errors import RemoteError, ReproError, UnknownOpcodeError
+from repro.keys.cek import CekEncryptedValue, ColumnEncryptionKey
+from repro.keys.cmk import ColumnMasterKey
+from repro.net.encoding import decode_value, encode_value, register_enum, register_struct
+from repro.net.frames import decode_frame, encode_frame
+from repro.net.opcodes import opcode_byte
+from repro.sqlengine.catalog import ColumnSchema, IndexSchema, TableSchema
+from repro.sqlengine.cells import Ciphertext
+from repro.sqlengine.engine import RecoveryReport
+from repro.sqlengine.exec.executor import QueryResult, ResultColumn
+from repro.sqlengine.server import CekMetadata, DescribeResult, ParameterDescription
+from repro.sqlengine.storage.heap import RowId
+from repro.sqlengine.types import ColumnType, EncryptionInfo, EncryptionScheme, SqlType
+
+__all__ = [
+    "MESSAGE_TYPES",
+    "AdminAudit",
+    "AdminAuditReply",
+    "AdminCrash",
+    "AdminRecover",
+    "AdminRecoverReply",
+    "AdminShutdown",
+    "Attest",
+    "AttestReply",
+    "CekFetch",
+    "CekFetchReply",
+    "CekList",
+    "CekListReply",
+    "Describe",
+    "DescribeReply",
+    "ErrorReply",
+    "Execute",
+    "ExecuteReply",
+    "ForwardPackage",
+    "Hello",
+    "HelloReply",
+    "Ok",
+    "Ping",
+    "SessionClose",
+    "SessionOpen",
+    "SessionOpenReply",
+    "TableInfo",
+    "TableInfoReply",
+    "TxnAbortPrepared",
+    "TxnCommitPrepared",
+    "TxnIndoubt",
+    "TxnIndoubtReply",
+    "TxnPrepare",
+    "decode_message",
+    "encode_message",
+    "error_reply_for",
+    "reconstruct_error",
+]
+
+# ------------------------------------------------------------------ metadata
+# Shapes carried inside messages. Registration order only matters for
+# readability; the codec addresses structs by class name.
+
+register_enum(EncryptionScheme)
+for _cls in (
+    Ciphertext,
+    RowId,
+    SqlType,
+    EncryptionInfo,
+    ColumnType,
+    ColumnSchema,
+    IndexSchema,
+    TableSchema,
+    ResultColumn,
+    CekEncryptedValue,
+    ColumnEncryptionKey,
+    ColumnMasterKey,
+    ParameterDescription,
+    CekMetadata,
+    DescribeResult,
+    RsaPublicKey,
+    HealthCertificate,
+    EnclaveReport,
+    SignedReport,
+    AttestationInfo,
+    SealedPackage,
+    RecoveryReport,
+):
+    register_struct(_cls)
+
+# stats is a volatile server-side attachment (QueryStats holds live
+# references into the metrics registry) — it never crosses the wire.
+register_struct(QueryResult, ("columns", "rows", "rowcount", "plan_info"))
+
+
+# ------------------------------------------------------------------ messages
+
+MESSAGE_TYPES: dict[str, type] = {}
+
+
+def _message(cls: type) -> type:
+    """Register a message dataclass under its ``OP`` opcode name."""
+    op = cls.OP  # type: ignore[attr-defined]
+    opcode_byte(op)  # raises KeyError if the opcode registry lacks it
+    if op in MESSAGE_TYPES:
+        raise AssertionError(f"duplicate message class for opcode {op!r}")
+    MESSAGE_TYPES[op] = cls
+    register_struct(cls)
+    return cls
+
+
+# -- handshake
+
+
+@_message
+@dataclass
+class Hello:
+    """First frame on every connection.
+
+    ``affinity`` is the client's home-warehouse hint: the router pins the
+    connection's control plane (describe/attest/CEK forwarding — and with
+    it the enclave session) to the shard owning that warehouse.
+    """
+
+    OP = "hello"
+    affinity: int | None = None
+
+
+@_message
+@dataclass
+class HelloReply:
+    OP = "hello_reply"
+    protocol_version: int
+    server_name: str
+    shard_count: int
+    #: HGS attestation-service signing key, or None for enclave-less servers.
+    hgs_public: RsaPublicKey | None = None
+
+
+@_message
+@dataclass
+class Ok:
+    OP = "ok"
+
+
+@_message
+@dataclass
+class ErrorReply:
+    """Any server-side ReproError, marshalled by concrete type name."""
+
+    OP = "error"
+    error_type: str
+    message: str
+    #: Post-error transaction state of the session (None for sessionless
+    #: control-plane errors) so the client mirror stays exact.
+    in_transaction: bool | None = None
+
+
+@_message
+@dataclass
+class Ping:
+    OP = "ping"
+
+
+# -- control plane
+
+
+@_message
+@dataclass
+class Describe:
+    OP = "describe"
+    query_text: str
+    client_dh_public: int | None = None
+
+
+@_message
+@dataclass
+class DescribeReply:
+    OP = "describe_reply"
+    result: DescribeResult
+
+
+@_message
+@dataclass
+class Attest:
+    OP = "attest"
+    client_dh_public: int
+
+
+@_message
+@dataclass
+class AttestReply:
+    OP = "attest_reply"
+    info: AttestationInfo
+
+
+@_message
+@dataclass
+class CekFetch:
+    OP = "cek_fetch"
+    cek_name: str
+
+
+@_message
+@dataclass
+class CekFetchReply:
+    OP = "cek_fetch_reply"
+    metadata: CekMetadata
+
+
+@_message
+@dataclass
+class CekList:
+    OP = "cek_list"
+
+
+@_message
+@dataclass
+class CekListReply:
+    OP = "cek_list_reply"
+    ceks: list[ColumnEncryptionKey] = field(default_factory=list)
+
+
+@_message
+@dataclass
+class TableInfo:
+    OP = "table_info"
+    table_name: str
+
+
+@_message
+@dataclass
+class TableInfoReply:
+    OP = "table_info_reply"
+    schema: TableSchema
+
+
+@_message
+@dataclass
+class ForwardPackage:
+    OP = "forward_package"
+    enclave_session_id: int
+    sealed: SealedPackage
+
+
+# -- data plane
+
+
+@_message
+@dataclass
+class SessionOpen:
+    OP = "session_open"
+    affinity: int | None = None
+
+
+@_message
+@dataclass
+class SessionOpenReply:
+    OP = "session_open_reply"
+    session_id: int
+
+
+@_message
+@dataclass
+class SessionClose:
+    OP = "session_close"
+    session_id: int
+
+
+@_message
+@dataclass
+class Execute:
+    OP = "execute"
+    session_id: int
+    query_text: str
+    params: dict = field(default_factory=dict)
+
+
+@_message
+@dataclass
+class ExecuteReply:
+    OP = "execute_reply"
+    result: QueryResult
+    in_transaction: bool = False
+
+
+# -- two-phase commit (router → shard)
+
+
+@_message
+@dataclass
+class TxnPrepare:
+    OP = "txn_prepare"
+    session_id: int
+    gtid: str
+
+
+@_message
+@dataclass
+class TxnCommitPrepared:
+    OP = "txn_commit_prepared"
+    gtid: str
+
+
+@_message
+@dataclass
+class TxnAbortPrepared:
+    OP = "txn_abort_prepared"
+    gtid: str
+
+
+@_message
+@dataclass
+class TxnIndoubt:
+    OP = "txn_indoubt"
+
+
+@_message
+@dataclass
+class TxnIndoubtReply:
+    OP = "txn_indoubt_reply"
+    gtids: list[str] = field(default_factory=list)
+
+
+# -- administration (harness / torture)
+
+
+@_message
+@dataclass
+class AdminAudit:
+    OP = "admin_audit"
+
+
+@_message
+@dataclass
+class AdminAuditReply:
+    OP = "admin_audit_reply"
+    violations: list[str] = field(default_factory=list)
+
+
+@_message
+@dataclass
+class AdminCrash:
+    OP = "admin_crash"
+
+
+@_message
+@dataclass
+class AdminRecover:
+    OP = "admin_recover"
+
+
+@_message
+@dataclass
+class AdminRecoverReply:
+    OP = "admin_recover_reply"
+    report: RecoveryReport
+
+
+@_message
+@dataclass
+class AdminShutdown:
+    OP = "admin_shutdown"
+
+
+# ------------------------------------------------------------------ codec
+
+
+def encode_message(msg: Any) -> bytes:
+    """Serialize a message to one complete frame."""
+    op = type(msg).OP
+    return encode_frame(opcode_byte(op), encode_value(msg))
+
+
+def decode_message(opcode: int, payload: bytes) -> Any:
+    """Decode a frame's payload back into its message dataclass."""
+    msg = decode_value(payload)
+    cls = type(msg)
+    expected = MESSAGE_TYPES.get(getattr(cls, "OP", None))
+    if cls is not expected or opcode_byte(cls.OP) != opcode:
+        raise UnknownOpcodeError(
+            f"frame opcode 0x{opcode:02X} does not match payload type {cls.__name__!r}"
+        )
+    return msg
+
+
+# ------------------------------------------------------------------ errors
+
+
+def error_reply_for(exc: BaseException, in_transaction: bool | None = None) -> ErrorReply:
+    """Marshal a server-side exception by concrete type name."""
+    return ErrorReply(
+        error_type=type(exc).__name__,
+        message=str(exc),
+        in_transaction=in_transaction,
+    )
+
+
+def reconstruct_error(reply: ErrorReply) -> ReproError:
+    """Client side: rebuild the typed exception from an :class:`ErrorReply`.
+
+    Falls back to :class:`~repro.errors.RemoteError` when the name is not
+    a ReproError subclass or its constructor rejects a single message
+    (e.g. fault-injection types, which take a site argument).
+    """
+    cls = getattr(_errors, reply.error_type, None)
+    if isinstance(cls, type) and issubclass(cls, ReproError):
+        try:
+            return cls(reply.message)
+        except TypeError:
+            pass
+    return RemoteError(reply.error_type, reply.message)

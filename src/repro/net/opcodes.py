@@ -1,0 +1,72 @@
+"""The wire opcode registry: one name, one byte, forever.
+
+Every frame carries a single opcode byte identifying the message type it
+transports. The registry below is the *only* place opcode numbers are
+assigned; message classes reference opcodes by name (their ``OP`` class
+attribute) and the static analyzer lints that every opcode string literal
+in the source appears here — a frame writer cannot invent an opcode the
+registry (and therefore the decoder and the adversary's tap) does not
+know about.
+
+Opcode bytes are append-only: renumbering an existing opcode is a wire
+format break and requires a protocol version bump in
+:mod:`repro.net.frames`.
+"""
+
+from __future__ import annotations
+
+#: name → wire byte. Grouped by plane; gaps leave room for growth.
+OPCODES: dict[str, int] = {
+    # connection handshake
+    "hello": 0x01,
+    "hello_reply": 0x02,
+    "ok": 0x03,
+    "error": 0x04,
+    "ping": 0x05,
+    # control plane (describe / attestation / key metadata)
+    "describe": 0x10,
+    "describe_reply": 0x11,
+    "attest": 0x12,
+    "attest_reply": 0x13,
+    "cek_fetch": 0x14,
+    "cek_fetch_reply": 0x15,
+    "cek_list": 0x16,
+    "cek_list_reply": 0x17,
+    "table_info": 0x18,
+    "table_info_reply": 0x19,
+    "forward_package": 0x1A,
+    # data plane (sessions and statements)
+    "session_open": 0x20,
+    "session_open_reply": 0x21,
+    "session_close": 0x22,
+    "execute": 0x23,
+    "execute_reply": 0x24,
+    # two-phase commit (router → shard)
+    "txn_prepare": 0x30,
+    "txn_commit_prepared": 0x31,
+    "txn_abort_prepared": 0x32,
+    "txn_indoubt": 0x33,
+    "txn_indoubt_reply": 0x34,
+    # administration (benchmark harness / torture tests)
+    "admin_audit": 0x40,
+    "admin_audit_reply": 0x41,
+    "admin_crash": 0x42,
+    "admin_recover": 0x43,
+    "admin_recover_reply": 0x44,
+    "admin_shutdown": 0x45,
+}
+
+_BY_BYTE: dict[int, str] = {byte: name for name, byte in OPCODES.items()}
+
+if len(_BY_BYTE) != len(OPCODES):
+    raise AssertionError("duplicate opcode byte in OPCODES")
+
+
+def opcode_byte(name: str) -> int:
+    """The wire byte for an opcode name; raises ``KeyError`` on unknowns."""
+    return OPCODES[name]
+
+
+def opcode_name(byte: int) -> str | None:
+    """The opcode name for a wire byte, or ``None`` if unassigned."""
+    return _BY_BYTE.get(byte)

@@ -39,11 +39,27 @@ class WireEvent:
 
 
 @dataclass
+class FrameEvent:
+    """One serialized frame on the real byte-level wire.
+
+    What a network observer captures per message: direction, the opcode
+    byte, and the raw frame (header + encoded payload, ciphertext and
+    all). Recorded by the tap a :class:`~repro.net.transport.FrameChannel`
+    accepts — the sharded deployment's equivalent of the session tap.
+    """
+
+    direction: str      # "send" | "recv", from the tapped endpoint's view
+    opcode: int
+    frame: bytes
+
+
+@dataclass
 class StrongAdversary:
     """Observes an attached server; accumulates everything it may see."""
 
     boundary_events: list[BoundaryEvent] = field(default_factory=list)
     wire_events: list[WireEvent] = field(default_factory=list)
+    frame_events: list[FrameEvent] = field(default_factory=list)
     _server: SqlServer | None = None
 
     # -- attachment ----------------------------------------------------------
@@ -74,6 +90,23 @@ class StrongAdversary:
             return session
 
         server.connect = tapped_connect  # type: ignore[method-assign]
+
+    def wire_tap(self):
+        """A :data:`~repro.net.transport.FrameTap` recording every frame.
+
+        Pass to :class:`~repro.net.wireserver.WireServer` (or a
+        :class:`~repro.net.transport.FrameChannel` directly) to watch the
+        serialized bytes of the socket deployment. The tap is additive:
+        the session-level :meth:`attach` observations are unchanged, so
+        serialization must not alter the accounted leakage.
+        """
+
+        def tap(direction: str, opcode: int, frame: bytes) -> None:
+            self.frame_events.append(
+                FrameEvent(direction=direction, opcode=opcode, frame=frame)
+            )
+
+        return tap
 
     def _on_boundary(self, name: str, visible_inputs: tuple, visible_output: object) -> None:
         self.boundary_events.append(
@@ -213,5 +246,9 @@ class StrongAdversary:
             blob = repr(event.params).encode()
             if any(secret in blob for secret in secrets):
                 surfaces.append("wire-params")
+                break
+        for event in self.frame_events:
+            if any(secret in event.frame for secret in secrets):
+                surfaces.append("wire-frames")
                 break
         return surfaces

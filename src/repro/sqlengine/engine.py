@@ -67,6 +67,9 @@ register_fault_site(
     "engine.commit", "transaction commit entry (before the COMMIT record lands)"
 )
 register_fault_site(
+    "engine.prepare", "2PC prepare entry (before the PREPARE record lands)"
+)
+register_fault_site(
     "engine.index_insert", "index maintenance for one inserted/updated row"
 )
 
@@ -146,6 +149,12 @@ class StorageEngine:
         self.txns = TransactionManager()
         self.tables: dict[str, TableObject] = {}
         self.deferred: dict[int, Transaction] = {}
+        # 2PC participants: gtid → prepared transaction (in-doubt after a
+        # crash until the coordinator's decision arrives), plus the gtids
+        # whose decision already landed so coordinator retries stay
+        # idempotent (rebuilt from the WAL at recovery).
+        self.prepared: dict[str, Transaction] = {}
+        self._resolved_gtids: set[str] = set()
         self.pending_cleanups: list[PendingCleanup] = []
         # Durable metadata (simulating system pages): table → heap page ids.
         self._durable_table_pages: dict[str, list[int]] = {}
@@ -288,6 +297,65 @@ class StorageEngine:
         self.wal.flush()
         self.txns.finish(txn, TxnState.ABORTED)
         self.locks.release_all(txn.txn_id)
+
+    # -------------------------------------------------- two-phase commit
+
+    def prepare(self, txn: Transaction, gtid: str) -> None:
+        """Phase one: durably promise to commit ``txn`` under ``gtid``.
+
+        The PREPARE record (gtid in the ``table`` field) reaches disk
+        before we answer the coordinator; the transaction keeps every
+        lock and its undo log, so either decision remains executable —
+        including after a crash, when recovery rebuilds it as in-doubt.
+        """
+        if not txn.is_active:
+            raise TransactionError(f"cannot prepare txn in state {txn.state}")
+        if gtid in self.prepared or gtid in self._resolved_gtids:
+            raise TransactionError(f"gtid {gtid!r} already prepared or resolved")
+        fault_point("engine.prepare", txn_id=txn.txn_id, gtid=gtid)
+        self._ensure_begin_logged(txn)
+        self.wal.append(txn.txn_id, LogOp.PREPARE, table=gtid)
+        self.wal.flush()
+        self.txns.finish(txn, TxnState.PREPARED)
+        self.prepared[gtid] = txn
+
+    def commit_prepared(self, gtid: str) -> bool:
+        """Phase two, commit decision. Idempotent: a coordinator retrying
+        after a crash gets ``False`` if the decision already applied."""
+        if gtid in self._resolved_gtids:
+            return False
+        txn = self.prepared.pop(gtid, None)
+        if txn is None:
+            # Presumed abort: an unknown, unresolved gtid was never
+            # prepared here (or its PREPARE never became durable).
+            raise TransactionError(f"no prepared transaction for gtid {gtid!r}")
+        self.wal.append(txn.txn_id, LogOp.COMMIT, table=gtid)
+        self.wal.flush()
+        txn.state = TxnState.COMMITTED
+        txn.undo_log.clear()
+        self._resolved_gtids.add(gtid)
+        self.locks.release_all(txn.txn_id)
+        return True
+
+    def abort_prepared(self, gtid: str) -> bool:
+        """Phase two, abort decision (also the presumed-abort path)."""
+        if gtid in self._resolved_gtids:
+            return False
+        txn = self.prepared.pop(gtid, None)
+        if txn is None:
+            # Presumed abort: nothing prepared means nothing to undo.
+            return False
+        self._undo(txn, log_compensation=True)
+        self.wal.append(txn.txn_id, LogOp.ABORT, table=gtid)
+        self.wal.flush()
+        txn.state = TxnState.ABORTED
+        self._resolved_gtids.add(gtid)
+        self.locks.release_all(txn.txn_id)
+        return True
+
+    def indoubt_gtids(self) -> list[str]:
+        """Gtids awaiting a coordinator decision (recovery repopulates)."""
+        return sorted(self.prepared)
 
     # ------------------------------------------------------------------- DML
 
@@ -562,6 +630,8 @@ class StorageEngine:
         self.txns = TransactionManager()
         self.tables = {}
         self.deferred = {}
+        self.prepared = {}
+        self._resolved_gtids = set()
         self.pending_cleanups = []
 
     def recover(self) -> "RecoveryReport":
@@ -629,6 +699,11 @@ class StorageEngine:
                     obj.state = IndexState.INVALID
 
         records = self.wal.records(durable_only=True)
+        if records:
+            # New transactions must not reuse ids the durable log already
+            # mentions: the *next* recovery would conflate their records
+            # (e.g. treat a fresh PREPARE as resolved by an old COMMIT).
+            self.txns.advance_past(max(r.txn_id for r in records))
 
         # 2. Physical redo of every row operation, in LSN order. Idempotent
         #    and keyless: images are (possibly ciphertext) bytes.
@@ -648,16 +723,38 @@ class StorageEngine:
                 table.heap.insert_at(record.rid, deserialize_row(record.after))
                 report.redone += 1
 
-        # 3. Identify loser transactions.
+        # 3. Identify loser transactions. A transaction with a durable
+        #    PREPARE but no decision record is *in-doubt*, not a loser:
+        #    presumed-abort 2PC keeps it (and its locks) until the
+        #    coordinator resolves it. Decisions for prepared txns carry
+        #    their gtid in the table field; remembering them makes
+        #    coordinator retries after a crash idempotent.
         finished = {
             r.txn_id for r in records if r.op in (LogOp.COMMIT, LogOp.ABORT)
         }
+        self._resolved_gtids = {
+            r.table
+            for r in records
+            if r.op in (LogOp.COMMIT, LogOp.ABORT) and r.table is not None
+        }
+        indoubt_gtid_by_txn: dict[int, str] = {
+            r.txn_id: r.table
+            for r in records
+            if r.op is LogOp.PREPARE
+            and r.table is not None
+            and r.txn_id not in finished
+        }
         losers: dict[int, Transaction] = {}
+        indoubt: dict[int, Transaction] = {}
         for record in records:
             if record.op is LogOp.BEGIN and record.txn_id not in finished:
-                losers[record.txn_id] = Transaction(txn_id=record.txn_id)
+                txn = Transaction(txn_id=record.txn_id)
+                if record.txn_id in indoubt_gtid_by_txn:
+                    indoubt[record.txn_id] = txn
+                else:
+                    losers[record.txn_id] = txn
         for record in records:
-            loser = losers.get(record.txn_id)
+            loser = losers.get(record.txn_id) or indoubt.get(record.txn_id)
             if loser is None:
                 continue
             if record.op is LogOp.INSERT:
@@ -718,6 +815,25 @@ class StorageEngine:
                 loser.state = TxnState.ABORTED
                 self.wal.append(loser.txn_id, LogOp.ABORT)
                 report.undone.append(loser.txn_id)
+
+        # 4b. Reinstate in-doubt 2PC participants: state PREPARED, undo log
+        #     rebuilt from the WAL, locks re-held — nothing may touch their
+        #     rows until the coordinator's commit_prepared/abort_prepared.
+        for txn in indoubt.values():
+            gtid = indoubt_gtid_by_txn[txn.txn_id]
+            txn.state = TxnState.PREPARED
+            txn.begin_logged = True
+            # Adopt pushes the id counter past the recovered id — a new
+            # transaction reusing it would silently share the re-held
+            # locks (same-holder grants) instead of blocking on them.
+            self.txns.adopt(txn)
+            self.txns.finish(txn, TxnState.PREPARED)
+            self.prepared[gtid] = txn
+            self.locks.rehold(
+                txn.txn_id,
+                {("row", e.table, e.rid) for e in txn.undo_log},
+            )
+            report.indoubt.append(gtid)
         self.wal.flush()
 
         # 5. Rebuild indexes. Keyless kinds rebuild now; enclave-comparator
@@ -877,6 +993,11 @@ class StorageEngine:
                 "log truncation is blocked by deferred transactions "
                 "(client keys or index invalidation required)"
             )
+        if self.prepared:
+            raise TransactionError(
+                "log truncation is blocked by in-doubt prepared transactions "
+                "(their PREPARE records must survive until resolution)"
+            )
         if self.freshness is not None:
             # Seal the durable horizon as the anchor's new chain base
             # before the records below it disappear — verification of any
@@ -937,6 +1058,8 @@ class RecoveryReport:
     torn_pages: int = 0
     undone: list[int] = field(default_factory=list)
     deferred: list[int] = field(default_factory=list)
+    #: gtids of in-doubt 2PC participants reinstated with locks held.
+    indoubt: list[str] = field(default_factory=list)
     ctr_reverted: list[int] = field(default_factory=list)
     pending_indexes: list[str] = field(default_factory=list)
     invalidated_indexes: list[str] = field(default_factory=list)

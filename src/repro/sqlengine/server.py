@@ -327,6 +327,20 @@ class SqlServer:
     def quarantined(self) -> bool:
         return self._quarantined
 
+    # ------------------------------------------------------- two-phase commit
+
+    def commit_prepared(self, gtid: str) -> bool:
+        """Apply a coordinator's commit decision to a prepared txn."""
+        return self.engine.commit_prepared(gtid)
+
+    def abort_prepared(self, gtid: str) -> bool:
+        """Apply a coordinator's abort decision (presumed-abort safe)."""
+        return self.engine.abort_prepared(gtid)
+
+    def indoubt_gtids(self) -> list[str]:
+        """Prepared transactions awaiting a coordinator decision."""
+        return self.engine.indoubt_gtids()
+
     def accept_restored_state(self):
         """Operator override: make the restored state the trusted present.
 
@@ -393,6 +407,18 @@ class ServerSession:
         if self._txn is None:
             raise TransactionError("no open transaction")
         self.server.engine.abort(self._txn)
+        self._txn = None
+
+    def prepare_transaction(self, gtid: str) -> None:
+        """2PC phase one: durably prepare this session's open transaction.
+
+        On return the session has no open transaction — the prepared txn
+        belongs to the engine's in-doubt table until the coordinator's
+        commit_prepared/abort_prepared decision arrives (possibly on a
+        different connection, possibly after a crash)."""
+        if self._txn is None:
+            raise TransactionError("no open transaction to prepare")
+        self.server.engine.prepare(self._txn, gtid)
         self._txn = None
 
     # -- execution ------------------------------------------------------------------

@@ -36,6 +36,11 @@ register_fault_site(
 
 class LogOp(enum.Enum):
     BEGIN = "begin"
+    # Two-phase commit: the participant's durable promise to commit on
+    # request. The record's ``table`` field carries the global transaction
+    # id (gtid) — as do the COMMIT/ABORT records resolving it, so recovery
+    # can replay coordinator decisions idempotently.
+    PREPARE = "prepare"
     COMMIT = "commit"
     ABORT = "abort"
     INSERT = "insert"

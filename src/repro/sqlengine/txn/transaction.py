@@ -17,6 +17,10 @@ class TxnState(enum.Enum):
     # A recovery transaction whose undo needs enclave keys that are not
     # present (Section 4.5). Holds its locks until resolved or forced.
     DEFERRED = "deferred"
+    # A two-phase-commit participant that has durably logged PREPARE and
+    # awaits the coordinator's decision. Holds its locks; survives crashes
+    # as an *in-doubt* transaction until commit_prepared/abort_prepared.
+    PREPARED = "prepared"
 
 
 @dataclass
@@ -64,10 +68,19 @@ class TransactionManager:
         """Track a transaction reconstructed by recovery."""
         with self._lock:
             self._live[txn.txn_id] = txn
-            # Keep the id counter ahead of recovered ids.
+        self.advance_past(txn.txn_id)
+
+    def advance_past(self, txn_id: int) -> None:
+        """Never hand out ids at or below ``txn_id``.
+
+        Recovery calls this with the highest txn id in the WAL: reusing a
+        logged id would make the next recovery conflate the old records
+        with the new transaction's (and share its re-held locks).
+        """
+        with self._lock:
             while True:
                 peek = next(self._ids)
-                if peek > txn.txn_id:
+                if peek > txn_id:
                     self._ids = itertools.count(peek)
                     break
 

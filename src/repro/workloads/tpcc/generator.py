@@ -71,9 +71,9 @@ class TpccLoader:
         conn.execute(
             "INSERT INTO WAREHOUSE (W_ID, W_NAME, W_STREET_1, W_STREET_2, W_CITY, "
             "W_STATE, W_ZIP, W_TAX, W_YTD) "
-            "VALUES (@id, @name, @s1, @s2, @city, @state, @zip, @tax, @ytd)",
+            "VALUES (@w, @name, @s1, @s2, @city, @state, @zip, @tax, @ytd)",
             {
-                "id": w_id,
+                "w": w_id,
                 "name": f"wh-{w_id}",
                 "s1": _street(rng),
                 "s2": _street(rng),

@@ -43,10 +43,16 @@ class TpccTransactions:
     config: TpccConfig
     rng: random.Random = field(default_factory=lambda: random.Random(7))
     counts: TxnCounts = field(default_factory=TxnCounts)
+    #: Pin every transaction to one warehouse (sharded runs: the client's
+    #: home warehouse, so statements route to — and the enclave session
+    #: lives on — a single shard). None keeps the uniform spec behavior.
+    home_warehouse: int | None = None
 
     # -- random helpers ---------------------------------------------------------
 
     def _random_warehouse(self) -> int:
+        if self.home_warehouse is not None:
+            return self.home_warehouse
         return self.rng.randint(1, self.config.warehouses)
 
     def _random_district(self) -> int:

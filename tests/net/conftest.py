@@ -1,0 +1,15 @@
+"""Wire-layer fixtures: a disarmed fault registry around every test."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.faults.registry import get_fault_registry
+
+
+@pytest.fixture(autouse=True)
+def clean_fault_registry():
+    registry = get_fault_registry()
+    registry.disarm_all()
+    yield registry
+    registry.disarm_all()

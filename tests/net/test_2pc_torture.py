@@ -1,0 +1,204 @@
+"""Cross-shard 2PC crash torture: no lost or duplicated commits.
+
+Two anchored shards (each engine carries its own ``FreshnessAnchor``
+trust root) behind a router, running a transfer workload where every
+transaction moves value between warehouses on *different* shards. One
+fault is armed per round — coordinator faults at "router.commit_decision",
+participant faults at "engine.prepare" and the WAL sites ("wal.append",
+"wal.flush" with forced crashes and torn flush tails) — then every shard
+is crashed and recovered and the coordinator replays its decision log.
+
+After each round the global invariants must hold:
+
+* **conservation** — the total value across all shards is unchanged: a
+  transfer applied on one shard but not the other would break it (the
+  lost/duplicated-commit signature);
+* **atomicity per gtid** — each transfer's marker rows exist on both
+  shards or on neither;
+* **durability of acks** — a transfer whose COMMIT returned is visible
+  on both shards after recovery;
+* **no residue** — resolve_indoubt() leaves no in-doubt branch anywhere;
+* **anchored recovery** — every shard's recovery report says its
+  freshness anchor verified the durable state.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.attestation.tpm import TpmNvAnchor
+from repro.faults.actions import ForceCrash, PartialFlush, RaiseTransient
+from repro.faults.schedules import OnNth
+from repro.net.remote import RemoteServer
+from repro.net.router import CommitDecisionLog, Router
+from repro.net.wireserver import WireServer
+from repro.sqlengine.server import SqlServer
+from repro.sqlengine.storage.freshness import FreshnessAnchor
+
+N_SHARDS = 2
+WAREHOUSES = (1, 2, 3, 4)
+INITIAL_VALUE = 100
+# (src, dst) pairs; with 2 shards odd/even warehouses always cross shards.
+TRANSFER_PLAN = [(1, 2), (2, 1), (3, 4), (4, 3), (1, 4), (3, 2)]
+
+TORTURE_CASES = [
+    ("router.commit_decision", lambda: RaiseTransient("coordinator blip"), 1),
+    ("router.commit_decision", lambda: ForceCrash(), 2),
+    ("engine.prepare", lambda: ForceCrash(), 1),
+    ("engine.prepare", lambda: ForceCrash(), 3),
+    ("engine.prepare", lambda: RaiseTransient("prepare refused"), 2),
+    ("wal.append", lambda: ForceCrash(), 8),
+    ("wal.flush", lambda: ForceCrash(), 4),
+    ("wal.flush", lambda: PartialFlush(drop_last=1, then_crash=True), 3),
+    ("wal.flush", lambda: PartialFlush(drop_last=2, then_crash=True), 5),
+]
+
+
+@pytest.fixture()
+def cluster(tmp_path):
+    shards = [
+        SqlServer(lock_timeout_s=0.3, freshness=FreshnessAnchor(TpmNvAnchor()))
+        for _ in range(N_SHARDS)
+    ]
+    wires = [
+        WireServer(s, name=f"shard{i}", shard_count=N_SHARDS).start()
+        for i, s in enumerate(shards)
+    ]
+    router = Router(
+        [(w.host, w.port) for w in wires],
+        name="T",
+        decision_log=CommitDecisionLog(str(tmp_path / "decisions.log")),
+    ).start()
+    client = RemoteServer(router.host, router.port, affinity=1)
+    yield shards, router, client
+    client.close()
+    router.stop()
+    for wire in wires:
+        wire.stop()
+
+
+def seed(client) -> None:
+    session = client.connect()
+    session.execute("CREATE TABLE T (ID INT PRIMARY KEY, W INT, VAL INT)", {})
+    session.execute("CREATE TABLE XFER (ID INT PRIMARY KEY, XID INT, W INT)", {})
+    for w in WAREHOUSES:
+        session.execute(
+            "INSERT INTO T (ID, W, VAL) VALUES (@id, @w, @v)",
+            {"id": w, "w": w, "v": INITIAL_VALUE},
+        )
+    session.close()
+
+
+def attempt_transfer(client, xid: int, src: int, dst: int) -> bool:
+    """One cross-shard transfer; True iff the COMMIT was acknowledged."""
+    session = client.connect()
+    try:
+        session.execute("BEGIN TRANSACTION", {})
+        src_val = session.execute(
+            "SELECT VAL FROM T WHERE ID = @id AND W = @w", {"id": src, "w": src}
+        ).rows[0][0]
+        dst_val = session.execute(
+            "SELECT VAL FROM T WHERE ID = @id AND W = @w", {"id": dst, "w": dst}
+        ).rows[0][0]
+        session.execute(
+            "UPDATE T SET VAL = @v WHERE ID = @id AND W = @w",
+            {"v": src_val - 1, "id": src, "w": src},
+        )
+        session.execute(
+            "UPDATE T SET VAL = @v WHERE ID = @id AND W = @w",
+            {"v": dst_val + 1, "id": dst, "w": dst},
+        )
+        for w in (src, dst):
+            session.execute(
+                "INSERT INTO XFER (ID, XID, W) VALUES (@id, @x, @w)",
+                {"id": xid * 10 + w, "x": xid, "w": w},
+            )
+        session.execute("COMMIT", {})
+        return True
+    except Exception:
+        return False
+    finally:
+        try:
+            session.close()
+        except Exception:
+            pass
+
+
+def crash_recover_resolve(shards, router):
+    """Crash every shard, recover, replay the decision log."""
+    reports = []
+    for shard in shards:
+        shard.crash()
+        reports.append(shard.recover())
+    outcomes = router.resolve_indoubt()
+    return reports, outcomes
+
+
+def global_state(shards):
+    """(total value, {xid: marker count}) read directly off each shard."""
+    total = 0
+    markers: dict[int, int] = {}
+    for shard in shards:
+        session = shard.connect()
+        for (val,) in session.execute("SELECT VAL FROM T", {}).rows:
+            total += val
+        for (xid,) in session.execute("SELECT XID FROM XFER", {}).rows:
+            markers[xid] = markers.get(xid, 0) + 1
+        session.close()
+    return total, markers
+
+
+@pytest.mark.parametrize(
+    ("site", "make_action", "nth"),
+    TORTURE_CASES,
+    ids=[f"{site}-{make_action().__class__.__name__}-n{nth}"
+         for site, make_action, nth in TORTURE_CASES],
+)
+def test_2pc_crash_torture(cluster, clean_fault_registry, site, make_action, nth):
+    shards, router, client = cluster
+    seed(client)
+    acked: set[int] = set()
+    xid = 0
+    for round_no in range(2):
+        clean_fault_registry.arm(site, OnNth(nth), make_action())
+        for src, dst in TRANSFER_PLAN:
+            xid += 1
+            if attempt_transfer(client, xid, src, dst):
+                acked.add(xid)
+        clean_fault_registry.disarm_all()
+
+        reports, _outcomes = crash_recover_resolve(shards, router)
+        for report in reports:
+            assert report.freshness_verified, "per-shard anchor must verify"
+        for shard in shards:
+            assert shard.indoubt_gtids() == [], "resolution left an in-doubt branch"
+
+        total, markers = global_state(shards)
+        assert total == INITIAL_VALUE * len(WAREHOUSES), (
+            f"value not conserved after round {round_no}: {total} "
+            f"(lost or duplicated commit)"
+        )
+        for marker_xid, count in markers.items():
+            assert count == 2, f"transfer {marker_xid} half-applied ({count}/2 markers)"
+        for acked_xid in acked:
+            assert markers.get(acked_xid) == 2, (
+                f"acknowledged transfer {acked_xid} lost after recovery"
+            )
+        assert total == INITIAL_VALUE * len(WAREHOUSES) - 0  # conservation holds
+
+
+def test_clean_run_all_transfers_commit(cluster):
+    """Baseline with no fault armed: every transfer commits exactly once."""
+    shards, router, client = cluster
+    seed(client)
+    for i, (src, dst) in enumerate(TRANSFER_PLAN, start=1):
+        assert attempt_transfer(client, i, src, dst)
+    reports, outcomes = crash_recover_resolve(shards, router)
+    assert outcomes == {}
+    total, markers = global_state(shards)
+    assert total == INITIAL_VALUE * len(WAREHOUSES)
+    assert sorted(markers) == list(range(1, len(TRANSFER_PLAN) + 1))
+    assert all(count == 2 for count in markers.values())
+    assert len(router.decisions.gtids()) == len(TRANSFER_PLAN)
+    for report in reports:
+        assert report.freshness_verified

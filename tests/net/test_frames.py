@@ -1,0 +1,172 @@
+"""Property tests for the frame codec and tagged value encoding.
+
+The frame layer is the trust boundary's narrowest point: every byte a
+peer sends passes through :func:`try_decode` before anything else looks
+at it. The properties here pin the codec's contract:
+
+* encode→decode identity for every encodable value and every frame;
+* a truncated stream never yields a frame (and never crashes);
+* any single corrupted byte is *detected* — magic, version, opcode and
+  length are validated from the header, everything else by CRC;
+* unknown opcodes and foreign protocol versions are typed rejections,
+  so a future v2 peer gets :class:`VersionMismatchError`, not garbage.
+"""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.errors import (
+    CorruptFrameError,
+    TruncatedFrameError,
+    UnknownOpcodeError,
+    VersionMismatchError,
+)
+from repro.net.encoding import decode_value, encode_value
+from repro.net.frames import (
+    FRAME_HEADER_LEN,
+    MAGIC,
+    PROTOCOL_VERSION,
+    decode_frame,
+    encode_frame,
+    try_decode,
+)
+from repro.net.opcodes import OPCODES, opcode_byte
+
+# ---------------------------------------------------------------- strategies
+
+scalars = st.one_of(
+    st.none(),
+    st.booleans(),
+    st.integers(min_value=-(2**70), max_value=2**70),
+    st.floats(allow_nan=False),
+    st.text(max_size=40),
+    st.binary(max_size=40),
+)
+
+values = st.recursive(
+    scalars,
+    lambda children: st.one_of(
+        st.lists(children, max_size=5),
+        st.lists(children, max_size=5).map(tuple),
+        st.dictionaries(st.text(max_size=10), children, max_size=5),
+        st.frozensets(
+            st.one_of(st.integers(), st.text(max_size=10)), max_size=5
+        ),
+    ),
+    max_leaves=25,
+)
+
+opcodes = st.sampled_from(sorted(OPCODES.values()))
+
+
+# ------------------------------------------------------------ value round-trip
+
+
+@settings(max_examples=200)
+@given(values)
+def test_value_roundtrip_identity(value):
+    assert decode_value(encode_value(value)) == value
+
+
+@settings(max_examples=100)
+@given(values)
+def test_value_roundtrip_preserves_type_shape(value):
+    decoded = decode_value(encode_value(value))
+    assert type(decoded) is type(value)
+
+
+@settings(max_examples=100)
+@given(values, st.integers(min_value=0, max_value=30))
+def test_truncated_value_never_decodes_silently(value, cut):
+    encoded = encode_value(value)
+    if cut >= len(encoded):
+        return
+    with pytest.raises(CorruptFrameError):
+        decode_value(encoded[: len(encoded) - 1 - cut])
+
+
+# ------------------------------------------------------------ frame round-trip
+
+
+@settings(max_examples=200)
+@given(opcodes, st.binary(max_size=200))
+def test_frame_roundtrip_identity(opcode, payload):
+    frame = encode_frame(opcode, payload)
+    assert decode_frame(frame) == (opcode, payload)
+    assert try_decode(frame) == (opcode, payload, len(frame))
+
+
+@settings(max_examples=100)
+@given(opcodes, st.binary(max_size=100), st.data())
+def test_partial_frame_returns_none(opcode, payload, data):
+    """A streaming reader holding any strict prefix must keep waiting."""
+    frame = encode_frame(opcode, payload)
+    cut = data.draw(st.integers(min_value=0, max_value=len(frame) - 1))
+    assert try_decode(frame[:cut]) is None
+
+
+@settings(max_examples=100)
+@given(opcodes, st.binary(min_size=1, max_size=100))
+def test_truncated_strict_decode_raises(opcode, payload):
+    frame = encode_frame(opcode, payload)
+    with pytest.raises(TruncatedFrameError):
+        decode_frame(frame[:-1])
+
+
+@settings(max_examples=100)
+@given(opcodes, st.binary(max_size=100), st.binary(min_size=1, max_size=8))
+def test_trailing_bytes_rejected(opcode, payload, trailing):
+    frame = encode_frame(opcode, payload)
+    with pytest.raises(CorruptFrameError):
+        decode_frame(frame + trailing)
+
+
+@settings(max_examples=200)
+@given(opcodes, st.binary(min_size=1, max_size=100), st.data())
+def test_any_corrupted_payload_byte_is_detected(opcode, payload, data):
+    """Flip one payload byte: the CRC must catch it."""
+    frame = bytearray(encode_frame(opcode, payload))
+    index = data.draw(
+        st.integers(min_value=FRAME_HEADER_LEN, max_value=len(frame) - 1)
+    )
+    flip = data.draw(st.integers(min_value=1, max_value=255))
+    frame[index] ^= flip
+    with pytest.raises(CorruptFrameError):
+        decode_frame(bytes(frame))
+
+
+def test_bad_magic_rejected_before_payload_arrives():
+    """Garbage at the stream head fails fast, even below header length."""
+    with pytest.raises(CorruptFrameError):
+        try_decode(b"XX")
+    with pytest.raises(CorruptFrameError):
+        try_decode(b"QE" + b"\x00" * 20)
+
+
+def test_version_mismatch_is_typed():
+    frame = encode_frame(opcode_byte("ping"), b"", version=PROTOCOL_VERSION + 1)
+    with pytest.raises(VersionMismatchError):
+        try_decode(frame)
+
+
+def test_unknown_opcode_rejected():
+    unused = next(b for b in range(256) if b not in OPCODES.values())
+    frame = bytearray(encode_frame(opcode_byte("ping"), b""))
+    frame[3] = unused
+    with pytest.raises(UnknownOpcodeError):
+        try_decode(bytes(frame))
+
+
+def test_magic_prefix_of_one_byte_waits_for_more():
+    assert try_decode(MAGIC[:1]) is None
+    assert try_decode(b"") is None
+
+
+def test_oversized_length_prefix_is_corruption():
+    header = bytearray(encode_frame(opcode_byte("ping"), b""))
+    header[4:8] = (0xFFFFFFFF).to_bytes(4, "big")
+    with pytest.raises(CorruptFrameError):
+        try_decode(bytes(header))

@@ -1,0 +1,159 @@
+"""Message-layer round trips: typed payloads and error marshalling.
+
+The invariants the rest of the system leans on:
+
+* every message type survives encode→decode with nested catalog/crypto
+  metadata intact;
+* a frame whose opcode disagrees with its payload type is rejected (a
+  confused peer cannot smuggle an Execute inside a CekFetch frame);
+* ``QueryResult.stats`` — server-side telemetry holding plaintext-adjacent
+  timing detail — never crosses the wire;
+* typed errors reconstruct to their concrete :class:`ReproError`
+  subclass (the quarantine contract: a remote ``StaleRestoreError`` must
+  refuse work client-side exactly like a local one), and unknown types
+  degrade to :class:`RemoteError` instead of crashing the channel.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.errors import (
+    ConstraintError,
+    CorruptFrameError,
+    LockTimeoutError,
+    RemoteError,
+    StaleRestoreError,
+    TransientFault,
+)
+from repro.net import messages as msg
+from repro.net.encoding import decode_value, encode_value
+from repro.net.frames import decode_frame
+from repro.net.opcodes import OPCODES, opcode_byte
+from repro.sqlengine.exec.executor import QueryResult
+
+
+def roundtrip(message):
+    """encode_message emits a whole frame; peel it like the transport does."""
+    opcode, payload = decode_frame(msg.encode_message(message))
+    return msg.decode_message(opcode, payload)
+
+
+SAMPLES = [
+    msg.Hello(affinity=7),
+    msg.Hello(),
+    msg.HelloReply(protocol_version=1, server_name="shard3", shard_count=8),
+    msg.Ok(),
+    msg.Ping(),
+    msg.ErrorReply(error_type="ConstraintError", message="dup", in_transaction=True),
+    msg.Describe(query_text="SELECT 1", client_dh_public=12345),
+    msg.CekFetch(cek_name="TpccCEK"),
+    msg.CekList(),
+    msg.TableInfo(table_name="CUSTOMER"),
+    msg.SessionOpen(affinity=3),
+    msg.SessionOpenReply(session_id=42),
+    msg.SessionClose(session_id=42),
+    msg.Execute(session_id=1, query_text="SELECT @a", params={"a": 1, "b": b"\x00"}),
+    msg.ExecuteReply(
+        result=QueryResult(rows=[(1, "x")], rowcount=1), in_transaction=True
+    ),
+    msg.TxnPrepare(session_id=9, gtid="router:17"),
+    msg.TxnCommitPrepared(gtid="router:17"),
+    msg.TxnAbortPrepared(gtid="router:17"),
+    msg.TxnIndoubt(),
+    msg.TxnIndoubtReply(gtids=["a:1", "b:2"]),
+    msg.AdminAudit(),
+    msg.AdminAuditReply(violations=["w 1: lost money"]),
+    msg.AdminCrash(),
+    msg.AdminRecover(),
+    msg.AdminShutdown(),
+]
+
+
+@pytest.mark.parametrize("message", SAMPLES, ids=lambda m: type(m).__name__)
+def test_message_roundtrip(message):
+    decoded = roundtrip(message)
+    assert decoded == message
+    assert type(decoded) is type(message)
+
+
+def test_every_message_opcode_is_registered():
+    for name, cls in msg.MESSAGE_TYPES.items():
+        assert name in OPCODES, f"{cls.__name__} opcode {name!r} missing from registry"
+
+
+def test_opcode_payload_mismatch_rejected():
+    payload = msg.encode_message(msg.Ping())
+    with pytest.raises(CorruptFrameError):
+        msg.decode_message(opcode_byte("execute"), payload)
+
+
+def test_query_result_stats_never_cross_the_wire():
+    result = QueryResult(rows=[(1,)], rowcount=1)
+    result.stats = object()     # whatever the server attached
+    reply = msg.ExecuteReply(result=result, in_transaction=False)
+    decoded = roundtrip(reply)
+    assert decoded.result.stats is None
+    assert decoded.result.rows == [(1,)]
+
+
+# ------------------------------------------------------------ error marshal
+
+
+@pytest.mark.parametrize(
+    "exc",
+    [
+        ConstraintError("duplicate key in PK_CUSTOMER"),
+        LockTimeoutError("lock wait on WAREHOUSE exceeded 0.15s"),
+        StaleRestoreError("anchor says epoch 9, WAL says epoch 7"),
+        TransientFault("net.send_frame"),
+    ],
+    ids=lambda e: type(e).__name__,
+)
+def test_typed_errors_reconstruct_concrete_class(exc):
+    reply = msg.error_reply_for(exc, in_transaction=False)
+    encoded = roundtrip(reply)
+    rebuilt = msg.reconstruct_error(encoded)
+    assert type(rebuilt).__name__ == type(exc).__name__
+    assert str(exc) in str(rebuilt) or str(rebuilt) in str(exc) or str(rebuilt)
+
+
+def test_unknown_error_type_degrades_to_remote_error():
+    reply = msg.ErrorReply(error_type="NoSuchErrorClass", message="boom")
+    rebuilt = msg.reconstruct_error(reply)
+    assert isinstance(rebuilt, RemoteError)
+    assert rebuilt.error_type == "NoSuchErrorClass"
+    assert "boom" in str(rebuilt)
+
+
+def test_non_repro_error_type_not_instantiated():
+    """Only ReproError subclasses reconstruct — never arbitrary classes."""
+    reply = msg.ErrorReply(error_type="SystemExit", message="0")
+    rebuilt = msg.reconstruct_error(reply)
+    assert isinstance(rebuilt, RemoteError)
+
+
+def test_unregistered_struct_rejected_at_decode():
+    class NotRegistered:
+        pass
+
+    with pytest.raises(Exception):
+        encode_value(NotRegistered())
+
+
+def test_decode_depth_limit_blocks_nesting_bombs():
+    deep = []
+    for __ in range(64):
+        deep = [deep]
+    with pytest.raises(CorruptFrameError):
+        decode_value(encode_value_unchecked(deep))
+
+
+def encode_value_unchecked(value):
+    """Encode nested lists by hand, deeper than the decoder allows."""
+    import struct
+
+    if isinstance(value, list):
+        body = b"".join(encode_value_unchecked(v) for v in value)
+        return b"\x07" + struct.pack(">I", len(value)) + body
+    raise AssertionError("only lists here")
