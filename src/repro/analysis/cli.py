@@ -33,6 +33,14 @@ def build_parser() -> argparse.ArgumentParser:
                              "baseline entry")
     parser.add_argument("--list-rules", action="store_true",
                         help="print the available rule families and exit")
+    parser.add_argument("--profile", action="store_true",
+                        help="print per-phase wall time (model build, shared "
+                             "taint flow, each rule family)")
+    parser.add_argument("--budget-seconds", type=float, default=None,
+                        help="exit 1 if the total analysis wall time exceeds "
+                             "this budget (the perf ratchet for CI)")
+    parser.add_argument("--sarif", type=Path, default=None, metavar="OUT",
+                        help="also write the findings as a SARIF 2.1.0 log")
     parser.add_argument("-v", "--verbose", action="store_true",
                         help="also print suppressed (baselined) findings")
     return parser
@@ -64,6 +72,10 @@ def main(argv: list[str] | None = None) -> int:
                 print(f"unknown rule(s): {', '.join(sorted(unknown))}", file=sys.stderr)
                 return 2
         report = AnalysisEngine(config, rules).run()
+        if args.sarif is not None:
+            from repro.analysis.sarif import write_sarif
+
+            write_sarif(args.sarif, report, rules)
     except Exception:
         print("repro.analysis: internal error:", file=sys.stderr)
         traceback.print_exc()
@@ -80,6 +92,12 @@ def main(argv: list[str] | None = None) -> int:
             f"{entry.fingerprint!r} matches no current finding — delete it"
         )
 
+    if args.profile:
+        for phase, seconds in report.timings.items():
+            print(f"repro.analysis: profile {phase:16s} {seconds * 1000:8.1f} ms")
+        print(f"repro.analysis: profile {'total':16s} "
+              f"{report.total_seconds * 1000:8.1f} ms")
+
     counts = report.per_rule_counts()
     summary = ", ".join(
         f"{rule.name}={counts.get(rule.name, 0)}" for rule in rules
@@ -90,6 +108,13 @@ def main(argv: list[str] | None = None) -> int:
         f"{len(report.stale_baseline)} stale baseline entr"
         f"{'y' if len(report.stale_baseline) == 1 else 'ies'}"
     )
+    if args.budget_seconds is not None and report.total_seconds > args.budget_seconds:
+        print(
+            f"repro.analysis: wall time {report.total_seconds:.2f}s exceeds "
+            f"the {args.budget_seconds:.2f}s budget",
+            file=sys.stderr,
+        )
+        return 1
     if args.strict and (report.new or report.stale_baseline):
         return 1
     return 0

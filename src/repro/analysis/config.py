@@ -60,6 +60,50 @@ class TaintConfig:
     )
     metric_sinks: tuple[str, ...] = ("inc", "set", "observe")
     trace_sinks: tuple[str, ...] = ("span", "ecall_span")
+    #: False pins the PR 4 per-function behaviour: calls are never
+    #: resolved, so taint dies at every function boundary.
+    interprocedural: bool = True
+    #: wire egress sinks (everything feeding the frame codec/socket)
+    wire_sinks: tuple[str, ...] = (
+        "send_frame", "send_message", "encode_message", "encode_frame",
+        "encode_value",
+    )
+    #: error-marshalling sinks (ErrorReply payloads cross in clear)
+    error_reply_names: tuple[str, ...] = ("ErrorReply", "error_reply_for")
+    #: final-names that cleanse even when the callee is resolved —
+    #: re-encryption is the sanctioned way plaintext leaves a computation
+    sanitizers: tuple[str, ...] = (
+        "encrypt", "encrypt_cell", "encrypt_value", "seal", "seal_package",
+    )
+    #: container-packing methods: ``x.append(tainted)`` taints ``x``
+    packing_methods: tuple[str, ...] = ("append", "add", "extend", "insert")
+    #: packages whose functions get no taint signature (summary-opaque):
+    #: the crypto layer is the sanctioned boundary — its internals must
+    #: not propagate plaintext signatures outward
+    opaque_packages: tuple[str, ...] = ()
+    #: fids ("module:Qual.name") whose *return* signature is suppressed:
+    #: sanctioned plaintext producers gated by a runtime context the
+    #: analyzer cannot see (their own baselined findings still report)
+    boundary_functions: tuple[str, ...] = ()
+
+
+@dataclass(frozen=True)
+class ProtocolConfig:
+    """Protocol-typestate parameters (all empty → the rule is inert).
+
+    ``handler_modules`` are the server-side dispatchers; every opcode's
+    message class must be isinstance-checked or constructed in one of
+    them. ``engine_modules`` are where 2PC state transitions live;
+    functions named in ``recovery_functions`` replay WAL records instead
+    of writing them and are exempt from the write-ahead ordering check.
+    """
+
+    handler_modules: tuple[str, ...] = ()
+    messages_module: str = ""
+    errors_module: str = ""
+    error_base: str = "ReproError"
+    engine_modules: tuple[str, ...] = ()
+    recovery_functions: tuple[str, ...] = ("recover",)
 
 
 @dataclass(frozen=True)
@@ -86,6 +130,10 @@ class AnalysisConfig:
     surface: object = None
     lock_order: LockOrderConfig = field(default_factory=LockOrderConfig)
     taint: TaintConfig = field(default_factory=TaintConfig)
+    protocol: ProtocolConfig = field(default_factory=ProtocolConfig)
+    #: modules exempt from the latch exception-safety rule (the lock
+    #: implementations themselves: their acquire/release *are* the lock)
+    latch_exempt: tuple[str, ...] = ()
     #: where fault_point()/register_fault_site() literals are collected;
     #: packages exempt from the literal-site requirement (the registry
     #: implementation itself passes names through variables)
@@ -220,6 +268,17 @@ def default_config(
         ),
         enclave_package="repro.enclave",
         surface=ECALL_SURFACE,
+        taint=TaintConfig(
+            opaque_packages=("repro.crypto",),
+        ),
+        protocol=ProtocolConfig(
+            handler_modules=("repro.net.wireserver", "repro.net.router"),
+            messages_module="repro.net.messages",
+            errors_module="repro.errors",
+            engine_modules=("repro.sqlengine.engine",),
+            recovery_functions=("recover",),
+        ),
+        latch_exempt=("repro.obs.latchprof",),
         lock_order=LockOrderConfig(
             order=DEFAULT_LOCK_ORDER,
             receiver_aliases=dict(DEFAULT_RECEIVER_ALIASES),

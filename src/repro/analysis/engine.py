@@ -1,7 +1,15 @@
-"""The rule engine: build the model once, run each rule, apply baseline."""
+"""The rule engine: build the model once, run each rule, apply baseline.
+
+The model (one AST pass over the tree) and the interprocedural flow
+structures (call graph + taint summaries, memoized on ``model.caches``)
+are shared by every rule family, so the per-rule cost is the rule's own
+logic — ``Report.timings`` breaks the wall time down by phase so the
+``--profile`` flag and the CI budget check can hold that property.
+"""
 
 from __future__ import annotations
 
+import time
 from dataclasses import dataclass, field
 
 from repro.analysis.baseline import BaselineResult, apply_baseline, load_baseline
@@ -13,6 +21,9 @@ from repro.analysis.model import ProjectModel
 class Report:
     findings: list = field(default_factory=list)     # all, deduped + sorted
     baseline: BaselineResult | None = None
+    #: wall-clock seconds by phase: "model", "taint-flow", then one entry
+    #: per rule name, in execution order (dicts preserve it).
+    timings: dict = field(default_factory=dict)
 
     @property
     def new(self) -> list:
@@ -25,6 +36,10 @@ class Report:
     @property
     def stale_baseline(self) -> list:
         return self.baseline.stale if self.baseline else []
+
+    @property
+    def total_seconds(self) -> float:
+        return sum(self.timings.values())
 
     def per_rule_counts(self) -> dict:
         counts: dict[str, int] = {}
@@ -43,16 +58,33 @@ class AnalysisEngine:
         self.rules = tuple(rules)
 
     def run(self, model: ProjectModel | None = None) -> Report:
+        timings: dict[str, float] = {}
         if model is None:
+            start = time.perf_counter()
             model = ProjectModel.build(self.config.root, self.config.packages)
+            timings["model"] = time.perf_counter() - start
+        if self.config.taint_packages:
+            # Warm the shared flow structures here so per-rule numbers
+            # measure the rules, not whichever taint rule runs first.
+            from repro.analysis.taintflow import get_taintflow
+
+            start = time.perf_counter()
+            get_taintflow(model, self.config)
+            timings["taint-flow"] = time.perf_counter() - start
         findings: list[Finding] = []
         seen: set = set()
         for rule in self.rules:
+            start = time.perf_counter()
             for finding in rule.run(model, self.config):
                 marker = (finding.rule, finding.path, finding.line, finding.key)
                 if marker not in seen:
                     seen.add(marker)
                     findings.append(finding)
+            timings[rule.name] = time.perf_counter() - start
         findings.sort(key=lambda f: (f.path, f.line, f.rule, f.key))
         entries = load_baseline(self.config.baseline_path)
-        return Report(findings=findings, baseline=apply_baseline(findings, entries))
+        return Report(
+            findings=findings,
+            baseline=apply_baseline(findings, entries),
+            timings=timings,
+        )

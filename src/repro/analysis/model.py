@@ -99,6 +99,9 @@ class ModuleInfo:
     lock_acquisitions: list = field(default_factory=list)
     held_calls: list = field(default_factory=list)
     classes: dict = field(default_factory=dict)     # name -> ClassInfo
+    #: qualname ("f", "Cls.meth", "Cls.meth.inner") -> ast.FunctionDef;
+    #: the call graph and taint summaries hang off these nodes.
+    functions: dict = field(default_factory=dict)
 
 
 def _is_type_checking_test(test: ast.expr) -> bool:
@@ -140,6 +143,8 @@ class _ModuleVisitor(ast.NodeVisitor):
     def visit_FunctionDef(self, node: ast.FunctionDef) -> None:
         if self._class_stack:
             self._class_stack[-1].methods[node.name] = f"{self.scope}.{node.name}"
+        qualname = node.name if not self._scope else f"{self.scope}.{node.name}"
+        self.info.functions.setdefault(qualname, node)
         self._visit_scoped(node, node.name)
 
     visit_AsyncFunctionDef = visit_FunctionDef
@@ -274,6 +279,10 @@ class ProjectModel:
     def __init__(self, root: Path):
         self.root = Path(root)
         self.modules: dict[str, ModuleInfo] = {}
+        #: derived-structure memos (call graph, taint flow) keyed by name;
+        #: a model instance is built per engine run, so entries never go
+        #: stale across configs.
+        self.caches: dict = {}
 
     @classmethod
     def build(cls, root: Path, packages: tuple[str, ...] | None = None) -> "ProjectModel":

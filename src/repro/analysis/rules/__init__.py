@@ -3,24 +3,33 @@
 battery the engine and CLI load."""
 
 from repro.analysis.rules.consistency import SiteMetricConsistencyRule
+from repro.analysis.rules.latch_safety import LatchSafetyRule
 from repro.analysis.rules.lock_order import LockOrderRule
 from repro.analysis.rules.plaintext_taint import PlaintextTaintRule
+from repro.analysis.rules.protocol_typestate import ProtocolTypestateRule
 from repro.analysis.rules.trust_boundary import TrustBoundaryRule
+from repro.analysis.rules.wire_egress import WireEgressRule
 from repro.analysis.rules.wire_opcodes import WireOpcodeRule
 
 ALL_RULES = (
     TrustBoundaryRule(),
     PlaintextTaintRule(),
+    WireEgressRule(),
     LockOrderRule(),
+    LatchSafetyRule(),
     SiteMetricConsistencyRule(),
     WireOpcodeRule(),
+    ProtocolTypestateRule(),
 )
 
 __all__ = [
     "ALL_RULES",
+    "LatchSafetyRule",
     "LockOrderRule",
     "PlaintextTaintRule",
+    "ProtocolTypestateRule",
     "SiteMetricConsistencyRule",
     "TrustBoundaryRule",
+    "WireEgressRule",
     "WireOpcodeRule",
 ]

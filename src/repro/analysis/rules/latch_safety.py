@@ -1,0 +1,201 @@
+"""Rule family 7: latch exception-safety — acquisitions release on all paths.
+
+The lock-order family (PR 4) checks *in which order* latches nest; this
+family checks that an acquired latch is **released on every path**,
+including the exception paths the wire layer multiplied (a handler
+thread that dies holding a latch wedges every peer forever — and unlike
+a deadlock, nothing times out against a latch that is simply never
+released).
+
+``with lock:`` is safe by construction, so the rule only inspects
+explicit ``.acquire()`` calls on lock-shaped receivers (the same
+``looks_like_lock`` name heuristics the model uses for acquisition
+records, e.g. ``_lock``/``state_lock``/``cond``/``mutex`` suffixes,
+plus ``_latch``/``latch``). The sanctioned explicit idiom is acquire
+immediately protected by ``try``/``finally``::
+
+    lock.acquire()
+    try:
+        ...
+    finally:
+        lock.release()
+
+Everything else is flagged:
+
+* ``bare-acquire`` — an acquire that is not a ``with`` statement, is
+  not the statement immediately preceding a ``try`` whose ``finally``
+  releases the same receiver, and is not itself inside such a ``try``'s
+  body. Any statement between acquire and ``try`` can raise and leak
+  the latch.
+* ``release-outside-finally`` — an explicit ``.release()`` on a
+  lock-shaped receiver outside any ``finally`` block (and outside the
+  sanctioned wrapper methods): if the code above it raises, the release
+  never runs.
+
+Wrapper methods named ``acquire``/``release``/``locked``/``__enter__``/
+``__exit__`` are exempt (they *are* the lock implementation), as are
+modules listed in ``AnalysisConfig.latch_exempt`` (the ``TimedLatch``
+implementation itself).
+"""
+
+from __future__ import annotations
+
+import ast
+
+from repro.analysis.findings import Finding
+from repro.analysis.model import flatten_parts
+
+#: lock-shaped final attribute names, extending the model's with-statement
+#: heuristics to the explicit acquire/release surface.
+LOCKISH_SUFFIXES = (
+    "_lock", "_cond", "state_lock", "lock", "cond", "mutex", "_latch", "latch",
+)
+
+#: functions that *implement* lock objects; their internal acquire/release
+#: calls are the mechanism, not a use site.
+_WRAPPER_FUNCTIONS = frozenset(
+    {"acquire", "release", "locked", "__enter__", "__exit__"}
+)
+
+
+def _lockish(parts: tuple) -> bool:
+    return bool(parts) and parts[-1].endswith(LOCKISH_SUFFIXES)
+
+
+def _receiver_of(call: ast.Call, method: str) -> tuple | None:
+    """The flattened receiver parts of ``<receiver>.<method>(...)``."""
+    func = call.func
+    if not (isinstance(func, ast.Attribute) and func.attr == method):
+        return None
+    return flatten_parts(func.value)
+
+
+def _acquire_receiver(stmt: ast.stmt) -> tuple | None:
+    """Lockish receiver parts if ``stmt`` is a bare acquire statement."""
+    value = None
+    if isinstance(stmt, ast.Expr):
+        value = stmt.value
+    elif isinstance(stmt, ast.Assign):
+        value = stmt.value
+    if not isinstance(value, ast.Call):
+        return None
+    receiver = _receiver_of(value, "acquire")
+    if receiver is not None and _lockish(receiver):
+        return receiver
+    return None
+
+
+def _finally_releases(finalbody: list, receiver: tuple) -> bool:
+    for node in ast.walk(ast.Module(body=list(finalbody), type_ignores=[])):
+        if isinstance(node, ast.Call):
+            released = _receiver_of(node, "release")
+            if released == receiver:
+                return True
+    return False
+
+
+class LatchSafetyRule:
+    name = "latch-safety"
+
+    def run(self, model, config) -> list:
+        findings: list[Finding] = []
+        exempt = tuple(getattr(config, "latch_exempt", ()))
+        for modname, info in model.modules.items():
+            if not model.in_packages(modname, config.packages):
+                continue
+            if model.in_packages(modname, config.exempt_packages):
+                continue
+            if model.in_packages(modname, exempt):
+                continue
+            path = model.relpath(info)
+            for qualname, func in info.functions.items():
+                if qualname.split(".")[-1] in _WRAPPER_FUNCTIONS:
+                    continue
+                self._check_function(findings, path, qualname, func)
+        return findings
+
+    # ------------------------------------------------------------- one body
+
+    def _check_function(self, findings, path, scope, func) -> None:
+        self._walk_block(findings, path, scope, func.body, protected=frozenset(),
+                         in_finally=False)
+
+    def _walk_block(self, findings, path, scope, body, protected, in_finally) -> None:
+        """Walk one statement list.
+
+        ``protected`` holds receivers whose enclosing ``try`` releases
+        them in its ``finally`` (an acquire as the first statement of
+        such a ``try`` body is safe); ``in_finally`` marks that we are
+        inside a ``finally`` block (where releases belong).
+        """
+        for index, stmt in enumerate(body):
+            receiver = _acquire_receiver(stmt)
+            if receiver is not None:
+                if receiver in protected:
+                    pass  # released by the enclosing try's finally
+                else:
+                    nxt = body[index + 1] if index + 1 < len(body) else None
+                    if not (
+                        isinstance(nxt, ast.Try)
+                        and _finally_releases(nxt.finalbody, receiver)
+                    ):
+                        findings.append(Finding(
+                            rule=self.name, path=path, line=stmt.lineno,
+                            symbol=scope,
+                            key=f"bare-acquire:{'.'.join(receiver)}",
+                            message=(
+                                f"latch {'.'.join(receiver)} acquired without "
+                                "with-statement or immediate try/finally "
+                                "release — an exception here leaks the latch"
+                            ),
+                        ))
+            else:
+                self._check_release(findings, path, scope, stmt, in_finally)
+
+            # recurse into compound statements
+            if isinstance(stmt, ast.Try):
+                inner = set(protected)
+                for parts in self._released_in(stmt.finalbody):
+                    inner.add(parts)
+                self._walk_block(findings, path, scope, stmt.body,
+                                 frozenset(inner), in_finally)
+                for handler in stmt.handlers:
+                    self._walk_block(findings, path, scope, handler.body,
+                                     protected, in_finally)
+                self._walk_block(findings, path, scope, stmt.orelse,
+                                 protected, in_finally)
+                self._walk_block(findings, path, scope, stmt.finalbody,
+                                 protected, True)
+            elif isinstance(stmt, (ast.If, ast.While)):
+                self._walk_block(findings, path, scope, stmt.body, protected, in_finally)
+                self._walk_block(findings, path, scope, stmt.orelse, protected, in_finally)
+            elif isinstance(stmt, (ast.For, ast.AsyncFor)):
+                self._walk_block(findings, path, scope, stmt.body, protected, in_finally)
+                self._walk_block(findings, path, scope, stmt.orelse, protected, in_finally)
+            elif isinstance(stmt, (ast.With, ast.AsyncWith)):
+                self._walk_block(findings, path, scope, stmt.body, protected, in_finally)
+
+    @staticmethod
+    def _released_in(finalbody: list):
+        for node in ast.walk(ast.Module(body=list(finalbody), type_ignores=[])):
+            if isinstance(node, ast.Call):
+                receiver = _receiver_of(node, "release")
+                if receiver is not None and _lockish(receiver):
+                    yield receiver
+
+    def _check_release(self, findings, path, scope, stmt, in_finally) -> None:
+        if in_finally or not isinstance(stmt, ast.Expr):
+            return
+        if not isinstance(stmt.value, ast.Call):
+            return
+        receiver = _receiver_of(stmt.value, "release")
+        if receiver is None or not _lockish(receiver):
+            return
+        findings.append(Finding(
+            rule=self.name, path=path, line=stmt.lineno, symbol=scope,
+            key=f"release-outside-finally:{'.'.join(receiver)}",
+            message=(
+                f"latch {'.'.join(receiver)} released outside a finally "
+                "block — an exception above this line skips the release"
+            ),
+        ))

@@ -1,194 +1,41 @@
-"""Rule family 2: plaintext taint in host code.
+"""Rule family 2: plaintext taint in host code (interprocedural).
 
 Only the enclave (and the key-holding client) may see plaintext of
-encrypted columns. This pass conservatively tracks values produced by
-decrypting primitives (``*.decrypt``, ``decrypt_cell``,
-``decrypt_for_ddl``, ``open_package``) through intra-procedural
-assignments and flags them when they reach a host-side egress:
+encrypted columns. Values produced by decrypting primitives
+(``*.decrypt``, ``decrypt_cell``, ``decrypt_for_ddl``, ``open_package``)
+are tracked by the shared flow engine (:mod:`repro.analysis.taintflow`)
+through assignments, helper calls (call-graph-resolved function
+signatures computed to a fixpoint), dataclass/constructor packing, and
+containers, and flagged when they reach a host-side egress:
 
 * a ``return`` (the value escapes to arbitrary host callers),
 * a logging call (``print``, ``logger.info`` …),
 * a metric mutation (``inc``/``set``/``observe`` arguments),
-* a trace span payload (``span``/``ecall_span`` arguments).
+* a trace span payload (``span``/``ecall_span`` arguments),
+* a *call into a helper whose parameter reaches any of the above*
+  (``…-sink-via:<helper>`` keys — the leak is charged to the caller
+  that supplied the plaintext).
 
-Taint propagates through names, attributes, f-strings, arithmetic, and a
-small list of value-preserving calls (``deserialize_value``, ``str`` …);
-other calls launder — in particular re-encrypting (``encrypt_cell``)
-cleanses, which is the sanctioned way plaintext leaves a computation.
-Comparison results are deliberately *not* tainted: predicate verdicts are
-exactly the information the paper's adversary model already concedes.
+Laundering is unchanged from the intra-procedural engine: unresolved
+calls cleanse, re-encrypting (``encrypt_cell``) cleanses even when
+resolved, and comparison *results* are deliberately untainted —
+predicate verdicts are exactly the information the paper's adversary
+model already concedes. Setting ``TaintConfig.interprocedural=False``
+pins the old per-function behaviour (used by tests to demonstrate what
+the upgrade catches).
+
+Wire-specific egress (frame sends, ``ErrorReply`` payloads) is the
+``wire-egress`` family in :mod:`repro.analysis.rules.wire_egress`,
+riding the same flow analysis.
 """
 
 from __future__ import annotations
 
-import ast
-
 from repro.analysis.findings import Finding
-from repro.analysis.model import flatten_parts
+from repro.analysis.taintflow import get_taintflow
 
-
-def _final_name(func: ast.expr) -> str:
-    parts = flatten_parts(func)
-    return parts[-1] if parts else ""
-
-
-class _FunctionTaint:
-    def __init__(self, rule, path: str, scope: str, taint_cfg, findings: list):
-        self.rule = rule
-        self.path = path
-        self.scope = scope
-        self.cfg = taint_cfg
-        self.findings = findings
-        self.tainted: set[str] = set()
-
-    # -- expression taint ---------------------------------------------------
-
-    def expr_tainted(self, node: ast.expr | None) -> bool:
-        if node is None:
-            return False
-        if isinstance(node, ast.Name):
-            return node.id in self.tainted
-        if isinstance(node, ast.Attribute):
-            dotted = ".".join(flatten_parts(node))
-            return dotted in self.tainted or self.expr_tainted(node.value)
-        if isinstance(node, ast.Call):
-            self.check_sink(node)
-            name = _final_name(node.func)
-            if name in self.cfg.sources:
-                return True
-            if name in self.cfg.propagators:
-                return any([self.expr_tainted(a) for a in node.args])
-            # other calls launder (re-encryption is the sanctioned egress)
-            for arg in node.args:
-                self.expr_tainted(arg)  # still walk for nested sinks
-            return False
-        if isinstance(node, ast.BinOp):
-            return self.expr_tainted(node.left) or self.expr_tainted(node.right)
-        if isinstance(node, ast.UnaryOp):
-            return self.expr_tainted(node.operand)
-        if isinstance(node, ast.BoolOp):
-            return any([self.expr_tainted(v) for v in node.values])
-        if isinstance(node, ast.IfExp):
-            self.expr_tainted(node.test)
-            return self.expr_tainted(node.body) or self.expr_tainted(node.orelse)
-        if isinstance(node, ast.JoinedStr):
-            return any([
-                self.expr_tainted(v.value)
-                for v in node.values
-                if isinstance(v, ast.FormattedValue)
-            ])
-        if isinstance(node, (ast.Tuple, ast.List, ast.Set)):
-            return any([self.expr_tainted(e) for e in node.elts])
-        if isinstance(node, ast.Dict):
-            return any(self.expr_tainted(v) for v in node.values if v is not None)
-        if isinstance(node, ast.Subscript):
-            return self.expr_tainted(node.value)
-        if isinstance(node, ast.Starred):
-            return self.expr_tainted(node.value)
-        if isinstance(node, ast.Compare):
-            # verdicts (orderings, equality) are sanctioned leakage
-            self.expr_tainted(node.left)
-            for comp in node.comparators:
-                self.expr_tainted(comp)
-            return False
-        if isinstance(node, (ast.ListComp, ast.SetComp, ast.GeneratorExp)):
-            return self.expr_tainted(node.elt)
-        if isinstance(node, ast.DictComp):
-            return self.expr_tainted(node.value)
-        if isinstance(node, ast.Await):
-            return self.expr_tainted(node.value)
-        return False
-
-    def check_sink(self, call: ast.Call) -> None:
-        name = _final_name(call.func)
-        cfg = self.cfg
-        if name in cfg.log_sinks:
-            kind = "log"
-        elif name in cfg.metric_sinks:
-            kind = "metric"
-        elif name in cfg.trace_sinks:
-            kind = "trace"
-        else:
-            return
-        args = list(call.args) + [kw.value for kw in call.keywords]
-        if any([self.expr_tainted(a) for a in args]):
-            self.findings.append(Finding(
-                rule=self.rule, path=self.path, line=call.lineno,
-                symbol=self.scope,
-                key=f"{kind}-sink:{name}",
-                message=(
-                    f"decrypted plaintext flows into host-side {kind} "
-                    f"call {name!r}"
-                ),
-            ))
-
-    # -- statement walk ------------------------------------------------------
-
-    def taint_target(self, target: ast.expr) -> None:
-        if isinstance(target, ast.Name):
-            self.tainted.add(target.id)
-        elif isinstance(target, ast.Attribute):
-            self.tainted.add(".".join(flatten_parts(target)))
-        elif isinstance(target, (ast.Tuple, ast.List)):
-            for element in target.elts:
-                self.taint_target(element)
-        elif isinstance(target, ast.Starred):
-            self.taint_target(target.value)
-
-    def run(self, body: list) -> None:
-        for stmt in body:
-            self.visit_stmt(stmt)
-
-    def visit_stmt(self, stmt: ast.stmt) -> None:
-        if isinstance(stmt, (ast.FunctionDef, ast.AsyncFunctionDef)):
-            return  # nested functions analyzed separately
-        if isinstance(stmt, ast.Assign):
-            if self.expr_tainted(stmt.value):
-                for target in stmt.targets:
-                    self.taint_target(target)
-        elif isinstance(stmt, (ast.AnnAssign, ast.AugAssign)):
-            if stmt.value is not None and self.expr_tainted(stmt.value):
-                self.taint_target(stmt.target)
-        elif isinstance(stmt, ast.Return):
-            if self.expr_tainted(stmt.value):
-                self.findings.append(Finding(
-                    rule=self.rule, path=self.path, line=stmt.lineno,
-                    symbol=self.scope,
-                    key="return-plaintext",
-                    message=(
-                        "decrypted plaintext is returned from host code "
-                        "without re-encryption"
-                    ),
-                ))
-        elif isinstance(stmt, ast.Expr):
-            self.expr_tainted(stmt.value)
-        elif isinstance(stmt, (ast.For, ast.AsyncFor)):
-            if self.expr_tainted(stmt.iter):
-                self.taint_target(stmt.target)
-            self.run(stmt.body)
-            self.run(stmt.orelse)
-        elif isinstance(stmt, ast.While):
-            self.expr_tainted(stmt.test)
-            self.run(stmt.body)
-            self.run(stmt.orelse)
-        elif isinstance(stmt, ast.If):
-            self.expr_tainted(stmt.test)
-            self.run(stmt.body)
-            self.run(stmt.orelse)
-        elif isinstance(stmt, (ast.With, ast.AsyncWith)):
-            for item in stmt.items:
-                if self.expr_tainted(item.context_expr) and item.optional_vars:
-                    self.taint_target(item.optional_vars)
-            self.run(stmt.body)
-        elif isinstance(stmt, ast.Try):
-            self.run(stmt.body)
-            for handler in stmt.handlers:
-                self.run(handler.body)
-            self.run(stmt.orelse)
-            self.run(stmt.finalbody)
-        elif isinstance(stmt, ast.Raise):
-            if stmt.exc is not None:
-                self.expr_tainted(stmt.exc)
+#: event kinds this family reports (wire kinds belong to wire-egress)
+_KINDS = ("log", "metric", "trace")
 
 
 class PlaintextTaintRule:
@@ -196,30 +43,44 @@ class PlaintextTaintRule:
 
     def run(self, model, config) -> list:
         findings: list[Finding] = []
+        if not config.taint_packages:
+            return findings
+        flow = get_taintflow(model, config)
         for modname, info in model.modules.items():
             if not model.in_packages(modname, config.taint_packages):
                 continue
             if model.in_packages(modname, config.exempt_packages):
                 continue
-            path = model.relpath(info)
-            for func, scope in self._functions(info.tree):
-                tracker = _FunctionTaint(self.name, path, scope, config.taint, findings)
-                tracker.run(func.body)
+            for event in flow.module_events(modname):
+                if event.etype == "return":
+                    findings.append(Finding(
+                        rule=self.name, path=event.path, line=event.lineno,
+                        symbol=event.scope,
+                        key="return-plaintext",
+                        message=(
+                            "decrypted plaintext is returned from host code "
+                            "without re-encryption"
+                        ),
+                    ))
+                elif event.etype == "sink" and event.kind in _KINDS:
+                    findings.append(Finding(
+                        rule=self.name, path=event.path, line=event.lineno,
+                        symbol=event.scope,
+                        key=f"{event.kind}-sink:{event.name}",
+                        message=(
+                            f"decrypted plaintext flows into host-side "
+                            f"{event.kind} call {event.name!r}"
+                        ),
+                    ))
+                elif event.etype == "sink-via" and event.kind in _KINDS:
+                    findings.append(Finding(
+                        rule=self.name, path=event.path, line=event.lineno,
+                        symbol=event.scope,
+                        key=f"{event.kind}-sink-via:{event.name}",
+                        message=(
+                            f"decrypted plaintext passed to {event.name!r}, "
+                            f"whose parameter reaches a host-side "
+                            f"{event.kind} sink"
+                        ),
+                    ))
         return findings
-
-    @staticmethod
-    def _functions(tree: ast.Module):
-        """Yield (function node, qualname) pairs, including nested ones."""
-        stack: list[tuple[ast.AST, tuple[str, ...]]] = [(tree, ())]
-        while stack:
-            node, prefix = stack.pop()
-            for child in ast.iter_child_nodes(node):
-                if isinstance(child, (ast.FunctionDef, ast.AsyncFunctionDef)):
-                    qual = prefix + (child.name,)
-                    yield child, ".".join(qual)
-                    stack.append((child, qual))
-                elif isinstance(child, ast.ClassDef):
-                    stack.append((child, prefix + (child.name,)))
-                elif isinstance(child, (ast.If, ast.Try, ast.With)):
-                    stack.append((child, prefix))
-        return

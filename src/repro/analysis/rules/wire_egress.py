@@ -1,0 +1,77 @@
+"""Rule family 6: wire egress — plaintext never reaches the byte surface.
+
+PR 8's sharded wire layer created a second, byte-level egress surface:
+frames over TCP, the router's raw forwarding path, and error
+marshalling. The serialized-frame adversary tap observes every one of
+those bytes, so the static guarantee must match the dynamic one: no
+plaintext-tainted value may flow into
+
+* a frame/channel send (``send_frame``, ``send_message``),
+* message/frame/value encoding (``encode_message``, ``encode_frame``,
+  ``encode_value`` — everything that feeds the codec feeds the wire),
+* :class:`~repro.net.messages.ErrorReply` construction or
+  ``error_reply_for`` (error payloads travel as cleartext strings and
+  are the classic oracle channel),
+
+except via sanctioned ciphertext/verdict types — i.e. after laundering
+through re-encryption, exactly like the ``plaintext-taint`` family.
+The rule rides the shared interprocedural flow engine
+(:mod:`repro.analysis.taintflow`), so a decrypt result that passes
+through helpers before reaching ``FrameChannel.send_frame`` is caught,
+and a helper whose *parameter* reaches a wire sink flags every caller
+that hands it plaintext (``wire-sink-via:<helper>``).
+
+Unlike ``plaintext-taint``'s log/metric sinks, wire sinks are checked
+across *all* taint packages — a tainted value reaching ``send_frame``
+is a violation wherever the call happens to live.
+"""
+
+from __future__ import annotations
+
+from repro.analysis.findings import Finding
+from repro.analysis.taintflow import get_taintflow
+
+_KINDS = ("wire", "error-reply")
+
+_MESSAGES = {
+    "wire": "decrypted plaintext flows into wire egress call {name!r} "
+            "(serialized frames are adversary-visible bytes)",
+    "error-reply": "decrypted plaintext flows into error marshalling "
+                   "{name!r} (ErrorReply payloads cross the wire in clear)",
+}
+
+
+class WireEgressRule:
+    name = "wire-egress"
+
+    def run(self, model, config) -> list:
+        findings: list[Finding] = []
+        if not config.taint_packages:
+            return findings
+        flow = get_taintflow(model, config)
+        for modname, info in model.modules.items():
+            if not model.in_packages(modname, config.taint_packages):
+                continue
+            if model.in_packages(modname, config.exempt_packages):
+                continue
+            for event in flow.module_events(modname):
+                if event.kind not in _KINDS:
+                    continue
+                if event.etype == "sink":
+                    findings.append(Finding(
+                        rule=self.name, path=event.path, line=event.lineno,
+                        symbol=event.scope,
+                        key=f"{event.kind}-sink:{event.name}",
+                        message=_MESSAGES[event.kind].format(name=event.name),
+                    ))
+                elif event.etype == "sink-via":
+                    findings.append(Finding(
+                        rule=self.name, path=event.path, line=event.lineno,
+                        symbol=event.scope,
+                        key=f"{event.kind}-sink-via:{event.name}",
+                        message=(
+                            f"decrypted plaintext passed to {event.name!r}, "
+                            f"whose parameter reaches a wire egress sink"
+                        ),
+                    ))
+        return findings

@@ -1,0 +1,88 @@
+"""SARIF 2.1.0 export of an analysis :class:`~repro.analysis.engine.Report`.
+
+One run, one tool (``repro.analysis``), one rule descriptor per rule
+family. New findings are ``error``-level results; baselined findings are
+emitted too, carried with a ``suppressions`` entry (SARIF's native way to
+say "known and accepted") so the artifact is the *whole* truth of a run,
+not just the failing part. ``partialFingerprints`` carries the same
+line-free ``rule|path|symbol|key`` quadruple the baseline file uses, so
+a SARIF consumer dedupes across edits exactly like the ratchet does.
+
+The output is deliberately minimal — only properties the viewers
+(GitHub code scanning, VS Code SARIF viewer) actually consume — and is
+kept byte-stable for a given report: dict order follows finding order,
+which the engine sorts.
+"""
+
+from __future__ import annotations
+
+import json
+import sys
+from pathlib import Path
+
+SARIF_VERSION = "2.1.0"
+SARIF_SCHEMA = (
+    "https://raw.githubusercontent.com/oasis-tcs/sarif-spec/master/"
+    "Schemata/sarif-schema-2.1.0.json"
+)
+
+
+def _rule_descriptor(rule) -> dict:
+    doc = (sys.modules[type(rule).__module__].__doc__ or "").strip()
+    first = doc.splitlines()[0] if doc else rule.name
+    return {
+        "id": rule.name,
+        "shortDescription": {"text": first},
+    }
+
+
+def _result(finding, suppressed: bool) -> dict:
+    result = {
+        "ruleId": finding.rule,
+        "level": "note" if suppressed else "error",
+        "message": {"text": finding.message},
+        "locations": [
+            {
+                "physicalLocation": {
+                    "artifactLocation": {"uri": finding.path},
+                    "region": {"startLine": max(finding.line, 1)},
+                },
+                "logicalLocations": [{"fullyQualifiedName": finding.symbol}],
+            }
+        ],
+        "partialFingerprints": {"reproAnalysis/v1": finding.fingerprint},
+    }
+    if suppressed:
+        result["suppressions"] = [
+            {"kind": "external", "justification": "baselined in analysis-baseline.txt"}
+        ]
+    return result
+
+
+def to_sarif(report, rules) -> dict:
+    """The SARIF log dict for one engine run."""
+    results = [_result(f, suppressed=False) for f in report.new]
+    results += [_result(f, suppressed=True) for f in report.suppressed]
+    return {
+        "$schema": SARIF_SCHEMA,
+        "version": SARIF_VERSION,
+        "runs": [
+            {
+                "tool": {
+                    "driver": {
+                        "name": "repro.analysis",
+                        "informationUri": "https://example.invalid/repro-analysis",
+                        "rules": [_rule_descriptor(r) for r in rules],
+                    }
+                },
+                "results": results,
+            }
+        ],
+    }
+
+
+def write_sarif(path: Path, report, rules) -> None:
+    path = Path(path)
+    path.write_text(
+        json.dumps(to_sarif(report, rules), indent=2) + "\n", encoding="utf-8"
+    )

@@ -6,6 +6,8 @@ can catch library failures without masking programming errors.
 
 from __future__ import annotations
 
+import re
+
 
 class ReproError(Exception):
     """Base class for all errors raised by this library."""
@@ -58,6 +60,19 @@ class FaultInjected(ReproError):
     def __init__(self, site: str, message: str | None = None):
         self.site = site
         super().__init__(message or f"injected fault at {site!r}")
+
+    @classmethod
+    def from_wire(cls, message: str) -> "FaultInjected":
+        """Rebuild from a marshalled error message, recovering the fault
+        site when the message is the default format above. The wire only
+        carries the message string, so a custom-message fault keeps its
+        text but its site is marked as remote — not silently replaced by
+        the whole message, which is what ``cls(message)`` would do.
+        """
+        match = re.fullmatch(r"injected fault at '([^']*)'", message)
+        if match:
+            return cls(match.group(1))
+        return cls("<remote>", message)
 
 
 class TransientFault(FaultInjected):

@@ -49,6 +49,7 @@ from repro.sqlengine.types import ColumnType, EncryptionInfo, EncryptionScheme, 
 
 __all__ = [
     "MESSAGE_TYPES",
+    "NONRECONSTRUCTIBLE_ERRORS",
     "AdminAudit",
     "AdminAuditReply",
     "AdminCrash",
@@ -416,6 +417,14 @@ def decode_message(opcode: int, payload: bytes) -> Any:
 
 # ------------------------------------------------------------------ errors
 
+#: ReproError subclasses whose constructors cannot be rebuilt from a bare
+#: message string by :func:`reconstruct_error` — these degrade to
+#: :class:`~repro.errors.RemoteError` on the client, and that degradation
+#: is acknowledged here. Append-only: the protocol-typestate analyzer
+#: fails if a multi-argument error subclass is missing from this tuple
+#: (silent degradation) or if an entry stops being multi-argument (rot).
+NONRECONSTRUCTIBLE_ERRORS: tuple[str, ...] = ("RemoteError",)
+
 
 def error_reply_for(exc: BaseException, in_transaction: bool | None = None) -> ErrorReply:
     """Marshal a server-side exception by concrete type name."""
@@ -429,12 +438,17 @@ def error_reply_for(exc: BaseException, in_transaction: bool | None = None) -> E
 def reconstruct_error(reply: ErrorReply) -> ReproError:
     """Client side: rebuild the typed exception from an :class:`ErrorReply`.
 
-    Falls back to :class:`~repro.errors.RemoteError` when the name is not
-    a ReproError subclass or its constructor rejects a single message
-    (e.g. fault-injection types, which take a site argument).
+    Classes that cannot be rebuilt faithfully from a bare message string
+    define a ``from_wire`` classmethod (fault-injection types recover
+    their site argument there). Anything else falls back to
+    :class:`~repro.errors.RemoteError`: an unknown name, a non-ReproError
+    type, or a constructor that rejects a single message.
     """
     cls = getattr(_errors, reply.error_type, None)
     if isinstance(cls, type) and issubclass(cls, ReproError):
+        rebuild = getattr(cls, "from_wire", None)
+        if rebuild is not None:
+            return rebuild(reply.message)
         try:
             return cls(reply.message)
         except TypeError:

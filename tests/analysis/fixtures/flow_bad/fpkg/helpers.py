@@ -1,0 +1,17 @@
+"""Helpers that move plaintext around — each one is invisible to a
+per-function analysis and load-bearing for the interprocedural one."""
+
+
+def unwrap(crypto, cell):
+    # returns a source-tainted value: callers inherit the taint
+    return crypto.decrypt(cell)
+
+
+def emit(channel, payload):
+    # parameter 1 reaches a wire sink: callers handing it plaintext leak
+    channel.send_frame(payload)
+
+
+def relay(channel, payload):
+    # two hops: relay -> emit -> send_frame (fixpoint must chain summaries)
+    emit(channel, payload)

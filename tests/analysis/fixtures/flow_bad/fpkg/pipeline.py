@@ -1,0 +1,35 @@
+"""Interprocedural leaks: every flow here crosses at least one function
+boundary, so the PR 4 per-function engine sees nothing. Parsed by the
+analyzer's test suite, never imported."""
+
+from fpkg.helpers import relay, unwrap
+from fpkg.records import Packet
+
+
+def leak_via_helper_return(crypto, cell, logger):
+    # taint-through-helper: unwrap() returns decrypt() plaintext
+    value = unwrap(crypto, cell)
+    logger.info(value)
+
+
+def leak_via_helper_sink(crypto, cell, channel):
+    # decrypt -> helper chain -> frame send (wire-sink-via)
+    value = crypto.decrypt(cell)
+    relay(channel, value)
+
+
+def leak_via_dataclass(crypto, cell, channel):
+    # taint-through-dataclass: construction packs the plaintext field
+    packet = Packet(payload=crypto.decrypt(cell))
+    channel.send_frame(packet)
+
+
+def leak_via_container(crypto, cell):
+    rows = []
+    rows.append(crypto.decrypt(cell))
+    return rows
+
+
+def leak_via_error_reply(crypto, cell):
+    reason = crypto.decrypt(cell)
+    ErrorReply(str(reason))

@@ -1,0 +1,9 @@
+from dataclasses import dataclass
+
+
+@dataclass
+class Packet:
+    """Constructing this from a tainted argument taints the instance."""
+
+    payload: object
+    tag: str = ""

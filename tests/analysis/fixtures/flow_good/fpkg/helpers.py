@@ -1,0 +1,11 @@
+"""Sanctioned shapes: the same call structure as the violating fixture,
+but every value is laundered through re-encryption before egress."""
+
+
+def unwrap_sealed(crypto, cell):
+    # decrypt then immediately re-encrypt: the sanctioned pipeline
+    return crypto.encrypt_cell(crypto.decrypt(cell))
+
+
+def emit(channel, payload):
+    channel.send_frame(payload)

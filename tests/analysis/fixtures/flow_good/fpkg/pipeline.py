@@ -1,0 +1,20 @@
+"""Clean flows: helper calls, dataclasses, and wire sends are all fine
+as long as only ciphertext (or conceded verdicts) reaches egress."""
+
+from fpkg.helpers import emit, unwrap_sealed
+
+
+def send_ciphertext(crypto, cell, channel):
+    sealed = unwrap_sealed(crypto, cell)
+    emit(channel, sealed)
+
+
+def compare_verdict(crypto, cell, logger):
+    # comparison results are conceded leakage — logging a verdict is fine
+    match = crypto.decrypt(cell) == 7
+    logger.info(match)
+
+
+def reencrypt_before_send(crypto, cell, channel):
+    value = crypto.decrypt(cell)
+    channel.send_frame(crypto.encrypt_cell(value))

@@ -1,0 +1,24 @@
+"""Latches that leak on exception paths. Parsed, never run."""
+
+
+class Store:
+    def unreleased_on_raise(self, page_id):
+        # an exception in load_page() leaves the latch held forever
+        self.page_lock.acquire()
+        page = self.load_page(page_id)
+        self.page_lock.release()
+        return page
+
+    def gap_before_try(self, page_id):
+        self.page_lock.acquire()
+        page = self.load_page(page_id)  # can raise before the try begins
+        try:
+            return self.pin(page)
+        finally:
+            self.page_lock.release()
+
+    def conditional_release(self, flush):
+        self.state_lock.acquire()
+        if flush:
+            self.flush_all()
+        self.state_lock.release()

@@ -1,0 +1,30 @@
+"""Exception-safe latch idioms: with-statement or immediate try/finally."""
+
+
+class Store:
+    def with_statement(self, page_id):
+        with self.page_lock:
+            return self.load_page(page_id)
+
+    def acquire_try_finally(self, page_id):
+        self.page_lock.acquire()
+        try:
+            return self.load_page(page_id)
+        finally:
+            self.page_lock.release()
+
+    def timeout_acquire(self, page_id):
+        got = self.page_lock.acquire(timeout=0.5)
+        try:
+            if not got:
+                return None
+            return self.load_page(page_id)
+        finally:
+            if got:
+                self.page_lock.release()
+
+    def lock_manager_calls_are_not_latches(self, txn_id, key):
+        # a *lock manager* acquire (queued, timed out, deadlock-detected)
+        # is not a bare latch: receiver name is not lock-shaped
+        self.locks.acquire(txn_id, key)
+        self.locks.release(txn_id, key)

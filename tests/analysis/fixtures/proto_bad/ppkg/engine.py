@@ -1,0 +1,35 @@
+"""2PC transitions with the write-ahead contract broken."""
+
+
+class Engine:
+    def prepare(self, txn, gtid):
+        # no LogOp.PREPARE append at all
+        txn.state = TxnState.PREPARED
+        self.prepared[gtid] = txn
+
+    def commit_prepared(self, gtid):
+        txn = self.prepared.pop(gtid)
+        # state flips before the COMMIT record is durable
+        txn.state = TxnState.COMMITTED
+        self.wal.append(txn.txn_id, LogOp.COMMIT, table=gtid)
+        return True
+
+    def abort_silent(self, txn):
+        # no ABORT record anywhere: recovery would resurrect the txn
+        txn.state = TxnState.ABORTED
+        self.locks.release_all(txn.txn_id)
+
+    def recover(self):
+        for txn in self.indoubt():
+            # recovery replays records instead of writing them: exempt
+            txn.state = TxnState.PREPARED
+
+
+class Coordinator:
+    def two_phase_commit(self, branches, gtid):
+        for branch in branches:
+            branch.prepare_transaction(gtid)
+        for branch in branches:
+            # fan-out before the decision is durable
+            branch.commit_prepared(gtid)
+        self.decisions.record(gtid)

@@ -1,0 +1,25 @@
+"""Error hierarchy with unacknowledged marshalling degradation."""
+
+
+class ProtoError(Exception):
+    pass
+
+
+class PlainError(ProtoError):
+    # no __init__: Exception(*args) reconstructs fine
+    pass
+
+
+class BadArity(ProtoError):
+    # two required args: cls(message) raises TypeError, degrades silently
+    def __init__(self, code, message):
+        self.code = code
+        super().__init__(message)
+
+
+class SiteError(ProtoError):
+    # one required arg, but it is NOT the message: cls(message) silently
+    # stuffs the message into the site field — distortion, not refusal
+    def __init__(self, site, message=None):
+        self.site = site
+        super().__init__(message or site)

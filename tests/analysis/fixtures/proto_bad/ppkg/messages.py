@@ -1,0 +1,47 @@
+"""Protocol fixture with deliberate coverage holes. Parsed, never run."""
+
+
+class Ping:
+    OP = "ping"
+
+
+class Pong:
+    OP = "pong"
+
+
+class Open:
+    OP = "open"
+
+
+class OpenReply:
+    OP = "open_reply"
+
+
+class Close:
+    OP = "close"
+
+
+class Exec:
+    OP = "exec"
+
+
+class ExecReply:
+    OP = "exec_reply"
+
+
+class Orphaned:
+    # never dispatched, never constructed: a client sending it hangs
+    OP = "orphaned"
+
+
+class DupA:
+    OP = "dup"
+
+
+class DupB:
+    # second claimant of the same opcode
+    OP = "dup"
+
+
+# stale acknowledgment: no such error class exists
+NONRECONSTRUCTIBLE_ERRORS = ("GoneError",)

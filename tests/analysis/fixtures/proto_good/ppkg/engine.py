@@ -1,0 +1,43 @@
+"""2PC transitions honouring the write-ahead contract."""
+
+
+class Engine:
+    def prepare(self, txn, gtid):
+        self.wal.append(txn.txn_id, LogOp.PREPARE, table=gtid)
+        self.wal.flush()
+        txn.state = TxnState.PREPARED
+        self.prepared[gtid] = txn
+
+    def commit_prepared(self, gtid):
+        txn = self.prepared.pop(gtid)
+        self.wal.append(txn.txn_id, LogOp.COMMIT, table=gtid)
+        self.wal.flush()
+        txn.state = TxnState.COMMITTED
+        return True
+
+    def abort_prepared(self, gtid):
+        txn = self.prepared.pop(gtid)
+        txn.state = TxnState.ABORTED
+        # presumed abort: record order is free, but the record must exist
+        self.wal.append(txn.txn_id, LogOp.ABORT, table=gtid)
+        return True
+
+    def recover(self):
+        for txn in self.indoubt():
+            txn.state = TxnState.PREPARED
+
+
+class Coordinator:
+    def two_phase_commit(self, branches, gtid):
+        prepared = []
+        try:
+            for branch in branches:
+                branch.prepare_transaction(gtid)
+                prepared.append(branch)
+        except Exception:
+            for branch in prepared:
+                branch.abort_prepared(gtid)
+            raise
+        self.decisions.record(gtid)
+        for branch in branches:
+            branch.commit_prepared(gtid)

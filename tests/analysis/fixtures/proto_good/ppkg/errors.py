@@ -1,0 +1,33 @@
+"""Error hierarchy where every marshalling gap is closed or acknowledged."""
+
+
+class ProtoError(Exception):
+    pass
+
+
+class PlainError(ProtoError):
+    pass
+
+
+class MessageError(ProtoError):
+    # single required arg named message: cls(message) is faithful
+    def __init__(self, message):
+        super().__init__(message)
+
+
+class SiteError(ProtoError):
+    # non-message constructor, but an explicit wire rebuild path
+    def __init__(self, site, message=None):
+        self.site = site
+        super().__init__(message or site)
+
+    @classmethod
+    def from_wire(cls, message):
+        return cls("<remote>", message)
+
+
+class WideError(ProtoError):
+    # two required args — acknowledged in NONRECONSTRUCTIBLE_ERRORS
+    def __init__(self, code, message):
+        self.code = code
+        super().__init__(message)

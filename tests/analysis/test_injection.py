@@ -99,3 +99,54 @@ def test_site_violation_fires(tree_copy, capsys):
         assert_family_fires(capsys, tree_copy, "site-metric", "totally.bogus_site")
     finally:
         evil.unlink()
+
+
+def test_wire_egress_violation_fires(tree_copy, capsys):
+    # the interprocedural case: the decrypt and the frame send live in
+    # different functions, so only the summary-based engine can see it
+    evil = tree_copy / "repro" / "net" / "evil_egress.py"
+    evil.write_text(
+        "def emit(channel, payload):\n"
+        "    channel.send_frame(payload)\n"
+        "\n"
+        "def leak(crypto, cell, channel):\n"
+        "    emit(channel, crypto.decrypt(cell))\n"
+    )
+    try:
+        assert_family_fires(capsys, tree_copy, "wire-egress", "evil_egress.py")
+    finally:
+        evil.unlink()
+
+
+def test_protocol_typestate_violation_fires(tree_copy, capsys):
+    # an error subclass reconstruct_error cannot rebuild, not acknowledged
+    # in NONRECONSTRUCTIBLE_ERRORS
+    errors = tree_copy / "repro" / "errors.py"
+    original = errors.read_text()
+    errors.write_text(original + textwrap.dedent("""
+
+        class EvilWideError(ReproError):
+            def __init__(self, code, message):
+                self.code = code
+                super().__init__(message)
+    """))
+    try:
+        assert_family_fires(capsys, tree_copy, "protocol-typestate", "EvilWideError")
+    finally:
+        errors.write_text(original)
+
+
+def test_latch_safety_violation_fires(tree_copy, capsys):
+    evil = tree_copy / "repro" / "sqlengine" / "evil_latch.py"
+    evil.write_text(
+        "class EvilCache:\n"
+        "    def touch(self, key):\n"
+        "        self.state_lock.acquire()\n"
+        "        value = self.compute(key)\n"
+        "        self.state_lock.release()\n"
+        "        return value\n"
+    )
+    try:
+        assert_family_fires(capsys, tree_copy, "latch-safety", "state_lock")
+    finally:
+        evil.unlink()

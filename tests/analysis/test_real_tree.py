@@ -16,7 +16,10 @@ def test_strict_run_is_clean(capsys):
     out = capsys.readouterr().out
     assert "0 finding(s)" in out
     # per-rule summary names every family
-    for family in ("trust-boundary", "plaintext-taint", "lock-order", "site-metric"):
+    for family in (
+        "trust-boundary", "plaintext-taint", "wire-egress", "lock-order",
+        "latch-safety", "site-metric", "wire-opcode", "protocol-typestate",
+    ):
         assert f"{family}=0" in out
 
 
@@ -25,7 +28,10 @@ def test_list_rules(capsys):
 
     assert main(["--list-rules"]) == 0
     out = capsys.readouterr().out
-    for family in ("trust-boundary", "plaintext-taint", "lock-order", "site-metric"):
+    for family in (
+        "trust-boundary", "plaintext-taint", "wire-egress", "lock-order",
+        "latch-safety", "site-metric", "wire-opcode", "protocol-typestate",
+    ):
         assert family in out
 
 

@@ -1,0 +1,59 @@
+"""Wire-egress rule: plaintext must never reach a frame/transport send,
+an ErrorReply construction, or a log/trace sink in another function."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.analysis.config import AnalysisConfig, TaintConfig
+
+
+def config(root) -> AnalysisConfig:
+    return AnalysisConfig(root=root, packages=("fpkg",), taint_packages=("fpkg",))
+
+
+@pytest.fixture(scope="module")
+def rule():
+    from repro.analysis.rules.wire_egress import WireEgressRule
+
+    return WireEgressRule()
+
+
+def test_violating_fixture_flags_every_egress_shape(rule, run_rule, fixtures_dir):
+    findings = run_rule(rule, config(fixtures_dir / "flow_bad"))
+    by_symbol = {f.symbol: f.key for f in findings}
+    # direct helper-sink chain: decrypt -> relay(...) -> emit -> send_frame
+    assert by_symbol["leak_via_helper_sink"] == "wire-sink-via:relay"
+    # dataclass smuggling: Packet(payload=decrypt(...)) then send_frame(pkt)
+    assert by_symbol["leak_via_dataclass"] == "wire-sink:send_frame"
+    # plaintext folded into an ErrorReply leaves in an error frame
+    assert by_symbol["leak_via_error_reply"] == "error-reply-sink:ErrorReply"
+    assert all(f.rule == "wire-egress" for f in findings)
+
+
+def test_clean_fixture_is_quiet(rule, run_rule, fixtures_dir):
+    assert run_rule(rule, config(fixtures_dir / "flow_good")) == []
+
+
+def test_reencryption_before_send_is_sanctioned(rule, run_rule, fixtures_dir):
+    findings = run_rule(rule, config(fixtures_dir / "flow_good"))
+    assert not any(f.symbol == "reencrypt_before_send" for f in findings)
+
+
+def test_rule_gated_on_taint_packages(rule, run_rule, fixtures_dir):
+    cfg = AnalysisConfig(
+        root=fixtures_dir / "flow_bad", packages=("fpkg",), taint_packages=()
+    )
+    assert run_rule(rule, cfg) == []
+
+
+def test_custom_wire_sinks_extend_the_family(rule, run_rule, fixtures_dir):
+    cfg = AnalysisConfig(
+        root=fixtures_dir / "flow_bad",
+        packages=("fpkg",),
+        taint_packages=("fpkg",),
+        taint=TaintConfig(wire_sinks=()),
+    )
+    keys = {f.key for f in run_rule(rule, cfg)}
+    # with no configured wire sinks, only the ErrorReply finding remains
+    assert "wire-sink:send_frame" not in keys
