@@ -113,8 +113,12 @@ class TpmNvAnchor:
     def epoch(self) -> int:
         return self._nv.epoch
 
-    def anchor_attach(self, pages, chain_lsn, chain_digest, base_lsn, base_digest):
-        return self._nv.attach(pages, chain_lsn, chain_digest, base_lsn, base_digest)
+    def anchor_attach(
+        self, pages, chain_lsn, chain_digest, base_lsn, base_digest, cek_versions=None
+    ):
+        return self._nv.attach(
+            pages, chain_lsn, chain_digest, base_lsn, base_digest, cek_versions
+        )
 
     def anchor_advance(
         self,
@@ -131,9 +135,20 @@ class TpmNvAnchor:
     def anchor_confirm(self, page_id):
         self._nv.confirm_page(page_id)
 
-    def anchor_verify(self, base_lsn, base_digest, record_blobs, page_digests, torn_page_ids):
+    def anchor_cek_version(self, cek_name, version):
+        return self._nv.advance_cek_version(cek_name, version)
+
+    def anchor_verify(
+        self,
+        base_lsn,
+        base_digest,
+        record_blobs,
+        page_digests,
+        torn_page_ids,
+        cek_versions=None,
+    ):
         return self._nv.verify(
-            base_lsn, base_digest, record_blobs, page_digests, torn_page_ids
+            base_lsn, base_digest, record_blobs, page_digests, torn_page_ids, cek_versions
         )
 
     def anchor_truncate(self, base_lsn, base_digest):

@@ -25,19 +25,34 @@ class _CekCacheStats(StatsView):
     FIELDS = {
         "hits": "driver.cek_cache_hits",
         "misses": "driver.cek_cache_misses",
+        "evictions": "driver.cek_cache_evictions",
     }
 
 
 class CekCache:
-    """Decrypted CEK material with a client-controlled TTL.
+    """Decrypted CEK material with a client-controlled TTL and LRU bound.
 
-    ``hits``/``misses`` keep their historical attribute API but are now
-    views over the ``driver.cek_cache_*`` registry counters.
+    ``max_entries`` caps resident key material: at fleet scale (one CEK
+    per tenant, ~10k tenants) an unbounded cache would pin every tenant's
+    plaintext key in client memory forever. The least-recently-*used*
+    entry is evicted first — insertion order alone would evict a hot key
+    under a cold scan.
+
+    ``hits``/``misses``/``evictions`` keep their historical attribute API
+    but are now views over the ``driver.cek_cache_*`` registry counters.
     """
 
-    def __init__(self, ttl_s: float = 7200.0, clock=time.monotonic):
+    def __init__(
+        self,
+        ttl_s: float = 7200.0,
+        clock=time.monotonic,
+        max_entries: int | None = None,
+    ):
         self.ttl_s = ttl_s
+        self.max_entries = max_entries
         self._clock = clock
+        # Insertion-ordered; a hit reinserts its key so the dict's order is
+        # recency-of-use and eviction can pop the front.
         self._entries: dict[str, tuple[bytes, float]] = {}
         self._stats = _CekCacheStats()
         # get() is check-then-act (lookup, then delete on expiry): without
@@ -52,6 +67,18 @@ class CekCache:
     def misses(self) -> int:
         return self._stats.misses
 
+    @property
+    def evictions(self) -> int:
+        return self._stats.evictions
+
+    def __len__(self) -> int:
+        with self._lock:
+            return len(self._entries)
+
+    def __contains__(self, cek_name: str) -> bool:
+        with self._lock:
+            return cek_name in self._entries
+
     def get(self, cek_name: str) -> bytes | None:
         with self._lock:
             entry = self._entries.get(cek_name)
@@ -63,12 +90,21 @@ class CekCache:
                 del self._entries[cek_name]
                 self._stats.inc("misses")
                 return None
+            # Move to the back: most recently used.
+            del self._entries[cek_name]
+            self._entries[cek_name] = entry
             self._stats.inc("hits")
             return material
 
     def put(self, cek_name: str, material: bytes) -> None:
         with self._lock:
+            self._entries.pop(cek_name, None)
             self._entries[cek_name] = (material, self._clock())
+            if self.max_entries is not None:
+                while len(self._entries) > self.max_entries:
+                    evicted = next(iter(self._entries))
+                    del self._entries[evicted]
+                    self._stats.inc("evictions")
 
     def invalidate(self, cek_name: str | None = None) -> None:
         with self._lock:

@@ -93,6 +93,9 @@ class ConnectionOptions:
     # Cache describe results to avoid the extra round-trip per execution.
     cache_describe_results: bool = True
     cek_cache_ttl_s: float = 7200.0
+    # LRU bound on resident decrypted CEK material; ``None`` = unbounded.
+    # Fleet-scale clients (one CEK per tenant) must set this.
+    cek_cache_max_entries: int | None = None
     # Bounded exponential-backoff retry for transient failures of the
     # idempotent control-plane round-trips (describe, attest, CEK package
     # delivery). ``retry_max_attempts`` counts total tries, not re-tries.
@@ -123,7 +126,10 @@ class Connection:
         self.options = options or ConnectionOptions()
         self.attestation_policy = attestation_policy
         self.stats = DriverStats()
-        self.cek_cache = CekCache(ttl_s=self.options.cek_cache_ttl_s)
+        self.cek_cache = CekCache(
+            ttl_s=self.options.cek_cache_ttl_s,
+            max_entries=self.options.cek_cache_max_entries,
+        )
         self._describe_cache: dict[str, DescribeResult] = {}
         self._attestation: AttestationSession | None = None
         # Guards the check-then-act on the describe cache and the
@@ -242,26 +248,12 @@ class Connection:
             # as for a query (Section 3.1.2).
             self.install_enclave_ceks(needed_for_index)
         if authorize_enclave:
-            digest = hashlib.sha256(query_text.encode("utf-8")).digest()
-            session = self._attest()
             needed = [
                 cek.name
                 for cek in self.server.catalog.ceks()
                 if cek.name in query_text or self._column_cek_in(query_text, cek.name)
             ]
-            ceks: list[tuple[str, bytes]] = []
-            for name in needed:
-                if name not in session.installed_ceks:
-                    metadata = self.server.fetch_cek_metadata(name)
-                    ceks.append((name, self._unwrap_cek(metadata)))
-            package = CekPackage(
-                nonce=session.nonces.next(),
-                ceks=tuple(ceks),
-                authorized_query_hashes=(digest,),
-            )
-            self._send_package(session, package)
-            for name, __ in ceks:
-                session.installed_ceks.add(name)
+            self.authorize_enclave_query(query_text, needed)
         self.stats.inc("execute_roundtrips")
         self._roundtrip_delay()
         result = self.session.execute(query_text)
@@ -293,6 +285,32 @@ class Connection:
         package = CekPackage(nonce=session.nonces.next(), ceks=tuple(missing))
         self._send_package(session, package)
         for name, __ in missing:
+            session.installed_ceks.add(name)
+
+    def authorize_enclave_query(self, query_text: str, cek_names: list[str]) -> None:
+        """Attest and authorize ``query_text`` for the enclave's DDL oracle.
+
+        Ships any not-yet-installed CEKs from ``cek_names`` together with
+        the query-text hash, exactly as :meth:`execute_ddl` would — but
+        without executing anything. The online key-lifecycle tooling uses
+        this: rotation batches run through admin verbs, not DDL execution,
+        yet the enclave still gates its Recrypt oracle on an authorized
+        query hash (Section 3.2).
+        """
+        digest = hashlib.sha256(query_text.encode("utf-8")).digest()
+        session = self._attest()
+        ceks: list[tuple[str, bytes]] = []
+        for name in cek_names:
+            if name not in session.installed_ceks:
+                metadata = self.server.fetch_cek_metadata(name)
+                ceks.append((name, self._unwrap_cek(metadata)))
+        package = CekPackage(
+            nonce=session.nonces.next(),
+            ceks=tuple(ceks),
+            authorized_query_hashes=(digest,),
+        )
+        self._send_package(session, package)
+        for name, __ in ceks:
             session.installed_ceks.add(name)
 
     def _index_ddl_enclave_ceks(self, query_text: str) -> list[str]:
@@ -492,6 +510,16 @@ class Connection:
         self.cek_cache.put(cek_name, material)
         return material
 
+    def unwrap_cek(self, metadata: CekMetadata) -> bytes:
+        """Unwrap CEK material client-side (trusted-path checks included).
+
+        Public surface for the provisioning tools: CMK rotation re-wraps
+        existing material, so the tooling legitimately needs the client's
+        unwrap path — with its key-path trust list and signature checks —
+        rather than a raw provider call.
+        """
+        return self._unwrap_cek(metadata)
+
     def _unwrap_cek(self, metadata: CekMetadata) -> bytes:
         self._check_cmk_trusted(metadata)
         errors: list[str] = []
@@ -541,6 +569,7 @@ class Connection:
         for __, enc in encrypted_columns:
             if enc.cek_name not in ciphers:
                 ciphers[enc.cek_name] = CellCipher(self._cek_material(enc.cek_name))
+        rotation_partners: dict[str, str | None] | None = None
         out_rows: list[tuple] = []
         for row in result.rows:
             cells = list(row)
@@ -549,15 +578,63 @@ class Connection:
                 if cell is None:
                     continue
                 if not isinstance(cell, Ciphertext):
+                    # Mid initial-encryption the column is already declared
+                    # encrypted but unswept rows are still plaintext; pass
+                    # them through only while that job is demonstrably live.
+                    if rotation_partners is None:
+                        rotation_partners = self._rotation_partners()
+                    if self._encrypting_live(enc.cek_name, rotation_partners):
+                        continue
                     raise DriverError(
                         f"result column {result.columns[i].name!r} should be "
                         "ciphertext but is not"
                     )
-                cells[i] = deserialize_value(ciphers[enc.cek_name].decrypt(cell.envelope))
+                cipher = ciphers[enc.cek_name]
+                if not cipher.verify(cell.envelope):
+                    # Rows the rotation sweep has not reached yet (or, for a
+                    # stale describe cache, rows it already converted) carry
+                    # the rotation partner's CEK — resolve it per cell by
+                    # MAC probe against the active lifecycle jobs.
+                    if rotation_partners is None:
+                        rotation_partners = self._rotation_partners()
+                    partner = rotation_partners.get(enc.cek_name)
+                    if partner:
+                        cipher = ciphers.get(partner) or CellCipher(
+                            self._cek_material(partner)
+                        )
+                        ciphers[partner] = cipher
+                cells[i] = deserialize_value(cipher.decrypt(cell.envelope))
                 self.stats.inc("results_decrypted")
             out_rows.append(tuple(cells))
         result.rows = out_rows
         return result
+
+    def _rotation_partners(self) -> dict[str, str | None]:
+        """Map each CEK involved in an active rotation to its partner.
+
+        Covers both directions of the mixed-version window: a fresh
+        describe (column already flipped to the new CEK) reading unswept
+        old-key rows, and a stale describe (old CEK) reading rows the
+        sweep already converted. Servers without the rotation surface
+        (older wire peers) simply yield no partners.
+        """
+        partners: dict[str, str | None] = {}
+        states_fn = getattr(self.server, "rotation_states", None)
+        if states_fn is None:
+            return partners
+        for state in states_fn():
+            if not state.active:
+                continue
+            if state.old_cek:
+                partners[state.new_cek] = state.old_cek
+                partners[state.old_cek] = state.new_cek
+            else:  # initial encryption: no old key, only plaintext behind
+                partners.setdefault(state.new_cek, None)
+        return partners
+
+    @staticmethod
+    def _encrypting_live(cek_name: str, partners: dict[str, str | None]) -> bool:
+        return cek_name in partners and partners[cek_name] is None
 
     def _column_cek_in(self, query_text: str, cek_name: str) -> bool:
         """Does this DDL's target column currently use ``cek_name``?

@@ -56,12 +56,16 @@ ECALL_SURFACE = EcallSurface(
         "eval_batch",
         "compare",
         "compare_batch",
+        "begin_rotation",
+        "end_rotation",
         "encrypt_for_ddl",
         "recrypt_for_ddl",
+        "recrypt_batch_for_ddl",
         "decrypt_for_ddl",
         "anchor_attach",
         "anchor_advance",
         "anchor_confirm",
+        "anchor_cek_version",
         "anchor_verify",
         "anchor_truncate",
         "anchor_status",

@@ -87,7 +87,7 @@ class AnchorVerdict:
     anchored_lsn: int
     #: machine-readable reasons: ``wal.base``, ``wal.prefix``,
     #: ``wal.fork``, ``page.missing:<id>``, ``page.stale:<id>``,
-    #: ``page.unanchored:<id>``
+    #: ``page.unanchored:<id>``, ``cek.version:<name>``
     violations: tuple[str, ...] = ()
     #: durable records beyond the anchored head (the one-flush window)
     unanchored_suffix: int = 0
@@ -129,6 +129,12 @@ class AnchorState:
         # *previous* version of exactly these pages; anything else stale
         # is a rollback.
         self._inflight: dict[int, bytes | None] = {}
+        # CEK name → rotation version the anchor has witnessed. Advanced
+        # *after* the catalog's durable bump (the ROTATE_END record is in
+        # the WAL chain), so a crash in between leaves the catalog ahead —
+        # tolerated and adopted at verify; a catalog *behind* is a
+        # pre-rotation restore.
+        self._cek_versions: dict[str, int] = {}
 
     # -- lifecycle ---------------------------------------------------------
 
@@ -139,6 +145,7 @@ class AnchorState:
         chain_digest: bytes,
         base_lsn: int = 0,
         base_digest: bytes = GENESIS,
+        cek_versions: dict[str, int] | None = None,
     ) -> int:
         """Seed the anchor from the current durable state.
 
@@ -155,6 +162,7 @@ class AnchorState:
             self.base_digest = base_digest
             self._pages = dict(pages)
             self._inflight = {}
+            self._cek_versions = dict(cek_versions or {})
             epoch = self.epoch
         self._record_advance(epoch, chain_lsn, kind="attach")
         return epoch
@@ -203,6 +211,27 @@ class AnchorState:
         with self._latch:
             self._inflight.pop(page_id, None)
 
+    def advance_cek_version(self, cek_name: str, version: int) -> int:
+        """Witness a completed key rotation; monotonic per CEK.
+
+        Called after the catalog's durable version bump (ROTATE_END is
+        already on the WAL chain). A version below the held one is a
+        host bug or replayed install and is rejected.
+        """
+        with self._latch:
+            held = self._cek_versions.get(cek_name, 1)
+            if version < held:
+                raise AnchorMismatch(
+                    f"CEK {cek_name!r} version {version} below held {held}"
+                )
+            if version == held:
+                return self.epoch
+            self._cek_versions[cek_name] = version
+            self.epoch += 1
+            epoch = self.epoch
+        self._record_advance(epoch, version, kind="cek")
+        return epoch
+
     def seal_base(self, base_lsn: int, base_digest: bytes) -> int:
         """Seal a new truncation base (log records below it are gone).
 
@@ -233,6 +262,7 @@ class AnchorState:
         record_blobs: list[bytes],
         page_digests: dict[int, bytes],
         torn_page_ids: set[int],
+        cek_versions: dict[str, int] | None = None,
     ) -> AnchorVerdict:
         """Check the presented durable state against the held anchor.
 
@@ -288,6 +318,24 @@ class AnchorState:
                 if page_id not in self._pages and page_id not in torn_page_ids:
                     violations.append(f"page.unanchored:{page_id}")
 
+            # CEK version check (the second, independent refusal of a
+            # pre-rotation restore). A reported version *above* the held
+            # one is the crash window between the durable catalog bump
+            # and the advance ecall — adopted on success; below is a
+            # rollback to pre-rotation key metadata.
+            reported_versions = cek_versions or {}
+            adopt_versions: dict[str, int] = {}
+            for cek_name in sorted(self._cek_versions):
+                held_version = self._cek_versions[cek_name]
+                reported = reported_versions.get(cek_name, 1)
+                if reported < held_version:
+                    violations.append(f"cek.version:{cek_name}")
+                elif reported > held_version:
+                    adopt_versions[cek_name] = reported
+            for cek_name, reported in sorted(reported_versions.items()):
+                if cek_name not in self._cek_versions and reported > 1:
+                    adopt_versions[cek_name] = reported
+
             ok = not violations
             if ok:
                 self.chain_lsn = lsn
@@ -304,6 +352,7 @@ class AnchorState:
                 # recovery if a crash lands before that write-back.
                 for page_id in torn_page_ids:
                     self._pages.pop(page_id, None)
+                self._cek_versions.update(adopt_versions)
                 self.epoch += 1
             verdict = AnchorVerdict(
                 ok=ok,
@@ -352,6 +401,7 @@ class AnchorState:
                 "base_lsn": self.base_lsn,
                 "pages": len(self._pages),
                 "pages_root": merkle_root(leaves),
+                "cek_versions": dict(self._cek_versions),
             }
 
     # -- internals ---------------------------------------------------------

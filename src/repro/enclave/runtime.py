@@ -41,6 +41,10 @@ register_fault_site(
     "enclave.eval_batch",
     "per-row checkpoint inside a batched eval ecall (mid-batch failures)",
 )
+register_fault_site(
+    "enclave.recrypt_batch",
+    "per-row checkpoint inside a batched recrypt ecall (rotation mid-batch failures)",
+)
 from repro.sqlengine.cells import Ciphertext
 from repro.sqlengine.expression.program import StackProgram
 from repro.sqlengine.expression.vm import StackMachine
@@ -127,9 +131,13 @@ class _EnclaveCryptoContext:
         self._enclave = enclave
 
     def decrypt_cell(self, ciphertext: Ciphertext, enc: EncryptionInfo) -> SqlScalar:
-        cipher = self._enclave.sqlos.cipher_for(enc.cek_name)
         self._enclave.counters.inc("cell_decrypts")
-        return deserialize_value(cipher.decrypt(ciphertext.envelope))
+        # Mid-rotation scans read mixed old/new cells under one column
+        # name; the rotation-partner window resolves both, same as the
+        # comparison ecalls.
+        return deserialize_value(
+            self._enclave._decrypt_for_compare(enc.cek_name, ciphertext.envelope)
+        )
 
     def encrypt_cell(self, value: SqlScalar, enc: EncryptionInfo) -> Ciphertext:
         cipher = self._enclave.sqlos.cipher_for(enc.cek_name)
@@ -162,6 +170,11 @@ class Enclave:
 
         self._anchor = AnchorState()
         self._observers: list[BoundaryObserver] = []
+        # Live online-rotation pairs: cek name -> its partner. During the
+        # mixed-key window an index over the rotating column holds
+        # envelopes under both CEKs, and the comparison ecalls fall back
+        # to the partner when the named CEK's MAC rejects a cell.
+        self._rotation_partners: dict[str, str] = {}
         self._lock = threading.RLock()
         # Consume the sanctioned-surface registry: every declared entry
         # must actually exist, so the allowlist cannot drift from the code.
@@ -337,6 +350,43 @@ class Enclave:
 
     # -- ecall: dedicated comparison path for range indexes --------------------
 
+    def begin_rotation(self, old_cek: str, new_cek: str) -> None:
+        """Open the mixed-key comparison window for an online rotation.
+
+        While a :class:`~repro.sqlengine.rotation.KeyRotationJob` sweeps a
+        column, indexes keyed on it hold envelopes under both CEKs, so the
+        comparison ecalls probe the partner CEK when the named one's MAC
+        rejects a cell. Registration needs no query authorization: compare
+        is already an open ecall over installed keys, and the pair only
+        widens its MAC probe — no plaintext crosses the boundary that
+        could not already.
+        """
+        with self._lock:
+            self._rotation_partners[old_cek] = new_cek
+            self._rotation_partners[new_cek] = old_cek
+
+    def end_rotation(self, old_cek: str, new_cek: str) -> None:
+        """Close the mixed-key window (terminal all-new reached)."""
+        with self._lock:
+            self._rotation_partners.pop(old_cek, None)
+            self._rotation_partners.pop(new_cek, None)
+
+    def _decrypt_for_compare(self, cek_name: str, envelope: bytes) -> bytes:
+        """Decrypt under the named CEK, falling back to its live rotation
+        partner — the one window in which two keys legitimately coexist."""
+        with self._lock:
+            partner = self._rotation_partners.get(cek_name)
+        if not self.sqlos.has_key(cek_name) and partner:
+            # A session that only ever shipped the partner key can still
+            # probe mid-rotation trees: the window names both keys.
+            return self.sqlos.cipher_for(partner).decrypt(envelope)
+        try:
+            return self.sqlos.cipher_for(cek_name).decrypt(envelope)
+        except IntegrityError:
+            if not partner or not self.sqlos.has_key(partner):
+                raise
+            return self.sqlos.cipher_for(partner).decrypt(envelope)
+
     def compare(self, cek_name: str, left: Ciphertext, right: Ciphertext) -> int:
         """Three-way comparison of two ciphertexts under one CEK.
 
@@ -345,10 +395,9 @@ class Enclave:
         clear*, which is exactly the ordering leakage Figure 5 attributes
         to RND comparisons.
         """
-        cipher = self.sqlos.cipher_for(cek_name)
         started = time.perf_counter()
-        left_value = deserialize_value(cipher.decrypt(left.envelope))
-        right_value = deserialize_value(cipher.decrypt(right.envelope))
+        left_value = deserialize_value(self._decrypt_for_compare(cek_name, left.envelope))
+        right_value = deserialize_value(self._decrypt_for_compare(cek_name, right.envelope))
         self.counters.inc("cell_decrypts", 2)
         result = compare_values(left_value, right_value)
         self.counters.inc("cpu_seconds", time.perf_counter() - started)
@@ -368,12 +417,11 @@ class Enclave:
         """
         if not candidates:
             return []
-        cipher = self.sqlos.cipher_for(cek_name)
         started = time.perf_counter()
-        probe_value = deserialize_value(cipher.decrypt(probe.envelope))
+        probe_value = deserialize_value(self._decrypt_for_compare(cek_name, probe.envelope))
         results: list[int] = []
         for candidate in candidates:
-            value = deserialize_value(cipher.decrypt(candidate.envelope))
+            value = deserialize_value(self._decrypt_for_compare(cek_name, candidate.envelope))
             results.append(compare_values(probe_value, value))
         self.counters.inc("cell_decrypts", 1 + len(candidates))
         self.counters.inc("cpu_seconds", time.perf_counter() - started)
@@ -426,6 +474,55 @@ class Enclave:
         self._observe("recrypt_for_ddl", (query_text, old_cek, new_cek), None)
         return Ciphertext(envelope)
 
+    def recrypt_batch_for_ddl(
+        self,
+        query_text: str,
+        old_cek: str,
+        new_cek: str,
+        ciphertexts: list[Ciphertext],
+        new_scheme: EncryptionScheme,
+    ) -> list[Ciphertext]:
+        """Re-encrypt a batch of cells in one boundary crossing.
+
+        The rotation job's inner loop: one authorization check, one
+        cipher lookup per key, one ecall for the whole batch — the
+        eval_batch amortization applied to the Section 2.4.2 rotation
+        path. Plaintext exists only transiently inside the loop; the
+        single observation carries only key names and the batch size.
+
+        Cells already under ``new_cek`` pass through unchanged, which
+        makes a resumed rotation idempotent: after a crash the job may
+        replay a batch whose tail was already converted. A cell under
+        *neither* key is tampering and still raises — every cell must
+        verify under exactly one of the two keys.
+        """
+        self._require_authorized(query_text, "Recrypt")
+        old_cipher = self.sqlos.cipher_for(old_cek)
+        new_cipher = self.sqlos.cipher_for(new_cek)
+        started = time.perf_counter()
+        outputs: list[Ciphertext] = []
+        for index, ciphertext in enumerate(ciphertexts):
+            fault_point(
+                "enclave.recrypt_batch", index=index, total=len(ciphertexts)
+            )
+            try:
+                plaintext = old_cipher.decrypt(ciphertext.envelope)
+            except IntegrityError:
+                # Not under the old key — must verify under the new one.
+                new_cipher.decrypt(ciphertext.envelope)
+                outputs.append(ciphertext)
+                continue
+            outputs.append(Ciphertext(new_cipher.encrypt(plaintext, new_scheme)))
+        self.counters.inc("cpu_seconds", time.perf_counter() - started)
+        self.counters.inc("cell_decrypts", len(ciphertexts))
+        self.counters.inc("cell_encrypts", len(ciphertexts))
+        self._observe(
+            "recrypt_batch_for_ddl",
+            (query_text, old_cek, new_cek, len(ciphertexts)),
+            None,
+        )
+        return outputs
+
     def decrypt_for_ddl(self, query_text: str, cek_name: str, ciphertext: Ciphertext) -> bytes:
         """Decrypt a cell for a client-authorized decryption DDL.
 
@@ -449,6 +546,7 @@ class Enclave:
         chain_digest: bytes,
         base_lsn: int = 0,
         base_digest: bytes = b"\x00" * 32,
+        cek_versions: dict[str, int] | None = None,
     ) -> int:
         """Seed the enclave-held freshness anchor from current durable state.
 
@@ -457,7 +555,7 @@ class Enclave:
         advances run under the buffer pool's write-back latch.
         """
         epoch = self._anchor.attach(
-            pages, chain_lsn, chain_digest, base_lsn, base_digest
+            pages, chain_lsn, chain_digest, base_lsn, base_digest, cek_versions
         )
         self._observe("anchor_attach", (chain_lsn, chain_digest), epoch)
         return epoch
@@ -485,6 +583,12 @@ class Enclave:
         self._anchor.confirm_page(page_id)
         self._observe("anchor_confirm", (page_id,), None)
 
+    def anchor_cek_version(self, cek_name: str, version: int) -> int:
+        """Witness a completed CEK rotation (monotonic per key)."""
+        epoch = self._anchor.advance_cek_version(cek_name, version)
+        self._observe("anchor_cek_version", (cek_name, version), epoch)
+        return epoch
+
     def anchor_verify(
         self,
         base_lsn: int,
@@ -492,10 +596,16 @@ class Enclave:
         record_blobs: list[bytes],
         page_digests: dict[int, bytes],
         torn_page_ids: set[int],
+        cek_versions: dict[str, int] | None = None,
     ):
         """Recovery-time freshness check; returns an ``AnchorVerdict``."""
         verdict = self._anchor.verify(
-            base_lsn, base_digest, record_blobs, page_digests, torn_page_ids
+            base_lsn,
+            base_digest,
+            record_blobs,
+            page_digests,
+            torn_page_ids,
+            cek_versions,
         )
         self._observe(
             "anchor_verify", (base_lsn, len(record_blobs), len(page_digests)), verdict

@@ -168,11 +168,21 @@ class StaleCekVersion(RollbackAction):
         self._pages = engine.disk.snapshot_pages()
         self._wal = engine.wal.snapshot_state()
         self._ceks = engine.catalog.snapshot_ceks()
+        self._cek_versions = engine.catalog.snapshot_cek_versions()
+        self._column_encryption = engine.catalog.snapshot_column_encryption()
 
     def _restore(self, engine: "StorageEngine") -> None:
         engine.disk.restore_pages(self._pages, replace=True)
         engine.wal.restore_state(self._wal)
         engine.catalog.restore_ceks(self._ceks)
+        # The version system table and the columns' encryption attributes
+        # go back too: a real backup restore would not spare either (the
+        # rotation's metadata flip is just another catalog row). The
+        # anchor's held per-CEK floor is what the restore cannot rewind —
+        # recovery reports the stale version as a ``cek.version:<name>``
+        # violation on top of ``wal.prefix``.
+        engine.catalog.restore_cek_versions(self._cek_versions)
+        engine.catalog.restore_column_encryption(self._column_encryption)
 
 
 ROLLBACK_ACTIONS = (RestoreSnapshot, ReplayPages, RevertBtreeNodes, StaleCekVersion)

@@ -43,6 +43,7 @@ from repro.sqlengine.catalog import ColumnSchema, IndexSchema, TableSchema
 from repro.sqlengine.cells import Ciphertext
 from repro.sqlengine.engine import RecoveryReport
 from repro.sqlengine.exec.executor import QueryResult, ResultColumn
+from repro.sqlengine.rotation import RotationStatus
 from repro.sqlengine.server import CekMetadata, DescribeResult, ParameterDescription
 from repro.sqlengine.storage.heap import RowId
 from repro.sqlengine.types import ColumnType, EncryptionInfo, EncryptionScheme, SqlType
@@ -52,9 +53,16 @@ __all__ = [
     "NONRECONSTRUCTIBLE_ERRORS",
     "AdminAudit",
     "AdminAuditReply",
+    "AdminCekVersions",
+    "AdminCekVersionsReply",
     "AdminCrash",
     "AdminRecover",
     "AdminRecoverReply",
+    "AdminRotateStart",
+    "AdminRotateStatus",
+    "AdminRotateStatusReply",
+    "AdminRotateStep",
+    "AdminRotateStepReply",
     "AdminShutdown",
     "Attest",
     "AttestReply",
@@ -116,6 +124,7 @@ for _cls in (
     AttestationInfo,
     SealedPackage,
     RecoveryReport,
+    RotationStatus,
 ):
     register_struct(_cls)
 
@@ -392,6 +401,70 @@ class AdminRecoverReply:
 @dataclass
 class AdminShutdown:
     OP = "admin_shutdown"
+
+
+# -- online key lifecycle (rotation driven over the wire)
+
+
+@_message
+@dataclass
+class AdminRotateStart:
+    """Start (or, with ``resume_id``, re-adopt after a crash) a lifecycle
+    job. ``query_text`` must already be authorized through the session's
+    sealed CEK package — the server only relays it; the enclave enforces."""
+
+    OP = "admin_rotate_start"
+    table: str = ""
+    column: str = ""
+    new_cek: str = ""
+    query_text: str = ""
+    batch_size: int = 64
+    kind: str = "rotate"
+    scheme: EncryptionScheme | None = None
+    resume_id: str = ""
+
+
+@_message
+@dataclass
+class AdminRotateStep:
+    OP = "admin_rotate_step"
+    rotation_id: str = ""
+    max_batches: int = 1
+
+
+@_message
+@dataclass
+class AdminRotateStepReply:
+    OP = "admin_rotate_step_reply"
+    rotation_id: str = ""
+    more: bool = True
+    rows_rotated: int = 0
+
+
+@_message
+@dataclass
+class AdminRotateStatus:
+    OP = "admin_rotate_status"
+
+
+@_message
+@dataclass
+class AdminRotateStatusReply:
+    OP = "admin_rotate_status_reply"
+    statuses: list[RotationStatus] = field(default_factory=list)
+
+
+@_message
+@dataclass
+class AdminCekVersions:
+    OP = "admin_cek_versions"
+
+
+@_message
+@dataclass
+class AdminCekVersionsReply:
+    OP = "admin_cek_versions_reply"
+    versions: dict[str, int] = field(default_factory=dict)
 
 
 # ------------------------------------------------------------------ codec

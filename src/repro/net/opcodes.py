@@ -54,6 +54,14 @@ OPCODES: dict[str, int] = {
     "admin_recover": 0x43,
     "admin_recover_reply": 0x44,
     "admin_shutdown": 0x45,
+    # online key lifecycle (rotation driven through router / shards)
+    "admin_rotate_start": 0x46,
+    "admin_rotate_step": 0x47,
+    "admin_rotate_step_reply": 0x48,
+    "admin_rotate_status": 0x49,
+    "admin_rotate_status_reply": 0x4A,
+    "admin_cek_versions": 0x4B,
+    "admin_cek_versions_reply": 0x4C,
 }
 
 _BY_BYTE: dict[int, str] = {byte: name for name, byte in OPCODES.items()}

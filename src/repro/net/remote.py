@@ -180,6 +180,66 @@ class RemoteServer:
     def indoubt_gtids(self) -> list[str]:
         return self._request(msg.TxnIndoubt()).gtids
 
+    # ------------------------------------------------ online key lifecycle
+
+    def rotate_start(
+        self,
+        table: str,
+        column: str,
+        new_cek: str,
+        query_text: str,
+        batch_size: int = 64,
+        kind: str = "rotate",
+        scheme=None,
+    ) -> str:
+        """Start an online lifecycle job on the server; returns its id."""
+        reply = self._request(
+            msg.AdminRotateStart(
+                table=table,
+                column=column,
+                new_cek=new_cek,
+                query_text=query_text,
+                batch_size=batch_size,
+                kind=kind,
+                scheme=scheme,
+            )
+        )
+        return reply.rotation_id
+
+    def rotate_resume(
+        self, rotation_id: str, query_text: str, batch_size: int = 64
+    ) -> str:
+        """Re-adopt a recovery-reinstated rotation (post-crash)."""
+        reply = self._request(
+            msg.AdminRotateStart(
+                query_text=query_text,
+                batch_size=batch_size,
+                resume_id=rotation_id,
+            )
+        )
+        return reply.rotation_id
+
+    def rotate_step(self, rotation_id: str, max_batches: int = 1) -> tuple[bool, int]:
+        reply = self._request(
+            msg.AdminRotateStep(rotation_id=rotation_id, max_batches=max_batches)
+        )
+        return reply.more, reply.rows_rotated
+
+    def rotate_run(self, rotation_id: str) -> int:
+        """Drive a rotation to completion over the wire, batch by batch."""
+        total = 0
+        more = True
+        while more:
+            more, rows = self.rotate_step(rotation_id)
+            total += rows
+        return total
+
+    def rotation_states(self) -> list:
+        return self._request(msg.AdminRotateStatus()).statuses
+
+    def cek_versions(self) -> dict[str, int]:
+        return self._request(msg.AdminCekVersions()).versions
+
     def shutdown(self) -> None:
         try:
             self._request(msg.AdminShutdown())

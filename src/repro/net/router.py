@@ -496,7 +496,13 @@ class Router:
     # --------------------------------------------------------------- dispatch
 
     #: control-plane types forwarded verbatim to the affinity shard (the
-    #: enclave session created by Attest lives in that one process).
+    #: enclave session created by Attest lives in that one process). The
+    #: rotation verbs ride the same rule on purpose: the enclave's batched
+    #: recrypt is gated on the query authorization inside the *affinity*
+    #: shard's enclave, so a fleet-wide rotation opens one connection per
+    #: shard (affinity hints covering every shard) and rotates each
+    #: shard's partition through its own enclave — keys never leave any
+    #: of them.
     _FORWARDED = (
         msg.Describe,
         msg.Attest,
@@ -504,6 +510,10 @@ class Router:
         msg.CekList,
         msg.TableInfo,
         msg.ForwardPackage,
+        msg.AdminRotateStart,
+        msg.AdminRotateStep,
+        msg.AdminRotateStatus,
+        msg.AdminCekVersions,
     )
 
     def _dispatch(

@@ -217,6 +217,33 @@ class WireServer:
             return msg.Ok()
         if isinstance(request, msg.AdminRecover):
             return msg.AdminRecoverReply(report=server.recover())
+        if isinstance(request, msg.AdminRotateStart):
+            if request.resume_id:
+                rotation_id = server.rotate_resume(
+                    request.resume_id, request.query_text, request.batch_size
+                )
+            else:
+                rotation_id = server.rotate_start(
+                    request.table,
+                    request.column,
+                    request.new_cek,
+                    request.query_text,
+                    batch_size=request.batch_size,
+                    kind=request.kind,
+                    scheme=request.scheme,
+                )
+            return msg.AdminRotateStepReply(
+                rotation_id=rotation_id, more=True, rows_rotated=0
+            )
+        if isinstance(request, msg.AdminRotateStep):
+            more, rows = server.rotate_step(request.rotation_id, request.max_batches)
+            return msg.AdminRotateStepReply(
+                rotation_id=request.rotation_id, more=more, rows_rotated=rows
+            )
+        if isinstance(request, msg.AdminRotateStatus):
+            return msg.AdminRotateStatusReply(statuses=server.rotation_states())
+        if isinstance(request, msg.AdminCekVersions):
+            return msg.AdminCekVersionsReply(versions=server.cek_versions())
         raise WireError(f"unhandled message type {type(request).__name__!r}")
 
     @staticmethod

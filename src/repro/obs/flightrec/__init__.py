@@ -63,6 +63,10 @@ EVENT_KINDS: dict[str, str] = {
     "anchor.advance": "freshness anchor advanced (attrs: epoch, position, kind)",
     "anchor.verify": "recovery-time freshness check passed (attrs: epoch, anchored_lsn)",
     "anchor.mismatch": "stale restore detected at recovery (attrs: epoch, violations)",
+    "rotation.begin": "an online key-lifecycle job started (attrs: rotation_id, job)",
+    "rotation.batch": "one rotation batch committed (attrs: rotation_id, rows, watermark)",
+    "rotation.resume": "recovery reinstated a mid-flight rotation (attrs: rotation_id, watermark)",
+    "rotation.end": "an online key-lifecycle job completed (attrs: rotation_id, rows, version)",
 }
 
 DEFAULT_CAPACITY = 65536

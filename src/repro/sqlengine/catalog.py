@@ -78,6 +78,30 @@ class TableSchema:
         return len(self.columns)
 
 
+@dataclass
+class ColumnRotationState:
+    """Mid-rotation metadata for one column (the mixed-version window).
+
+    While a rotation is active, rows at or below ``watermark`` (heap scan
+    order position) are under ``new_cek``; rows above are under
+    ``old_cek``. The driver cannot see scan positions, so it resolves the
+    version per cell by MAC probe; the engine uses the watermark only to
+    resume after a crash.
+    """
+
+    rotation_id: str
+    table: str
+    column: str
+    old_cek: str
+    new_cek: str
+    watermark: int = -1   # last re-encrypted batch's final row ordinal
+    #: "rotate" re-encrypts old_cek → new_cek; "encrypt" is the initial
+    #: encryption of a plaintext column (old_cek is empty).
+    kind: str = "rotate"
+    #: rows the lifecycle job has re-encrypted so far (progress telemetry)
+    rows_rotated: int = 0
+
+
 class Catalog:
     """All metadata: tables, indexes, and the CMK/CEK system tables."""
 
@@ -85,6 +109,11 @@ class Catalog:
         self._tables: dict[str, TableSchema] = {}
         self._cmks: dict[str, ColumnMasterKey] = {}
         self._ceks: dict[str, ColumnEncryptionKey] = {}
+        #: CEK name → version, bumped on each completed rotation. Version 1
+        #: is implicit for keys never rotated (absent from the dict).
+        self._cek_versions: dict[str, int] = {}
+        #: rotation_id → in-flight column rotation (the mixed-version map)
+        self._rotations: dict[str, ColumnRotationState] = {}
         # Concurrent sessions read the catalog on every bind; DDL mutates
         # it. One reentrant latch keeps lookups consistent with drops.
         self._latch = TimedLatch("repro.sqlengine.catalog.Catalog._latch")
@@ -160,6 +189,118 @@ class Catalog:
         with self._latch:
             return list(self._ceks.values())
 
+    def alter_cek_add_value(self, cek_name: str, value) -> None:
+        """ALTER COLUMN ENCRYPTION KEY ... ADD VALUE: start a CMK rotation."""
+        with self._latch:
+            cek = self.cek(cek_name)
+            if value.column_master_key_name not in self._cmks:
+                raise BindError(
+                    f"CEK {cek_name!r} new value references unknown CMK "
+                    f"{value.column_master_key_name!r}"
+                )
+            cek.add_encrypted_value(value)
+
+    def alter_cek_drop_value(self, cek_name: str, cmk_name: str) -> None:
+        """ALTER COLUMN ENCRYPTION KEY ... DROP VALUE: finish a CMK rotation."""
+        with self._latch:
+            self.cek(cek_name).drop_encrypted_value(cmk_name)
+
+    # -- CEK versions and in-flight column rotations ------------------------
+
+    def cek_version(self, cek_name: str) -> int:
+        """The CEK's rotation version; 1 for keys never rotated."""
+        with self._latch:
+            self.cek(cek_name)  # existence check
+            return self._cek_versions.get(cek_name, 1)
+
+    def cek_versions(self) -> dict[str, int]:
+        """All non-default CEK versions (for anchor registration)."""
+        with self._latch:
+            return dict(self._cek_versions)
+
+    def bump_cek_version(self, cek_name: str) -> int:
+        """Record a completed rotation onto ``cek_name``; returns the new version."""
+        with self._latch:
+            self.cek(cek_name)
+            version = self._cek_versions.get(cek_name, 1) + 1
+            self._cek_versions[cek_name] = version
+            return version
+
+    def set_column_encryption(
+        self, table: str, column: str, encryption: EncryptionInfo | None
+    ) -> None:
+        """Repoint a column's encryption attribute (DDL / rotation flip).
+
+        Idempotent; used by ALTER COLUMN and by lifecycle jobs flipping a
+        column to its new CEK at ROTATE_BEGIN (and by recovery replaying
+        that flip)."""
+        with self._latch:
+            schema = self.table(table)
+            col = schema.column(column)
+            col.column_type = ColumnType(col.column_type.sql_type, encryption)
+
+    def ensure_cek_version(self, cek_name: str, version: int) -> int:
+        """Raise the CEK's version to at least ``version`` (recovery replay).
+
+        Never lowers it: the durable ROTATE_END carries the version that
+        was bumped before the anchor witnessed it, so applying the maximum
+        keeps the catalog at-or-ahead of the anchor."""
+        with self._latch:
+            current = self._cek_versions.get(cek_name, 1)
+            if version > current:
+                self._cek_versions[cek_name] = version
+                current = version
+            return current
+
+    def begin_column_rotation(self, state: ColumnRotationState) -> None:
+        with self._latch:
+            if state.rotation_id in self._rotations:
+                raise SqlError(f"rotation {state.rotation_id!r} already active")
+            for other in self._rotations.values():
+                if (
+                    other.table.lower() == state.table.lower()
+                    and other.column.lower() == state.column.lower()
+                ):
+                    raise SqlError(
+                        f"column {state.table}.{state.column} already under rotation"
+                    )
+            if state.old_cek:
+                self.cek(state.old_cek)
+            self.cek(state.new_cek)
+            self._rotations[state.rotation_id] = state
+
+    def rotation(self, rotation_id: str) -> ColumnRotationState:
+        with self._latch:
+            try:
+                return self._rotations[rotation_id]
+            except KeyError:
+                raise BindError(f"unknown rotation {rotation_id!r}") from None
+
+    def active_rotations(self) -> list[ColumnRotationState]:
+        with self._latch:
+            return list(self._rotations.values())
+
+    def column_rotation(self, table: str, column: str) -> ColumnRotationState | None:
+        """The in-flight rotation covering a column, if any."""
+        with self._latch:
+            for state in self._rotations.values():
+                if (
+                    state.table.lower() == table.lower()
+                    and state.column.lower() == column.lower()
+                ):
+                    return state
+            return None
+
+    def advance_rotation(self, rotation_id: str, watermark: int) -> None:
+        with self._latch:
+            self.rotation(rotation_id).watermark = watermark
+
+    def finish_column_rotation(self, rotation_id: str) -> None:
+        with self._latch:
+            state = self._rotations.pop(rotation_id, None)
+            if state is None:
+                raise BindError(f"unknown rotation {rotation_id!r}")
+
     # -- adversary hooks (the system tables live on the host's disk) -------
 
     def snapshot_ceks(self) -> dict[str, ColumnEncryptionKey]:
@@ -175,6 +316,43 @@ class Catalog:
         state that *references* them can tell they are old."""
         with self._latch:
             self._ceks = dict(ceks)
+
+    def snapshot_cek_versions(self) -> dict[str, int]:
+        """Copy the CEK version table — part of the adversary's backup."""
+        with self._latch:
+            return dict(self._cek_versions)
+
+    def restore_cek_versions(self, versions: dict[str, int]) -> None:
+        """Swap pre-rotation CEK versions back in (rollback attack)."""
+        with self._latch:
+            self._cek_versions = dict(versions)
+
+    def snapshot_column_encryption(
+        self,
+    ) -> dict[tuple[str, str], EncryptionInfo | None]:
+        """Copy every column's encryption attribute — the schema part of
+        the adversary's backup (a rotation's metadata flip lives here)."""
+        with self._latch:
+            return {
+                (schema.name.lower(), col.name.lower()): col.column_type.encryption
+                for schema in self._tables.values()
+                for col in schema.columns
+            }
+
+    def restore_column_encryption(
+        self, attributes: dict[tuple[str, str], EncryptionInfo | None]
+    ) -> None:
+        """Swap pre-rotation column attributes back in. Columns of tables
+        created after the backup keep their current attribute (the data
+        pages backing them are gone after the disk restore anyway)."""
+        with self._latch:
+            for schema in self._tables.values():
+                for col in schema.columns:
+                    key = (schema.name.lower(), col.name.lower())
+                    if key in attributes:
+                        col.column_type = ColumnType(
+                            col.column_type.sql_type, attributes[key]
+                        )
 
     def cek_enclave_enabled(self, cek_name: str) -> bool:
         """A CEK is enclave-enabled iff (some of) its CMK(s) allow it.

@@ -53,7 +53,7 @@ from repro.sqlengine.storage.bufferpool import BufferPool
 from repro.sqlengine.storage.disk import Disk
 from repro.sqlengine.storage.heap import HeapFile, RowId
 from repro.sqlengine.storage.record import deserialize_row, serialize_row
-from repro.sqlengine.storage.wal import LogOp, WriteAheadLog
+from repro.sqlengine.storage.wal import LogOp, LogRecord, WriteAheadLog
 from repro.sqlengine.txn.locks import LockManager, LockMode
 from repro.sqlengine.txn.transaction import (
     Transaction,
@@ -261,6 +261,32 @@ class StorageEngine:
         table = self.table(table_name)
         table.indexes.pop(index_name, None)
         table.schema.indexes.pop(index_name, None)
+
+    def rebind_index_cek(self, table_name: str, column_name: str, new_cek: str) -> None:
+        """Repoint index comparators after a rotation's metadata flip.
+
+        Enclave comparators capture the column's CEK name at index build
+        time; when an online rotation flips the column to a new CEK the
+        trees keyed on it must follow, or the first post-rotation probe
+        MAC-fails against entries rewritten under the new key.
+        """
+        table = self.table(table_name)
+        target = column_name.lower()
+        for obj in table.indexes.values():
+            names = [name.lower() for name in obj.schema.column_names]
+            if target not in names:
+                continue
+            for name, cell in zip(names, obj.tree.comparator.cells):
+                if name == target and isinstance(cell.inner, EnclaveComparator):
+                    cell.inner.rebind_cek(new_cek)
+            obj.cek_names = tuple(
+                enc.cek_name
+                for enc in (
+                    table.schema.column(column).column_type.encryption
+                    for column in obj.schema.column_names
+                )
+                if enc is not None
+            )
 
     def table(self, name: str) -> TableObject:
         try:
@@ -509,6 +535,15 @@ class StorageEngine:
                 continue
             if column.is_encrypted:
                 if not isinstance(cell, Ciphertext):
+                    # During an online *initial encryption* the column's
+                    # metadata flips to encrypted at ROTATE_BEGIN while old
+                    # rows are still plaintext; the sweep converts them.
+                    # Only that declared window tolerates a mixed cell.
+                    rotation = self.catalog.column_rotation(
+                        table.schema.name, column.name
+                    )
+                    if rotation is not None and rotation.kind == "encrypt":
+                        continue
                     raise SqlError(
                         f"column {column.name!r} is encrypted; the engine only "
                         "accepts ciphertext for it (the driver encrypts)"
@@ -671,7 +706,10 @@ class StorageEngine:
         #     contents come back from the WAL this very check verified.
         if self.freshness is not None:
             verdict = self.freshness.verify_recovery(
-                self.wal, page_digests, torn_page_ids
+                self.wal,
+                page_digests,
+                torn_page_ids,
+                self.catalog.cek_versions(),
             )
             report.freshness_verified = True
             report.anchor_epoch = verdict.epoch
@@ -835,6 +873,54 @@ class StorageEngine:
             )
             report.indoubt.append(gtid)
         self.wal.flush()
+
+        # 4c. Key-lifecycle resume analysis. ROTATE_* records ride txn 0,
+        #     so steps 2-4 ignored them; here they are authoritative over
+        #     whatever the in-memory catalog still believes. A durable
+        #     ROTATE_BEGIN without its ROTATE_END means the crash landed
+        #     mid-rotation: rebuild the catalog's rotation state at the
+        #     checkpointed watermark (and re-flip the column's CEK, which
+        #     happens after the BEGIN flush) so a lifecycle job can resume.
+        #     A durable ROTATE_END re-applies the version bump — the bump
+        #     precedes the anchor witness, so recovery must never report a
+        #     version *below* what the anchor holds.
+        rotate_begun: dict[str, LogRecord] = {}
+        rotate_watermarks: dict[str, int] = {}
+        rotate_ended: dict[str, LogRecord] = {}
+        for record in records:
+            if record.table is None:
+                continue
+            if record.op is LogOp.ROTATE_BEGIN:
+                rotate_begun[record.table] = record
+            elif record.op is LogOp.ROTATE_PROGRESS:
+                rotate_watermarks[record.table] = int.from_bytes(
+                    record.after or b"", "big", signed=True
+                )
+            elif record.op is LogOp.ROTATE_END:
+                rotate_ended[record.table] = record
+        if rotate_begun:
+            from repro.sqlengine.rotation import (
+                decode_rotation_descriptor,
+                reinstate_rotation,
+            )
+
+            for rotation_id, begin_record in rotate_begun.items():
+                descriptor = decode_rotation_descriptor(begin_record.after or b"")
+                end_record = rotate_ended.get(rotation_id)
+                if end_record is not None:
+                    version = int.from_bytes(end_record.after or b"", "big", signed=True)
+                    self.catalog.ensure_cek_version(descriptor.new_cek, version)
+                    if self.catalog.column_rotation(descriptor.table, descriptor.column):
+                        self.catalog.finish_column_rotation(rotation_id)
+                    report.completed_rotations.append(rotation_id)
+                else:
+                    reinstate_rotation(
+                        self,
+                        rotation_id,
+                        descriptor,
+                        rotate_watermarks.get(rotation_id, -1),
+                    )
+                    report.resumed_rotations.append(rotation_id)
 
         # 5. Rebuild indexes. Keyless kinds rebuild now; enclave-comparator
         #    indexes rebuild only if the CEK is installed.
@@ -1068,3 +1154,10 @@ class RecoveryReport:
     freshness_verified: bool = False
     #: The anchor epoch after verification (each verify advances it).
     anchor_epoch: int | None = None
+    #: Rotation ids whose ROTATE_BEGIN is durable but whose ROTATE_END is
+    #: not: the crash landed mid-rotation and a lifecycle job can resume
+    #: from the checkpointed watermark.
+    resumed_rotations: list[str] = field(default_factory=list)
+    #: Rotation ids whose ROTATE_END is durable: recovery re-applied the
+    #: CEK version bump in case the crash beat the in-memory catalog.
+    completed_rotations: list[str] = field(default_factory=list)

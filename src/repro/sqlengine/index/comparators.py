@@ -140,6 +140,15 @@ class EnclaveComparator:
     def cek_name(self) -> str:
         return self._cek_name
 
+    def rebind_cek(self, cek_name: str) -> None:
+        """Follow an online rotation's metadata flip to the new CEK.
+
+        Mid-rotation the tree still holds envelopes under the old key;
+        those decrypt through the enclave's rotation-partner window until
+        the job's final sweep has rewritten every entry.
+        """
+        self._cek_name = cek_name
+
     @property
     def batch_capable(self) -> bool:
         # Every comparison is an ecall; probing a whole node in one

@@ -28,6 +28,7 @@ from repro.attestation.tpm import HostMachine
 from repro.crypto.aead import ALGORITHM_NAME, EncryptionScheme
 from repro.enclave import CallMode, Enclave, EnclaveCallGateway, SealedPackage
 from repro.errors import (
+    BindError,
     EnclaveError,
     ServerBusyError,
     SqlError,
@@ -43,6 +44,14 @@ from repro.keys.cmk import ColumnMasterKey
 from repro.sqlengine.catalog import Catalog, ColumnSchema, IndexSchema, TableSchema
 from repro.sqlengine.cells import Ciphertext
 from repro.sqlengine.engine import StorageEngine
+from repro.sqlengine.rotation import (
+    InitialEncryptionJob,
+    KeyLifecycleJob,
+    KeyRotationJob,
+    RotationDescriptor,
+    RotationStatus,
+    job_for_descriptor,
+)
 from repro.sqlengine.storage.freshness import FreshnessAnchor
 from repro.sqlengine.exec.executor import Executor, QueryResult
 from repro.sqlengine.scheduler import StatementScheduler
@@ -169,6 +178,14 @@ class SqlServer:
         self.max_sessions = max_sessions
         self._sessions_lock = threading.Lock()
         self._open_sessions: set[int] = set()
+        # Online key-lifecycle jobs, keyed by rotation id. Jobs survive
+        # here only as long as the process; after a crash the catalog's
+        # reinstated rotation state is the source of truth and a client
+        # re-adopts it through rotate_resume (re-authorizing the DDL text
+        # first — enclave sessions do not survive crashes).
+        self._rotation_jobs: dict[str, KeyLifecycleJob] = {}
+        self._rotation_ids = itertools.count(1)
+        self._rotation_lock = threading.Lock()
         self._sessions_gauge = get_registry().gauge(
             "server.sessions_open", help="client sessions currently connected"
         )
@@ -352,6 +369,150 @@ class SqlServer:
         if self.engine.freshness is not None:
             self.engine.freshness.rebaseline()
         return self.recover()
+
+    # ------------------------------------------------- online key lifecycle
+
+    def rotate_start(
+        self,
+        table: str,
+        column: str,
+        new_cek: str,
+        query_text: str,
+        batch_size: int = 64,
+        kind: str = "rotate",
+        scheme: EncryptionScheme | None = None,
+    ) -> str:
+        """Start an online lifecycle job; returns its rotation id.
+
+        ``query_text`` is the DDL text the client authorized through its
+        sealed CEK package — the enclave refuses the per-batch recrypt
+        without it, so starting a rotation is useless to an attacker who
+        has only compromised the server.
+        """
+        if self._quarantined:
+            raise StaleRestoreError(QUARANTINE_MESSAGE)
+        if kind not in ("rotate", "encrypt"):
+            raise SqlError(f"unknown lifecycle kind {kind!r}")
+        with self._rotation_lock:
+            rotation_id = (
+                f"rot-{next(self._rotation_ids)}-{table.lower()}.{column.lower()}"
+            )
+            cls = InitialEncryptionJob if kind == "encrypt" else KeyRotationJob
+            job = cls(
+                self.engine,
+                rotation_id,
+                query_text,
+                table,
+                column,
+                new_cek,
+                batch_size=batch_size,
+                scheme=scheme,
+            )
+            job.begin()
+            self._rotation_jobs[rotation_id] = job
+        # New statements must bind against the flipped column metadata.
+        self._invalidate_plan_cache()
+        return rotation_id
+
+    def rotate_resume(
+        self, rotation_id: str, query_text: str, batch_size: int = 64
+    ) -> str:
+        """Re-adopt a recovery-reinstated rotation after a crash.
+
+        The caller must have re-authorized ``query_text`` (a fresh sealed
+        package) — the enclave's session state did not survive the crash.
+        """
+        if self._quarantined:
+            raise StaleRestoreError(QUARANTINE_MESSAGE)
+        with self._rotation_lock:
+            state = self.catalog.rotation(rotation_id)
+            encryption = (
+                self.catalog.table(state.table)
+                .column(state.column)
+                .column_type.encryption
+            )
+            if encryption is None:
+                raise SqlError(
+                    f"rotation {rotation_id!r} column lost its encryption metadata"
+                )
+            descriptor = RotationDescriptor(
+                table=state.table,
+                column=state.column,
+                old_cek=state.old_cek,
+                new_cek=state.new_cek,
+                scheme=encryption.scheme,
+                kind=state.kind,
+            )
+            self._rotation_jobs[rotation_id] = job_for_descriptor(
+                self.engine, rotation_id, descriptor, query_text, batch_size
+            )
+        return rotation_id
+
+    def rotate_step(self, rotation_id: str, max_batches: int = 1) -> tuple[bool, int]:
+        """Advance a job by up to ``max_batches`` batches.
+
+        Returns ``(more_work, rows_changed)``. Driving the loop from the
+        caller keeps each step short, so live traffic interleaves between
+        batches exactly as the paper's online rotation requires.
+        """
+        if self._quarantined:
+            raise StaleRestoreError(QUARANTINE_MESSAGE)
+        with self._rotation_lock:
+            job = self._rotation_jobs.get(rotation_id)
+        if job is None:
+            raise BindError(
+                f"unknown or unresumed rotation {rotation_id!r}; after a crash "
+                "call rotate_resume first"
+            )
+        more, total = True, 0
+        for _ in range(max(1, max_batches)):
+            more, rows = job.step()
+            total += rows
+            if not more:
+                break
+        if not more:
+            self._invalidate_plan_cache()
+        return more, total
+
+    def rotate_run(self, rotation_id: str) -> int:
+        """Drive a job to completion (in-process convenience)."""
+        more = True
+        total = 0
+        while more:
+            more, rows = self.rotate_step(rotation_id)
+            total += rows
+        return total
+
+    def rotation_states(self) -> list[RotationStatus]:
+        """Every known lifecycle job's status, including catalog-reinstated
+        rotations that no in-process job has adopted yet (post-crash)."""
+        out: list[RotationStatus] = []
+        with self._rotation_lock:
+            jobs = dict(self._rotation_jobs)
+        for job in jobs.values():
+            out.append(job.status())
+        seen = {status.rotation_id for status in out}
+        for state in self.catalog.active_rotations():
+            if state.rotation_id in seen:
+                continue
+            out.append(
+                RotationStatus(
+                    rotation_id=state.rotation_id,
+                    table=state.table,
+                    column=state.column,
+                    old_cek=state.old_cek,
+                    new_cek=state.new_cek,
+                    kind=state.kind,
+                    watermark=state.watermark,
+                    rows_rotated=state.rows_rotated,
+                    active=True,
+                )
+            )
+        return out
+
+    def cek_versions(self) -> dict[str, int]:
+        """The catalog's CEK version table (anchor-witnessed on rotation)."""
+        return self.catalog.cek_versions()
 
 
 class ServerSession:
@@ -558,6 +719,21 @@ class ServerSession:
             return QueryResult()
         if isinstance(stmt, ast.AlterColumnStmt):
             return self._alter_column(query_text, stmt)
+        if isinstance(stmt, ast.AlterCekStmt):
+            # CMK rotation metadata surgery (§4.3): ADD VALUE starts it
+            # (the CEK is temporarily wrapped under both CMKs), DROP VALUE
+            # finishes it. Pure system-table DDL — no enclave, no rows.
+            if stmt.action == "add":
+                value = CekEncryptedValue(
+                    column_master_key_name=stmt.cmk_name,
+                    algorithm=stmt.algorithm,
+                    encrypted_value=stmt.encrypted_value,
+                    signature=stmt.signature,
+                )
+                self.server.catalog.alter_cek_add_value(stmt.name, value)
+            else:
+                self.server.catalog.alter_cek_drop_value(stmt.name, stmt.cmk_name)
+            return QueryResult()
         raise SqlError(f"unsupported DDL {type(stmt).__name__}")
 
     def _create_table(self, stmt: ast.CreateTableStmt) -> QueryResult:

@@ -221,6 +221,24 @@ class CreateCekStmt(Statement):
 
 
 @dataclass(frozen=True)
+class AlterCekStmt(Statement):
+    """ALTER COLUMN ENCRYPTION KEY ... ADD VALUE / DROP VALUE.
+
+    The CMK-rotation half of the key lifecycle: a CEK gains a second
+    encrypted value under the new CMK, clients migrate, then the old
+    value is dropped. ``action`` is ``'add'`` or ``'drop'``; the value
+    fields are populated only for ``'add'``.
+    """
+
+    name: str
+    action: str                      # 'add' | 'drop'
+    cmk_name: str
+    algorithm: str | None = None
+    encrypted_value: bytes | None = None
+    signature: bytes | None = None
+
+
+@dataclass(frozen=True)
 class AlterColumnStmt(Statement):
     """ALTER TABLE ... ALTER COLUMN — in-place (initial) encryption,
     decryption, or key rotation through the enclave (Section 2.4.2)."""

@@ -431,8 +431,11 @@ class _Parser:
         table = self._ident()
         return ast.DropIndexStmt(name=name, table=table)
 
-    def _alter(self) -> ast.AlterColumnStmt:
-        self._expect_keyword("ALTER", "TABLE")
+    def _alter(self) -> ast.Statement:
+        self._expect(TokenType.KEYWORD, "ALTER")
+        if self._check(TokenType.KEYWORD, "COLUMN"):
+            return self._alter_cek()
+        self._expect(TokenType.KEYWORD, "TABLE")
         table = self._ident()
         self._expect_keyword("ALTER", "COLUMN")
         column = self._ident()
@@ -447,6 +450,63 @@ class _Parser:
             type_name=type_name,
             type_length=type_length,
             encryption=encryption,
+        )
+
+    def _alter_cek(self) -> ast.AlterCekStmt:
+        """ALTER COLUMN ENCRYPTION KEY <name> ADD VALUE (...) | DROP VALUE (...)."""
+        self._expect_keyword("COLUMN", "ENCRYPTION", "KEY")
+        name = self._ident()
+        # ADD and VALUE are not reserved words; they lex as identifiers.
+        if self._check(TokenType.KEYWORD, "DROP"):
+            self._advance()
+            action = "drop"
+        else:
+            word = self._ident().upper()
+            if word != "ADD":
+                raise ParseError(f"expected ADD or DROP after CEK name, found {word!r}")
+            action = "add"
+        value_kw = self._ident().upper()
+        if value_kw != "VALUE":
+            raise ParseError(f"expected VALUE after {action.upper()}, found {value_kw!r}")
+        self._expect(TokenType.OPERATOR, "(")
+        cmk_name = algorithm = None
+        encrypted_value = signature_bytes = None
+        while True:
+            if self._check(TokenType.KEYWORD, "COLUMN"):
+                self._expect_keyword("COLUMN", "MASTER", "KEY")
+                self._expect(TokenType.OPERATOR, "=")
+                cmk_name = self._ident()
+            else:
+                prop = self._ident().upper()
+                self._expect(TokenType.OPERATOR, "=")
+                if prop == "COLUMN_MASTER_KEY":
+                    cmk_name = self._ident()
+                elif prop == "ALGORITHM":
+                    algorithm = self._expect(TokenType.STRING).value
+                elif prop == "ENCRYPTED_VALUE":
+                    encrypted_value = bytes.fromhex(self._expect(TokenType.HEXBLOB).value)
+                elif prop == "SIGNATURE":
+                    signature_bytes = bytes.fromhex(self._expect(TokenType.HEXBLOB).value)
+                else:
+                    raise ParseError(f"unknown ALTER CEK property {prop!r}")
+            if not self._accept(TokenType.OPERATOR, ","):
+                break
+        self._expect(TokenType.OPERATOR, ")")
+        if cmk_name is None:
+            raise ParseError("ALTER CEK requires COLUMN_MASTER_KEY")
+        if action == "add" and (
+            algorithm is None or encrypted_value is None or signature_bytes is None
+        ):
+            raise ParseError(
+                "ALTER CEK ADD VALUE requires ALGORITHM, ENCRYPTED_VALUE, and SIGNATURE"
+            )
+        return ast.AlterCekStmt(
+            name=name,
+            action=action,
+            cmk_name=cmk_name,
+            algorithm=algorithm,
+            encrypted_value=encrypted_value,
+            signature=signature_bytes,
         )
 
     # -- expressions ---------------------------------------------------------------

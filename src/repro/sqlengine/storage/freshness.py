@@ -62,9 +62,11 @@ class EnclaveAnchorBackend:
     def __init__(self, enclave):
         self._enclave = enclave
 
-    def anchor_attach(self, pages, chain_lsn, chain_digest, base_lsn, base_digest):
+    def anchor_attach(
+        self, pages, chain_lsn, chain_digest, base_lsn, base_digest, cek_versions=None
+    ):
         return self._enclave.anchor_attach(
-            pages, chain_lsn, chain_digest, base_lsn, base_digest
+            pages, chain_lsn, chain_digest, base_lsn, base_digest, cek_versions
         )
 
     def anchor_advance(self, **kwargs):
@@ -73,9 +75,14 @@ class EnclaveAnchorBackend:
     def anchor_confirm(self, page_id):
         return self._enclave.anchor_confirm(page_id)
 
-    def anchor_verify(self, base_lsn, base_digest, blobs, page_digests, torn):
+    def anchor_cek_version(self, cek_name, version):
+        return self._enclave.anchor_cek_version(cek_name, version)
+
+    def anchor_verify(
+        self, base_lsn, base_digest, blobs, page_digests, torn, cek_versions=None
+    ):
         return self._enclave.anchor_verify(
-            base_lsn, base_digest, blobs, page_digests, torn
+            base_lsn, base_digest, blobs, page_digests, torn, cek_versions
         )
 
     def anchor_truncate(self, base_lsn, base_digest):
@@ -131,7 +138,12 @@ class FreshnessAnchor:
         chain_lsn, chain_digest = engine.wal.chain_state()
         base_lsn, base_digest = engine.wal.chain_base()
         return self._backend.anchor_attach(
-            pages, chain_lsn, chain_digest, base_lsn, base_digest
+            pages,
+            chain_lsn,
+            chain_digest,
+            base_lsn,
+            base_digest,
+            engine.catalog.cek_versions(),
         )
 
     # -- advance hooks -----------------------------------------------------
@@ -151,6 +163,16 @@ class FreshnessAnchor:
     def _on_page_wrote(self, page_id: int) -> None:
         self._backend.anchor_confirm(page_id)
 
+    def witness_cek_version(self, cek_name: str, version: int) -> int:
+        """Report a completed CEK rotation to the trust root.
+
+        Called *after* the catalog's version bump is durable (ROTATE_END
+        flushed), so a crash in between leaves the catalog ahead of the
+        anchor — adopted at the next verify, never a false positive.
+        """
+        fault_point("freshness.advance", cek_name=cek_name, version=version)
+        return self._backend.anchor_cek_version(cek_name, version)
+
     # -- recovery ----------------------------------------------------------
 
     def verify_recovery(
@@ -158,6 +180,7 @@ class FreshnessAnchor:
         wal: "WriteAheadLog",
         page_digests: dict[int, bytes],
         torn_page_ids: set[int],
+        cek_versions: dict[str, int] | None = None,
     ):
         """Check the durable state against the anchor; raise on rollback.
 
@@ -174,6 +197,7 @@ class FreshnessAnchor:
             wal.durable_chain_blobs(),
             page_digests,
             torn_page_ids,
+            cek_versions,
         )
         if not verdict.ok:
             raise StaleRestoreError(verdict.describe())

@@ -47,6 +47,14 @@ class LogOp(enum.Enum):
     DELETE = "delete"
     UPDATE = "update"
     CHECKPOINT = "checkpoint"
+    # Online key rotation (logged under txn_id 0, like CHECKPOINT, so the
+    # loser/in-doubt analysis never adopts them). ``table`` carries the
+    # rotation id; ``after`` carries the encoded rotation descriptor or
+    # batch watermark. Folding these through the freshness chain means a
+    # restore to a pre-rotation log forks the chain at ROTATE_BEGIN.
+    ROTATE_BEGIN = "rotate_begin"
+    ROTATE_PROGRESS = "rotate_progress"
+    ROTATE_END = "rotate_end"
 
 
 @dataclass(frozen=True)

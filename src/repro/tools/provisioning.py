@@ -81,13 +81,22 @@ def rotate_cmk(
     has two encrypted values; the old one is dropped to complete rotation.
     """
     metadata = connection.server.fetch_cek_metadata(cek_name)
-    material = connection._unwrap_cek(metadata)
+    material = connection.unwrap_cek(metadata)
     new_value = CekEncryptedValue.create(new_cmk, provider, material)
-    cek = connection.server.catalog.cek(cek_name)
-    cek.add_encrypted_value(new_value)
+    add_ddl = (
+        f"ALTER COLUMN ENCRYPTION KEY {cek_name} ADD VALUE (\n"
+        f"  COLUMN_MASTER_KEY = {new_cmk.name},\n"
+        f"  ALGORITHM = 'RSA_OAEP',\n"
+        f"  ENCRYPTED_VALUE = 0x{new_value.encrypted_value.hex()},\n"
+        f"  SIGNATURE = 0x{new_value.signature.hex()})"
+    )
+    connection.execute_ddl(add_ddl)
     # ... clients holding either CMK keep working (no downtime) ...
-    cek.drop_encrypted_value(old_cmk.name)
-    connection.invalidate_metadata_caches()
+    drop_ddl = (
+        f"ALTER COLUMN ENCRYPTION KEY {cek_name} DROP VALUE (\n"
+        f"  COLUMN_MASTER_KEY = {old_cmk.name})"
+    )
+    connection.execute_ddl(drop_ddl)
 
 
 def rotate_cek_in_place(

@@ -1,0 +1,216 @@
+"""Fleet-scale CEK handling: the paper's one-CEK-per-tenant deployment.
+
+At ~10k tenants a client process cannot pin every tenant's plaintext key
+material forever, so the CEK cache carries an LRU bound; attestation is
+single-flight (one handshake per connection no matter how many threads
+race it); and a CEK that was evicted and must be re-shipped to the
+enclave travels under a fresh nonce — a replayed copy of the install
+package is rejected by the enclave's nonce tracker, not applied twice.
+"""
+
+from __future__ import annotations
+
+import threading
+
+from repro.client.caches import CekCache
+from repro.crypto.aead import generate_cek_material
+from repro.faults import DuplicateMessage, OnNth, get_fault_registry
+from repro.keys.cek import ColumnEncryptionKey
+
+ALGO = "AEAD_AES_256_CBC_HMAC_SHA_256"
+
+FLEET = 10_000
+BOUND = 512
+
+
+class TestCekCacheLruAtFleetScale:
+    def test_ten_thousand_tenants_stay_within_the_bound(self):
+        cache = CekCache(ttl_s=3600.0, max_entries=BOUND)
+        base_evictions = cache.evictions
+        material = b"m" * 32
+        for i in range(FLEET):
+            cache.put(f"Tenant{i:05d}CEK", material)
+        assert len(cache) == BOUND
+        assert cache.evictions - base_evictions == FLEET - BOUND
+        # Exactly the most recent BOUND tenants are resident.
+        assert f"Tenant{FLEET - 1:05d}CEK" in cache
+        assert f"Tenant{FLEET - BOUND:05d}CEK" in cache
+        assert f"Tenant{FLEET - BOUND - 1:05d}CEK" not in cache
+
+    def test_eviction_is_by_recency_of_use_not_insertion(self):
+        cache = CekCache(ttl_s=3600.0, max_entries=4)
+        for i in range(4):
+            cache.put(f"K{i}", b"m" * 32)
+        # K0 is the oldest *inserted*, but a hit refreshes it...
+        assert cache.get("K0") is not None
+        cache.put("K4", b"m" * 32)
+        # ...so the cold K1 is evicted instead.
+        assert "K0" in cache and "K4" in cache
+        assert "K1" not in cache
+
+    def test_hot_tenant_survives_a_cold_fleet_scan(self):
+        cache = CekCache(ttl_s=3600.0, max_entries=8)
+        cache.put("HotCEK", b"h" * 32)
+        for i in range(1000):
+            cache.put(f"Cold{i}CEK", b"c" * 32)
+            assert cache.get("HotCEK") is not None  # every touch refreshes
+        assert len(cache) == 8
+
+    def test_reinsert_does_not_evict(self):
+        cache = CekCache(ttl_s=3600.0, max_entries=2)
+        base = cache.evictions
+        cache.put("A", b"a" * 32)
+        cache.put("B", b"b" * 32)
+        cache.put("A", b"a" * 32)  # refresh, not growth
+        assert len(cache) == 2
+        assert cache.evictions == base
+
+
+def provision_fleet(server, enclave_cmk, registry, count: int) -> list[str]:
+    vault = registry.get("AZURE_KEY_VAULT_PROVIDER")
+    names = []
+    for i in range(count):
+        name = f"Fleet{i:03d}CEK"
+        cek, __ = ColumnEncryptionKey.create(
+            name, enclave_cmk, vault, key_material=generate_cek_material()
+        )
+        server.catalog.create_cek(cek)
+        names.append(name)
+    return names
+
+
+class TestDriverUnderCachePressure:
+    N_CEKS = 24
+    BOUND = 4
+
+    def _fleet_tables(self, stack, names):
+        for i, name in enumerate(names):
+            stack.conn.execute_ddl(
+                f"CREATE TABLE F{i}(id int PRIMARY KEY, value int ENCRYPTED WITH "
+                f"(COLUMN_ENCRYPTION_KEY = {name}, ENCRYPTION_TYPE = Randomized, "
+                f"ALGORITHM = '{ALGO}'))"
+            )
+            stack.conn.execute(
+                f"INSERT INTO F{i} (id, value) VALUES (@id, @v)",
+                {"id": 1, "v": i * 11},
+            )
+
+    def test_every_tenant_readable_through_a_tiny_cache(
+        self, rotation_stack_factory, enclave_cmk, registry
+    ):
+        stack = rotation_stack_factory(cek_names=())
+        names = provision_fleet(stack.server, enclave_cmk, registry, self.N_CEKS)
+        self._fleet_tables(stack, names)
+
+        conn = stack.fresh_conn(cek_cache_max_entries=self.BOUND)
+        base_evictions = conn.cek_cache.evictions
+        base_provider = conn.stats.key_provider_calls
+        for sweep in range(2):
+            for i in range(self.N_CEKS):
+                rows = conn.execute(f"SELECT id, value FROM F{i}").rows
+                assert rows == [(1, i * 11)]
+        assert len(conn.cek_cache) <= self.BOUND
+        # Two cold sweeps over 24 tenants through a 4-entry cache: nearly
+        # every access is a miss that unwraps (a provider round-trip) and
+        # evicts somebody else.
+        assert conn.cek_cache.evictions - base_evictions >= self.N_CEKS
+        assert conn.stats.key_provider_calls - base_provider >= self.N_CEKS
+
+    def test_unbounded_cache_pays_the_provider_once_per_tenant(
+        self, rotation_stack_factory, enclave_cmk, registry
+    ):
+        stack = rotation_stack_factory(cek_names=())
+        names = provision_fleet(stack.server, enclave_cmk, registry, self.N_CEKS)
+        self._fleet_tables(stack, names)
+
+        conn = stack.fresh_conn()
+        base = conn.stats.key_provider_calls
+        for sweep in range(3):
+            for i in range(self.N_CEKS):
+                conn.execute(f"SELECT id, value FROM F{i}")
+        assert conn.stats.key_provider_calls - base == self.N_CEKS
+
+
+class TestSingleFlightAttestation:
+    def test_racing_threads_share_one_handshake(self, rotation_stack_factory):
+        stack = rotation_stack_factory()
+        stack.conn.execute_ddl(
+            "CREATE TABLE T(id int PRIMARY KEY, value int ENCRYPTED WITH "
+            "(COLUMN_ENCRYPTION_KEY = RotOldCEK, ENCRYPTION_TYPE = Randomized, "
+            f"ALGORITHM = '{ALGO}'))"
+        )
+        stack.conn.execute(
+            "INSERT INTO T (id, value) VALUES (@id, @v)", {"id": 1, "v": 7}
+        )
+
+        conn = stack.fresh_conn()
+        handshakes = []
+        real_attest = stack.server.attest
+
+        def counting_attest(client_dh_public):
+            handshakes.append(threading.get_ident())
+            return real_attest(client_dh_public)
+
+        stack.server.attest = counting_attest
+        try:
+            barrier = threading.Barrier(8)
+            failures: list[BaseException] = []
+
+            def worker(worker_id: int):
+                try:
+                    barrier.wait()
+                    for __ in range(5):
+                        # Range predicate on the RND column: the plan needs
+                        # the enclave, so the describe wants a session. The
+                        # query texts differ per thread, so the describe
+                        # cache cannot be what deduplicates the handshake.
+                        rows = conn.execute(
+                            "SELECT id FROM T WHERE value >= @v "
+                            f"AND id <= {worker_id + 1}",
+                            {"v": 0},
+                        ).rows
+                        assert rows == [(1,)]
+                except BaseException as exc:  # surfaced below
+                    failures.append(exc)
+
+            threads = [
+                threading.Thread(target=worker, args=(i,)) for i in range(8)
+            ]
+            for t in threads:
+                t.start()
+            for t in threads:
+                t.join()
+        finally:
+            stack.server.attest = real_attest
+        assert failures == []
+        assert len(handshakes) == 1
+
+
+class TestReplayProtectedReinstall:
+    def test_duplicated_install_package_is_rejected_and_harmless(
+        self, rotation_stack_factory
+    ):
+        """A fresh session's CEK install package delivered twice: the
+        enclave's nonce tracker rejects the replayed copy, the driver
+        treats the rejection as success, and queries work."""
+        faults = get_fault_registry()
+        stack = rotation_stack_factory()
+        stack.conn.execute_ddl(
+            "CREATE TABLE T(id int PRIMARY KEY, value int ENCRYPTED WITH "
+            "(COLUMN_ENCRYPTION_KEY = RotOldCEK, ENCRYPTION_TYPE = Randomized, "
+            f"ALGORITHM = '{ALGO}'))"
+        )
+        stack.conn.execute(
+            "INSERT INTO T (id, value) VALUES (@id, @v)", {"id": 1, "v": 7}
+        )
+
+        conn = stack.fresh_conn(cek_cache_max_entries=1)
+        armed = faults.arm("enclave.channel.send", OnNth(1), DuplicateMessage())
+        try:
+            rows = conn.execute("SELECT id, value FROM T").rows
+        finally:
+            faults.disarm(armed)
+        assert rows == [(1, 7)]
+        # The replay changed nothing server-side: later traffic (new nonce
+        # ranges, fresh sessions) proceeds normally.
+        assert stack.fresh_conn().execute("SELECT value FROM T").rows == [(7,)]

@@ -7,6 +7,8 @@ is rebuilt per test from the cached keys.
 
 from __future__ import annotations
 
+from dataclasses import dataclass, field
+
 import pytest
 
 from repro.attestation.hgs import AttestationPolicy, HostGuardianService
@@ -152,3 +154,81 @@ def encrypted_table(ae_connection) -> Connection:
             "INSERT INTO T (id, value) VALUES (@id, @v)", {"id": i, "v": i * 10}
         )
     return ae_connection
+
+
+@dataclass
+class RotationStack:
+    """A full AE stack with several independently-keyed CEKs — the raw
+    material of the online key-lifecycle suites. ``materials`` holds the
+    plaintext key bytes so tests can probe which CEK a stored envelope is
+    under without going through a driver."""
+
+    server: SqlServer
+    conn: Connection
+    registry: KeyProviderRegistry
+    policy: AttestationPolicy
+    materials: dict[str, bytes] = field(default_factory=dict)
+
+    def fresh_conn(self, **options) -> Connection:
+        """A new client connection (own caches, own attestation session)."""
+        return connect(
+            self.server, self.registry, attestation_policy=self.policy, **options
+        )
+
+
+@pytest.fixture()
+def rotation_stack_factory(registry, enclave_binary, host_machine, enclave_cmk):
+    """Build an enclave-backed server with N distinct-material CEKs.
+
+    Unlike the shared ``enclave_cek``/``plain_cek`` pair (which reuse one
+    key material), every CEK here gets fresh material — a cell can only
+    ever MAC-verify under exactly one of them, which is the core
+    invariant the rotation suites check.
+    """
+    vault = registry.get("AZURE_KEY_VAULT_PROVIDER")
+    policy = AttestationPolicy(
+        trusted_author_ids=frozenset({enclave_binary.author_id})
+    )
+
+    def make(
+        cek_names=("RotOldCEK", "RotNewCEK", "RotThirdCEK"),
+        freshness: bool = False,
+        lock_timeout_s: float = 0.3,
+    ) -> RotationStack:
+        hgs = HostGuardianService()
+        hgs.register_host(host_machine.boot_and_measure())
+        enclave = Enclave(enclave_binary)
+        anchor = None
+        if freshness:
+            from repro.sqlengine.storage.freshness import (
+                EnclaveAnchorBackend,
+                FreshnessAnchor,
+            )
+
+            anchor = FreshnessAnchor(EnclaveAnchorBackend(enclave))
+        server = SqlServer(
+            enclave=enclave,
+            host_machine=host_machine,
+            hgs=hgs,
+            lock_timeout_s=lock_timeout_s,
+            freshness=anchor,
+        )
+        server.catalog.create_cmk(enclave_cmk)
+        materials: dict[str, bytes] = {}
+        for name in cek_names:
+            material = generate_cek_material()
+            cek, __ = ColumnEncryptionKey.create(
+                name, enclave_cmk, vault, key_material=material
+            )
+            server.catalog.create_cek(cek)
+            materials[name] = material
+        stack = RotationStack(
+            server=server,
+            conn=connect(server, registry, attestation_policy=policy),
+            registry=registry,
+            policy=policy,
+            materials=materials,
+        )
+        return stack
+
+    return make

@@ -1,0 +1,189 @@
+"""Property suite for the online rotation invariant.
+
+Hypothesis drives random interleavings of client DML (insert / update /
+delete) with rotation batch steps, checking after **every** step:
+
+* **exactly-one-key** — each stored envelope MAC-verifies under exactly
+  one CEK, and that CEK is one of {old, new}: no cell is ever left
+  unreadable, double-keyed, or keyed under an unrelated CEK;
+* **model agreement** — a fresh client's view of the table equals the
+  plain-Python model of the applied DML, regardless of how far the
+  sweep has progressed;
+
+and at the end, after the sweep runs dry:
+
+* **terminal all-new** — every surviving row is under the new CEK, the
+  version bumped exactly once, and the values still match the model.
+
+``encrypt`` jobs get the same treatment with "plaintext" standing in for
+the old key — the only phase plaintext cells are ever tolerated.
+"""
+
+from __future__ import annotations
+
+from hypothesis import HealthCheck, given, settings
+from hypothesis import strategies as st
+
+from repro.crypto.aead import CellCipher
+from repro.sqlengine.cells import Ciphertext
+from repro.tools.rotation import encrypt_column_online, rotate_cek_online
+
+ALGO = "AEAD_AES_256_CBC_HMAC_SHA_256"
+
+# Keyspace deliberately small so updates/deletes collide with inserts and
+# with rows the sweep has already (or not yet) visited.
+IDS = st.integers(min_value=0, max_value=24)
+VALUES = st.integers(min_value=-1000, max_value=1000)
+
+OPS = st.lists(
+    st.one_of(
+        st.tuples(st.just("insert"), IDS, VALUES),
+        st.tuples(st.just("update"), IDS, VALUES),
+        st.tuples(st.just("delete"), IDS, st.just(0)),
+        st.tuples(st.just("step"), st.just(0), st.just(0)),
+    ),
+    min_size=1,
+    max_size=24,
+)
+
+PROPERTY_SETTINGS = settings(
+    max_examples=15,
+    deadline=None,
+    suppress_health_check=[
+        HealthCheck.function_scoped_fixture,
+        HealthCheck.too_slow,
+    ],
+)
+
+
+def census(stack, table: str = "T", column: str = "value") -> dict[str, int]:
+    """Envelope counts by owning CEK; asserts the exactly-one invariant."""
+    engine = stack.server.engine
+    slot = engine.table(table).schema.column_index(column)
+    ciphers = {name: CellCipher(mat) for name, mat in stack.materials.items()}
+    counts: dict[str, int] = {}
+    for __, row in engine.scan(table):
+        cell = row[slot]
+        if not isinstance(cell, Ciphertext):
+            counts["<plaintext>"] = counts.get("<plaintext>", 0) + 1
+            continue
+        owners = [n for n, c in ciphers.items() if c.verify(cell.envelope)]
+        assert len(owners) == 1, f"cell verifies under {owners!r}"
+        counts[owners[0]] = counts.get(owners[0], 0) + 1
+    return counts
+
+
+def apply_op(conn, model: dict[int, int], op) -> None:
+    kind, row_id, value = op
+    if kind == "insert":
+        if row_id in model:
+            return  # PK collision: the model skips it, so does the client
+        conn.execute(
+            "INSERT INTO T (id, value) VALUES (@id, @v)", {"id": row_id, "v": value}
+        )
+        model[row_id] = value
+    elif kind == "update":
+        conn.execute(
+            "UPDATE T SET value = @v WHERE id = @id", {"id": row_id, "v": value}
+        )
+        if row_id in model:
+            model[row_id] = value
+    elif kind == "delete":
+        conn.execute("DELETE FROM T WHERE id = @id", {"id": row_id})
+        model.pop(row_id, None)
+
+
+def assert_view_matches_model(stack, model: dict[int, int]) -> None:
+    conn = stack.fresh_conn()
+    rows = conn.execute("SELECT id, value FROM T").rows
+    assert dict(rows) == model
+    assert len(rows) == len(model)
+
+
+def drain(stack, rid) -> None:
+    while True:
+        more, __ = stack.server.rotate_step(rid)
+        if not more:
+            return
+
+
+class TestRotationProperty:
+    @PROPERTY_SETTINGS
+    @given(initial=st.integers(min_value=0, max_value=12), ops=OPS, data=st.data())
+    def test_every_cell_under_exactly_one_of_old_or_new(
+        self, rotation_stack_factory, initial, ops, data
+    ):
+        stack = rotation_stack_factory()
+        stack.conn.execute_ddl(
+            "CREATE TABLE T(id int PRIMARY KEY, value int ENCRYPTED WITH "
+            "(COLUMN_ENCRYPTION_KEY = RotOldCEK, ENCRYPTION_TYPE = Randomized, "
+            f"ALGORITHM = '{ALGO}'))"
+        )
+        model: dict[int, int] = {}
+        for i in range(initial):
+            stack.conn.execute(
+                "INSERT INTO T (id, value) VALUES (@id, @v)", {"id": i, "v": i * 7}
+            )
+            model[i] = i * 7
+
+        batch = data.draw(st.integers(min_value=1, max_value=6), label="batch_size")
+        rid = rotate_cek_online(
+            stack.conn, "T", "value", "RotNewCEK", batch_size=batch, run=False
+        )
+        done = False
+        for op in ops:
+            if op[0] == "step":
+                if not done:
+                    more, __ = stack.server.rotate_step(rid)
+                    done = not more
+            else:
+                apply_op(stack.conn, model, op)
+            counts = census(stack)
+            assert set(counts) <= {"RotOldCEK", "RotNewCEK"}, counts
+            assert sum(counts.values()) == len(model)
+            assert_view_matches_model(stack, model)
+
+        if not done:
+            drain(stack, rid)
+        counts = census(stack)
+        assert counts.get("RotOldCEK", 0) == 0
+        assert counts.get("RotNewCEK", 0) == len(model)
+        assert stack.server.cek_versions() == {"RotNewCEK": 2}
+        assert not any(s.active for s in stack.server.rotation_states())
+        assert_view_matches_model(stack, model)
+
+    @PROPERTY_SETTINGS
+    @given(initial=st.integers(min_value=1, max_value=10), ops=OPS)
+    def test_initial_encryption_tolerates_plaintext_only_while_live(
+        self, rotation_stack_factory, initial, ops
+    ):
+        stack = rotation_stack_factory()
+        stack.conn.execute_ddl("CREATE TABLE T(id int PRIMARY KEY, value int)")
+        model: dict[int, int] = {}
+        for i in range(initial):
+            stack.conn.execute(
+                "INSERT INTO T (id, value) VALUES (@id, @v)", {"id": i, "v": i * 7}
+            )
+            model[i] = i * 7
+
+        rid = encrypt_column_online(
+            stack.conn, "T", "value", "RotNewCEK", batch_size=3, run=False
+        )
+        done = False
+        for op in ops:
+            if op[0] == "step":
+                if not done:
+                    more, __ = stack.server.rotate_step(rid)
+                    done = not more
+            else:
+                apply_op(stack.conn, model, op)
+            counts = census(stack)
+            assert set(counts) <= {"<plaintext>", "RotNewCEK"}, counts
+            assert sum(counts.values()) == len(model)
+
+        if not done:
+            drain(stack, rid)
+        counts = census(stack)
+        assert counts.get("<plaintext>", 0) == 0
+        assert counts.get("RotNewCEK", 0) == len(model)
+        assert_view_matches_model(stack, model)
